@@ -1,0 +1,171 @@
+(* Benchmark harness: regenerates every table of the paper's
+   evaluation and runs Bechamel micro-benchmarks (one Test.make per
+   table) on representative instances.
+
+   Default run: scaled-down bound matrix (minutes on a laptop).
+   RTLSAT_FULL=1, or `-- table2 --full`, switches to the paper's full
+   bounds with the 1200 s timeout.
+
+   Subcommands:
+     (none) | all      tables 1 and 2 + micro-benchmarks
+     table1 [--full]   Table 1 only
+     table2 [--full]   Table 2 only
+     micro             Bechamel micro-benchmarks only
+     ablation          decision/learning ablation sweep (see below) *)
+
+module Engines = Rtlsat_harness.Engines
+module Tables = Rtlsat_harness.Tables
+module Registry = Rtlsat_itc99.Registry
+module Bmc = Rtlsat_bmc.Bmc
+module Unroll = Rtlsat_bmc.Unroll
+module E = Rtlsat_constr.Encode
+module Solver = Rtlsat_core.Solver
+
+let full_requested args =
+  Sys.getenv_opt "RTLSAT_FULL" = Some "1" || List.mem "--full" args
+
+let scale_of args : Tables.scale = if full_requested args then `Full else `Scaled
+
+(* ---- bechamel micro-benchmarks ---- *)
+
+let solve_with options (circuit, prop, bound) () =
+  let inst = Registry.instance ~circuit ~prop ~bound in
+  let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
+  E.assume_bool enc inst.Bmc.violation true;
+  ignore (Solver.solve ~options enc)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let t1_instance = ("b13", "1", 20) in
+  let t2_instance = ("b13", "2", 20) in
+  let tests =
+    Test.make_grouped ~name:"tables"
+      [
+        (* Table 1's comparison: HDPLL with and without predicate learning *)
+        Test.make ~name:"table1/hdpll/b13_1(20)"
+          (Staged.stage (solve_with Solver.hdpll t1_instance));
+        Test.make ~name:"table1/hdpll+p/b13_1(20)"
+          (Staged.stage (solve_with Solver.hdpll_p t1_instance));
+        (* Table 2's comparison: the structural decision strategy *)
+        Test.make ~name:"table2/hdpll/b13_2(20)"
+          (Staged.stage (solve_with Solver.hdpll t2_instance));
+        Test.make ~name:"table2/hdpll+s/b13_2(20)"
+          (Staged.stage (solve_with Solver.hdpll_s t2_instance));
+        Test.make ~name:"table2/hdpll+s+p/b13_2(20)"
+          (Staged.stage (solve_with Solver.hdpll_sp t2_instance));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:(Some 20) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@.Bechamel micro-benchmarks (monotonic clock per solve):@.";
+  let rows =
+    Hashtbl.fold (fun name o acc -> (name, o) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, o) ->
+       match Analyze.OLS.estimates o with
+       | Some [ est ] -> Format.printf "  %-32s %10.3f ms/run@." name (est /. 1e6)
+       | _ -> Format.printf "  %-32s (no estimate)@." name)
+    rows
+
+(* ---- ablation sweep (DESIGN.md extension): the individual value of
+   each strategy and the learning threshold ---- *)
+
+let ablation () =
+  Format.printf "@.Ablation: decision strategy x predicate learning on b13_2(50)@.";
+  let run name options =
+    let inst = Registry.instance ~circuit:"b13" ~prop:"2" ~bound:50 in
+    let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
+    E.assume_bool enc inst.Bmc.violation true;
+    let t0 = Unix.gettimeofday () in
+    let { Solver.result; stats; _ } = Solver.solve ~options enc in
+    Format.printf "  %-28s %-2s %7.2fs  dec=%-6d cfl=%-6d rels=%d@." name
+      (match result with
+       | Solver.Sat _ -> "S" | Solver.Unsat -> "U" | Solver.Timeout -> "to")
+      (Unix.gettimeofday () -. t0)
+      stats.Solver.decisions stats.Solver.conflicts stats.Solver.relations
+  in
+  run "base (no S, no P)" Solver.hdpll;
+  run "+S" Solver.hdpll_s;
+  run "+P" Solver.hdpll_p;
+  run "+S+P" Solver.hdpll_sp;
+  run "+S+P, no restarts" { Solver.hdpll_sp with Solver.restarts = false };
+  run "+S+P, no fanout seeding" { Solver.hdpll_sp with Solver.seed_fanout = false };
+  Format.printf "@.Learning-threshold sweep (+S+P on b13_1(50)):@.";
+  List.iter
+    (fun threshold ->
+       let inst = Registry.instance ~circuit:"b13" ~prop:"1" ~bound:50 in
+       let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
+       E.assume_bool enc inst.Bmc.violation true;
+       let options = { Solver.hdpll_sp with Solver.learn_threshold = Some threshold } in
+       let t0 = Unix.gettimeofday () in
+       let { Solver.result = _; stats; _ } = Solver.solve ~options enc in
+       Format.printf "  threshold %-6d -> %7.2fs  rels=%-6d learn=%.2fs@." threshold
+         (Unix.gettimeofday () -. t0)
+         stats.Solver.relations stats.Solver.learn_time)
+    [ 0; 100; 500; 2000; 5000 ]
+
+(* scaling curve: solve time vs unrolling bound, one series per
+   engine — CSV on stdout, plot with any tool *)
+let sweep () =
+  let bounds = [ 25; 50; 75; 100; 150; 200 ] in
+  let engines = [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Bitblast ] in
+  Format.printf "@.Scaling sweep: b13_1(k), time in seconds per engine@.";
+  Format.printf "bound%s@."
+    (String.concat ""
+       (List.map (fun e -> "," ^ Engines.engine_name e) engines));
+  List.iter
+    (fun bound ->
+       Format.printf "%d" bound;
+       List.iter
+         (fun e ->
+            let inst = Registry.instance ~circuit:"b13" ~prop:"1" ~bound in
+            let r = Engines.run_instance ~timeout:120.0 e inst in
+            match r.Engines.verdict with
+            | Engines.Sat | Engines.Unsat -> Format.printf ",%.3f" r.Engines.time
+            | _ -> Format.printf ",")
+         engines;
+       Format.printf "@.")
+    bounds
+
+let table1 args =
+  let scale = scale_of args in
+  let rows = Tables.run_table1 scale in
+  Tables.print_table1 Format.std_formatter rows
+
+let table2 args =
+  let scale = scale_of args in
+  let rows = Tables.run_table2 scale in
+  Tables.print_table2 Format.std_formatter rows
+
+let extension () =
+  Format.printf "@.Suite extension (beyond the paper's benchmark subset):@.";
+  Tables.print_table2 Format.std_formatter (Tables.run_extension ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has cmd = List.mem cmd args in
+  Format.printf
+    "rtlsat benchmark harness — reproduction of DAC'05 \"Structural Search@.\
+     for RTL with Predicate Learning\" (scaled bounds%s)@.@."
+    (if full_requested args then ": FULL matrix" else "; RTLSAT_FULL=1 for the paper's");
+  if has "table1" then table1 args
+  else if has "table2" then table2 args
+  else if has "micro" then micro ()
+  else if has "ablation" then ablation ()
+  else if has "extension" then extension ()
+  else if has "sweep" then sweep ()
+  else begin
+    table1 args;
+    Format.printf "@.";
+    table2 args;
+    extension ();
+    ablation ();
+    micro ()
+  end

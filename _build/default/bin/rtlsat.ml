@@ -1,0 +1,301 @@
+(* rtlsat — command-line front end.
+
+   Subcommands:
+     list               benchmark circuits and properties
+     show               netlist statistics (and optionally the netlist)
+     solve              decide one BMC instance with a chosen engine
+     check              BMC of a property in a textual netlist file
+     prove              k-induction on a benchmark property
+     table1 / table2    regenerate the paper's tables *)
+
+open Cmdliner
+module Ir = Rtlsat_rtl.Ir
+module Structure = Rtlsat_rtl.Structure
+module Registry = Rtlsat_itc99.Registry
+module Engines = Rtlsat_harness.Engines
+module Tables = Rtlsat_harness.Tables
+
+let engine_conv =
+  let all =
+    [
+      ("hdpll", Engines.Hdpll); ("hdpll+s", Engines.Hdpll_s);
+      ("hdpll+s+p", Engines.Hdpll_sp); ("hdpll+p", Engines.Hdpll_p);
+      ("bitblast", Engines.Bitblast); ("lazy-cdp", Engines.Lazy_cdp);
+    ]
+  in
+  Arg.enum all
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+         let c, props = Registry.build name in
+         let arith, boolean = Structure.op_counts c in
+         Format.printf "%s: %d registers, %d arith ops, %d bool ops@." name
+           (List.length (Ir.regs c)) arith boolean;
+         List.iter
+           (fun (p, _) -> Format.printf "  property %s_%s@." name p)
+           props)
+      Registry.circuits
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark circuits and properties")
+    Term.(const run $ const ())
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let circuit =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT")
+  in
+  let dump = Arg.(value & flag & info [ "netlist" ] ~doc:"Dump the netlist") in
+  let run circuit dump =
+    match Registry.build circuit with
+    | c, props ->
+      let arith, boolean = Structure.op_counts c in
+      Format.printf "circuit %s: %d nodes, %d inputs, %d registers@." c.Ir.cname
+        c.Ir.ncount
+        (List.length (Ir.inputs c))
+        (List.length (Ir.regs c));
+      Format.printf "operators: %d word-level, %d Boolean@." arith boolean;
+      Format.printf "predicate roots: %d@."
+        (List.length (Structure.predicate_roots c));
+      Format.printf "properties: %s@."
+        (String.concat ", " (List.map fst props));
+      if dump then Format.printf "@.%a" Ir.pp_circuit c
+    | exception Not_found ->
+      Format.eprintf "unknown circuit %s@." circuit;
+      exit 1
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Show circuit statistics")
+    Term.(const run $ circuit $ dump)
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let circuit =
+    Arg.(required & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME")
+  in
+  let prop =
+    Arg.(required & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP")
+  in
+  let bound =
+    Arg.(required & opt (some int) None & info [ "k"; "bound" ] ~docv:"FRAMES")
+  in
+  let engine =
+    Arg.(value & opt engine_conv Engines.Hdpll_sp & info [ "e"; "engine" ])
+  in
+  let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ] ~docv:"SECONDS") in
+  let run circuit prop bound engine timeout =
+    match Registry.instance ~circuit ~prop ~bound with
+    | inst ->
+      let r = Engines.run_instance ~timeout engine inst in
+      Format.printf "%s %s: %s in %.2fs@."
+        (Registry.instance_name ~circuit ~prop ~bound)
+        (Engines.engine_name engine)
+        (match r.Engines.verdict with
+         | Engines.Sat -> "SATISFIABLE (witness validated)"
+         | Engines.Unsat -> "UNSATISFIABLE"
+         | Engines.Timeout -> "TIMEOUT"
+         | Engines.Abort msg -> "ABORT: " ^ msg)
+        r.Engines.time;
+      Format.printf "decisions=%d conflicts=%d relations=%d@." r.Engines.decisions
+        r.Engines.conflicts r.Engines.relations
+    | exception Not_found ->
+      Format.eprintf "unknown instance %s_%s@." circuit prop;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide one BMC instance")
+    Term.(const run $ circuit $ prop $ bound $ engine $ timeout)
+
+(* ---- check: external netlist files ---- *)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  let port =
+    Arg.(required & opt (some string) None & info [ "p"; "property" ] ~docv:"OUTPUT"
+           ~doc:"Output port holding the safety property (must be 1)")
+  in
+  let bound = Arg.(required & opt (some int) None & info [ "k"; "bound" ]) in
+  let any = Arg.(value & flag & info [ "any" ] ~doc:"Violation anywhere within the bound") in
+  let vcd_out =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+           ~doc:"Write the counterexample trace as VCD")
+  in
+  let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ]) in
+  let run file port bound any vcd_out timeout =
+    let circuit = Rtlsat_rtl.Text.parse_file file in
+    let prop =
+      match Rtlsat_rtl.Netlist.find_output circuit port with
+      | p -> p
+      | exception Not_found ->
+        Format.eprintf "no output port %s@." port;
+        exit 1
+    in
+    let semantics = if any then Rtlsat_bmc.Bmc.Any else Rtlsat_bmc.Bmc.Final in
+    let inst = Rtlsat_bmc.Bmc.make circuit ~prop ~bound ~semantics () in
+    let combo = Rtlsat_bmc.Unroll.combo inst.Rtlsat_bmc.Bmc.unrolled in
+    let enc = Rtlsat_constr.Encode.encode combo in
+    Rtlsat_constr.Encode.assume_bool enc inst.Rtlsat_bmc.Bmc.violation true;
+    let module Solver = Rtlsat_core.Solver in
+    let options = { Solver.hdpll_sp with Solver.deadline = Unix.gettimeofday () +. timeout } in
+    (match (Solver.solve ~options enc).Solver.result with
+     | Solver.Unsat -> Format.printf "%s holds within %d frames (UNSAT)@." port bound
+     | Solver.Timeout -> Format.printf "TIMEOUT@."
+     | Solver.Sat m ->
+       let value n = m.(Rtlsat_constr.Encode.var enc n) in
+       assert (Rtlsat_bmc.Bmc.witness_ok inst value);
+       Format.printf "%s VIOLATED within %d frames@." port bound;
+       let inputs_at f =
+         List.map
+           (fun n -> (n, value (Rtlsat_bmc.Unroll.input_at inst.Rtlsat_bmc.Bmc.unrolled n f)))
+           (Ir.inputs circuit)
+       in
+       let traces =
+         Rtlsat_rtl.Sim.run circuit ~inputs:(List.init bound inputs_at)
+       in
+       (match vcd_out with
+        | Some path ->
+          Rtlsat_rtl.Vcd.to_file circuit traces path;
+          Format.printf "counterexample written to %s@." path
+        | None ->
+          List.iteri
+            (fun f ins ->
+               Format.printf "  cycle %2d:" f;
+               List.iter
+                 (fun (n, v) -> Format.printf " %s=%d" (Ir.node_name n) v)
+                 ins;
+               Format.printf "@.")
+            (List.init bound inputs_at)))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Bounded model checking of a textual netlist file")
+    Term.(const run $ file $ port $ bound $ any $ vcd_out $ timeout)
+
+(* ---- prove: k-induction ---- *)
+
+let prove_cmd =
+  let circuit =
+    Arg.(required & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME")
+  in
+  let prop =
+    Arg.(required & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP")
+  in
+  let max_k = Arg.(value & opt int 20 & info [ "max-k" ]) in
+  let run circuit prop max_k =
+    match Registry.build circuit with
+    | c, props ->
+      (match List.assoc_opt prop props with
+       | None ->
+         Format.eprintf "unknown property %s_%s@." circuit prop;
+         exit 1
+       | Some p ->
+         (match Rtlsat_harness.Induction.prove ~max_k c ~prop:p with
+          | Rtlsat_harness.Induction.Proved k ->
+            Format.printf "%s_%s PROVED for all reachable states (inductive at k=%d)@."
+              circuit prop k
+          | Rtlsat_harness.Induction.Falsified k ->
+            Format.printf "%s_%s FALSIFIED by a %d-cycle trace from reset@." circuit
+              prop k
+          | Rtlsat_harness.Induction.Unknown ->
+            Format.printf "%s_%s UNKNOWN up to k=%d (not inductive)@." circuit prop
+              max_k))
+    | exception Not_found ->
+      Format.eprintf "unknown circuit %s@." circuit;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Unbounded proof by k-induction")
+    Term.(const run $ circuit $ prop $ max_k)
+
+(* ---- sat: standalone DIMACS solving ---- *)
+
+let sat_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF") in
+  let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ]) in
+  let run file timeout =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let deadline = Unix.gettimeofday () +. timeout in
+    Rtlsat_sat.Dimacs.print_result Format.std_formatter
+      (Rtlsat_sat.Dimacs.solve_text ~deadline text)
+  in
+  Cmd.v (Cmd.info "sat" ~doc:"Solve a DIMACS CNF file with the CDCL engine")
+    Term.(const run $ file $ timeout)
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let circuit =
+    Arg.(required & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME")
+  in
+  let prop =
+    Arg.(required & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP")
+  in
+  let bound = Arg.(required & opt (some int) None & info [ "k"; "bound" ]) in
+  let fmt_arg =
+    Arg.(value & opt (enum [ ("smt2", `Smt2); ("dimacs", `Dimacs); ("rtl", `Rtl) ]) `Smt2
+         & info [ "format" ] ~docv:"smt2|dimacs|rtl")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let run circuit prop bound fmt out =
+    let inst = Registry.instance ~circuit ~prop ~bound in
+    let combo = Rtlsat_bmc.Unroll.combo inst.Rtlsat_bmc.Bmc.unrolled in
+    let text =
+      match fmt with
+      | `Smt2 ->
+        Rtlsat_rtl.Smtlib.export ~assumes:[ (inst.Rtlsat_bmc.Bmc.violation, 1) ] combo
+      | `Dimacs ->
+        let bb = Rtlsat_baselines.Bitblast.encode combo in
+        Rtlsat_baselines.Bitblast.assume_bool bb inst.Rtlsat_bmc.Bmc.violation true;
+        Rtlsat_baselines.Bitblast.to_dimacs bb
+      | `Rtl -> Rtlsat_rtl.Text.to_string (Registry.build circuit |> fst)
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export an instance as SMT-LIB 2 / DIMACS, or the circuit as text")
+    Term.(const run $ circuit $ prop $ bound $ fmt_arg $ out)
+
+(* ---- tables ---- *)
+
+let scale_term =
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper's full bound matrix") in
+  Term.(const (fun f : Tables.scale -> if f then `Full else `Scaled) $ full)
+
+let timeout_term =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS")
+
+let table1_cmd =
+  let run scale timeout =
+    Tables.print_table1 Format.std_formatter (Tables.run_table1 ?timeout scale)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 (predicate learning)")
+    Term.(const run $ scale_term $ timeout_term)
+
+let table2_cmd =
+  let run scale timeout =
+    Tables.print_table2 Format.std_formatter (Tables.run_table2 ?timeout scale)
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 (structural decisions)")
+    Term.(const run $ scale_term $ timeout_term)
+
+let () =
+  let doc = "RTL satisfiability with structural search and predicate learning" in
+  let info = Cmd.info "rtlsat" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; solve_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
+            table1_cmd;
+            table2_cmd ]))

@@ -1,0 +1,1 @@
+examples/bmc_tour.ml: Array Format List Printf Rtlsat_bmc Rtlsat_constr Rtlsat_core Rtlsat_harness Rtlsat_itc99 Rtlsat_rtl String

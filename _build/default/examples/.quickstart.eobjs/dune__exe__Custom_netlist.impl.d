@@ -1,0 +1,1 @@
+examples/custom_netlist.ml: Array Filename Format List Rtlsat_bmc Rtlsat_constr Rtlsat_core Rtlsat_rtl String

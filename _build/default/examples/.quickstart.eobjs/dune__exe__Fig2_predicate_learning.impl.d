@@ -1,0 +1,1 @@
+examples/fig2_predicate_learning.ml: Format List Rtlsat_constr Rtlsat_core Rtlsat_rtl

@@ -1,0 +1,1 @@
+examples/fig3_justification.mli:

@@ -1,0 +1,1 @@
+examples/induction_tour.ml: Format List Rtlsat_harness Rtlsat_itc99 Unix

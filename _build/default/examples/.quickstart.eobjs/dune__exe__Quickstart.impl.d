@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Rtlsat_constr Rtlsat_core Rtlsat_interval Rtlsat_rtl

@@ -1,0 +1,86 @@
+(* Figure 4 of the paper: structural decision making in an RTL
+   circuit.
+
+   w4 = mux(b1, w2, w3) and w3 = mux(b2, 6, w1), with w2 in <6,7> and
+   the proposition w4 = 5.  The paper's trace is
+
+     J-frontier {w4=<5>}:  w4 ∩ w2 = ∅  ⇒ decide b1 = 0
+     J-frontier {w3=<5>}:  <6> ∩ w3 = ∅ ⇒ decide b2 = 0
+     J-frontier empty      ⇒ arithmetic solver certifies SATISFIABLE
+
+   Our interval propagator implements the mux disjointness rule
+   directly, so in this exact setting the two "decisions" fall out as
+   implications; the second scenario keeps both mux inputs viable and
+   shows a genuine justification decision being made. *)
+
+module N = Rtlsat_rtl.Netlist
+module E = Rtlsat_constr.Encode
+module I = Rtlsat_interval.Interval
+module State = Rtlsat_core.State
+module Propagate = Rtlsat_core.Propagate
+module Justify = Rtlsat_core.Justify
+module Solver = Rtlsat_core.Solver
+
+let build () =
+  let c = N.create "fig4" in
+  let w1 = N.input c ~name:"w1" 3 in
+  let w2 = N.input c ~name:"w2" 3 in
+  let b1 = N.input c ~name:"b1" 1 in
+  let b2 = N.input c ~name:"b2" 1 in
+  let w3 = N.mux c ~name:"w3" ~sel:b2 ~t:(N.const c ~width:3 6) ~e:w1 () in
+  let w4 = N.mux c ~name:"w4" ~sel:b1 ~t:w2 ~e:w3 () in
+  let prop = N.eq_const c w4 5 in
+  N.output c "prop" prop;
+  (c, w1, w2, b1, b2, w3, w4, prop)
+
+let run_trace ~w2_range title =
+  let c, w1, w2, b1, b2, w3, w4, prop = build () in
+  let enc = E.encode c in
+  E.assume_bool enc prop true;
+  E.assume_interval enc w2 w2_range;
+  let s = State.create enc.E.problem in
+  let j = Justify.create enc in
+  let dom n = I.to_string (State.dom s (E.var enc n)) in
+  let sel n =
+    match State.bool_value s (E.var enc n) with
+    | -1 -> "free" | v -> string_of_int v
+  in
+  Format.printf "%s@." title;
+  Format.printf "HDPLL setup : w2 = %s, w3 = <0,7>, w1 = <0,7>@."
+    (I.to_string w2_range);
+  (match Propagate.run ~full:true s with
+   | None -> ()
+   | Some _ -> failwith "conflict");
+  Format.printf "Imply proposition : w4 = %s, w3 = %s, w1 = %s, b1 = %s, b2 = %s@."
+    (dom w4) (dom w3) (dom w1) (sel b1) (sel b2);
+  let rec go step =
+    match Justify.decide j s with
+    | Some atom ->
+      Format.printf "Decide() : %a   (justification)@." (State.pp_atom s) atom;
+      State.new_level s;
+      State.assert_atom s atom None;
+      (match Propagate.run s with
+       | None ->
+         Format.printf "Imply decision : w4 = %s, w3 = %s, w1 = %s@."
+           (dom w4) (dom w3) (dom w1);
+         go (step + 1)
+       | Some _ -> failwith "unexpected conflict")
+    | None -> Format.printf "Decide() : J-frontier empty -> arithmetic solver@."
+  in
+  go 1;
+  let { Solver.result; _ } = Solver.solve ~options:Solver.hdpll_s enc in
+  (match result with
+   | Solver.Sat m ->
+     Format.printf "HDPLL : SATISFIABLE (w1=%d w2=%d b1=%d b2=%d w4=%d)@.@."
+       m.(E.var enc w1) m.(E.var enc w2) m.(E.var enc b1) m.(E.var enc b2)
+       m.(E.var enc w4)
+   | _ -> failwith "expected satisfiable")
+
+let () =
+  run_trace ~w2_range:(I.make 6 7)
+    "== the paper's setting: w4 ∩ w2 = ∅, selects fall out by the\n\
+     disjointness rule of the mux propagator ==";
+  run_trace ~w2_range:(I.make 4 7)
+    "== both mux inputs viable: the J-frontier forces a genuine\n\
+     structural decision ==";
+  Format.printf "matching the reasoning of Figure 4(b).@."

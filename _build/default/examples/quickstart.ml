@@ -1,0 +1,35 @@
+(* Quickstart: build an RTL circuit, encode it, and check a property
+   with the hybrid solver.
+
+   The circuit computes z = (a > b) ? a+b : a-b over 4-bit words; we
+   ask whether z can equal 9 while a > b, and read the witness back. *)
+
+module N = Rtlsat_rtl.Netlist
+module E = Rtlsat_constr.Encode
+module I = Rtlsat_interval.Interval
+module Solver = Rtlsat_core.Solver
+
+let () =
+  (* 1. describe the RTL *)
+  let c = N.create "quickstart" in
+  let a = N.input c ~name:"a" 4 in
+  let b = N.input c ~name:"b" 4 in
+  let a_gt_b = N.gt c a b in
+  let z = N.mux c ~sel:a_gt_b ~t:(N.add c a b) ~e:(N.sub c a b) () in
+  N.output c "z" z;
+
+  (* 2. encode to hybrid constraints and state the proposition *)
+  let enc = E.encode c in
+  E.assume_interval enc z (I.point 9);
+  E.assume_bool enc a_gt_b true;
+
+  (* 3. solve with the structural strategy + predicate learning *)
+  let { Solver.result; stats; _ } = Solver.solve ~options:Solver.hdpll_sp enc in
+  (match result with
+   | Solver.Sat m ->
+     Format.printf "SATISFIABLE: a=%d b=%d z=%d@." m.(E.var enc a) m.(E.var enc b)
+       m.(E.var enc z)
+   | Solver.Unsat -> Format.printf "UNSATISFIABLE@."
+   | Solver.Timeout -> Format.printf "TIMEOUT@.");
+  Format.printf "decisions=%d conflicts=%d propagations=%d@."
+    stats.Solver.decisions stats.Solver.conflicts stats.Solver.propagations

@@ -1,0 +1,1 @@
+lib/baselines/bitblast.ml: Array Buffer List Printf Rtlsat_interval Rtlsat_rtl Rtlsat_sat

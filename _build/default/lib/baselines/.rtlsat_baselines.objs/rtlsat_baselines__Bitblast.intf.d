@@ -1,0 +1,1 @@
+lib/baselines/bitblast.mli: Ir Rtlsat_interval Rtlsat_rtl Rtlsat_sat

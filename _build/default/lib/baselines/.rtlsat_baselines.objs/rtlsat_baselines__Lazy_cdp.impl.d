@@ -1,0 +1,1 @@
+lib/baselines/lazy_cdp.ml: Array List Option Rtlsat_constr Rtlsat_fme Rtlsat_interval Rtlsat_sat Unix

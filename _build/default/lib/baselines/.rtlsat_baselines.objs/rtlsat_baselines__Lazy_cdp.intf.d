@@ -1,0 +1,1 @@
+lib/baselines/lazy_cdp.mli: Rtlsat_constr

@@ -1,0 +1,40 @@
+(** Eager Boolean translation: bit-blast the RTL netlist to CNF and
+    solve with the CDCL engine.
+
+    This is "the most popular method of solving a satisfiability
+    problem on RTL" from the paper's introduction, and our stand-in
+    for UCLID's eager SAT-based approach in Table 2 — everything,
+    including the data-path, is pushed into a Boolean SAT solver
+    through ripple-carry adders, borrow-chain comparators and per-bit
+    multiplexers. *)
+
+open Rtlsat_rtl
+
+type t
+
+val encode : Ir.circuit -> t
+(** @raise Invalid_argument on a sequential circuit. *)
+
+val solver : t -> Rtlsat_sat.Cdcl.t
+
+val assume_bool : t -> Ir.node -> bool -> unit
+
+val assume_interval : t -> Ir.node -> Rtlsat_interval.Interval.t -> unit
+(** Encodes the two comparisons against constants as circuits. *)
+
+type result =
+  | Sat
+  | Unsat
+  | Timeout
+
+val solve : ?deadline:float -> t -> result
+
+val to_dimacs : t -> string
+(** The current CNF (including assumptions added so far) in DIMACS
+    format, for cross-checking with external SAT solvers. *)
+
+val node_value : t -> Ir.node -> int
+(** Word value of a node in the model after [solve] returned [Sat]. *)
+
+val model_env : t -> Rtlsat_rtl.Ir.node -> int
+(** Alias of {!node_value} in function position for witness replay. *)

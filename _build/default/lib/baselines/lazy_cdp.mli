@@ -1,0 +1,27 @@
+(** Lazy combined decision procedure — the ICS stand-in of Table 2.
+
+    CDCL enumerates complete assignments of the Boolean skeleton; each
+    one is checked against the activated linear-arithmetic constraints
+    by the FME/Omega oracle; theory refutations come back as blocking
+    clauses over the guard literals.  There is no interval
+    propagation, no early theory pruning and no structural
+    information — exactly the "current CDPs ignore the structure of
+    the problem" configuration the paper argues against (§1). *)
+
+type result =
+  | Sat of int array  (** full model indexed by problem variable *)
+  | Unsat
+  | Timeout
+
+type stats = {
+  theory_calls : int;
+  blocking_clauses : int;
+}
+
+val solve :
+  ?deadline:float ->
+  ?max_nodes:int ->
+  Rtlsat_constr.Problem.t ->
+  result * stats
+(** The problem's multi-atom clauses must be purely Boolean, as
+    guaranteed by the RTL encoder. *)

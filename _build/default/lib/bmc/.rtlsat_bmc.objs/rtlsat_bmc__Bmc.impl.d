@@ -1,0 +1,1 @@
+lib/bmc/bmc.ml: Ir List Netlist Rtlsat_rtl Sim Unroll

@@ -1,0 +1,1 @@
+lib/bmc/unroll.ml: Array Hashtbl Ir List Netlist Option Printf Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/bmc/unroll.mli: Ir Rtlsat_rtl

@@ -1,0 +1,57 @@
+open Rtlsat_rtl
+
+type semantics = Final | Any | Never
+
+type instance = {
+  source : Ir.circuit;
+  prop : Ir.node;
+  bound : int;
+  semantics : semantics;
+  unrolled : Unroll.t;
+  violation : Ir.node;
+}
+
+let make source ~prop ~bound ?(semantics = Final) () =
+  if not (Ir.is_bool prop) then invalid_arg "Bmc.make: property must be Boolean";
+  let unrolled = Unroll.unroll source ~frames:bound in
+  let combo = Unroll.combo unrolled in
+  let violation =
+    match semantics with
+    | Final -> Netlist.not_ combo (Unroll.node_at unrolled prop (bound - 1))
+    | Any ->
+      let frames =
+        List.init bound (fun f -> Netlist.not_ combo (Unroll.node_at unrolled prop f))
+      in
+      (match frames with
+       | [ one ] -> one
+       | many -> Netlist.or_ combo ~name:"violation" many)
+    | Never ->
+      let frames =
+        List.init bound (fun f -> Netlist.not_ combo (Unroll.node_at unrolled prop f))
+      in
+      (match frames with
+       | [ one ] -> one
+       | many -> Netlist.and_ combo ~name:"violation" many)
+  in
+  Netlist.output combo "violation" violation;
+  { source; prop; bound; semantics; unrolled; violation }
+
+let witness_ok inst value =
+  (* extract per-frame input valuations from the unrolled model *)
+  let inputs_at f =
+    List.map
+      (fun n -> (n, value (Unroll.input_at inst.unrolled n f)))
+      (Ir.inputs inst.source)
+  in
+  let traces =
+    Sim.run inst.source ~inputs:(List.init inst.bound inputs_at)
+  in
+  let prop_at f = Sim.value (List.nth traces f) inst.prop in
+  match inst.semantics with
+  | Final -> prop_at (inst.bound - 1) = 0
+  | Any ->
+    let rec any f = f < inst.bound && (prop_at f = 0 || any (f + 1)) in
+    any 0
+  | Never ->
+    let rec all f = f >= inst.bound || (prop_at f = 0 && all (f + 1)) in
+    all 0

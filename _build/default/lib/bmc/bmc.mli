@@ -1,0 +1,37 @@
+(** Bounded model checking of safety properties — the workload
+    generator for §3.1 and §5.
+
+    A safety property is a Boolean circuit signal that must be 1 in
+    every reachable cycle.  [b01_1(10)]-style instances ask for a
+    counterexample within 10 time frames; the instance is satisfiable
+    iff the property can be violated. *)
+
+open Rtlsat_rtl
+
+type semantics =
+  | Final  (** violation in the last frame exactly *)
+  | Any    (** violation anywhere within the bound *)
+  | Never
+      (** bounded guarantee: the signal must hold at least once within
+          the bound; the violation is "it stays low in every frame" *)
+
+type instance = {
+  source : Ir.circuit;
+  prop : Ir.node;       (** width-1 signal expected to hold (be 1) *)
+  bound : int;
+  semantics : semantics;
+  unrolled : Unroll.t;
+  violation : Ir.node;  (** Boolean node of the unrolled circuit that
+                            is 1 iff the property is violated *)
+}
+
+val make : Ir.circuit -> prop:Ir.node -> bound:int -> ?semantics:semantics -> unit -> instance
+(** Unrolls the circuit and builds the violation objective.  Default
+    semantics: [Final]. *)
+
+val witness_ok : instance -> (Ir.node -> int) -> bool
+(** [witness_ok inst value] replays a model of the *unrolled* circuit
+    (queried per unrolled node by [value]) through the sequential
+    simulator and confirms that the property is indeed violated at the
+    frame the semantics requires.  This validates SAT answers
+    end-to-end against the RTL. *)

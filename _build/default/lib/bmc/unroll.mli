@@ -1,0 +1,32 @@
+(** Time-frame expansion of sequential circuits.
+
+    Unrolling replaces each register by its reset constant in frame 0
+    and by (a copy of) its next-state function from the previous frame
+    afterwards; primary inputs get one fresh copy per frame.  The
+    result is the purely combinational circuit the RTL satisfiability
+    engines operate on — "b01_1(10) is a BMC problem … expanded for 10
+    time-frames" (§3.1). *)
+
+open Rtlsat_rtl
+
+type t
+
+val unroll : ?free_init:bool -> Ir.circuit -> frames:int -> t
+(** Unroll [frames] time frames.  With [free_init] (default false)
+    frame-0 registers become fresh primary inputs instead of their
+    reset constants — the arbitrary starting state of a k-induction
+    step.  @raise Invalid_argument if [frames < 1] or a register is
+    unconnected. *)
+
+val combo : t -> Ir.circuit
+(** The unrolled, purely combinational circuit. *)
+
+val source : t -> Ir.circuit
+val frames : t -> int
+
+val node_at : t -> Ir.node -> int -> Ir.node
+(** [node_at u n f] is the copy of source node [n] in frame [f]
+    (0-based).  @raise Not_found for foreign nodes or frames. *)
+
+val input_at : t -> Ir.node -> int -> Ir.node
+(** Same, restricted to primary inputs. *)

@@ -1,0 +1,1 @@
+lib/constr/encode.ml: Array Hashtbl List Printf Problem Rtlsat_interval Rtlsat_rtl Types

@@ -1,0 +1,1 @@
+lib/constr/encode.mli: Problem Rtlsat_interval Rtlsat_rtl Types

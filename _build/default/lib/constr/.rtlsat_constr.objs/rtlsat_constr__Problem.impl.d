@@ -1,0 +1,1 @@
+lib/constr/problem.ml: Array Format Printf Rtlsat_interval Types Vec

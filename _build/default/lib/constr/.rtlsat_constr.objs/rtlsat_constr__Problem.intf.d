@@ -1,0 +1,1 @@
+lib/constr/problem.mli: Format Rtlsat_interval Types

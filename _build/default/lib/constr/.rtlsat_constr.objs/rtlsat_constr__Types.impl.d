@@ -1,0 +1,1 @@
+lib/constr/types.ml: Array Format Hashtbl List Option Rtlsat_interval

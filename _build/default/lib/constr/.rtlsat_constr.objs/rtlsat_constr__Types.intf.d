@@ -1,0 +1,1 @@
+lib/constr/types.mli: Format Rtlsat_interval

@@ -1,0 +1,34 @@
+(** RTL netlist → hybrid constraint problem.
+
+    Boolean gates become clauses (Tseitin); word-level operators
+    become linear-arithmetic constraints with auxiliary variables
+    exactly as in §2.1 of the paper: wrap-around adders carry a fresh
+    overflow Boolean into the equality, comparators become predicate
+    constraints plus the paper's comparator clauses, shifts and
+    extractions introduce remainder variables, and bitwise word
+    operators are split into per-bit Booleans linked by channeling
+    equalities (the §6 "splitting" extension).
+
+    The encoding keeps the netlist attached so the structural decision
+    strategy (§4) can reason about gates and muxes. *)
+
+open Types
+
+type t = {
+  problem : Problem.t;
+  circuit : Rtlsat_rtl.Ir.circuit;
+  var_of : var array;  (** node id → solver variable *)
+}
+
+val encode : Rtlsat_rtl.Ir.circuit -> t
+(** @raise Invalid_argument if the circuit contains registers (unroll
+    sequential circuits with [Rtlsat_bmc.Unroll] first). *)
+
+val var : t -> Rtlsat_rtl.Ir.node -> var
+
+val assume_bool : t -> Rtlsat_rtl.Ir.node -> bool -> unit
+(** Add a unit clause forcing a Boolean node's value — the
+    "proposition" of the paper's examples. *)
+
+val assume_interval : t -> Rtlsat_rtl.Ir.node -> Rtlsat_interval.Interval.t -> unit
+(** Force a word node into an interval (unit bound clauses). *)

@@ -1,0 +1,40 @@
+(** A hybrid satisfiability problem: variables with finite domains,
+    hybrid clauses and arithmetic constraints (§2.1). *)
+
+open Types
+
+type t
+
+val create : unit -> t
+
+val new_bool : t -> ?name:string -> unit -> var
+val new_word : t -> ?name:string -> Rtlsat_interval.Interval.t -> var
+
+val n_vars : t -> int
+val kind : t -> var -> kind
+val is_bool_var : t -> var -> bool
+val initial_domain : t -> var -> Rtlsat_interval.Interval.t
+(** ⟨0,1⟩ for Booleans. *)
+
+val var_name : t -> var -> string
+
+val add_clause : t -> clause -> unit
+(** @raise Invalid_argument on an empty clause. *)
+
+val add_constr : t -> constr -> unit
+
+val clauses : t -> clause list
+(** In insertion order. *)
+
+val constrs : t -> constr array
+val n_clauses : t -> int
+val n_constrs : t -> int
+
+val iter_clauses : (clause -> unit) -> t -> unit
+val iter_constrs : (int -> constr -> unit) -> t -> unit
+
+val check_model : t -> (var -> int) -> (string, string) result
+(** [Ok _] when the assignment satisfies every domain, clause and
+    constraint; [Error msg] describes the first violation. *)
+
+val pp : Format.formatter -> t -> unit

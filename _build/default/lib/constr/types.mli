@@ -1,0 +1,67 @@
+(** Shared vocabulary of the hybrid constraint layer: solver
+    variables, atoms (hybrid-clause literals), linear expressions and
+    constraints.
+
+    Variables are dense integer ids into a {!Problem} table.  A
+    Boolean variable has domain ⟨0,1⟩; a word variable carries a
+    finite integer interval domain (§2.1 of the paper).
+
+    An {!atom} is the literal of a hybrid clause.  The paper's word
+    literal [(w ∈ ⟨l,m⟩)] is the conjunction [Ge (w,l) ∧ Le (w,m)];
+    its negation — as produced by conflict analysis — is the
+    disjunction [Le (w,l-1) ∨ Ge (w,m+1)], so clauses over these atoms
+    express exactly the paper's hybrid learned clauses. *)
+
+type var = int
+
+type kind =
+  | Bool
+  | Word of Rtlsat_interval.Interval.t  (** initial domain *)
+
+type atom =
+  | Pos of var          (** Boolean variable is 1 *)
+  | Neg of var          (** Boolean variable is 0 *)
+  | Ge of var * int     (** word variable >= k *)
+  | Le of var * int     (** word variable <= k *)
+
+type clause = atom array
+
+(** Linear expression [Σ coef·var + const].  Boolean variables may
+    appear (valued 0/1), which is how wrap-around adders carry
+    overflow bits into the arithmetic. *)
+type linexpr = { terms : (int * var) list; const : int }
+
+(** Arithmetic constraints of §2.1. *)
+type constr =
+  | Lin_le of linexpr                    (** [e <= 0] *)
+  | Lin_eq of linexpr                    (** [e = 0] *)
+  | Pred of { b : var; e : linexpr }     (** [b ⇔ (e <= 0)] *)
+  | Mux_w of { sel : var; t : var; e : var; z : var }
+      (** word-level [z = sel ? t : e] *)
+
+val negate_atom : atom -> atom
+(** Logical negation; [Ge (v,k)] becomes [Le (v,k-1)] etc. *)
+
+val atom_var : atom -> var
+
+val pp_atom : ?name:(var -> string) -> unit -> Format.formatter -> atom -> unit
+val pp_clause : ?name:(var -> string) -> unit -> Format.formatter -> clause -> unit
+val pp_linexpr : ?name:(var -> string) -> unit -> Format.formatter -> linexpr -> unit
+val pp_constr : ?name:(var -> string) -> unit -> Format.formatter -> constr -> unit
+
+val le_zero : linexpr -> (int * var) list * int
+(** Raw view [(terms, const)] of [e <= 0]. *)
+
+val lin_add : linexpr -> linexpr -> linexpr
+val lin_neg : linexpr -> linexpr
+val lin_sub : linexpr -> linexpr -> linexpr
+val lin_of_terms : (int * var) list -> int -> linexpr
+(** Normalizes: merges duplicate variables, drops zero coefficients. *)
+
+val constr_vars : constr -> var list
+(** Variables mentioned, without duplicates. *)
+
+val eval_linexpr : (var -> int) -> linexpr -> int
+val eval_atom : (var -> int) -> atom -> bool
+val eval_clause : (var -> int) -> clause -> bool
+val eval_constr : (var -> int) -> constr -> bool

@@ -1,0 +1,54 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i ctx = if i < 0 || i >= v.len then invalid_arg ("Vec." ^ ctx)
+
+let get v i = check v i "get"; v.data.(i)
+let set v i x = check v i "set"; v.data.(i) <- x
+
+let grow v =
+  let n = Array.length v.data in
+  let data = Array.make (2 * n) v.dummy in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let top v = check v (v.len - 1) "top"; v.data.(v.len - 1)
+
+let shrink v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.shrink";
+  for i = n to v.len - 1 do v.data.(i) <- v.dummy done;
+  v.len <- n
+
+let clear v = shrink v 0
+
+let iter f v = for i = 0 to v.len - 1 do f v.data.(i) done
+let iteri f v = for i = 0 to v.len - 1 do f i v.data.(i) done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do acc := f !acc v.data.(i) done;
+  !acc
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list ~dummy l =
+  let v = create ~capacity:(List.length l + 1) ~dummy () in
+  List.iter (push v) l;
+  v

@@ -1,0 +1,24 @@
+(** Growable arrays (amortized O(1) push), used throughout the solver
+    for trails, clause databases and variable tables. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** @raise Invalid_argument on empty. *)
+
+val top : 'a t -> 'a
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Hashtbl List Option Rtlsat_constr State

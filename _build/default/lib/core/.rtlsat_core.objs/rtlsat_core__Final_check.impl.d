@@ -1,0 +1,1 @@
+lib/core/final_check.ml: Array Hashtbl List Option Rtlsat_constr Rtlsat_fme State

@@ -1,0 +1,1 @@
+lib/core/final_check.mli: Rtlsat_constr State

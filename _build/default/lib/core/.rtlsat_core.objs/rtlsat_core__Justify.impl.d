@@ -1,0 +1,1 @@
+lib/core/justify.ml: Array List Rtlsat_constr Rtlsat_interval Rtlsat_rtl State

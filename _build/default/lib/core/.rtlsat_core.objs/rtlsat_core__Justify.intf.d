@@ -1,0 +1,1 @@
+lib/core/justify.mli: Rtlsat_constr State

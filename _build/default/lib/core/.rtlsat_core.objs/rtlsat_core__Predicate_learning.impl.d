@@ -1,0 +1,1 @@
+lib/core/predicate_learning.ml: Array Hashtbl List Propagate Rtlsat_constr Rtlsat_rtl State Unix

@@ -1,0 +1,1 @@
+lib/core/predicate_learning.mli: Rtlsat_constr State

@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Array List Option Rtlsat_constr State

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Conflict Final_check Heap Justify List Option Predicate_learning Propagate Random Rtlsat_constr Rtlsat_rtl State Unix

@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Format Hashtbl Heap List Rtlsat_constr Rtlsat_interval

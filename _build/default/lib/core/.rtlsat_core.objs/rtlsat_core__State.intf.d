@@ -1,0 +1,1 @@
+lib/core/state.mli: Format Heap Rtlsat_constr Rtlsat_interval

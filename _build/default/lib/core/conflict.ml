@@ -1,0 +1,131 @@
+open Rtlsat_constr.Types
+module Vec = Rtlsat_constr.Vec
+
+type result = {
+  clause : atom array;
+  btlevel : int;
+}
+
+exception Root_conflict
+
+(* direction-aware strength: for two entailed atoms on the same
+   (var, direction), the stronger one subsumes the weaker *)
+let stronger a b =
+  match (a, b) with
+  | Ge (v, k1), Ge (v', k2) when v = v' -> Ge (v, max k1 k2)
+  | Le (v, k1), Le (v', k2) when v = v' -> Le (v, min k1 k2)
+  | _ -> a (* Pos/Neg: identical *)
+
+let dir_key = function
+  | Pos v -> (v, 0)
+  | Neg v -> (v, 1)
+  | Ge (v, _) -> (v, 2)
+  | Le (v, _) -> (v, 3)
+
+let analyze s conflict =
+  let entry_of a =
+    match State.entailing_entry s a with
+    | None -> None
+    | Some idx ->
+      let e = Vec.get s.State.trail idx in
+      if e.State.elevel = 0 then None else Some (idx, e)
+  in
+  (* conflict level: maximal level among the conflict atoms *)
+  let current =
+    Array.fold_left
+      (fun acc a ->
+         match entry_of a with None -> acc | Some (_, e) -> max acc e.State.elevel)
+      0 conflict
+  in
+  if current = 0 then raise Root_conflict;
+  (* pending: trail index -> strongest needed atom at the conflict level
+     lower: (var, direction) -> strongest needed atom below it *)
+  let pending : (int, atom) Hashtbl.t = Hashtbl.create 16 in
+  let lower : (int * int, atom) Hashtbl.t = Hashtbl.create 16 in
+  let add a =
+    State.bump_var s (atom_var a);
+    match entry_of a with
+    | None -> ()
+    | Some (idx, e) ->
+      if e.State.elevel = current then begin
+        match Hashtbl.find_opt pending idx with
+        | None -> Hashtbl.replace pending idx a
+        | Some b -> Hashtbl.replace pending idx (stronger a b)
+      end
+      else begin
+        let key = dir_key a in
+        match Hashtbl.find_opt lower key with
+        | None -> Hashtbl.replace lower key a
+        | Some b -> Hashtbl.replace lower key (stronger a b)
+      end
+  in
+  Array.iter add conflict;
+  let uip = ref None in
+  let idx = ref (Vec.length s.State.trail - 1) in
+  while !uip = None do
+    if !idx < 0 then
+      (* cannot happen on a well-formed conflict; fail loudly *)
+      invalid_arg "Conflict.analyze: exhausted trail";
+    (match Hashtbl.find_opt pending !idx with
+     | None -> ()
+     | Some needed ->
+       if Hashtbl.length pending = 1 then uip := Some needed
+       else begin
+         Hashtbl.remove pending !idx;
+         let e = Vec.get s.State.trail !idx in
+         match e.State.ereason with
+         | Some reason -> Array.iter add reason
+         | None ->
+           (* a decision with other pending entries would contradict
+              trail order (the decision is the level's first entry) *)
+           invalid_arg "Conflict.analyze: resolved into a decision"
+       end);
+    decr idx
+  done;
+  let uip = Option.get !uip in
+  (* clause minimization (self-subsumption): a kept atom [a] is
+     redundant when the antecedents of its establishing event are all
+     either root facts or implied by other atoms of the cut — then
+     resolving [a] away cannot weaken the clause *)
+  let implies stronger weaker =
+    match (stronger, weaker) with
+    | Pos v, Pos u | Neg v, Neg u -> v = u
+    | Ge (v, k1), Ge (u, k2) -> v = u && k1 >= k2
+    | Le (v, k1), Le (u, k2) -> v = u && k1 <= k2
+    | _ -> false
+  in
+  let atoms () = Hashtbl.fold (fun _ a acc -> a :: acc) lower [] in
+  let redundant a =
+    match entry_of a with
+    | None -> true (* root-entailed: trivially redundant in the cut *)
+    | Some (_, e) ->
+      (match e.State.ereason with
+       | None -> false (* decision *)
+       | Some reason ->
+         Array.for_all
+           (fun r ->
+              (match entry_of r with None -> true | Some _ -> false)
+              || implies uip r
+              || List.exists (fun b -> b != a && implies b r) (atoms ()))
+           reason)
+  in
+  let removed = ref true in
+  while !removed do
+    removed := false;
+    Hashtbl.iter
+      (fun key a ->
+         if redundant a then begin
+           Hashtbl.remove lower key;
+           removed := true
+         end)
+      (Hashtbl.copy lower)
+  done;
+  let tail = Hashtbl.fold (fun _ a acc -> negate_atom a :: acc) lower [] in
+  let clause = Array.of_list (negate_atom uip :: tail) in
+  let btlevel =
+    Hashtbl.fold
+      (fun _ a acc ->
+         match entry_of a with None -> acc | Some (_, e) -> max acc e.State.elevel)
+      lower 0
+  in
+  { clause; btlevel }

@@ -1,0 +1,21 @@
+(** Hybrid conflict analysis (§2.4): find a cut of the hybrid
+    implication graph that covers all implication paths to the
+    conflict, negate it into a learned hybrid clause, and compute the
+    non-chronological backtracking level. *)
+
+open Rtlsat_constr.Types
+
+type result = {
+  clause : atom array;  (** learned clause; the asserting atom first *)
+  btlevel : int;
+}
+
+exception Root_conflict
+(** The conflict does not depend on any decision: the problem is
+    unsatisfiable. *)
+
+val analyze : State.t -> atom array -> result
+(** [analyze s conflict] runs first-UIP resolution over the trail.
+    The [conflict] atoms must all be entailed and jointly
+    inconsistent.  Bumps the activity of involved variables.
+    @raise Root_conflict when every conflict atom holds at level 0. *)

@@ -1,0 +1,16 @@
+(** The arithmetic-solver call at the bottom of Algorithm 1: when all
+    Boolean variables are assigned and propagation is at fixpoint, the
+    remaining solution box is checked for an integer point solution by
+    the FME/Omega oracle (§2.4). *)
+
+open Rtlsat_constr.Types
+
+type outcome =
+  | Model of int array       (** a full satisfying assignment *)
+  | Conflict_atoms of atom array
+      (** the box holds no solution; entailed atoms explaining why *)
+  | Resource_out            (** search budget exhausted (rare) *)
+
+val run : ?max_nodes:int -> State.t -> outcome
+(** Precondition: every Boolean variable is assigned and propagation
+    is at fixpoint. *)

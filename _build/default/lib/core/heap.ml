@@ -1,0 +1,71 @@
+type t = {
+  mutable heap : int array;
+  mutable index : int array;
+  mutable size : int;
+}
+
+let create () = { heap = Array.make 16 0; index = Array.make 16 (-1); size = 0 }
+
+let ensure h n =
+  if n > Array.length h.index then begin
+    let cap = max n (2 * Array.length h.index) in
+    let idx = Array.make cap (-1) in
+    Array.blit h.index 0 idx 0 (Array.length h.index);
+    h.index <- idx;
+    let hp = Array.make cap 0 in
+    Array.blit h.heap 0 hp 0 h.size;
+    h.heap <- hp
+  end
+
+let mem h v = v < Array.length h.index && h.index.(v) >= 0
+
+let swap h i j =
+  let a = h.heap.(i) and b = h.heap.(j) in
+  h.heap.(i) <- b;
+  h.heap.(j) <- a;
+  h.index.(b) <- i;
+  h.index.(a) <- j
+
+let rec up h act i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if act.(h.heap.(i)) > act.(h.heap.(parent)) then begin
+      swap h i parent;
+      up h act parent
+    end
+  end
+
+let rec down h act i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.size && act.(h.heap.(l)) > act.(h.heap.(!best)) then best := l;
+  if r < h.size && act.(h.heap.(r)) > act.(h.heap.(!best)) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    down h act !best
+  end
+
+let insert h act v =
+  ensure h (v + 1);
+  if not (mem h v) then begin
+    h.heap.(h.size) <- v;
+    h.index.(v) <- h.size;
+    h.size <- h.size + 1;
+    up h act (h.size - 1)
+  end
+
+let bumped h act v = if mem h v then up h act h.index.(v)
+
+let pop h act =
+  if h.size = 0 then invalid_arg "Heap.pop";
+  let v = h.heap.(0) in
+  h.size <- h.size - 1;
+  h.index.(v) <- -1;
+  if h.size > 0 then begin
+    h.heap.(0) <- h.heap.(h.size);
+    h.index.(h.heap.(0)) <- 0;
+    down h act 0
+  end;
+  v
+
+let is_empty h = h.size = 0

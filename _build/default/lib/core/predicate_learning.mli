@@ -1,0 +1,36 @@
+(** Static predicate learning (§3): recursive learning on the
+    predicate logic of the RTL, extended across the data-path by
+    interval constraint propagation.
+
+    For each candidate gate (Boolean gates and comparators in the
+    predicate cone, lowest level first) and its controlling output
+    value, every way of justifying that value is probed in isolation;
+    implications common to all ways become learned clauses
+    [(¬val ∨ a)], which are immediately available to later probes.
+    A threshold caps the number of learned relations (§3.1), and the
+    recursion depth generalizes the paper's level 1.
+
+    The learned relations also bias the search (§3 step 5 and §4.4):
+    variables appearing in them get activity bumps, and the per-select
+    polarity counts returned here let the structural strategy prefer
+    mux select values that satisfy the most learned relations. *)
+
+type summary = {
+  relations : int;        (** learned clauses added *)
+  probes : int;           (** probe levels pushed *)
+  learn_time : float;     (** seconds *)
+  root_unsat : bool;      (** learning refuted the problem outright *)
+  pos_score : int array;  (** var → #learned relations containing [Pos v] *)
+  neg_score : int array;
+}
+
+val run :
+  ?threshold:int ->
+  ?depth:int ->
+  ?deadline:float ->
+  State.t ->
+  Rtlsat_constr.Encode.t ->
+  summary
+(** Precondition: level 0, root propagation already at fixpoint.
+    Default [threshold]: [min (#candidate gates) 2000] as in §5.2;
+    default [depth]: 1. *)

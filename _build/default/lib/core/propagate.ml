@@ -1,0 +1,195 @@
+open Rtlsat_constr.Types
+module Vec = Rtlsat_constr.Vec
+
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let cdiv a b = -(fdiv (-a) b)
+
+let check_clause s ci =
+  let c = Vec.get s.State.clauses ci in
+  if not (Array.exists (State.entailed s) c) then begin
+    let non_false = ref [] and n_non_false = ref 0 in
+    Array.iter
+      (fun a ->
+         if not (State.falsified s a) then begin
+           non_false := a :: !non_false;
+           incr n_non_false
+         end)
+      c;
+    match !non_false with
+    | [] -> raise (State.Conflict (Array.map negate_atom c))
+    | [ a ] ->
+      let reason =
+        Array.of_list
+          (List.filter_map
+             (fun b -> if b == a then None else Some (negate_atom b))
+             (Array.to_list c))
+      in
+      State.assert_atom s a (Some reason)
+    | _ -> ()
+  end
+
+(* ---- linear constraints ---- *)
+
+let min_value s (e : linexpr) =
+  List.fold_left
+    (fun acc (c, v) ->
+       acc + (if c > 0 then c * s.State.lb.(v) else c * s.State.ub.(v)))
+    e.const e.terms
+
+let max_value s (e : linexpr) =
+  List.fold_left
+    (fun acc (c, v) ->
+       acc + (if c > 0 then c * s.State.ub.(v) else c * s.State.lb.(v)))
+    e.const e.terms
+
+(* non-trivial bound atoms only: atoms already implied by the initial
+   domain add noise to explanations (conflict analysis would drop them,
+   but keeping explanations small is cheap here) *)
+let bound_atom_lo s v =
+  if s.State.lb.(v) > s.State.init_lb.(v) then
+    Some (State.canonical s (Ge (v, s.State.lb.(v))))
+  else None
+
+let bound_atom_hi s v =
+  if s.State.ub.(v) < s.State.init_ub.(v) then
+    Some (State.canonical s (Le (v, s.State.ub.(v))))
+  else None
+
+let min_expl s (e : linexpr) ~except =
+  List.filter_map
+    (fun (c, v) ->
+       if v = except then None
+       else if c > 0 then bound_atom_lo s v
+       else bound_atom_hi s v)
+    e.terms
+
+let max_expl s (e : linexpr) ~except =
+  List.filter_map
+    (fun (c, v) ->
+       if v = except then None
+       else if c > 0 then bound_atom_hi s v
+       else bound_atom_lo s v)
+    e.terms
+
+(* propagate Σ cᵢvᵢ + const ≤ 0 *)
+let propagate_le s ?(extra = []) (e : linexpr) =
+  let m = min_value s e in
+  if m > 0 then begin
+    let expl = min_expl s e ~except:(-1) @ extra in
+    raise (State.Conflict (Array.of_list expl))
+  end;
+  List.iter
+    (fun (c, v) ->
+       let contribution = if c > 0 then c * s.State.lb.(v) else c * s.State.ub.(v) in
+       let rest = m - contribution in
+       if c > 0 then begin
+         (* c·v ≤ -rest *)
+         let ub' = fdiv (-rest) c in
+         if ub' < s.State.ub.(v) then begin
+           let reason = Array.of_list (min_expl s e ~except:v @ extra) in
+           State.assert_atom s (State.canonical s (Le (v, ub'))) (Some reason)
+         end
+       end
+       else begin
+         (* (-c)·v ≥ rest, -c > 0 *)
+         let lb' = cdiv rest (-c) in
+         if lb' > s.State.lb.(v) then begin
+           let reason = Array.of_list (min_expl s e ~except:v @ extra) in
+           State.assert_atom s (State.canonical s (Ge (v, lb'))) (Some reason)
+         end
+       end)
+    e.terms
+
+let negate_le (e : linexpr) =
+  (* ¬(e ≤ 0) over integers is e ≥ 1, i.e. -e + 1 ≤ 0 *)
+  let n = lin_neg e in
+  { n with const = n.const + 1 }
+
+let propagate_constr s ci =
+  match s.State.constrs.(ci) with
+  | Lin_le e -> propagate_le s e
+  | Lin_eq e ->
+    propagate_le s e;
+    propagate_le s (lin_neg e)
+  | Pred { b; e } ->
+    (match State.bool_value s b with
+     | 1 -> propagate_le s ~extra:[ Pos b ] e
+     | 0 -> propagate_le s ~extra:[ Neg b ] (negate_le e)
+     | _ ->
+       if max_value s e <= 0 then begin
+         let reason = Array.of_list (max_expl s e ~except:(-1)) in
+         State.assert_atom s (Pos b) (Some reason)
+       end
+       else if min_value s e > 0 then begin
+         let reason = Array.of_list (min_expl s e ~except:(-1)) in
+         State.assert_atom s (Neg b) (Some reason)
+       end)
+  | Mux_w { sel; t; e; z } ->
+    let lb = s.State.lb and ub = s.State.ub in
+    let equality extra x =
+      (* z = x, both directions *)
+      if lb.(x) > lb.(z) then
+        State.assert_atom s
+          (State.canonical s (Ge (z, lb.(x))))
+          (Some (Array.of_list (extra @ Option.to_list (bound_atom_lo s x))));
+      if ub.(x) < ub.(z) then
+        State.assert_atom s
+          (State.canonical s (Le (z, ub.(x))))
+          (Some (Array.of_list (extra @ Option.to_list (bound_atom_hi s x))));
+      if lb.(z) > lb.(x) then
+        State.assert_atom s
+          (State.canonical s (Ge (x, lb.(z))))
+          (Some (Array.of_list (extra @ Option.to_list (bound_atom_lo s z))));
+      if ub.(z) < ub.(x) then
+        State.assert_atom s
+          (State.canonical s (Le (x, ub.(z))))
+          (Some (Array.of_list (extra @ Option.to_list (bound_atom_hi s z))))
+    in
+    (match State.bool_value s sel with
+     | 1 -> equality [ Pos sel ] t
+     | 0 -> equality [ Neg sel ] e
+     | _ ->
+       (* hull narrowing of z *)
+       let klo = min lb.(t) lb.(e) in
+       if klo > lb.(z) then begin
+         let reason = [| State.canonical s (Ge (t, klo)); State.canonical s (Ge (e, klo)) |] in
+         State.assert_atom s (State.canonical s (Ge (z, klo))) (Some reason)
+       end;
+       let khi = max ub.(t) ub.(e) in
+       if khi < ub.(z) then begin
+         let reason = [| State.canonical s (Le (t, khi)); State.canonical s (Le (e, khi)) |] in
+         State.assert_atom s (State.canonical s (Le (z, khi))) (Some reason)
+       end;
+       (* select implication from disjointness *)
+       let disjoint_expl x =
+         if lb.(z) > ub.(x) then
+           Some [| State.canonical s (Ge (z, ub.(x) + 1)); State.canonical s (Le (x, ub.(x))) |]
+         else if ub.(z) < lb.(x) then
+           Some [| State.canonical s (Le (z, lb.(x) - 1)); State.canonical s (Ge (x, lb.(x))) |]
+         else None
+       in
+       (match disjoint_expl t with
+        | Some reason -> State.assert_atom s (Neg sel) (Some reason)
+        | None -> ());
+       (match disjoint_expl e with
+        | Some reason -> State.assert_atom s (Pos sel) (Some reason)
+        | None -> ()))
+
+let run ?(full = false) s =
+  try
+    if full then begin
+      for ci = 0 to Vec.length s.State.clauses - 1 do
+        check_clause s ci
+      done;
+      Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs
+    end;
+    while s.State.qhead < Vec.length s.State.trail do
+      let e = Vec.get s.State.trail s.State.qhead in
+      s.State.qhead <- s.State.qhead + 1;
+      s.State.n_propagations <- s.State.n_propagations + 1;
+      let v = atom_var e.State.eatom in
+      List.iter (check_clause s) s.State.clause_occs.(v);
+      List.iter (propagate_constr s) s.State.constr_occs.(v)
+    done;
+    None
+  with State.Conflict c -> Some c

@@ -1,0 +1,23 @@
+(** Hybrid deduction — the [Ddeduce()] of Algorithm 1.
+
+    Event-driven propagation to bounds consistency: Boolean constraint
+    propagation over (hybrid) clauses and interval constraint
+    propagation over the arithmetic constraints (§2.2), every deduced
+    fact carrying its antecedent atoms for the hybrid implication
+    graph. *)
+
+open Rtlsat_constr.Types
+
+val run : ?full:bool -> State.t -> atom array option
+(** Propagate to fixpoint; [Some conflict] on inconsistency (the atoms
+    are entailed and jointly inconsistent).  [full] additionally scans
+    every clause and constraint once first — required for the initial
+    root propagation, where unit clauses have produced no events yet. *)
+
+val check_clause : State.t -> int -> unit
+(** Examine one clause: no-op if satisfied or undetermined, asserts
+    the unit atom, or @raise State.Conflict when falsified. *)
+
+val propagate_constr : State.t -> int -> unit
+(** Narrow the variables of one arithmetic constraint.
+    @raise State.Conflict on empty domains. *)

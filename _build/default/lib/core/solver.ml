@@ -1,0 +1,324 @@
+open Rtlsat_constr.Types
+module Vec = Rtlsat_constr.Vec
+module Problem = Rtlsat_constr.Problem
+module Encode = Rtlsat_constr.Encode
+module Structure = Rtlsat_rtl.Structure
+
+type options = {
+  structural : bool;
+  predicate_learning : bool;
+  learn_threshold : int option;
+  learn_depth : int;
+  deadline : float;
+  max_final_nodes : int;
+  restarts : bool;
+  seed_fanout : bool;
+  random_seed : int option;
+  collect_learned : bool;
+  reduce_db : int option;
+}
+
+let default =
+  {
+    structural = false;
+    predicate_learning = false;
+    learn_threshold = None;
+    learn_depth = 1;
+    deadline = infinity;
+    max_final_nodes = 200_000;
+    restarts = true;
+    seed_fanout = true;
+    random_seed = None;
+    collect_learned = false;
+    reduce_db = Some 20_000;
+  }
+
+let hdpll = default
+let hdpll_s = { default with structural = true }
+let hdpll_sp = { default with structural = true; predicate_learning = true }
+let hdpll_p = { default with predicate_learning = true }
+
+type result = Sat of int array | Unsat | Timeout
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;
+  jconflicts : int;
+  final_checks : int;
+  relations : int;
+  learn_time : float;
+  solve_time : float;
+}
+
+type outcome = {
+  result : result;
+  stats : stats;
+  learned_clauses : clause list;
+}
+
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let validate_input_clauses prob =
+  Problem.iter_clauses
+    (fun cl ->
+       if Array.length cl > 1 then
+         Array.iter
+           (fun a ->
+              match a with
+              | Ge _ | Le _ ->
+                if not (Problem.is_bool_var prob (atom_var a)) then
+                  invalid_arg
+                    "Solver: multi-atom input clauses must be purely Boolean"
+              | Pos _ | Neg _ -> ())
+           cl)
+    prob
+
+let seed_activities s enc =
+  match enc with
+  | None -> ()
+  | Some enc ->
+    let c = enc.Encode.circuit in
+    let fo = Structure.fanout_counts c in
+    Rtlsat_rtl.Ir.nodes c
+    |> List.iter (fun n ->
+        let v = enc.Encode.var_of.(n.Rtlsat_rtl.Ir.id) in
+        if Problem.is_bool_var s.State.prob v then begin
+          s.State.activity.(v) <- float_of_int fo.(n.Rtlsat_rtl.Ir.id);
+          Heap.bumped s.State.heap s.State.activity v
+        end)
+
+(* next unassigned Boolean by activity *)
+let rec pick_activity s =
+  if Heap.is_empty s.State.heap then None
+  else begin
+    let v = Heap.pop s.State.heap s.State.activity in
+    if State.bool_value s v = -1 then Some v else pick_activity s
+  end
+
+(* the randomized strategy the paper compares against in §5.1: a
+   uniformly random free Boolean variable, random phase *)
+let pick_random rng s =
+  let n = s.State.nv in
+  let start = Random.State.int rng n in
+  let rec scan i tried =
+    if tried >= n then None
+    else begin
+      let v = (start + i) mod n in
+      if Problem.is_bool_var s.State.prob v && State.bool_value s v = -1 then Some v
+      else scan (i + 1) (tried + 1)
+    end
+  in
+  scan 0 0
+
+let collected_clauses opts s =
+  if not opts.collect_learned then []
+  else begin
+    let out = ref [] in
+    for i = Vec.length s.State.clauses - 1 downto s.State.n_root_clauses do
+      out := Vec.get s.State.clauses i :: !out
+    done;
+    !out
+  end
+
+let solve_loop opts s enc t0 learn_summary =
+  let justifier =
+    match (opts.structural, enc) with
+    | true, Some enc -> Some (Justify.create enc)
+    | _ -> None
+  in
+  let mux_pref =
+    match learn_summary with
+    | Some (sm : Predicate_learning.summary) ->
+      Some (fun v -> (sm.Predicate_learning.pos_score.(v), sm.Predicate_learning.neg_score.(v)))
+    | None -> None
+  in
+  let rng = Option.map (fun seed -> Random.State.make [| seed |]) opts.random_seed in
+  let restart_base = 100 in
+  let restart_num = ref 0 in
+  let conflicts_left = ref (restart_base * luby 0) in
+  let steps = ref 0 in
+  let result = ref None in
+  let rec handle_conflict conflict =
+    s.State.n_conflicts <- s.State.n_conflicts + 1;
+    decr conflicts_left;
+    match Conflict.analyze s conflict with
+    | exception Conflict.Root_conflict -> result := Some Unsat
+    | { Conflict.clause; btlevel } ->
+      State.backtrack_to s btlevel;
+      State.add_clause s clause;
+      s.State.n_learned <- s.State.n_learned + 1;
+      State.decay_activities s;
+      (* the learned clause is asserting at the backjump level *)
+      let uip = clause.(0) in
+      if not (State.entailed s uip) then begin
+        let reason =
+          Array.of_list
+            (List.filter_map
+               (fun a -> if a == uip then None else Some (negate_atom a))
+               (Array.to_list clause))
+        in
+        (* asserting cannot conflict at the backjump level (its bounds
+           are a prefix of the state in which the UIP held), but guard
+           anyway: a follow-up conflict re-enters the analysis *)
+        try State.assert_atom s uip (Some reason)
+        with State.Conflict c ->
+          if State.decision_level s = 0 then result := Some Unsat
+          else handle_conflict c
+      end
+  in
+  while !result = None do
+    incr steps;
+    if !steps land 63 = 0 && Unix.gettimeofday () > opts.deadline then
+      result := Some Timeout
+    else begin
+      match Propagate.run s with
+      | Some conflict ->
+        if State.decision_level s = 0 then result := Some Unsat
+        else handle_conflict conflict
+      | None ->
+        if opts.restarts && !conflicts_left <= 0 then begin
+          incr restart_num;
+          conflicts_left := restart_base * luby !restart_num;
+          State.backtrack_to s 0;
+          (match opts.reduce_db with
+           | Some budget
+             when Vec.length s.State.clauses - s.State.n_root_clauses > budget ->
+             State.reduce_clauses s ~keep_recent:(budget / 2)
+           | _ -> ())
+        end
+        else begin
+          (* Decide(): structural justification first (Algorithm 2),
+             then the activity heuristic *)
+          let structural_decision =
+            match justifier with
+            | None -> None
+            | Some j ->
+              (try Justify.decide ?mux_pref j s
+               with Justify.Jconflict atoms ->
+                 s.State.n_jconflicts <- s.State.n_jconflicts + 1;
+                 if State.decision_level s = 0 then begin
+                   result := Some Unsat;
+                   None
+                 end
+                 else begin
+                   handle_conflict atoms;
+                   (* skip deciding this round *)
+                   Some (Pos (-1))
+                 end)
+          in
+          match structural_decision with
+          | Some (Pos v) when v = -1 -> () (* J-conflict handled *)
+          | Some a ->
+            s.State.n_decisions <- s.State.n_decisions + 1;
+            State.new_level s;
+            State.assert_atom s a None
+          | None ->
+            let pick =
+              match rng with
+              | Some rng ->
+                (match pick_random rng s with
+                 | Some v -> Some v
+                 | None -> pick_activity s)
+              | None -> pick_activity s
+            in
+            (match pick with
+             | Some v ->
+               s.State.n_decisions <- s.State.n_decisions + 1;
+               State.new_level s;
+               State.assert_atom s
+                 (if s.State.phase.(v) then Pos v else Neg v)
+                 None
+             | None ->
+               (* all Booleans assigned: certify the solution box *)
+               (match Final_check.run ~max_nodes:opts.max_final_nodes s with
+                | Final_check.Model m -> result := Some (Sat m)
+                | Final_check.Resource_out -> result := Some Timeout
+                | Final_check.Conflict_atoms atoms ->
+                  if State.decision_level s = 0 then result := Some Unsat
+                  else handle_conflict atoms))
+        end
+    end
+  done;
+  let r = Option.get !result in
+  let relations, learn_time =
+    match learn_summary with
+    | Some sm -> (sm.Predicate_learning.relations, sm.Predicate_learning.learn_time)
+    | None -> (0, 0.0)
+  in
+  {
+    result = r;
+    stats =
+      {
+        decisions = s.State.n_decisions;
+        conflicts = s.State.n_conflicts;
+        propagations = s.State.n_propagations;
+        learned = s.State.n_learned;
+        jconflicts = s.State.n_jconflicts;
+        final_checks = s.State.n_final_checks;
+        relations;
+        learn_time;
+        solve_time = Unix.gettimeofday () -. t0;
+      };
+    learned_clauses = collected_clauses opts s;
+  }
+
+let unsat_outcome opts s t0 learn_summary =
+  let relations, learn_time =
+    match learn_summary with
+    | Some (sm : Predicate_learning.summary) -> (sm.relations, sm.learn_time)
+    | None -> (0, 0.0)
+  in
+  {
+    result = Unsat;
+    stats =
+      {
+        decisions = s.State.n_decisions;
+        conflicts = s.State.n_conflicts;
+        propagations = s.State.n_propagations;
+        learned = s.State.n_learned;
+        jconflicts = s.State.n_jconflicts;
+        final_checks = s.State.n_final_checks;
+        relations;
+        learn_time;
+        solve_time = Unix.gettimeofday () -. t0;
+      };
+    learned_clauses = collected_clauses opts s;
+  }
+
+let solve_common ?(options = default) prob enc =
+  let t0 = Unix.gettimeofday () in
+  validate_input_clauses prob;
+  let s = State.create prob in
+  if options.seed_fanout then seed_activities s enc;
+  match Propagate.run ~full:true s with
+  | Some _ -> unsat_outcome options s t0 None
+  | None ->
+    let learn_summary =
+      match (options.predicate_learning, enc) with
+      | true, Some enc ->
+        Some
+          (Predicate_learning.run ?threshold:options.learn_threshold
+             ~depth:options.learn_depth ~deadline:options.deadline s enc)
+      | _ -> None
+    in
+    (match learn_summary with
+     | Some sm when sm.Predicate_learning.root_unsat ->
+       unsat_outcome options s t0 learn_summary
+     | _ -> solve_loop options s enc t0 learn_summary)
+
+let solve ?options enc = solve_common ?options enc.Encode.problem (Some enc)
+let solve_problem ?options prob = solve_common ?options prob None

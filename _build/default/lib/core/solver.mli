@@ -1,0 +1,79 @@
+(** The hybrid DPLL solver (Algorithm 1), with the paper's two
+    optional strategies: the structural decision strategy of §4
+    ([structural], "+S" in Table 2) and static predicate learning of
+    §3 ([predicate_learning], "+P").
+
+    The solver decides Boolean variables only; interval constraint
+    propagation narrows word variables; conflicts are analyzed over
+    the hybrid implication graph; and when all Boolean variables are
+    assigned, the solution box is certified by the FME/Omega oracle.
+
+    Restriction: multi-atom clauses of the *input* problem must be
+    purely Boolean (the RTL encoder guarantees this; learned hybrid
+    clauses are unconstrained). *)
+
+type options = {
+  structural : bool;            (** §4 justification decisions (+S) *)
+  predicate_learning : bool;    (** §3 static learning (+P) *)
+  learn_threshold : int option; (** cap on learned relations; default
+                                    [min #candidates 2000] *)
+  learn_depth : int;            (** recursive-learning depth, default 1 *)
+  deadline : float;             (** absolute wall-clock instant *)
+  max_final_nodes : int;        (** box-search budget per final check *)
+  restarts : bool;              (** Luby restarts *)
+  seed_fanout : bool;           (** seed activities with fanout counts *)
+  random_seed : int option;     (** randomized decision strategy (the
+                                    baseline the paper's §5.1 compares
+                                    against); overrides activities *)
+  collect_learned : bool;       (** return the learned clauses *)
+  reduce_db : int option;       (** learned-clause budget; on restarts
+                                    beyond it, old long clauses are
+                                    dropped ([None] keeps everything) *)
+}
+
+val default : options
+
+val hdpll : options
+(** Plain HDPLL [9]: no structure, no static learning. *)
+
+val hdpll_s : options
+(** HDPLL + structural decisions. *)
+
+val hdpll_sp : options
+(** HDPLL + structural decisions + predicate learning. *)
+
+val hdpll_p : options
+(** HDPLL + predicate learning only (Table 1 configuration). *)
+
+type result =
+  | Sat of int array   (** variable → value, a full model *)
+  | Unsat
+  | Timeout
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;
+  jconflicts : int;
+  final_checks : int;
+  relations : int;      (** static predicate relations learned *)
+  learn_time : float;   (** static learning seconds *)
+  solve_time : float;   (** total seconds *)
+}
+
+type outcome = {
+  result : result;
+  stats : stats;
+  learned_clauses : Rtlsat_constr.Types.clause list;
+      (** conflict-learned and statically-learned clauses, in learning
+          order; empty unless [collect_learned] *)
+}
+
+val solve : ?options:options -> Rtlsat_constr.Encode.t -> outcome
+(** Decide the encoded RTL problem. *)
+
+val solve_problem : ?options:options -> Rtlsat_constr.Problem.t -> outcome
+(** Decide a bare constraint problem (no netlist): the structural
+    strategy and predicate learning are unavailable and silently
+    disabled. *)

@@ -1,0 +1,263 @@
+open Rtlsat_constr.Types
+module Vec = Rtlsat_constr.Vec
+module Problem = Rtlsat_constr.Problem
+module Interval = Rtlsat_interval.Interval
+
+type reason = atom array option
+
+type entry = {
+  eatom : atom;
+  prev : int;
+  elevel : int;
+  ereason : reason;
+}
+
+exception Conflict of atom array
+
+type t = {
+  prob : Problem.t;
+  nv : int;
+  lb : int array;
+  ub : int array;
+  init_lb : int array;
+  init_ub : int array;
+  trail : entry Vec.t;
+  lim : int Vec.t;
+  lo_ev : (int * int) list array;
+  hi_ev : (int * int) list array;
+  clauses : clause Vec.t;
+  clause_occs : int list array;
+  mutable n_root_clauses : int;
+  constrs : constr array;
+  constr_occs : int list array;
+  mutable qhead : int;
+  activity : float array;
+  mutable var_inc : float;
+  heap : Heap.t;
+  phase : bool array;
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable n_learned : int;
+  mutable n_jconflicts : int;
+  mutable n_final_checks : int;
+  mutable n_reductions : int;
+}
+
+let decision_level s = Vec.length s.lim
+
+let canonical s a =
+  match a with
+  | Pos _ | Neg _ -> a
+  | Ge (v, k) when Problem.is_bool_var s.prob v ->
+    if k >= 1 then Pos v else invalid_arg "State.canonical: trivial Boolean atom"
+  | Le (v, k) when Problem.is_bool_var s.prob v ->
+    if k <= 0 then Neg v else invalid_arg "State.canonical: trivial Boolean atom"
+  | a -> a
+
+(* internal view of an atom as a (var, direction, bound) triple;
+   [`Lo k] means v >= k, [`Hi k] means v <= k *)
+let bound_of = function
+  | Pos v -> (v, `Lo, 1)
+  | Neg v -> (v, `Hi, 0)
+  | Ge (v, k) -> (v, `Lo, k)
+  | Le (v, k) -> (v, `Hi, k)
+
+let entailed s a =
+  match bound_of a with
+  | v, `Lo, k -> s.lb.(v) >= k
+  | v, `Hi, k -> s.ub.(v) <= k
+
+let falsified s a =
+  match bound_of a with
+  | v, `Lo, k -> s.ub.(v) < k
+  | v, `Hi, k -> s.lb.(v) > k
+
+let bool_value s v =
+  if s.lb.(v) >= 1 then 1 else if s.ub.(v) <= 0 then 0 else -1
+
+let dom s v = Interval.make s.lb.(v) s.ub.(v)
+
+let mk_lo s v k = canonical s (Ge (v, k))
+let mk_hi s v k = canonical s (Le (v, k))
+
+let assert_atom s a reason =
+  let v, dir, k = bound_of a in
+  match dir with
+  | `Lo ->
+    if k > s.lb.(v) then begin
+      if k > s.ub.(v) then begin
+        let opposing = mk_hi s v (k - 1) in
+        let expl = match reason with None -> [||] | Some r -> r in
+        raise (Conflict (Array.append expl [| opposing |]))
+      end;
+      let idx = Vec.length s.trail in
+      Vec.push s.trail
+        { eatom = mk_lo s v k; prev = s.lb.(v); elevel = decision_level s; ereason = reason };
+      s.lb.(v) <- k;
+      s.lo_ev.(v) <- (k, idx) :: s.lo_ev.(v);
+      if k = 1 && Problem.is_bool_var s.prob v then s.phase.(v) <- true
+    end
+  | `Hi ->
+    if k < s.ub.(v) then begin
+      if k < s.lb.(v) then begin
+        let opposing = mk_lo s v (k + 1) in
+        let expl = match reason with None -> [||] | Some r -> r in
+        raise (Conflict (Array.append expl [| opposing |]))
+      end;
+      let idx = Vec.length s.trail in
+      Vec.push s.trail
+        { eatom = mk_hi s v k; prev = s.ub.(v); elevel = decision_level s; ereason = reason };
+      s.ub.(v) <- k;
+      s.hi_ev.(v) <- (k, idx) :: s.hi_ev.(v);
+      if k = 0 && Problem.is_bool_var s.prob v then s.phase.(v) <- false
+    end
+
+let new_level s = Vec.push s.lim (Vec.length s.trail)
+
+let backtrack_to s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.lim lvl in
+    while Vec.length s.trail > bound do
+      let e = Vec.pop s.trail in
+      let v, dir, _ = bound_of e.eatom in
+      (match dir with
+       | `Lo ->
+         s.lb.(v) <- e.prev;
+         s.lo_ev.(v) <- List.tl s.lo_ev.(v)
+       | `Hi ->
+         s.ub.(v) <- e.prev;
+         s.hi_ev.(v) <- List.tl s.hi_ev.(v));
+      if Problem.is_bool_var s.prob v && bool_value s v = -1 then
+        Heap.insert s.heap s.activity v
+    done;
+    Vec.shrink s.lim lvl;
+    s.qhead <- min s.qhead bound
+  end
+
+let entailing_entry s a =
+  let v, dir, k = bound_of a in
+  match dir with
+  | `Lo ->
+    if s.init_lb.(v) >= k then None
+    else begin
+      (* events newest first with decreasing values; the entailing
+         entry is the oldest one whose value is still >= k *)
+      let rec find best = function
+        | (value, idx) :: rest when value >= k -> find (Some idx) rest
+        | _ -> best
+      in
+      find None s.lo_ev.(v)
+    end
+  | `Hi ->
+    if s.init_ub.(v) <= k then None
+    else begin
+      let rec find best = function
+        | (value, idx) :: rest when value <= k -> find (Some idx) rest
+        | _ -> best
+      in
+      find None s.hi_ev.(v)
+    end
+
+let add_clause s cl =
+  let ci = Vec.length s.clauses in
+  Vec.push s.clauses cl;
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun a ->
+       let v = atom_var a in
+       if not (Hashtbl.mem seen v) then begin
+         Hashtbl.replace seen v ();
+         s.clause_occs.(v) <- ci :: s.clause_occs.(v)
+       end)
+    cl
+
+let reduce_clauses s ~keep_recent =
+  let total = Vec.length s.clauses in
+  let first_learned = s.n_root_clauses in
+  if total - first_learned > keep_recent then begin
+    let cutoff = total - keep_recent in
+    let kept = ref [] in
+    for ci = total - 1 downto 0 do
+      let cl = Vec.get s.clauses ci in
+      if ci < first_learned || ci >= cutoff || Array.length cl <= 4 then
+        kept := cl :: !kept
+    done;
+    Vec.clear s.clauses;
+    Array.fill s.clause_occs 0 s.nv [];
+    List.iter (fun cl -> add_clause s cl) !kept;
+    s.n_reductions <- s.n_reductions + 1
+  end
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nv - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Heap.bumped s.heap s.activity v
+
+let decay_activities s = s.var_inc <- s.var_inc /. 0.95
+
+let pp_atom s fmt a = pp_atom ~name:(Problem.var_name s.prob) () fmt a
+
+let pp_trail s fmt () =
+  Vec.iteri
+    (fun i e ->
+       Format.fprintf fmt "%4d L%d %a%s@." i e.elevel (pp_atom s) e.eatom
+         (match e.ereason with None -> " (decision)" | Some _ -> ""))
+    s.trail
+
+let create prob =
+  let nv = Problem.n_vars prob in
+  let lb = Array.make nv 0 and ub = Array.make nv 0 in
+  for v = 0 to nv - 1 do
+    let d = Problem.initial_domain prob v in
+    lb.(v) <- Interval.lo d;
+    ub.(v) <- Interval.hi d
+  done;
+  let s =
+    {
+      prob;
+      nv;
+      lb;
+      ub;
+      init_lb = Array.copy lb;
+      init_ub = Array.copy ub;
+      trail = Vec.create ~dummy:{ eatom = Pos 0; prev = 0; elevel = 0; ereason = None } ();
+      lim = Vec.create ~dummy:0 ();
+      lo_ev = Array.make nv [];
+      hi_ev = Array.make nv [];
+      clauses = Vec.create ~dummy:[||] ();
+      clause_occs = Array.make nv [];
+      n_root_clauses = 0;
+      constrs = Problem.constrs prob;
+      constr_occs = Array.make nv [];
+      qhead = 0;
+      activity = Array.make nv 0.0;
+      var_inc = 1.0;
+      heap = Heap.create ();
+      phase = Array.make nv false;
+      n_decisions = 0;
+      n_conflicts = 0;
+      n_propagations = 0;
+      n_learned = 0;
+      n_jconflicts = 0;
+      n_final_checks = 0;
+      n_reductions = 0;
+    }
+  in
+  (* clause and constraint occurrence lists *)
+  List.iter (fun cl -> add_clause s cl) (Problem.clauses prob);
+  s.n_root_clauses <- Vec.length s.clauses;
+  Array.iteri
+    (fun ci c ->
+       List.iter (fun v -> s.constr_occs.(v) <- ci :: s.constr_occs.(v)) (constr_vars c))
+    s.constrs;
+  (* decision heap holds every Boolean variable *)
+  for v = 0 to nv - 1 do
+    if Problem.is_bool_var prob v then Heap.insert s.heap s.activity v
+  done;
+  s

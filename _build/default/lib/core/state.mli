@@ -1,0 +1,102 @@
+(** Solver kernel: variable bounds, the hybrid trail, the hybrid
+    implication graph and the clause database.
+
+    This is the machinery behind §2.4's hybrid implication graph, in
+    the bound-atom formulation: every fact on the trail is an atom
+    ([b], [¬b], [w ≥ k], [w ≤ k]) together with its decision level and
+    an explanation (the antecedent atoms that implied it).  Boolean
+    assignments are the singleton bounds [⟨1,1⟩]/[⟨0,0⟩], so the whole
+    trail is uniform and conflict analysis works over one atom
+    vocabulary. *)
+
+open Rtlsat_constr.Types
+
+type reason = atom array option
+(** [None] for decisions; otherwise the antecedent atoms, all entailed
+    when the entry was pushed. *)
+
+type entry = {
+  eatom : atom;      (** the new fact, in canonical bound form *)
+  prev : int;        (** bound value this event replaced (for undo) *)
+  elevel : int;
+  ereason : reason;
+}
+
+exception Conflict of atom array
+(** The payload atoms are all entailed and jointly inconsistent. *)
+
+type t = {
+  prob : Rtlsat_constr.Problem.t;
+  nv : int;
+  lb : int array;
+  ub : int array;
+  init_lb : int array;
+  init_ub : int array;
+  trail : entry Rtlsat_constr.Vec.t;
+  lim : int Rtlsat_constr.Vec.t;            (** decision-level boundaries *)
+  lo_ev : (int * int) list array;           (** var → (new lb, trail idx), newest first *)
+  hi_ev : (int * int) list array;           (** var → (new ub, trail idx), newest first *)
+  clauses : clause Rtlsat_constr.Vec.t;
+  clause_occs : int list array;             (** var → clause indices *)
+  mutable n_root_clauses : int;
+  constrs : constr array;
+  constr_occs : int list array;             (** var → constraint indices *)
+  mutable qhead : int;
+  activity : float array;
+  mutable var_inc : float;
+  heap : Heap.t;
+  phase : bool array;
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable n_learned : int;
+  mutable n_jconflicts : int;
+  mutable n_final_checks : int;
+  mutable n_reductions : int;
+}
+
+val create : Rtlsat_constr.Problem.t -> t
+(** Builds the kernel, loads the problem's clauses and constraints and
+    registers occurrence lists.  Unit clauses are asserted at level 0
+    ({!propagate-time} conflicts there surface as {!Conflict}). *)
+
+val decision_level : t -> int
+val new_level : t -> unit
+val backtrack_to : t -> int -> unit
+
+val entailed : t -> atom -> bool
+val falsified : t -> atom -> bool
+val bool_value : t -> var -> int
+(** -1 unassigned, 0, or 1. *)
+
+val dom : t -> var -> Rtlsat_interval.Interval.t
+
+val assert_atom : t -> atom -> reason -> unit
+(** Tighten a bound / assign a Boolean.  No-op when already entailed.
+    @raise Conflict when it empties the domain; the conflict contains
+    the reason atoms plus the opposing bound atom. *)
+
+val canonical : t -> atom -> atom
+(** Bound atoms over Boolean variables become [Pos]/[Neg]. *)
+
+val add_clause : t -> clause -> unit
+(** Register a clause (original or learned) with occurrence lists; the
+    caller is responsible for any immediate propagation. *)
+
+val reduce_clauses : t -> keep_recent:int -> unit
+(** Learned-clause database reduction: drop long, old learned clauses,
+    keeping every original clause, every binary/short learned clause
+    and the [keep_recent] most recent ones.  Safe at any decision
+    level — trail explanations are copied atom arrays and never
+    reference clause storage. *)
+
+val entailing_entry : t -> atom -> int option
+(** Trail index of the event that first entailed the (currently
+    entailed) atom; [None] when the initial domain already entails it. *)
+
+val bump_var : t -> var -> unit
+val decay_activities : t -> unit
+
+val pp_atom : t -> Format.formatter -> atom -> unit
+val pp_trail : t -> Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/fme/boxsearch.ml: Array Hashtbl List Option Unix

@@ -1,0 +1,1 @@
+lib/fme/boxsearch.mli:

@@ -1,0 +1,1 @@
+lib/fme/fme.ml: Format Hashtbl List Option Rtlsat_num Unix

@@ -1,0 +1,1 @@
+lib/fme/fme.mli: Format Rtlsat_num

@@ -1,0 +1,1 @@
+lib/fme/omega.ml: Array Boxsearch Fme List

@@ -1,0 +1,1 @@
+lib/fme/omega.mli: Boxsearch

@@ -1,0 +1,128 @@
+type lin = { terms : (int * int) list; const : int }
+
+let lin coeffs const =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, v) ->
+       Hashtbl.replace tbl v (c + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    coeffs;
+  let terms =
+    Hashtbl.fold (fun v c acc -> if c = 0 then acc else (c, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  { terms; const }
+
+let lin_eq coeffs const =
+  (lin coeffs const, lin (List.map (fun (c, v) -> (-c, v)) coeffs) (-const))
+
+type result = Point of int array | Empty | Limit
+
+let fdiv a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+
+exception Empty_domain
+
+(* narrow one constraint; returns true if some bound changed *)
+let narrow bounds l =
+  (* minimal value of Σ terms + const, excluding term of var v *)
+  let changed = ref false in
+  let min_rest skip =
+    List.fold_left
+      (fun acc (c, v) ->
+         if v = skip then acc
+         else begin
+           let lo, hi = bounds.(v) in
+           acc + (if c > 0 then c * lo else c * hi)
+         end)
+      l.const l.terms
+  in
+  List.iter
+    (fun (c, v) ->
+       let lo, hi = bounds.(v) in
+       let rest = min_rest v in
+       (* c·v + rest ≤ 0 must be achievable: c·v ≤ -rest *)
+       if c > 0 then begin
+         let ub = fdiv (-rest) c in
+         if ub < hi then begin
+           if ub < lo then raise Empty_domain;
+           bounds.(v) <- (lo, ub);
+           changed := true
+         end
+       end
+       else begin
+         (* c < 0: v ≥ ceil(rest / -c) = -floor(-rest / -c) *)
+         let lb = -fdiv (-rest) (-c) in
+         if lb > lo then begin
+           if lb > hi then raise Empty_domain;
+           bounds.(v) <- (lb, hi);
+           changed := true
+         end
+       end)
+    l.terms;
+  !changed
+
+let fixpoint bounds lins =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter (fun l -> if narrow bounds l then changed := true) lins
+  done
+
+let propagate_bounds ~bounds lins =
+  let b = Array.copy bounds in
+  match fixpoint b lins with
+  | () -> Some b
+  | exception Empty_domain -> None
+
+let all_satisfied bounds lins =
+  List.for_all
+    (fun l ->
+       let v =
+         List.fold_left (fun acc (c, v) -> acc + (c * fst bounds.(v))) l.const l.terms
+       in
+       v <= 0)
+    lins
+
+let solve ?(max_nodes = 1_000_000) ?(deadline = infinity) ~bounds lins =
+  let nodes = ref 0 in
+  let exception Found of int array in
+  let exception Out_of_budget in
+  let rec search bounds =
+    incr nodes;
+    if !nodes > max_nodes
+    || (!nodes land 1023 = 0 && deadline < infinity && Unix.gettimeofday () > deadline)
+    then raise Out_of_budget;
+    match fixpoint bounds lins with
+    | exception Empty_domain -> ()
+    | () ->
+      let split = ref (-1) in
+      Array.iteri
+        (fun v (lo, hi) ->
+           if lo < hi && (!split < 0 ||
+                          let slo, shi = bounds.(!split) in
+                          hi - lo < shi - slo)
+           then split := v)
+        bounds;
+      if !split < 0 then begin
+        (* all fixed: the fixpoint guarantees each constraint is
+           bounds-consistent, but check outright for safety *)
+        if all_satisfied bounds lins then
+          raise (Found (Array.map fst bounds))
+      end
+      else begin
+        let v = !split in
+        let lo, hi = bounds.(v) in
+        let mid = lo + ((hi - lo) / 2) in
+        let left = Array.copy bounds in
+        left.(v) <- (lo, mid);
+        search left;
+        let right = Array.copy bounds in
+        right.(v) <- (mid + 1, hi);
+        search right
+      end
+  in
+  try
+    search (Array.copy bounds);
+    Empty
+  with
+  | Found p -> Point p
+  | Out_of_budget -> Limit

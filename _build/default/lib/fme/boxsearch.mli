@@ -1,0 +1,34 @@
+(** Complete integer point search inside a solution box.
+
+    HDPLL's final step checks "the solution box P for a point
+    solution" (§2.4).  Because every variable in an RTL problem has a
+    finite domain, a branch-and-prune search — bounds propagation over
+    the linear constraints, then interval splitting on an unfixed
+    variable — is a sound and complete integer decision procedure and
+    produces a witness point, which FME alone does not. *)
+
+type lin = { terms : (int * int) list; const : int }
+(** [Σ coefᵢ·varᵢ + const ≤ 0] with native-int coefficients. *)
+
+val lin : (int * int) list -> int -> lin
+val lin_eq : (int * int) list -> int -> lin * lin
+
+type result =
+  | Point of int array  (** a witness assignment, one value per variable *)
+  | Empty
+  | Limit               (** exceeded the node budget *)
+
+val solve :
+  ?max_nodes:int ->
+  ?deadline:float ->
+  bounds:(int * int) array ->
+  lin list ->
+  result
+(** [solve ~bounds lins] decides whether an integer point of the box
+    [bounds] satisfies all of [lins].  [max_nodes] (default
+    [1_000_000]) bounds the number of search nodes. *)
+
+val propagate_bounds : bounds:(int * int) array -> lin list -> (int * int) array option
+(** One bounds-consistency fixpoint (interval constraint propagation,
+    §2.2); [None] when a domain empties.  Exposed for tests and for
+    the predicate-learning probes. *)

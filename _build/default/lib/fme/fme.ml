@@ -1,0 +1,153 @@
+module B = Rtlsat_num.Bigint
+
+type ineq = {
+  terms : (B.t * int) list;
+  const : B.t;
+  origin : int list;
+}
+
+let merge_origins a b = List.sort_uniq compare (a @ b)
+
+(* normalize: merge duplicate vars, drop zeros, divide by gcd of
+   coefficients with floor rounding of the constant (integer-sound) *)
+let normalize terms const origin =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, v) ->
+       let cur = Option.value ~default:B.zero (Hashtbl.find_opt tbl v) in
+       Hashtbl.replace tbl v (B.add cur c))
+    terms;
+  let terms =
+    Hashtbl.fold (fun v c acc -> if B.is_zero c then acc else (c, v) :: acc) tbl []
+    |> List.sort (fun (_, v1) (_, v2) -> compare v1 v2)
+  in
+  match terms with
+  | [] -> { terms = []; const; origin }
+  | _ ->
+    let g = List.fold_left (fun acc (c, _) -> B.gcd acc c) B.zero terms in
+    if B.is_one g then { terms; const; origin }
+    else begin
+      (* Σ aᵢxᵢ ≤ -c  ⇒  Σ (aᵢ/g)xᵢ ≤ ⌊-c/g⌋ *)
+      let terms = List.map (fun (c, v) -> (fst (B.tdiv_rem c g), v)) terms in
+      let bound = B.fdiv (B.neg const) g in
+      { terms; const = B.neg bound; origin }
+    end
+
+let ineq ?(origin = []) coeffs const =
+  normalize
+    (List.map (fun (c, v) -> (B.of_int c, v)) coeffs)
+    (B.of_int const)
+    (List.sort_uniq compare origin)
+
+let eq_ineqs ?origin coeffs const =
+  let le = ineq ?origin coeffs const in
+  let ge = ineq ?origin (List.map (fun (c, v) -> (-c, v)) coeffs) (-const) in
+  (le, ge)
+
+let eval_ineq env i =
+  let total =
+    List.fold_left
+      (fun acc (c, v) -> B.add acc (B.mul c (B.of_int (env v))))
+      i.const i.terms
+  in
+  B.sign total <= 0
+
+let pp_ineq fmt i =
+  let first = ref true in
+  List.iter
+    (fun (c, v) ->
+       if !first then begin
+         if B.equal c B.minus_one then Format.fprintf fmt "-"
+         else if not (B.is_one c) then Format.fprintf fmt "%a*" B.pp c
+       end
+       else if B.sign c > 0 then begin
+         if B.is_one c then Format.fprintf fmt " + "
+         else Format.fprintf fmt " + %a*" B.pp c
+       end
+       else begin
+         let a = B.abs c in
+         if B.is_one a then Format.fprintf fmt " - " else Format.fprintf fmt " - %a*" B.pp a
+       end;
+       Format.fprintf fmt "x%d" v;
+       first := false)
+    i.terms;
+  if !first then Format.fprintf fmt "%a <= 0" B.pp i.const
+  else if B.sign i.const > 0 then Format.fprintf fmt " + %a <= 0" B.pp i.const
+  else if B.sign i.const < 0 then Format.fprintf fmt " - %a <= 0" B.pp (B.abs i.const)
+  else Format.fprintf fmt " <= 0"
+
+type verdict = Feasible | Infeasible of int list
+
+exception Budget_exceeded
+
+let coeff_of v i =
+  match List.find_opt (fun (_, u) -> u = v) i.terms with
+  | Some (c, _) -> c
+  | None -> B.zero
+
+let vars_of system =
+  List.fold_left
+    (fun acc i -> List.fold_left (fun acc (_, v) -> v :: acc) acc i.terms)
+    [] system
+  |> List.sort_uniq compare
+
+(* combine an upper bound (a>0: a·x ≤ -r_up) with a lower bound
+   (coefficient -b, b>0: b·x ≥ r_lo): feasible iff a·r_lo + b·r_up ≤ 0
+   where r are the residues.  Dark shadow adds (a-1)(b-1). *)
+let combine ~dark v up lo =
+  let a = coeff_of v up in
+  let b = B.neg (coeff_of v lo) in
+  assert (B.sign a > 0 && B.sign b > 0);
+  let scale k i =
+    ( List.filter_map
+        (fun (c, u) -> if u = v then None else Some (B.mul k c, u))
+        i.terms,
+      B.mul k i.const )
+  in
+  let t1, c1 = scale b up in
+  let t2, c2 = scale a lo in
+  let extra =
+    if dark then B.mul (B.sub a B.one) (B.sub b B.one) else B.zero
+  in
+  normalize (t1 @ t2) (B.add (B.add c1 c2) extra) (merge_origins up.origin lo.origin)
+
+let check ?(shadow = `Real) ?(deadline = infinity) ?(max_derived = 200_000) system =
+  let dark = shadow = `Dark in
+  let derived_count = ref 0 in
+  let budget n =
+    derived_count := !derived_count + n;
+    if !derived_count > max_derived
+    || (deadline < infinity && Unix.gettimeofday () > deadline)
+    then raise Budget_exceeded
+  in
+  let exception Found_core of int list in
+  let constant_check i =
+    if i.terms = [] && B.sign i.const > 0 then raise (Found_core i.origin)
+  in
+  try
+    List.iter constant_check system;
+    let rec eliminate system = function
+      | [] -> ()
+      | vars ->
+        (* greedy: pick the variable minimizing |lower|·|upper| *)
+        let cost v =
+          let ups = List.length (List.filter (fun i -> B.sign (coeff_of v i) > 0) system) in
+          let los = List.length (List.filter (fun i -> B.sign (coeff_of v i) < 0) system) in
+          ups * los
+        in
+        let v = List.fold_left (fun best u -> if cost u < cost best then u else best)
+            (List.hd vars) (List.tl vars)
+        in
+        let ups, rest = List.partition (fun i -> B.sign (coeff_of v i) > 0) system in
+        let los, rest = List.partition (fun i -> B.sign (coeff_of v i) < 0) rest in
+        budget (List.length ups * List.length los);
+        let derived =
+          List.concat_map (fun up -> List.map (fun lo -> combine ~dark v up lo) los) ups
+        in
+        List.iter constant_check derived;
+        let keep = List.filter (fun i -> i.terms <> []) derived in
+        eliminate (keep @ rest) (List.filter (fun u -> u <> v) vars)
+    in
+    eliminate system (vars_of system);
+    Feasible
+  with Found_core core -> Infeasible core

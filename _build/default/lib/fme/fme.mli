@@ -1,0 +1,57 @@
+(** Fourier–Motzkin elimination over the integers, with unsatisfiable
+    cores — our reimplementation of the arithmetic back-end the paper
+    takes from the Omega library [13].
+
+    A system is a conjunction of inequalities [Σ aᵢ·xᵢ + c ≤ 0] over
+    integer variables.  Elimination uses exact {!Rtlsat_num.Bigint}
+    coefficients (FME coefficients grow multiplicatively), normalizes
+    every derived inequality by the gcd of its coefficients with floor
+    rounding of the constant — sound and tightening for integer
+    feasibility — and tracks origin tags so an infeasibility comes
+    with the subset of input inequalities that caused it (the unsat
+    core used for conflict learning).
+
+    [`Real] elimination decides rational feasibility of the normalized
+    system: [Infeasible] is definitive for the integer system too.
+    [`Dark] adds the Omega-test dark-shadow strengthening
+    [(a-1)(b-1)] to each combination: then [Feasible] guarantees an
+    integer point exists, while [Infeasible] may be spurious — use
+    {!Boxsearch} to decide exactly. *)
+
+module B = Rtlsat_num.Bigint
+
+type ineq = {
+  terms : (B.t * int) list;  (** (coefficient, variable), sorted by variable *)
+  const : B.t;
+  origin : int list;         (** sorted tags of contributing inputs *)
+}
+
+val ineq : ?origin:int list -> (int * int) list -> int -> ineq
+(** [ineq coeffs const] builds [Σ coefᵢ·varᵢ + const ≤ 0] from native
+    integers; duplicate variables are merged. *)
+
+val eq_ineqs : ?origin:int list -> (int * int) list -> int -> ineq * ineq
+(** Both directions of [Σ coefᵢ·varᵢ + const = 0]. *)
+
+val eval_ineq : (int -> int) -> ineq -> bool
+
+val pp_ineq : Format.formatter -> ineq -> unit
+
+type verdict =
+  | Feasible
+  | Infeasible of int list  (** unsat core: sorted origin tags *)
+
+exception Budget_exceeded
+(** Raised by {!check} when the wall-clock deadline passes or the
+    derived-inequality budget is exhausted mid-elimination. *)
+
+val check :
+  ?shadow:[ `Real | `Dark ] ->
+  ?deadline:float ->
+  ?max_derived:int ->
+  ineq list ->
+  verdict
+(** Eliminate every variable (greedy fewest-products order) and test
+    the residual constants.  Default shadow: [`Real]; [max_derived]
+    (default [200_000]) bounds the total number of derived
+    inequalities.  @raise Budget_exceeded on either budget. *)

@@ -1,0 +1,58 @@
+type outcome = Sat of int array | Unsat of int list | Unknown
+
+let to_fme ~bounds lins =
+  let of_lin i (l : Boxsearch.lin) =
+    Fme.ineq ~origin:[ i ] l.Boxsearch.terms l.Boxsearch.const
+  in
+  let constraint_ineqs = List.mapi of_lin lins in
+  let bound_ineqs =
+    List.concat
+      (List.init (Array.length bounds) (fun v ->
+           let lo, hi = bounds.(v) in
+           [
+             Fme.ineq ~origin:[ (-v) - 1 ] [ (1, v) ] (-hi); (* v <= hi *)
+             Fme.ineq ~origin:[ (-v) - 1 ] [ (-1, v) ] lo;   (* v >= lo *)
+           ]))
+  in
+  constraint_ineqs @ bound_ineqs
+
+let empty_var bounds =
+  let found = ref None in
+  Array.iteri (fun v (lo, hi) -> if !found = None && lo > hi then found := Some v) bounds;
+  !found
+
+let decide ?max_nodes ?deadline ?(fme_max_vars = 64) ~bounds lins =
+  match empty_var bounds with
+  | Some v -> Unsat [ (-v) - 1 ]
+  | None ->
+    let live =
+      List.fold_left
+        (fun acc (l : Boxsearch.lin) ->
+           List.fold_left (fun acc (_, v) -> if List.mem v acc then acc else v :: acc)
+             acc l.Boxsearch.terms)
+        [] lins
+    in
+    let fme_verdict =
+      if List.length live > fme_max_vars then Fme.Feasible
+      else begin
+        let system = to_fme ~bounds lins in
+        try Fme.check ~shadow:`Real ?deadline system
+        with Fme.Budget_exceeded -> Fme.Feasible
+      end
+    in
+    (match fme_verdict with
+     | Fme.Infeasible core -> Unsat core
+     | Fme.Feasible ->
+       (* The dark shadow cannot refute; when it is feasible an integer
+          point exists and the box search will find it quickly.  Either
+          way the complete search gives the final answer (and the
+          witness). *)
+       (match Boxsearch.solve ?max_nodes ?deadline ~bounds lins with
+        | Boxsearch.Point p -> Sat p
+        | Boxsearch.Empty ->
+          (* no refined core available: everything participated,
+             including the box itself *)
+          Unsat
+            (List.init (List.length lins) (fun i -> i)
+             @ List.init (Array.length bounds) (fun v -> (-v) - 1))
+        | Boxsearch.Limit -> Unknown))

@@ -1,0 +1,30 @@
+(** Exact integer linear feasibility over finite boxes — the
+    arithmetic oracle HDPLL calls on the final solution box (§2.4),
+    layered Omega-style:
+
+    + real-shadow FME refutes quickly and yields an unsat core;
+    + dark-shadow FME proves integer feasibility quickly;
+    + the complete {!Boxsearch} decides the ambiguous cases and
+      produces witness points.
+
+    Core tags: [t >= 0] refers to input inequality [t]; [t < 0]
+    refers to the domain bounds of variable [-t - 1]. *)
+
+type outcome =
+  | Sat of int array        (** witness point *)
+  | Unsat of int list       (** core tags (see above) *)
+  | Unknown                 (** box-search node budget exhausted *)
+
+val decide :
+  ?max_nodes:int ->
+  ?deadline:float ->
+  ?fme_max_vars:int ->
+  bounds:(int * int) array ->
+  Boxsearch.lin list ->
+  outcome
+(** [decide ~bounds lins]: is there an integer point of the box
+    satisfying all inequalities?  Inequality [i] of the list carries
+    core tag [i].  FME is skipped when more than [fme_max_vars]
+    (default 64) variables are live — elimination cost is
+    super-polynomial in the variable count — leaving the complete box
+    search to decide. *)

@@ -1,0 +1,1 @@
+lib/harness/engines.ml: Array Rtlsat_baselines Rtlsat_bmc Rtlsat_constr Rtlsat_core Rtlsat_rtl Rtlsat_sat Unix

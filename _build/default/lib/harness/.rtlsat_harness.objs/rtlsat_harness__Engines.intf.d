@@ -1,0 +1,1 @@
+lib/harness/engines.mli: Rtlsat_bmc

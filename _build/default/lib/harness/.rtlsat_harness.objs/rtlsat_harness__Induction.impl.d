@@ -1,0 +1,1 @@
+lib/harness/induction.ml: Rtlsat_bmc Rtlsat_constr Rtlsat_core

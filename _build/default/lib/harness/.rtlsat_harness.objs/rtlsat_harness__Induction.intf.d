@@ -1,0 +1,1 @@
+lib/harness/induction.mli: Rtlsat_core Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Engines Format List Rtlsat_itc99

@@ -1,0 +1,117 @@
+module Bmc = Rtlsat_bmc.Bmc
+module Unroll = Rtlsat_bmc.Unroll
+module E = Rtlsat_constr.Encode
+module Solver = Rtlsat_core.Solver
+module Bitblast = Rtlsat_baselines.Bitblast
+module Lazy_cdp = Rtlsat_baselines.Lazy_cdp
+module Structure = Rtlsat_rtl.Structure
+
+type engine = Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p | Bitblast | Lazy_cdp
+
+let engine_name = function
+  | Hdpll -> "hdpll"
+  | Hdpll_s -> "hdpll+s"
+  | Hdpll_sp -> "hdpll+s+p"
+  | Hdpll_p -> "hdpll+p"
+  | Bitblast -> "bitblast"
+  | Lazy_cdp -> "lazy-cdp"
+
+let table2_engines = [ Hdpll; Hdpll_s; Hdpll_sp; Bitblast; Lazy_cdp ]
+
+type verdict = Sat | Unsat | Timeout | Abort of string
+
+type run = {
+  verdict : verdict;
+  time : float;
+  relations : int;
+  learn_time : float;
+  decisions : int;
+  conflicts : int;
+}
+
+let verdict_symbol = function
+  | Sat -> "S"
+  | Unsat -> "U"
+  | Timeout -> "-to-"
+  | Abort _ -> "-A-"
+
+let solver_options engine ?learn_threshold ~deadline () =
+  let base =
+    match engine with
+    | Hdpll -> Solver.hdpll
+    | Hdpll_s -> Solver.hdpll_s
+    | Hdpll_sp -> Solver.hdpll_sp
+    | Hdpll_p -> Solver.hdpll_p
+    | Bitblast | Lazy_cdp -> invalid_arg "solver_options"
+  in
+  { base with Solver.deadline; Solver.learn_threshold = learn_threshold }
+
+let run_instance ?(timeout = 1200.0) ?learn_threshold engine (inst : Bmc.instance) =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. timeout in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let combo = Unroll.combo inst.Bmc.unrolled in
+  match engine with
+  | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
+    let enc = E.encode combo in
+    E.assume_bool enc inst.Bmc.violation true;
+    let options = solver_options engine ?learn_threshold ~deadline () in
+    let { Solver.result; stats; _ } = Solver.solve ~options enc in
+    let mk verdict =
+      {
+        verdict;
+        time = elapsed ();
+        relations = stats.Solver.relations;
+        learn_time = stats.Solver.learn_time;
+        decisions = stats.Solver.decisions;
+        conflicts = stats.Solver.conflicts;
+      }
+    in
+    (match result with
+     | Solver.Unsat -> mk Unsat
+     | Solver.Timeout -> mk Timeout
+     | Solver.Sat m ->
+       if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then mk Sat
+       else mk (Abort "witness failed replay"))
+  | Bitblast ->
+    let bb = Bitblast.encode combo in
+    Bitblast.assume_bool bb inst.Bmc.violation true;
+    let verdict =
+      match Bitblast.solve ~deadline bb with
+      | Bitblast.Unsat -> Unsat
+      | Bitblast.Timeout -> Timeout
+      | Bitblast.Sat ->
+        if Bmc.witness_ok inst (Bitblast.node_value bb) then Sat
+        else Abort "witness failed replay"
+    in
+    {
+      verdict;
+      time = elapsed ();
+      relations = 0;
+      learn_time = 0.0;
+      decisions = 0;
+      conflicts = Rtlsat_sat.Cdcl.n_conflicts (Bitblast.solver bb);
+    }
+  | Lazy_cdp ->
+    let enc = E.encode combo in
+    E.assume_bool enc inst.Bmc.violation true;
+    let result, st = Lazy_cdp.solve ~deadline enc.E.problem in
+    let verdict =
+      match result with
+      | Lazy_cdp.Unsat -> Unsat
+      | Lazy_cdp.Timeout -> Timeout
+      | Lazy_cdp.Sat m ->
+        if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then Sat
+        else Abort "witness failed replay"
+    in
+    {
+      verdict;
+      time = elapsed ();
+      relations = 0;
+      learn_time = 0.0;
+      decisions = st.Lazy_cdp.theory_calls;
+      conflicts = st.Lazy_cdp.blocking_clauses;
+    }
+
+let op_counts (inst : Bmc.instance) =
+  Structure.op_counts (Unroll.combo inst.Bmc.unrolled)

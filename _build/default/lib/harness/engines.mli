@@ -1,0 +1,51 @@
+(** Uniform driver for every satisfiability engine of the evaluation:
+    the four HDPLL configurations, the eager Boolean translation
+    (UCLID stand-in) and the lazy combined decision procedure (ICS
+    stand-in).  Every satisfiable answer is validated by replaying the
+    witness through the RTL simulator. *)
+
+type engine =
+  | Hdpll        (** HDPLL [9] *)
+  | Hdpll_s      (** + structural decision strategy (§4) *)
+  | Hdpll_sp     (** + structural decisions + predicate learning *)
+  | Hdpll_p      (** + predicate learning only (Table 1) *)
+  | Bitblast     (** Boolean translation + CDCL (UCLID stand-in) *)
+  | Lazy_cdp     (** lazy CDP (ICS stand-in) *)
+
+val engine_name : engine -> string
+val table2_engines : engine list
+(** The five columns of Table 2, in order. *)
+
+type verdict =
+  | Sat
+  | Unsat
+  | Timeout
+  | Abort of string
+      (** engine failure — e.g. a witness that does not replay *)
+
+type run = {
+  verdict : verdict;
+  time : float;           (** seconds *)
+  relations : int;        (** predicate relations learned (HDPLL+P) *)
+  learn_time : float;
+  decisions : int;
+  conflicts : int;
+}
+
+val verdict_symbol : verdict -> string
+(** ["S"], ["U"], ["-to-"], ["-A-"] as in the paper's tables. *)
+
+val run_instance :
+  ?timeout:float ->
+  ?learn_threshold:int ->
+  engine ->
+  Rtlsat_bmc.Bmc.instance ->
+  run
+(** Solve a BMC instance with the given engine.  [timeout] is a
+    per-run budget in seconds (default 1200, the paper's limit).
+    Satisfiable results are checked with {!Rtlsat_bmc.Bmc.witness_ok};
+    failures become [Abort]. *)
+
+val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
+(** (arith, bool) operator counts of the unrolled instance —
+    columns 3–4 of Table 2. *)

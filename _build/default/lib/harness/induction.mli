@@ -1,0 +1,25 @@
+(** k-induction on top of the BMC substrate — an unbounded extension
+    of the paper's bounded workload (not in the paper; see DESIGN.md
+    extensions).
+
+    For increasing [k]: the base case asks for a violation within [k]
+    frames from reset (plain BMC with [Any] semantics); the step case
+    asks whether, from an {e arbitrary} state, [k] consecutive good
+    frames can be followed by a bad one.  If the base is satisfiable
+    the property is falsified; if the step is unsatisfiable the
+    property holds in {e all} reachable states.  (No path-uniqueness
+    strengthening: the method is sound but may answer [Unknown].) *)
+
+type outcome =
+  | Proved of int       (** inductive at depth k *)
+  | Falsified of int    (** counterexample of that length from reset *)
+  | Unknown             (** max depth or deadline exhausted *)
+
+val prove :
+  ?options:Rtlsat_core.Solver.options ->
+  ?max_k:int ->
+  Rtlsat_rtl.Ir.circuit ->
+  prop:Rtlsat_rtl.Ir.node ->
+  outcome
+(** [prove circuit ~prop] with [max_k] defaulting to 20 and the
+    [hdpll_sp] engine. *)

@@ -1,0 +1,221 @@
+module Registry = Rtlsat_itc99.Registry
+
+type scale = [ `Scaled | `Full ]
+
+(* ---- Table 1 (§3.1): predicate learning analysis ---- *)
+
+let table1_instances = function
+  | `Full ->
+    [
+      ("b01", "1", 10); ("b01", "1", 20);
+      ("b02", "1", 10); ("b02", "1", 20);
+      ("b04", "1", 20);
+      ("b13", "5", 10); ("b13", "1", 10);
+      ("b13", "5", 20); ("b13", "1", 20);
+      ("b13", "5", 30); ("b13", "1", 30);
+      ("b13", "5", 50); ("b13", "1", 50);
+      ("b13", "5", 100); ("b13", "1", 100);
+      ("b13", "5", 200); ("b13", "1", 200);
+      ("b13", "1", 300);
+    ]
+  | `Scaled ->
+    [
+      ("b01", "1", 10); ("b01", "1", 20);
+      ("b02", "1", 10); ("b02", "1", 20);
+      ("b04", "1", 20);
+      ("b13", "5", 10); ("b13", "1", 10);
+      ("b13", "5", 20); ("b13", "1", 20);
+      ("b13", "5", 30); ("b13", "1", 30);
+    ]
+
+type t1_row = {
+  t1_label : string;
+  t1_type : Engines.verdict;
+  t1_relations : int;
+  t1_learn_time : float;
+  t1_hdpll : Engines.run;
+  t1_hdpll_p : Engines.run;
+}
+
+let default_timeout = function `Full -> 1200.0 | `Scaled -> 20.0
+
+(* the paper's Table 1 threshold: 2500 learned relations *)
+let t1_threshold = 2500
+
+let run_table1 ?timeout scale =
+  let timeout = match timeout with Some t -> t | None -> default_timeout scale in
+  List.map
+    (fun (circuit, prop, bound) ->
+       let mk () = Registry.instance ~circuit ~prop ~bound in
+       let base = Engines.run_instance ~timeout Engines.Hdpll (mk ()) in
+       let learned =
+         Engines.run_instance ~timeout ~learn_threshold:t1_threshold Engines.Hdpll_p
+           (mk ())
+       in
+       {
+         t1_label = Registry.instance_name ~circuit ~prop ~bound;
+         t1_type = learned.Engines.verdict;
+         t1_relations = learned.Engines.relations;
+         t1_learn_time = learned.Engines.learn_time;
+         t1_hdpll = base;
+         t1_hdpll_p = learned;
+       })
+    (table1_instances scale)
+
+let pp_time fmt (r : Engines.run) =
+  match r.Engines.verdict with
+  | Engines.Timeout -> Format.fprintf fmt "%8s" "-to-"
+  | Engines.Abort _ -> Format.fprintf fmt "%8s" "-A-"
+  | _ -> Format.fprintf fmt "%8.2f" r.Engines.time
+
+let print_table1 fmt rows =
+  Format.fprintf fmt
+    "Table 1: Run-Time Analysis of Predicate Learning (times in seconds)@.";
+  Format.fprintf fmt "%-14s %-4s %8s %10s %8s %8s@." "Ckt" "Type" "No.Rels"
+    "LearnTime" "HDPLL" "HDPLL+P";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%-14s %-4s %8d %10.2f %a %a@." r.t1_label
+         (Engines.verdict_symbol r.t1_type)
+         r.t1_relations r.t1_learn_time pp_time r.t1_hdpll pp_time r.t1_hdpll_p)
+    rows
+
+(* ---- Table 2 (§5): structural decision strategy ---- *)
+
+let table2_instances = function
+  | `Full ->
+    [
+      ("b01", "1", 50); ("b01", "1", 100);
+      ("b02", "1", 50); ("b02", "1", 100);
+      ("b04", "1", 50); ("b04", "1", 100);
+      ("b13", "40", 13);
+      ("b13", "1", 50); ("b13", "2", 50); ("b13", "3", 50); ("b13", "5", 50);
+      ("b13", "8", 50);
+      ("b13", "1", 100); ("b13", "2", 100); ("b13", "3", 100); ("b13", "5", 100);
+      ("b13", "8", 100);
+      ("b13", "1", 200); ("b13", "2", 200); ("b13", "3", 200); ("b13", "5", 200);
+      ("b13", "8", 200);
+      ("b13", "1", 300); ("b13", "2", 300); ("b13", "3", 300); ("b13", "5", 300);
+      ("b13", "8", 300);
+      ("b13", "1", 400); ("b13", "2", 400); ("b13", "3", 400); ("b13", "5", 400);
+      ("b13", "8", 400);
+    ]
+  | `Scaled ->
+    [
+      ("b01", "1", 50); ("b01", "1", 100);
+      ("b02", "1", 50); ("b02", "1", 100);
+      ("b04", "1", 50);
+      ("b13", "40", 13);
+      ("b13", "1", 50); ("b13", "2", 50); ("b13", "3", 50); ("b13", "5", 50);
+      ("b13", "8", 50);
+    ]
+
+type t2_row = {
+  t2_label : string;
+  t2_type : Engines.verdict;
+  t2_arith : int;
+  t2_bool : int;
+  t2_runs : (Engines.engine * Engines.run) list;
+}
+
+let run_row ?(timeout = 1200.0) ~engines (circuit, prop, bound) =
+  let arith, boolean =
+    Engines.op_counts (Registry.instance ~circuit ~prop ~bound)
+  in
+  let runs =
+    List.map
+      (fun e -> (e, Engines.run_instance ~timeout e (Registry.instance ~circuit ~prop ~bound)))
+      engines
+  in
+  let t2_type =
+    (* the reference verdict: first engine that decided *)
+    match
+      List.find_opt
+        (fun (_, r) ->
+           match r.Engines.verdict with
+           | Engines.Sat | Engines.Unsat -> true
+           | _ -> false)
+        runs
+    with
+    | Some (_, r) -> r.Engines.verdict
+    | None -> Engines.Timeout
+  in
+  {
+    t2_label = Registry.instance_name ~circuit ~prop ~bound;
+    t2_type;
+    t2_arith = arith;
+    t2_bool = boolean;
+    t2_runs = runs;
+  }
+
+let run_table2 ?timeout ?(engines = Engines.table2_engines) scale =
+  let timeout = match timeout with Some t -> t | None -> default_timeout scale in
+  List.map (run_row ~timeout ~engines) (table2_instances scale)
+
+let print_table2 fmt rows =
+  Format.fprintf fmt
+    "Table 2: Run-Time Analysis of Structural Decision Strategy (times in seconds)@.";
+  Format.fprintf fmt
+    "(UCLID is substituted by eager bit-blasting, ICS by a lazy CDP; see DESIGN.md)@.";
+  (match rows with
+   | [] -> ()
+   | row :: _ ->
+     Format.fprintf fmt "%-14s %-4s %8s %8s" "Test-case" "Rslt" "ArithOps" "BoolOps";
+     List.iter
+       (fun (e, _) -> Format.fprintf fmt " %9s" (Engines.engine_name e))
+       row.t2_runs;
+     Format.fprintf fmt "@.");
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%-14s %-4s %8d %8d" r.t2_label
+         (Engines.verdict_symbol r.t2_type)
+         r.t2_arith r.t2_bool;
+       List.iter
+         (fun (_, run) ->
+            match run.Engines.verdict with
+            | Engines.Timeout -> Format.fprintf fmt " %9s" "-to-"
+            | Engines.Abort _ -> Format.fprintf fmt " %9s" "-A-"
+            | _ -> Format.fprintf fmt " %9.2f" run.Engines.time)
+         r.t2_runs;
+       Format.fprintf fmt "@.")
+    rows
+
+(* ---- suite extension: the circuits beyond the paper's subset ---- *)
+
+let extension_instances =
+  [
+    ("b03", "1", 30); ("b03", "2", 30);
+    ("b05", "1", 20); ("b05", "2", 20);
+    ("b06", "1", 30); ("b06", "2", 30);
+    ("b07", "1", 30); ("b07", "2", 30);
+    ("b08", "1", 30); ("b08", "2", 30);
+    ("b09", "1", 30); ("b09", "3", 30);
+    ("b10", "1", 30); ("b10", "2", 30);
+    ("b11", "1", 12); ("b11", "3", 12);
+  ]
+
+let run_extension ?(timeout = 20.0) ?(engines = [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Bitblast ]) () =
+  List.map (run_row ~timeout ~engines) extension_instances
+
+let print_table2_csv fmt rows =
+  (match rows with
+   | [] -> ()
+   | row :: _ ->
+     Format.fprintf fmt "instance,result,arith_ops,bool_ops";
+     List.iter
+       (fun (e, _) -> Format.fprintf fmt ",%s" (Engines.engine_name e))
+       row.t2_runs;
+     Format.fprintf fmt "@.");
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "%s,%s,%d,%d" r.t2_label
+         (Engines.verdict_symbol r.t2_type)
+         r.t2_arith r.t2_bool;
+       List.iter
+         (fun (_, run) ->
+            match run.Engines.verdict with
+            | Engines.Timeout | Engines.Abort _ -> Format.fprintf fmt ","
+            | _ -> Format.fprintf fmt ",%.3f" run.Engines.time)
+         r.t2_runs;
+       Format.fprintf fmt "@.")
+    rows

@@ -1,0 +1,54 @@
+(** Regeneration of the paper's two evaluation tables.
+
+    [`Scaled] uses reduced bound lists and timeout so the whole suite
+    runs in minutes on a laptop; [`Full] uses the paper's exact bounds
+    (up to 400 time frames) and its 1200-second timeout. *)
+
+type scale = [ `Scaled | `Full ]
+
+type t1_row = {
+  t1_label : string;
+  t1_type : Engines.verdict;   (** from the HDPLL+P run *)
+  t1_relations : int;
+  t1_learn_time : float;
+  t1_hdpll : Engines.run;
+  t1_hdpll_p : Engines.run;
+}
+
+val table1_instances : scale -> (string * string * int) list
+(** (circuit, property, bound) triples of Table 1 rows. *)
+
+val run_table1 : ?timeout:float -> scale -> t1_row list
+val print_table1 : Format.formatter -> t1_row list -> unit
+
+type t2_row = {
+  t2_label : string;
+  t2_type : Engines.verdict;
+  t2_arith : int;
+  t2_bool : int;
+  t2_runs : (Engines.engine * Engines.run) list;
+}
+
+val table2_instances : scale -> (string * string * int) list
+
+val run_table2 :
+  ?timeout:float -> ?engines:Engines.engine list -> scale -> t2_row list
+
+val print_table2 : Format.formatter -> t2_row list -> unit
+
+val run_row :
+  ?timeout:float ->
+  engines:Engines.engine list ->
+  string * string * int ->
+  t2_row
+(** Run one instance across engines (used by the CLI). *)
+
+val extension_instances : (string * string * int) list
+(** BMC instances over the suite-extension circuits (b03, b06, b07,
+    b09, b10, b11) — not part of the paper's tables. *)
+
+val run_extension : ?timeout:float -> ?engines:Engines.engine list -> unit -> t2_row list
+
+val print_table2_csv : Format.formatter -> t2_row list -> unit
+(** Machine-readable variant (label, result, ops, one time column per
+    engine; timeouts as empty cells). *)

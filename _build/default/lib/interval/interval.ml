@@ -1,0 +1,68 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let make_opt lo hi = if lo > hi then None else Some { lo; hi }
+
+let point v = { lo = v; hi = v }
+
+let of_width w =
+  if w < 1 || w > 61 then invalid_arg "Interval.of_width";
+  { lo = 0; hi = (1 lsl w) - 1 }
+
+let bool_dom = { lo = 0; hi = 1 }
+
+let lo t = t.lo
+let hi t = t.hi
+let size t = t.hi - t.lo + 1
+
+let is_point t = t.lo = t.hi
+let value t = if t.lo = t.hi then Some t.lo else None
+
+let mem v t = t.lo <= v && v <= t.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let inter a b = make_opt (max a.lo b.lo) (min a.hi b.hi)
+let disjoint a b = max a.lo b.lo > min a.hi b.hi
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mul_const k a =
+  if k >= 0 then { lo = k * a.lo; hi = k * a.hi }
+  else { lo = k * a.hi; hi = k * a.lo }
+
+let mul a b =
+  let p1 = a.lo * b.lo and p2 = a.lo * b.hi and p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+  { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+
+let shift_left a k = { lo = a.lo lsl k; hi = a.hi lsl k }
+
+(* floor division by 2^k; our domains are non-negative but keep it
+   correct for negative bounds too *)
+let fdiv_pow2 v k = if v >= 0 then v lsr k else -(((-v) + (1 lsl k) - 1) lsr k)
+
+let shift_right a k = { lo = fdiv_pow2 a.lo k; hi = fdiv_pow2 a.hi k }
+
+let remove a b =
+  let left = make_opt a.lo (min a.hi (b.lo - 1)) in
+  let right = make_opt (max a.lo (b.hi + 1)) a.hi in
+  List.filter_map (fun x -> x) [ left; right ]
+
+let clamp_lo k a = make_opt (max k a.lo) a.hi
+let clamp_hi k a = make_opt a.lo (min k a.hi)
+
+let to_seq t =
+  let rec go v () = if v > t.hi then Seq.Nil else Seq.Cons (v, go (v + 1)) in
+  go t.lo
+
+let pp fmt t =
+  if t.lo = t.hi then Format.fprintf fmt "<%d>" t.lo
+  else Format.fprintf fmt "<%d,%d>" t.lo t.hi
+
+let to_string t = Format.asprintf "%a" pp t

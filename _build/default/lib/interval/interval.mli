@@ -1,0 +1,71 @@
+(** Closed finite integer intervals [⟨lo, hi⟩] with [lo <= hi].
+
+    This is the domain representation of §2.2 of the paper: a word
+    variable of bit-width [w] has domain [⟨0, 2^w - 1⟩], and interval
+    constraint propagation narrows such intervals.  The type never
+    represents the empty set; operations that can produce it return an
+    [option]. *)
+
+type t = private { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi]. @raise Invalid_argument if [lo > hi]. *)
+
+val make_opt : int -> int -> t option
+(** [make_opt lo hi] is [None] when [lo > hi]. *)
+
+val point : int -> t
+(** Singleton interval. *)
+
+val of_width : int -> t
+(** [of_width w] is [⟨0, 2^w - 1⟩]. @raise Invalid_argument if
+    [w < 1] or [w > 61]. *)
+
+val bool_dom : t
+(** [⟨0, 1⟩]. *)
+
+val lo : t -> int
+val hi : t -> int
+val size : t -> int
+(** Number of integers contained. *)
+
+val is_point : t -> bool
+val value : t -> int option
+(** [Some v] when the interval is the singleton [v]. *)
+
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val inter : t -> t -> t option
+val disjoint : t -> t -> bool
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul_const : int -> t -> t
+val mul : t -> t -> t
+(** Extension of [( * )] per Equation (1) of the paper. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Pointwise floor of division by [2^k] (monotone, hence interval). *)
+
+val remove : t -> t -> t list
+(** [remove a b] is [a \ b] as zero, one or two intervals, in
+    increasing order. *)
+
+val clamp_lo : int -> t -> t option
+(** [clamp_lo k a] is [a ∩ ⟨k, ∞⟩]. *)
+
+val clamp_hi : int -> t -> t option
+(** [clamp_hi k a] is [a ∩ ⟨-∞, k⟩]. *)
+
+val to_seq : t -> int Seq.t
+(** All members in increasing order (for exhaustive checks in tests). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/itc99/b02.ml: Netlist Rtlsat_rtl

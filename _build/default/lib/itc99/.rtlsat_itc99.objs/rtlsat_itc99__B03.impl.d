@@ -1,0 +1,1 @@
+lib/itc99/b03.ml: Array Netlist Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b03.mli: Rtlsat_rtl

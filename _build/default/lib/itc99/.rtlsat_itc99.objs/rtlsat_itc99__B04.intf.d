@@ -1,0 +1,1 @@
+lib/itc99/b04.mli: Rtlsat_rtl

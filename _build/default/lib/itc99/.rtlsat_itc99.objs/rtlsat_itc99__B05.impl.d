@@ -1,0 +1,1 @@
+lib/itc99/b05.ml: Array Ir Netlist Printf Rtlsat_rtl

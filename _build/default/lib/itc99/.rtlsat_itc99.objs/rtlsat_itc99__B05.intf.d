@@ -1,0 +1,1 @@
+lib/itc99/b05.mli: Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b06.ml: Netlist Rtlsat_rtl

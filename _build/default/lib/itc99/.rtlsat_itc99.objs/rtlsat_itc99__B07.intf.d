@@ -1,0 +1,1 @@
+lib/itc99/b07.mli: Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b08.mli: Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b09.mli: Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b10.mli: Rtlsat_rtl

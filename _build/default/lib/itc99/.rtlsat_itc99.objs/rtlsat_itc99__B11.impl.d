@@ -1,0 +1,1 @@
+lib/itc99/b11.ml: Netlist Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b11.mli: Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/b13.mli: Rtlsat_rtl

@@ -1,0 +1,1 @@
+lib/itc99/registry.ml: B01 B02 B03 B04 B05 B06 B07 B08 B09 B10 B11 B13 List Printf Rtlsat_bmc

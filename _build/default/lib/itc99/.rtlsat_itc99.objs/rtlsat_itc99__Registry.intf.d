@@ -1,0 +1,1 @@
+lib/itc99/registry.mli: Ir Rtlsat_bmc Rtlsat_rtl

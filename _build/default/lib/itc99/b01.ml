@@ -1,0 +1,51 @@
+(* Reconstruction of ITC'99 b01: an FSM that compares/adds two serial
+   flows.  A serial full adder with a bit counter and an overflow
+   flag: the control is a mux/comparator network over a 3-bit phase
+   counter, which is what the paper's techniques exercise.
+
+   Substitution note (see DESIGN.md): the original VHDL is not
+   available in this container; state count (8 values, 3 bits),
+   inputs (line1, line2) and outputs (outp, overflw) match the
+   published interface. *)
+
+open Rtlsat_rtl
+
+let build () =
+  let c = Netlist.create "b01" in
+  let l1 = Netlist.input c ~name:"line1" 1 in
+  let l2 = Netlist.input c ~name:"line2" 1 in
+  let carry = Netlist.reg c ~name:"carry" ~width:1 ~init:0 () in
+  let outp = Netlist.reg c ~name:"outp" ~width:1 ~init:0 () in
+  let overflw = Netlist.reg c ~name:"overflw" ~width:1 ~init:0 () in
+  let cnt = Netlist.reg c ~name:"cnt" ~width:3 ~init:0 () in
+  (* serial full adder *)
+  let sum = Netlist.xor_ c (Netlist.xor_ c l1 l2) carry in
+  let carry' =
+    Netlist.or_ c
+      [ Netlist.and_ c [ l1; l2 ]; Netlist.and_ c [ carry; Netlist.or_ c [ l1; l2 ] ] ]
+  in
+  (* the phase counter advances on line activity and wraps at 7, so
+     its value depends on the inputs — bounds reasoning alone cannot
+     track it *)
+  let advance = Netlist.or_ c [ l1; l2 ] in
+  let at7 = Netlist.eq_const c cnt 7 in
+  let wrap = Netlist.and_ c [ advance; at7 ] in
+  let cnt' =
+    Netlist.mux c ~name:"cnt_next" ~sel:advance
+      ~t:(Netlist.mux c ~sel:at7 ~t:(Netlist.const c ~width:3 0)
+            ~e:(Netlist.inc c cnt) ())
+      ~e:cnt ()
+  in
+  (* overflow is latched from the carry at the end of a byte *)
+  let overflw' = Netlist.mux c ~sel:wrap ~t:carry' ~e:(Netlist.cfalse c) () in
+  Netlist.connect carry carry';
+  Netlist.connect outp sum;
+  Netlist.connect overflw overflw';
+  Netlist.connect cnt cnt';
+  Netlist.output c "outp" outp;
+  Netlist.output c "overflw" overflw;
+  (* properties *)
+  let p1 = Netlist.nand_ c [ outp; overflw ] in
+  (* overflw is only raised at the byte boundary, where cnt wraps to 0 *)
+  let p2 = Netlist.implies c overflw (Netlist.eq_const c cnt 0) in
+  (c, [ ("1", p1); ("2", p2) ])

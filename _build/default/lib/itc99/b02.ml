@@ -1,0 +1,62 @@
+(* Reconstruction of ITC'99 b02: an FSM that recognizes BCD numbers on
+   a serial input.  Seven states in a 3-bit register, one serial input
+   (linea), one output (u) asserted in the accepting state.  Pure
+   control logic: the smallest circuit of the suite. *)
+
+open Rtlsat_rtl
+
+(* states *)
+let s_a = 0
+let s_b = 1
+let s_c = 2
+let s_d = 3
+let s_e = 4
+let s_f = 5
+let s_g = 6
+
+let build () =
+  let c = Netlist.create "b02" in
+  let linea = Netlist.input c ~name:"linea" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:3 ~init:s_a () in
+  let u = Netlist.reg c ~name:"u" ~width:1 ~init:0 () in
+  let k v = Netlist.const c ~width:3 v in
+  let is v = Netlist.eq_const c st v in
+  (* transition function: a serial BCD recognizer skeleton — from the
+     start, the first digit bit routes between long (8-4-2-1) and
+     short paths, G is accepting and restarts *)
+  let branch v0 v1 = Netlist.mux c ~sel:linea ~t:(k v1) ~e:(k v0) () in
+  (* several legs are computed arithmetically (D->E is an increment,
+     E->G adds 2 modulo 8): the interval hull of the next state spans
+     the full <0,7>, so excluding the unused encoding 7 genuinely
+     requires search, not just bounds propagation *)
+  let inc_leg = Netlist.inc c st in                       (* D(3) -> E(4) *)
+  let add2_leg = Netlist.add c st (k 2) in                (* E(4) -> G(6) *)
+  let next =
+    Netlist.mux c ~sel:(is s_a) ~t:(k s_b)
+      ~e:
+        (Netlist.mux c ~sel:(is s_b) ~t:(branch s_c s_f)
+           ~e:
+             (Netlist.mux c ~sel:(is s_c) ~t:(branch s_d s_g)
+                ~e:
+                  (Netlist.mux c ~sel:(is s_d) ~t:inc_leg
+                     ~e:
+                       (Netlist.mux c ~sel:(is s_e) ~t:add2_leg
+                          ~e:
+                            (Netlist.mux c ~sel:(is s_f) ~t:(branch s_g s_e)
+                               ~e:(k s_a) (* G and unused states restart *)
+                               ())
+                          ())
+                     ())
+                ())
+           ())
+      ()
+  in
+  Netlist.connect st next;
+  (* u latches acceptance: high for one cycle when G is reached *)
+  Netlist.connect u (Netlist.eq_const c next s_g);
+  Netlist.output c "u" u;
+  (* properties *)
+  let p1 = Netlist.ne c st (k 7) in                 (* unused encoding *)
+  let p2 = Netlist.implies c u (is s_g) in           (* u only in G *)
+  let p3 = Netlist.not_ c u in                       (* violable: G is reachable *)
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

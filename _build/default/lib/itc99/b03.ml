@@ -1,0 +1,80 @@
+(* Reconstruction of ITC'99 b03: a resource arbiter.  Four requesters
+   compete for one resource; a last-served pointer provides rotating
+   priority and a depth counter tracks outstanding requests.  The
+   one-hot grant logic is comparator/mux-based control over a small
+   data-path — a good mix for the structural strategy. *)
+
+open Rtlsat_rtl
+
+let build () =
+  let c = Netlist.create "b03" in
+  let req0 = Netlist.input c ~name:"req0" 1 in
+  let req1 = Netlist.input c ~name:"req1" 1 in
+  let req2 = Netlist.input c ~name:"req2" 1 in
+  let req3 = Netlist.input c ~name:"req3" 1 in
+  let release = Netlist.input c ~name:"release" 1 in
+  let last = Netlist.reg c ~name:"last" ~width:2 ~init:0 () in
+  let busy = Netlist.reg c ~name:"busy" ~width:1 ~init:0 () in
+  let owner = Netlist.reg c ~name:"owner" ~width:2 ~init:0 () in
+  let depth = Netlist.reg c ~name:"depth" ~width:3 ~init:0 () in
+  let reqs = [| req0; req1; req2; req3 |] in
+  let any_req = Netlist.or_ c (Array.to_list reqs) in
+  (* rotating priority: the requester after [last] wins; computed
+     arithmetically so the hull spans the whole range *)
+  let next_cand = Netlist.inc c last in
+  let cand_req =
+    (* request bit of the candidate, selected by comparators *)
+    let pick i =
+      Netlist.and_ c [ Netlist.eq_const c next_cand i; reqs.(i) ]
+    in
+    Netlist.or_ c [ pick 0; pick 1; pick 2; pick 3 ]
+  in
+  (* fall back to fixed priority when the rotating candidate is idle *)
+  let fixed =
+    Netlist.mux c ~sel:req0 ~t:(Netlist.const c ~width:2 0)
+      ~e:
+        (Netlist.mux c ~sel:req1 ~t:(Netlist.const c ~width:2 1)
+           ~e:
+             (Netlist.mux c ~sel:req2 ~t:(Netlist.const c ~width:2 2)
+                ~e:(Netlist.const c ~width:2 3) ())
+           ())
+      ()
+  in
+  let winner = Netlist.mux c ~name:"winner" ~sel:cand_req ~t:next_cand ~e:fixed () in
+  let granting = Netlist.and_ c [ Netlist.not_ c busy; any_req ] in
+  let busy' =
+    Netlist.mux c ~sel:granting ~t:(Netlist.ctrue c)
+      ~e:(Netlist.mux c ~sel:release ~t:(Netlist.cfalse c) ~e:busy ())
+      ()
+  in
+  let owner' = Netlist.mux c ~name:"owner_next" ~sel:granting ~t:winner ~e:owner () in
+  let last' = Netlist.mux c ~name:"last_next" ~sel:granting ~t:winner ~e:last () in
+  (* outstanding-request depth: +1 on grant, -1 on release *)
+  let depth_up = Netlist.add c depth (Netlist.const c ~width:3 1) in
+  let depth_down = Netlist.sub c depth (Netlist.const c ~width:3 1) in
+  let depth' =
+    Netlist.mux c ~name:"depth_next" ~sel:granting ~t:depth_up
+      ~e:
+        (Netlist.mux c
+           ~sel:(Netlist.and_ c [ release; busy; Netlist.gt c depth (Netlist.const c ~width:3 0) ])
+           ~t:depth_down ~e:depth ())
+      ()
+  in
+  Netlist.connect busy busy';
+  Netlist.connect owner owner';
+  Netlist.connect last last';
+  Netlist.connect depth depth';
+  let grant = Netlist.and_ c [ busy; Netlist.ctrue c ] in
+  Netlist.output c "grant" grant;
+  Netlist.output c "owner" owner;
+  (* properties *)
+  (* 1: the depth counter never exceeds the four requesters *)
+  let p1 = Netlist.le c depth (Netlist.const c ~width:3 4) in
+  (* 2: granting and releasing are not confused: depth is positive
+     whenever the resource is busy *)
+  let p2 =
+    Netlist.implies c busy (Netlist.ge c depth (Netlist.const c ~width:3 1))
+  in
+  (* 3: violable — the rotating pointer does reach requester 3 *)
+  let p3 = Netlist.ne c last (Netlist.const c ~width:2 3) in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

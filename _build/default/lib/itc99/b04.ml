@@ -1,0 +1,53 @@
+(* Reconstruction of ITC'99 b04: computes the running minimum and
+   maximum of an 8-bit data stream (RMAX/RMIN registers updated
+   through comparators and muxes) and outputs their difference.  This
+   is the suite's data-path-heavy circuit; the fragment in Figure 2 of
+   the paper comes from it. *)
+
+open Rtlsat_rtl
+
+let st_init = 0
+let st_run = 1
+
+let build () =
+  let c = Netlist.create "b04" in
+  let data = Netlist.input c ~name:"data_in" 8 in
+  let restart = Netlist.input c ~name:"restart" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:2 ~init:st_init () in
+  let rmax = Netlist.reg c ~name:"rmax" ~width:8 ~init:0 () in
+  let rmin = Netlist.reg c ~name:"rmin" ~width:8 ~init:255 () in
+  let rlast = Netlist.reg c ~name:"rlast" ~width:8 ~init:0 () in
+  let is_init = Netlist.eq_const c st st_init in
+  (* comparators controlling the data-path (Figure 2's b8/b9 flavour) *)
+  let gt_max = Netlist.cmp c ~name:"data_gt_rmax" Ir.Gt data rmax in
+  let lt_min = Netlist.cmp c ~name:"data_lt_rmin" Ir.Lt data rmin in
+  let rmax_run = Netlist.mux c ~sel:gt_max ~t:data ~e:rmax () in
+  let rmin_run = Netlist.mux c ~sel:lt_min ~t:data ~e:rmin () in
+  (* in the INIT state both extrema are (re)seeded with the sample *)
+  let rmax' = Netlist.mux c ~name:"rmax_next" ~sel:is_init ~t:data ~e:rmax_run () in
+  let rmin' = Netlist.mux c ~name:"rmin_next" ~sel:is_init ~t:data ~e:rmin_run () in
+  let st' =
+    Netlist.mux c ~sel:restart
+      ~t:(Netlist.const c ~width:2 st_init)
+      ~e:(Netlist.const c ~width:2 st_run)
+      ()
+  in
+  Netlist.connect st st';
+  Netlist.connect rmax rmax';
+  Netlist.connect rmin rmin';
+  Netlist.connect rlast data;
+  let data_out = Netlist.sub c rmax rmin in
+  Netlist.output c "data_out" data_out;
+  (* properties *)
+  (* in the RUN state the extrema are ordered: RMAX >= RMIN *)
+  let p1 =
+    Netlist.implies c (Netlist.eq_const c st st_run) (Netlist.ge c rmax rmin)
+  in
+  (* violable: the full spread 255 is reachable (e.g. samples 255, 0) *)
+  let p2 = Netlist.ne c data_out (Netlist.const c ~width:8 255) in
+  (* RLAST is always within the extrema while running *)
+  let p3 =
+    Netlist.implies c (Netlist.eq_const c st st_run)
+      (Netlist.and_ c [ Netlist.le c rlast rmax; Netlist.ge c rlast rmin ])
+  in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

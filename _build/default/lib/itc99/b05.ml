@@ -1,0 +1,84 @@
+(* Reconstruction of ITC'99 b05: elaborate the contents of a memory.
+   A four-entry register file is filled during a write phase, then a
+   scan FSM sweeps the addresses computing the running maximum.  The
+   read and write networks are mux trees over address comparators —
+   the deepest predicate/mux nesting in the suite, which is exactly
+   what RTL justification is about. *)
+
+open Rtlsat_rtl
+
+let s_write = 0
+let s_scan = 1
+let s_done = 2
+
+let build () =
+  let c = Netlist.create "b05" in
+  let waddr = Netlist.input c ~name:"waddr" 2 in
+  let wdata = Netlist.input c ~name:"wdata" 8 in
+  let wen = Netlist.input c ~name:"wen" 1 in
+  let go = Netlist.input c ~name:"go" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:2 ~init:s_write () in
+  let rf = Array.init 4 (fun i ->
+      Netlist.reg c ~name:(Printf.sprintf "rf%d" i) ~width:8 ~init:0 ())
+  in
+  let ptr = Netlist.reg c ~name:"ptr" ~width:3 ~init:0 () in
+  let mx = Netlist.reg c ~name:"mx" ~width:8 ~init:0 () in
+  let is v = Netlist.eq_const c st v in
+  let k2 v = Netlist.const c ~width:2 v in
+  let writing = is s_write in
+  let scanning = is s_scan in
+  (* write network: one mux per entry, guarded by an address compare *)
+  Array.iteri
+    (fun i r ->
+       let hit =
+         Netlist.and_ c [ writing; wen; Netlist.eq_const c waddr i ]
+       in
+       Netlist.connect r
+         (Netlist.mux c ~name:(Printf.sprintf "rf%d_next" i) ~sel:hit ~t:wdata
+            ~e:r ()))
+    rf;
+  (* read network: mux tree over the scan pointer *)
+  let ptr_lo = Netlist.extract c ptr ~msb:1 ~lsb:0 in
+  let rd01 =
+    Netlist.mux c ~sel:(Netlist.eq_const c ptr_lo 1) ~t:rf.(1) ~e:rf.(0) ()
+  in
+  let rd23 =
+    Netlist.mux c ~sel:(Netlist.eq_const c ptr_lo 3) ~t:rf.(3) ~e:rf.(2) ()
+  in
+  let high = Netlist.ge c ptr_lo (Netlist.const c ~width:2 2) in
+  let rdata = Netlist.mux c ~name:"rdata" ~sel:high ~t:rd23 ~e:rd01 () in
+  (* running maximum during the scan *)
+  let bigger = Netlist.cmp c ~name:"rdata_gt_mx" Ir.Gt rdata mx in
+  let mx' =
+    Netlist.mux c ~name:"mx_next"
+      ~sel:(Netlist.and_ c [ scanning; bigger ])
+      ~t:rdata ~e:mx ()
+  in
+  let scan_done = Netlist.eq_const c ptr 4 in
+  let ptr' =
+    Netlist.mux c ~name:"ptr_next"
+      ~sel:(Netlist.and_ c [ scanning; Netlist.not_ c scan_done ])
+      ~t:(Netlist.inc c ptr) ~e:ptr ()
+  in
+  let from_write = Netlist.mux c ~sel:go ~t:(k2 s_scan) ~e:(k2 s_write) () in
+  let from_scan = Netlist.mux c ~sel:scan_done ~t:(k2 s_done) ~e:(k2 s_scan) () in
+  let next =
+    Netlist.mux c ~name:"state_next" ~sel:writing ~t:from_write
+      ~e:(Netlist.mux c ~sel:scanning ~t:from_scan ~e:(k2 s_done) ())
+      ()
+  in
+  Netlist.connect st next;
+  Netlist.connect ptr ptr';
+  Netlist.connect mx mx';
+  Netlist.output c "mx" mx;
+  Netlist.output c "done" (is s_done);
+  (* properties *)
+  (* 1: once the sweep finished, mx dominates entry 0 — the entries
+     are frozen after the write phase, so this is an invariant that
+     needs the scan/maximum relation *)
+  let p1 = Netlist.implies c (is s_done) (Netlist.ge c mx rf.(0)) in
+  (* 2: the scan pointer never overruns the memory *)
+  let p2 = Netlist.le c ptr (Netlist.const c ~width:3 4) in
+  (* 3: violable — the sweep does complete *)
+  let p3 = Netlist.not_ c (is s_done) in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

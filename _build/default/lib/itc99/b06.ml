@@ -1,0 +1,66 @@
+(* Reconstruction of ITC'99 b06: an interrupt handler.  A small
+   control FSM acknowledges interrupt requests with two output
+   channels and a saturating urgency counter deciding escalation.
+   Pure-control with one small counter. *)
+
+open Rtlsat_rtl
+
+let s_idle = 0
+let s_ack1 = 1
+let s_ack2 = 2
+let s_wait = 3
+
+let build () =
+  let c = Netlist.create "b06" in
+  let irq = Netlist.input c ~name:"irq" 1 in
+  let urgent = Netlist.input c ~name:"urgent" 1 in
+  let clear = Netlist.input c ~name:"clear" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:3 ~init:s_idle () in
+  let pending = Netlist.reg c ~name:"pending" ~width:2 ~init:0 () in
+  let k v = Netlist.const c ~width:3 v in
+  let is v = Netlist.eq_const c st v in
+  (* saturating pending counter; the increment is an arithmetic leg *)
+  let sat3 = Netlist.eq_const c pending 3 in
+  let pending_up =
+    Netlist.mux c ~sel:sat3 ~t:pending ~e:(Netlist.inc c pending) ()
+  in
+  let pending' =
+    Netlist.mux c ~name:"pending_next" ~sel:clear
+      ~t:(Netlist.const c ~width:2 0)
+      ~e:(Netlist.mux c ~sel:irq ~t:pending_up ~e:pending ())
+      ()
+  in
+  (* FSM: IDLE -irq-> ACK1 (or ACK2 when urgent or the counter is
+     saturated) -> WAIT -clear-> IDLE; the IDLE->ACK leg is computed
+     arithmetically so the hull spans unused encodings *)
+  let escalate = Netlist.or_ c [ urgent; sat3 ] in
+  let ack_target =
+    Netlist.mux c ~sel:escalate ~t:(k s_ack2) ~e:(Netlist.inc c st) ()
+  in
+  let from_idle = Netlist.mux c ~sel:irq ~t:ack_target ~e:(k s_idle) () in
+  let from_ack = k s_wait in
+  let from_wait = Netlist.mux c ~sel:clear ~t:(k s_idle) ~e:(k s_wait) () in
+  let next =
+    Netlist.mux c ~name:"state_next" ~sel:(is s_idle) ~t:from_idle
+      ~e:
+        (Netlist.mux c ~sel:(Netlist.or_ c [ is s_ack1; is s_ack2 ]) ~t:from_ack
+           ~e:from_wait ())
+      ()
+  in
+  Netlist.connect st next;
+  Netlist.connect pending pending';
+  let cc_mux_ig = Netlist.eq_const c st s_ack1 in
+  let norm_ack = Netlist.eq_const c st s_ack2 in
+  Netlist.output c "ack1" cc_mux_ig;
+  Netlist.output c "ack2" norm_ack;
+  (* properties *)
+  (* 1: the two acknowledge channels are mutually exclusive *)
+  let p1 = Netlist.nand_ c [ cc_mux_ig; norm_ack ] in
+  (* 2: the FSM stays within its four encodings *)
+  let p2 = Netlist.le c st (k s_wait) in
+  (* 3: escalation only with cause: ack2 implies the counter moved or
+     an urgent request was latched — violable, urgent is an input *)
+  let p3 =
+    Netlist.implies c norm_ack (Netlist.ge c pending (Netlist.const c ~width:2 1))
+  in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

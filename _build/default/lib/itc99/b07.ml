@@ -1,0 +1,69 @@
+(* Reconstruction of ITC'99 b07: count points on a straight line.  A
+   three-phase FSM loads the line parameters, then streams (x, y)
+   samples and counts those that satisfy y = a*x + b over 8-bit
+   arithmetic — a data-path-dominant circuit with a multiply-by-
+   constant, adders and an equality comparator. *)
+
+open Rtlsat_rtl
+
+let s_load = 0
+let s_run = 1
+let s_done = 2
+
+let slope = 3 (* the fixed slope of the reference line *)
+
+let build () =
+  let c = Netlist.create "b07" in
+  let x = Netlist.input c ~name:"x" 8 in
+  let y = Netlist.input c ~name:"y" 8 in
+  let start = Netlist.input c ~name:"start" 1 in
+  let stop = Netlist.input c ~name:"stop" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:2 ~init:s_load () in
+  let intercept = Netlist.reg c ~name:"intercept" ~width:8 ~init:0 () in
+  let hits = Netlist.reg c ~name:"hits" ~width:8 ~init:0 () in
+  let samples = Netlist.reg c ~name:"samples" ~width:8 ~init:0 () in
+  let is v = Netlist.eq_const c st v in
+  let k2 v = Netlist.const c ~width:2 v in
+  (* the line: y' = (slope*x + intercept) mod 256, computed with an
+     exact multiply then truncated back to 8 bits *)
+  let product = Netlist.mul_const c slope x in (* width 10 *)
+  let px = Netlist.extract c product ~msb:7 ~lsb:0 in
+  let expected = Netlist.add c px intercept in
+  let on_line = Netlist.cmp c ~name:"on_line" Ir.Eq y expected in
+  let running = is s_run in
+  let counting = Netlist.and_ c [ running; on_line ] in
+  let hits' =
+    Netlist.mux c ~name:"hits_next" ~sel:counting ~t:(Netlist.inc c hits) ~e:hits ()
+  in
+  let samples' =
+    Netlist.mux c ~name:"samples_next" ~sel:running ~t:(Netlist.inc c samples)
+      ~e:samples ()
+  in
+  let intercept' =
+    Netlist.mux c ~name:"intercept_next"
+      ~sel:(Netlist.and_ c [ is s_load; start ])
+      ~t:y ~e:intercept ()
+  in
+  let from_load = Netlist.mux c ~sel:start ~t:(k2 s_run) ~e:(k2 s_load) () in
+  let from_run = Netlist.mux c ~sel:stop ~t:(k2 s_done) ~e:(k2 s_run) () in
+  let next =
+    Netlist.mux c ~name:"state_next" ~sel:(is s_load) ~t:from_load
+      ~e:(Netlist.mux c ~sel:running ~t:from_run ~e:(k2 s_done) ())
+      ()
+  in
+  Netlist.connect st next;
+  Netlist.connect intercept intercept';
+  Netlist.connect hits hits';
+  Netlist.connect samples samples';
+  Netlist.output c "hits" hits;
+  Netlist.output c "done" (is s_done);
+  (* properties *)
+  (* 1: hits never outrun samples — a relational data-path invariant *)
+  let p1 = Netlist.le c hits samples in
+  (* 2: nothing is counted while loading *)
+  let p2 =
+    Netlist.implies c (is s_load) (Netlist.eq_const c hits 0)
+  in
+  (* 3: violable — a point on the line can be found *)
+  let p3 = Netlist.implies c running (Netlist.not_ c on_line) in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

@@ -1,0 +1,68 @@
+(* Reconstruction of ITC'99 b08: find inclusions in sequences of
+   numbers.  A target word is loaded, then stream elements are scanned
+   for bit-wise inclusion (every target bit present in the element);
+   matches are counted.  The inclusion test is a word-level AND plus
+   equality — exercising the Boolean-splitting encoding (§6 future
+   work) on the solver side. *)
+
+open Rtlsat_rtl
+
+let s_load = 0
+let s_scan = 1
+let s_done = 2
+
+let build () =
+  let c = Netlist.create "b08" in
+  let data = Netlist.input c ~name:"data_in" 8 in
+  let start = Netlist.input c ~name:"start" 1 in
+  let stop = Netlist.input c ~name:"stop" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:2 ~init:s_load () in
+  let target = Netlist.reg c ~name:"target" ~width:8 ~init:0 () in
+  let matches = Netlist.reg c ~name:"matches" ~width:4 ~init:0 () in
+  let seen = Netlist.reg c ~name:"seen" ~width:4 ~init:0 () in
+  let is v = Netlist.eq_const c st v in
+  let k2 v = Netlist.const c ~width:2 v in
+  (* inclusion: data & target = target *)
+  let masked = Netlist.bitand c data target in
+  let included = Netlist.cmp c ~name:"included" Ir.Eq masked target in
+  let scanning = is s_scan in
+  let sat_matches = Netlist.eq_const c matches 15 in
+  let bump =
+    Netlist.and_ c [ scanning; included; Netlist.not_ c sat_matches ]
+  in
+  let matches' =
+    Netlist.mux c ~name:"matches_next" ~sel:bump ~t:(Netlist.inc c matches)
+      ~e:matches ()
+  in
+  let sat_seen = Netlist.eq_const c seen 15 in
+  let seen' =
+    Netlist.mux c ~name:"seen_next"
+      ~sel:(Netlist.and_ c [ scanning; Netlist.not_ c sat_seen ])
+      ~t:(Netlist.inc c seen) ~e:seen ()
+  in
+  let target' =
+    Netlist.mux c ~name:"target_next"
+      ~sel:(Netlist.and_ c [ is s_load; start ])
+      ~t:data ~e:target ()
+  in
+  let from_load = Netlist.mux c ~sel:start ~t:(k2 s_scan) ~e:(k2 s_load) () in
+  let from_scan = Netlist.mux c ~sel:stop ~t:(k2 s_done) ~e:(k2 s_scan) () in
+  let next =
+    Netlist.mux c ~name:"state_next" ~sel:(is s_load) ~t:from_load
+      ~e:(Netlist.mux c ~sel:scanning ~t:from_scan ~e:(k2 s_done) ())
+      ()
+  in
+  Netlist.connect st next;
+  Netlist.connect target target';
+  Netlist.connect matches matches';
+  Netlist.connect seen seen';
+  Netlist.output c "matches" matches;
+  Netlist.output c "done" (is s_done);
+  (* properties *)
+  (* 1: matches never outrun the scanned count (both saturate) *)
+  let p1 = Netlist.le c matches seen in
+  (* 2: nothing matched while loading *)
+  let p2 = Netlist.implies c (is s_load) (Netlist.eq_const c matches 0) in
+  (* 3: violable — some element does include the target *)
+  let p3 = Netlist.implies c scanning (Netlist.not_ c included) in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

@@ -1,0 +1,90 @@
+(* Reconstruction of ITC'99 b09: a serial-to-serial converter.  Bits
+   are shifted in, a parity bit is appended, and the extended frame is
+   shifted out; two bit counters and two shift registers under a
+   four-state FSM. *)
+
+open Rtlsat_rtl
+
+let s_recv = 0
+let s_parity = 1
+let s_send = 2
+let s_gap = 3
+
+let build () =
+  let c = Netlist.create "b09" in
+  let din = Netlist.input c ~name:"din" 1 in
+  let st = Netlist.reg c ~name:"state" ~width:2 ~init:s_recv () in
+  let inreg = Netlist.reg c ~name:"inreg" ~width:4 ~init:0 () in
+  let outreg = Netlist.reg c ~name:"outreg" ~width:5 ~init:0 () in
+  let incnt = Netlist.reg c ~name:"incnt" ~width:3 ~init:0 () in
+  let outcnt = Netlist.reg c ~name:"outcnt" ~width:3 ~init:0 () in
+  let parity = Netlist.reg c ~name:"parity" ~width:1 ~init:0 () in
+  let is v = Netlist.eq_const c st v in
+  let k2 v = Netlist.const c ~width:2 v in
+  let receiving = is s_recv in
+  let sending = is s_send in
+  (* input side: shift din into a 4-bit register, track parity *)
+  let in_shifted =
+    Netlist.concat c ~hi:(Netlist.extract c inreg ~msb:2 ~lsb:0) ~lo:din
+  in
+  let inreg' = Netlist.mux c ~name:"inreg_next" ~sel:receiving ~t:in_shifted ~e:inreg () in
+  let parity' =
+    Netlist.mux c ~name:"parity_next" ~sel:receiving
+      ~t:(Netlist.xor_ c parity din)
+      ~e:(Netlist.mux c ~sel:(is s_gap) ~t:(Netlist.cfalse c) ~e:parity ())
+      ()
+  in
+  let word_in = Netlist.eq_const c incnt 3 in
+  let incnt' =
+    Netlist.mux c ~name:"incnt_next" ~sel:receiving
+      ~t:
+        (Netlist.mux c ~sel:word_in ~t:(Netlist.const c ~width:3 0)
+           ~e:(Netlist.inc c incnt) ())
+      ~e:incnt ()
+  in
+  (* output side: frame = data + parity bit, shifted out MSB first *)
+  let frame = Netlist.concat c ~hi:inreg ~lo:parity in
+  let out_shifted = Netlist.shl c (Netlist.extract c outreg ~msb:3 ~lsb:0) 1 in
+  let outreg' =
+    Netlist.mux c ~name:"outreg_next" ~sel:(is s_parity) ~t:frame
+      ~e:(Netlist.mux c ~sel:sending ~t:out_shifted ~e:outreg ())
+      ()
+  in
+  let frame_out = Netlist.eq_const c outcnt 4 in
+  let outcnt' =
+    Netlist.mux c ~name:"outcnt_next" ~sel:sending
+      ~t:
+        (Netlist.mux c ~sel:frame_out ~t:(Netlist.const c ~width:3 0)
+           ~e:(Netlist.inc c outcnt) ())
+      ~e:(Netlist.const c ~width:3 0) ()
+  in
+  let from_recv = Netlist.mux c ~sel:word_in ~t:(k2 s_parity) ~e:(k2 s_recv) () in
+  let from_send = Netlist.mux c ~sel:frame_out ~t:(k2 s_gap) ~e:(k2 s_send) () in
+  let next =
+    Netlist.mux c ~name:"state_next" ~sel:receiving ~t:from_recv
+      ~e:
+        (Netlist.mux c ~sel:(is s_parity) ~t:(k2 s_send)
+           ~e:(Netlist.mux c ~sel:sending ~t:from_send ~e:(k2 s_recv) ())
+           ())
+      ()
+  in
+  Netlist.connect st next;
+  Netlist.connect inreg inreg';
+  Netlist.connect outreg outreg';
+  Netlist.connect incnt incnt';
+  Netlist.connect outcnt outcnt';
+  Netlist.connect parity parity';
+  Netlist.output c "dout" (Netlist.extract c outreg ~msb:4 ~lsb:4);
+  (* properties *)
+  (* 1: the input bit counter stays within a nibble *)
+  let p1 = Netlist.le c incnt (Netlist.const c ~width:3 3) in
+  (* 2: the output counter only advances while sending *)
+  let p2 =
+    Netlist.implies c (Netlist.not_ c sending) (Netlist.eq_const c outcnt 0)
+  in
+  (* 3: parity consistency — a frame of four ones carries even
+     parity, so the all-ones pattern can never appear in the output
+     register.  XOR chains are opaque to interval reasoning: this row
+     needs real search *)
+  let p3 = Netlist.ne c outreg (Netlist.const c ~width:5 31) in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

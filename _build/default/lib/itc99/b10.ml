@@ -1,0 +1,65 @@
+(* Reconstruction of ITC'99 b10: a voting system.  Three voter inputs
+   are sampled, majority is computed, a mismatch counter tracks
+   disagreement and raises an alarm when it saturates. *)
+
+open Rtlsat_rtl
+
+let alarm_limit = 5
+
+let build () =
+  let c = Netlist.create "b10" in
+  let v0 = Netlist.input c ~name:"v0" 1 in
+  let v1 = Netlist.input c ~name:"v1" 1 in
+  let v2 = Netlist.input c ~name:"v2" 1 in
+  let sample = Netlist.input c ~name:"sample" 1 in
+  let reset = Netlist.input c ~name:"reset" 1 in
+  let vote = Netlist.reg c ~name:"vote" ~width:1 ~init:0 () in
+  let mismatch = Netlist.reg c ~name:"mismatch" ~width:3 ~init:0 () in
+  let alarm = Netlist.reg c ~name:"alarm" ~width:1 ~init:0 () in
+  (* majority of the three voters *)
+  let majority =
+    Netlist.or_ c
+      [
+        Netlist.and_ c [ v0; v1 ];
+        Netlist.and_ c [ v0; v2 ];
+        Netlist.and_ c [ v1; v2 ];
+      ]
+  in
+  (* a dissenter exists iff the voters disagree *)
+  let disagree =
+    Netlist.or_ c
+      [ Netlist.xor_ c v0 v1; Netlist.xor_ c v1 v2 ]
+  in
+  let at_limit =
+    Netlist.ge c mismatch (Netlist.const c ~width:3 alarm_limit)
+  in
+  let bump = Netlist.and_ c [ sample; disagree; Netlist.not_ c at_limit ] in
+  let mismatch' =
+    Netlist.mux c ~name:"mismatch_next" ~sel:reset
+      ~t:(Netlist.const c ~width:3 0)
+      ~e:(Netlist.mux c ~sel:bump ~t:(Netlist.inc c mismatch) ~e:mismatch ())
+      ()
+  in
+  let vote' = Netlist.mux c ~name:"vote_next" ~sel:sample ~t:majority ~e:vote () in
+  let alarm' =
+    Netlist.mux c ~sel:reset ~t:(Netlist.cfalse c)
+      ~e:(Netlist.or_ c [ alarm; Netlist.and_ c [ sample; at_limit ] ])
+      ()
+  in
+  Netlist.connect vote vote';
+  Netlist.connect mismatch mismatch';
+  Netlist.connect alarm alarm';
+  Netlist.output c "vote" vote;
+  Netlist.output c "alarm" alarm;
+  (* properties *)
+  (* 1: the mismatch counter saturates at the alarm limit *)
+  let p1 = Netlist.le c mismatch (Netlist.const c ~width:3 alarm_limit) in
+  (* 2: no alarm without a saturated counter — relational between the
+     sticky flag and the counter (both are cleared together) *)
+  let p2 =
+    Netlist.implies c alarm
+      (Netlist.ge c mismatch (Netlist.const c ~width:3 alarm_limit))
+  in
+  (* 3: violable — the alarm can fire *)
+  let p3 = Netlist.not_ c alarm in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

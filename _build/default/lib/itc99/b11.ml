@@ -1,0 +1,57 @@
+(* Reconstruction of ITC'99 b11: scramble string.  A 6-bit character
+   stream is scrambled by a keyed rotate-and-add transform; the key
+   register evolves with each character.  Heavy on concat/extract
+   (the rotation) and wrap-around addition. *)
+
+open Rtlsat_rtl
+
+let build () =
+  let c = Netlist.create "b11" in
+  let ch = Netlist.input c ~name:"char_in" 6 in
+  let stb = Netlist.input c ~name:"strobe" 1 in
+  let mode = Netlist.input c ~name:"mode" 1 in
+  let key = Netlist.reg c ~name:"key" ~width:6 ~init:9 () in
+  let out = Netlist.reg c ~name:"char_out" ~width:6 ~init:0 () in
+  let count = Netlist.reg c ~name:"count" ~width:4 ~init:0 () in
+  (* rotate the character left by two: scramble's bit permutation *)
+  let rot =
+    Netlist.concat c
+      ~hi:(Netlist.extract c ch ~msb:3 ~lsb:0)
+      ~lo:(Netlist.extract c ch ~msb:5 ~lsb:4)
+  in
+  (* keyed transform: rot + key (mode 1) or rot xor-ish via sub (mode 0) *)
+  let added = Netlist.add c rot key in
+  let subbed = Netlist.sub c rot key in
+  let scrambled = Netlist.mux c ~name:"scrambled" ~sel:mode ~t:added ~e:subbed () in
+  let out' = Netlist.mux c ~name:"out_next" ~sel:stb ~t:scrambled ~e:out () in
+  (* the key walks a fixed odd stride so it cycles all 64 values *)
+  let key' =
+    Netlist.mux c ~name:"key_next" ~sel:stb
+      ~t:(Netlist.add c key (Netlist.const c ~width:6 7))
+      ~e:key ()
+  in
+  let count' =
+    Netlist.mux c ~name:"count_next" ~sel:stb ~t:(Netlist.inc c count) ~e:count ()
+  in
+  Netlist.connect key key';
+  Netlist.connect out out';
+  Netlist.connect count count';
+  Netlist.output c "char_out" out;
+  (* properties *)
+  (* 1: the key is never zero before 64 strobes — it starts at 9 and
+     walks stride 7, hitting 0 only after 55 steps *)
+  let p1 =
+    Netlist.implies c
+      (Netlist.lt c count (Netlist.const c ~width:4 8))
+      (Netlist.ne c key (Netlist.const c ~width:6 0))
+  in
+  (* 2: the scrambler is keyed: with the initial key, an all-zero
+     character never maps to itself (0 + 9 = 9, 0 - 9 = 55) *)
+  let p2 =
+    Netlist.implies c
+      (Netlist.eq_const c count 0)
+      (Netlist.implies c stb (Netlist.ne c scrambled (Netlist.const c ~width:6 0)))
+  in
+  (* 3: violable — some character maps to zero under some key *)
+  let p3 = Netlist.ne c out (Netlist.const c ~width:6 0) in
+  (c, [ ("1", p1); ("2", p2); ("3", p3) ])

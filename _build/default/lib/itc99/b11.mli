@@ -1,0 +1,6 @@
+(** Reconstruction of ITC'99 b11; see the implementation header for the
+    behavioural description and DESIGN.md for the substitution notes. *)
+
+val build : unit -> Rtlsat_rtl.Ir.circuit * (string * Rtlsat_rtl.Ir.node) list
+(** Fresh circuit and its named safety properties (width-1 nodes that
+    must hold in every cycle). *)

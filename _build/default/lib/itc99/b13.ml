@@ -1,0 +1,160 @@
+(* Reconstruction of ITC'99 b13: the interface to a weather station —
+   a serial receiver (shift register, bit counter, timeout counter)
+   handing bytes to a transmitter FSM with a channel counter.  Two
+   interacting FSMs and several counters/comparators make it the
+   largest circuit of the paper's benchmark set; the b13 rows dominate
+   Tables 1 and 2. *)
+
+open Rtlsat_rtl
+
+(* receive FSM *)
+let r_idle = 0
+let r_recv = 1
+let r_done = 2
+
+(* send FSM *)
+let s_wait = 0
+let s_load = 1
+let s_send = 2
+
+let timeout_limit = 40 (* idle receive cycles before the receiver gives up *)
+
+let build () =
+  let c = Netlist.create "b13" in
+  let din = Netlist.input c ~name:"din" 1 in
+  let din_valid = Netlist.input c ~name:"din_valid" 1 in
+  let eoc = Netlist.input c ~name:"eoc" 1 in
+  let soc_ack = Netlist.input c ~name:"soc_ack" 1 in
+  let data_in = Netlist.input c ~name:"data_in" 8 in
+  (* receiver *)
+  let r_state = Netlist.reg c ~name:"r_state" ~width:2 ~init:r_idle () in
+  let bitcnt = Netlist.reg c ~name:"bitcnt" ~width:4 ~init:0 () in
+  let sreg = Netlist.reg c ~name:"sreg" ~width:8 ~init:0 () in
+  let tmo = Netlist.reg c ~name:"tmo" ~width:10 ~init:0 () in
+  let terr = Netlist.reg c ~name:"terr" ~width:1 ~init:0 () in
+  (* transmitter *)
+  let s_state = Netlist.reg c ~name:"s_state" ~width:2 ~init:s_wait () in
+  let canale = Netlist.reg c ~name:"canale" ~width:4 ~init:0 () in
+  let out_reg = Netlist.reg c ~name:"out_reg" ~width:8 ~init:0 () in
+  let tre = Netlist.reg c ~name:"tre" ~width:1 ~init:0 () in
+
+  let k2 v = Netlist.const c ~width:2 v in
+  let r_is v = Netlist.eq_const c r_state v in
+  let s_is v = Netlist.eq_const c s_state v in
+  let in_idle = r_is r_idle and in_recv = r_is r_recv and in_done = r_is r_done in
+  let byte_done = Netlist.eq_const c bitcnt 8 in
+  let timed_out = Netlist.ge c tmo (Netlist.const c ~width:10 timeout_limit) in
+
+  (* receive FSM:
+     IDLE --eoc--> RECV (counters cleared)
+     RECV --8 bits--> DONE, --timeout--> IDLE with terr
+     DONE --transmitter in LOAD--> IDLE *)
+  (* the IDLE->RECV leg is computed arithmetically (an increment), so
+     the interval hull of the next state spans the unused encoding 3
+     and excluding it requires search *)
+  let r_from_idle =
+    Netlist.mux c ~sel:eoc ~t:(Netlist.inc c r_state) ~e:(k2 r_idle) ()
+  in
+  let r_from_recv =
+    Netlist.mux c ~sel:byte_done ~t:(k2 r_done)
+      ~e:(Netlist.mux c ~sel:timed_out ~t:(k2 r_idle) ~e:(k2 r_recv) ())
+      ()
+  in
+  let r_from_done =
+    Netlist.mux c ~sel:(s_is s_load) ~t:(k2 r_idle) ~e:(k2 r_done) ()
+  in
+  let r_state' =
+    Netlist.mux c ~name:"r_state_next" ~sel:in_idle ~t:r_from_idle
+      ~e:(Netlist.mux c ~sel:in_recv ~t:r_from_recv ~e:r_from_done ())
+      ()
+  in
+  (* bit counter and shift register advance while receiving *)
+  let shifted =
+    Netlist.concat c ~hi:(Netlist.extract c sreg ~msb:6 ~lsb:0) ~lo:din
+  in
+  (* bits are sampled only when the serial strobe is high; the
+     timeout counter tracks every receive cycle *)
+  let recv_active =
+    Netlist.and_ c [ in_recv; din_valid; Netlist.not_ c byte_done ]
+  in
+  let bitcnt' =
+    Netlist.mux c ~name:"bitcnt_next" ~sel:in_idle
+      ~t:(Netlist.const c ~width:4 0)
+      ~e:(Netlist.mux c ~sel:recv_active ~t:(Netlist.inc c bitcnt) ~e:bitcnt ())
+      ()
+  in
+  let sreg' = Netlist.mux c ~name:"sreg_next" ~sel:recv_active ~t:shifted ~e:sreg () in
+  let tmo_counting =
+    Netlist.and_ c
+      [ in_recv; Netlist.not_ c byte_done; Netlist.not_ c timed_out ]
+  in
+  let tmo' =
+    Netlist.mux c ~name:"tmo_next" ~sel:tmo_counting ~t:(Netlist.inc c tmo)
+      ~e:(Netlist.const c ~width:10 0)
+      ()
+  in
+  let terr' =
+    Netlist.or_ c [ terr; Netlist.and_ c [ in_recv; timed_out ] ]
+  in
+
+  (* send FSM:
+     WAIT --receiver DONE--> LOAD (grab byte, advance channel)
+     LOAD --> SEND
+     SEND --soc_ack--> WAIT *)
+  let s_from_wait = Netlist.mux c ~sel:in_done ~t:(k2 s_load) ~e:(k2 s_wait) () in
+  let s_from_send = Netlist.mux c ~sel:soc_ack ~t:(k2 s_wait) ~e:(k2 s_send) () in
+  let s_state' =
+    Netlist.mux c ~name:"s_state_next" ~sel:(s_is s_wait) ~t:s_from_wait
+      ~e:(Netlist.mux c ~sel:(s_is s_load) ~t:(k2 s_send) ~e:s_from_send ())
+      ()
+  in
+  let chan_wrap = Netlist.eq_const c canale 9 in
+  let canale' =
+    Netlist.mux c ~name:"canale_next" ~sel:(s_is s_load)
+      ~t:
+        (Netlist.mux c ~sel:chan_wrap ~t:(Netlist.const c ~width:4 0)
+           ~e:(Netlist.inc c canale) ())
+      ~e:canale ()
+  in
+  let out_reg' = Netlist.mux c ~name:"out_reg_next" ~sel:(s_is s_load) ~t:sreg ~e:out_reg () in
+  (* threshold comparison against the reference input *)
+  let above = Netlist.cmp c ~name:"sreg_gt_ref" Ir.Gt sreg data_in in
+  let tre' = Netlist.mux c ~sel:(s_is s_load) ~t:above ~e:tre () in
+
+  Netlist.connect r_state r_state';
+  Netlist.connect bitcnt bitcnt';
+  Netlist.connect sreg sreg';
+  Netlist.connect tmo tmo';
+  Netlist.connect terr terr';
+  Netlist.connect s_state s_state';
+  Netlist.connect canale canale';
+  Netlist.connect out_reg out_reg';
+  Netlist.connect tre tre';
+
+  let load_dato = s_is s_load in
+  let mux_en = s_is s_send in
+  Netlist.output c "load_dato" load_dato;
+  Netlist.output c "mux_en" mux_en;
+  Netlist.output c "error" terr;
+
+  (* properties *)
+  (* 1: a byte is loaded only when fully received — a cross-FSM
+     invariant that needs the DONE -> bitcnt=8 lemma *)
+  let p1 = Netlist.implies c load_dato byte_done in
+  (* 2: the channel counter has advanced whenever the transmitter
+     drives the bus; violable only after the 10-channel wrap-around,
+     i.e. at large bounds *)
+  let p2 = Netlist.implies c mux_en (Netlist.ge c canale (Netlist.const c ~width:4 1)) in
+  (* 3: provable in the control logic alone: the receive FSM never
+     reaches its unused encoding (the paper singles b13_3 out as the
+     predicate-abstraction-friendly case) *)
+  let p3 = Netlist.ne c r_state (k2 3) in
+  (* 5: the timeout counter saturates at the limit — relating it to
+     the FSM and the strobe-gated bit counter *)
+  let p5 = Netlist.le c tmo (Netlist.const c ~width:10 timeout_limit) in
+  (* 8: the channel counter stays within the 10 channels *)
+  let p8 = Netlist.le c canale (Netlist.const c ~width:4 9) in
+  (* 40: "the threshold flag never rises" — violable, the paper's one
+     satisfiable b13 row (b13_40(13) S) *)
+  let p40 = Netlist.not_ c tre in
+  (c, [ ("1", p1); ("2", p2); ("3", p3); ("5", p5); ("8", p8); ("40", p40) ])

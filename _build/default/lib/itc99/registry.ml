@@ -1,0 +1,28 @@
+(* b01/b02/b04/b13 are the paper's benchmark subset; the rest extend
+   the suite (see DESIGN.md) *)
+let circuits = [ "b01"; "b02"; "b03"; "b04"; "b05"; "b06"; "b07"; "b08"; "b09"; "b10"; "b11"; "b13" ]
+
+let build = function
+  | "b01" -> B01.build ()
+  | "b02" -> B02.build ()
+  | "b03" -> B03.build ()
+  | "b04" -> B04.build ()
+  | "b05" -> B05.build ()
+  | "b06" -> B06.build ()
+  | "b07" -> B07.build ()
+  | "b08" -> B08.build ()
+  | "b09" -> B09.build ()
+  | "b10" -> B10.build ()
+  | "b11" -> B11.build ()
+  | "b13" -> B13.build ()
+  | _ -> raise Not_found
+
+let properties name = List.map fst (snd (build name))
+
+let instance ~circuit ~prop ~bound =
+  let c, props = build circuit in
+  let p = List.assoc prop props in
+  Rtlsat_bmc.Bmc.make c ~prop:p ~bound ()
+
+let instance_name ~circuit ~prop ~bound =
+  Printf.sprintf "%s_%s(%d)" circuit prop bound

@@ -1,0 +1,23 @@
+(** The benchmark suite: reconstructed ITC'99 circuits and the safety
+    properties behind the [bXX_N(bound)] instances of Tables 1 and 2.
+    See DESIGN.md for the substitution notes. *)
+
+open Rtlsat_rtl
+
+val circuits : string list
+(** The paper's subset (b01, b02, b04, b13) plus the suite extension
+    (b03, b06, b07, b09, b10, b11). *)
+
+val build : string -> Ir.circuit * (string * Ir.node) list
+(** Fresh circuit plus its named properties.
+    @raise Not_found for unknown circuit names. *)
+
+val properties : string -> string list
+(** Property names of a circuit. *)
+
+val instance : circuit:string -> prop:string -> bound:int -> Rtlsat_bmc.Bmc.instance
+(** [instance ~circuit:"b13" ~prop:"5" ~bound:50] is the paper's
+    [b13_5(50)].  @raise Not_found for unknown names. *)
+
+val instance_name : circuit:string -> prop:string -> bound:int -> string
+(** Pretty row label, e.g. ["b13_5(50)"]. *)

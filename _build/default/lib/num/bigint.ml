@@ -1,0 +1,332 @@
+(* Sign-magnitude bignum, magnitude little-endian in base 2^30.
+   Invariants: mag has no trailing zero limb; sign = 0 iff mag = [||];
+   sign is -1, 0 or 1. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ---- magnitude helpers ---- *)
+
+let mag_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_of_int_abs v =
+  (* v >= 0, fits in native int (at most 62 bits -> 3 limbs) *)
+  if v = 0 then [||]
+  else begin
+    let rec limbs acc v = if v = 0 then List.rev acc else limbs ((v land limb_mask) :: acc) (v lsr base_bits) in
+    Array.of_list (limbs [] v)
+  end
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  mag_normalize r
+
+(* a - b, requires a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mag_normalize r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai*bj <= (2^30-1)^2 < 2^60; + limb + carry stays < 2^62 *)
+        let acc = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- acc land limb_mask;
+        carry := acc lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let acc = r.(!k) + !carry in
+        r.(!k) <- acc land limb_mask;
+        carry := acc lsr base_bits;
+        incr k
+      done
+    done;
+    mag_normalize r
+  end
+
+let mag_bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    ((n - 1) * base_bits) + width 0 top
+  end
+
+let mag_shift_left a k =
+  if Array.length a = 0 || k = 0 then a
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr base_bits
+    done;
+    mag_normalize r
+  end
+
+let mag_shift_right a k =
+  if Array.length a = 0 || k = 0 then a
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    if limbs >= la then [||]
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if bits > 0 && i + limbs + 1 < la then (a.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+      mag_normalize r
+    end
+  end
+
+let mag_test_bit a k =
+  let limb = k / base_bits and bit = k mod base_bits in
+  limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
+
+(* binary long division on magnitudes: (quotient, remainder) *)
+let mag_divmod a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  if mag_cmp a b < 0 then ([||], a)
+  else begin
+    let nbits = mag_bits a in
+    (* quotient bits collected little-endian into limb array *)
+    let qlimbs = Array.make (nbits / base_bits + 1) 0 in
+    let r = ref [||] in
+    for bit = nbits - 1 downto 0 do
+      r := mag_shift_left !r 1;
+      if mag_test_bit a bit then begin
+        (* set bit 0 of r *)
+        let rr = if Array.length !r = 0 then [| 1 |] else begin
+          let c = Array.copy !r in c.(0) <- c.(0) lor 1; c end in
+        r := rr
+      end;
+      if mag_cmp !r b >= 0 then begin
+        r := mag_sub !r b;
+        qlimbs.(bit / base_bits) <- qlimbs.(bit / base_bits) lor (1 lsl (bit mod base_bits))
+      end
+    done;
+    (mag_normalize qlimbs, !r)
+  end
+
+(* small-divisor fast path: divisor fits in one limb *)
+let mag_divmod_small a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_normalize q, !r)
+
+(* ---- signed interface ---- *)
+
+let mk sign mag = if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int v =
+  if v = 0 then zero
+  else if v > 0 then { sign = 1; mag = mag_of_int_abs v }
+  else { sign = -1; mag = mag_of_int_abs (-v) }
+  (* min_int: -v overflows back to min_int; handle by splitting *)
+
+let of_int v =
+  if v = min_int then
+    let half = { sign = -1; mag = mag_of_int_abs (-(v / 2)) } in
+    let dbl = mk (-1) (mag_add half.mag half.mag) in
+    dbl
+  else of_int v
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let equal a b = compare a b = 0
+let is_one x = equal x one
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (mag_add a.mag b.mag)
+  else begin
+    let c = mag_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (mag_sub a.mag b.mag)
+    else mk b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else mk (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let mul_int a k = mul a (of_int k)
+
+let tdiv_rem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = mag_divmod a.mag b.mag in
+  let qs = a.sign * b.sign and rs = a.sign in
+  (mk qs q, mk rs r)
+
+let fdiv a b =
+  let q, r = tdiv_rem a b in
+  if is_zero r || sign a * sign b >= 0 then q else sub q one
+
+let cdiv a b =
+  let q, r = tdiv_rem a b in
+  if is_zero r || sign a * sign b <= 0 then q else add q one
+
+let erem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let _, r = tdiv_rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (erem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let g = gcd a b in
+    abs (mul (fst (tdiv_rem a g)) b)
+  end
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n lsr 1)
+    else go acc (mul base base) (n lsr 1)
+  in
+  go one x n
+
+let shift_left x k = if k = 0 then x else mk x.sign (mag_shift_left x.mag k)
+
+let shift_right x k =
+  if k = 0 then x
+  else if x.sign >= 0 then mk 1 (mag_shift_right x.mag k)
+  else fdiv x (pow (of_int 2) k)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_int_opt x =
+  (* native ints hold 62 bits + sign; accept up to 62-bit magnitudes that fit *)
+  if x.sign = 0 then Some 0
+  else if mag_bits x.mag > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length x.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor x.mag.(i)
+    done;
+    if !v < 0 then None else Some (x.sign * !v)
+  end
+
+let to_int x =
+  match to_int_opt x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: overflow"
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref x.mag in
+    while Array.length !m > 0 do
+      let q, r = mag_divmod_small !m 1_000_000_000 in
+      chunks := r :: !chunks;
+      m := q
+    done;
+    let b = Buffer.create 32 in
+    if x.sign < 0 then Buffer.add_char b '-';
+    (match !chunks with
+     | [] -> Buffer.add_char b '0'
+     | first :: rest ->
+       Buffer.add_string b (string_of_int first);
+       List.iter (fun c -> Buffer.add_string b (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents b
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  let negp = s.[0] = '-' in
+  let start = if negp || s.[0] = '+' then 1 else 0 in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negp then neg !acc else !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

@@ -1,0 +1,81 @@
+(** Arbitrary-precision signed integers.
+
+    A small, dependency-free bignum used by the Fourier–Motzkin
+    eliminator, where coefficient growth overflows native [int]s.
+    Values are immutable.  Representation: sign and little-endian
+    magnitude in base [2^30]. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int x] is [x] as a native integer.
+    @raise Failure if [x] does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Decimal representation, optionally preceded by ['-'].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val tdiv_rem : t -> t -> t * t
+(** Truncated division: quotient rounded toward zero; the remainder
+    has the sign of the dividend.  @raise Division_by_zero. *)
+
+val fdiv : t -> t -> t
+(** Floor division (quotient rounded toward negative infinity). *)
+
+val cdiv : t -> t -> t
+(** Ceiling division (quotient rounded toward positive infinity). *)
+
+val erem : t -> t -> t
+(** Euclidean remainder: [0 <= erem a b < abs b]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; non-negative; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative [n]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift (floor of division by a power of two). *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module B = Bigint
+
+(* Invariant: den > 0; gcd (|num|, den) = 1; zero is 0/1. *)
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let g = B.gcd num den in
+    if B.is_one g then { num; den }
+    else { num = fst (B.tdiv_rem num g); den = fst (B.tdiv_rem den g) }
+  end
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints n d = make (B.of_int n) (B.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+
+let num t = t.num
+let den t = t.den
+
+let sign t = B.sign t.num
+
+let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+let equal a b = compare a b = 0
+
+let neg a = { a with num = B.neg a.num }
+let abs a = { a with num = B.abs a.num }
+
+let add a b = make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+let inv a = make a.den a.num
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor a = B.fdiv a.num a.den
+let ceil a = B.cdiv a.num a.den
+let is_integer a = B.is_one a.den
+
+let to_string a =
+  if is_integer a then B.to_string a.num
+  else B.to_string a.num ^ "/" ^ B.to_string a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

@@ -1,0 +1,1 @@
+lib/rtl/ir.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/rtl/opt.ml: Array Hashtbl Ir List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Hashtbl Ir List

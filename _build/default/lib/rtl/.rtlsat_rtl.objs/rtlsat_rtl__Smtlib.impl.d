@@ -1,0 +1,1 @@
+lib/rtl/smtlib.ml: Array Buffer Ir List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/smtlib.mli: Ir

@@ -1,0 +1,1 @@
+lib/rtl/structure.ml: Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/rtl/structure.mli: Ir

@@ -1,0 +1,1 @@
+lib/rtl/text.ml: Array Format Fun Hashtbl Ir List Netlist Printf String

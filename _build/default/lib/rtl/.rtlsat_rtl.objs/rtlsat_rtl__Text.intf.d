@@ -1,0 +1,1 @@
+lib/rtl/text.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Buffer Char Fun Hashtbl Ir List Printf Sim String

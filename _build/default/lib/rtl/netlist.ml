@@ -1,0 +1,147 @@
+open Ir
+
+let create cname =
+  { cname; ncount = 0; rev_nodes = []; rev_inputs = []; rev_regs = []; outputs = [] }
+
+let fresh c ?name width op =
+  if width < 1 || width > 61 then invalid_arg "Netlist: width out of range";
+  let n = { id = c.ncount; width; op; name } in
+  c.ncount <- c.ncount + 1;
+  c.rev_nodes <- n :: c.rev_nodes;
+  n
+
+let input c ?name w =
+  let n = fresh c ?name w Input in
+  c.rev_inputs <- n :: c.rev_inputs;
+  n
+
+let const c ~width v =
+  if v < 0 || (width < 61 && v > (1 lsl width) - 1) then
+    invalid_arg "Netlist.const: value out of range";
+  fresh c width (Const v)
+
+let ctrue c = const c ~width:1 1
+let cfalse c = const c ~width:1 0
+
+let check_bool ctx n =
+  if not (is_bool n) then invalid_arg (ctx ^ ": Boolean operand expected")
+
+let check_same ctx a b =
+  if a.width <> b.width then invalid_arg (ctx ^ ": width mismatch")
+
+let not_ c a =
+  check_bool "not" a;
+  fresh c 1 (Not a)
+
+let nary ctx mk c ?name ns =
+  (match ns with [] | [ _ ] -> invalid_arg (ctx ^ ": needs >= 2 operands") | _ -> ());
+  List.iter (check_bool ctx) ns;
+  fresh c ?name 1 (mk (Array.of_list ns))
+
+let and_ c ?name ns = nary "and" (fun a -> And a) c ?name ns
+let or_ c ?name ns = nary "or" (fun a -> Or a) c ?name ns
+
+let xor_ c a b =
+  check_bool "xor" a; check_bool "xor" b;
+  fresh c 1 (Xor (a, b))
+
+let nand_ c ns = not_ c (and_ c ns)
+let nor_ c ns = not_ c (or_ c ns)
+let xnor_ c a b = not_ c (xor_ c a b)
+let implies c a b = or_ c [ not_ c a; b ]
+
+let mux c ?name ~sel ~t ~e () =
+  check_bool "mux.sel" sel;
+  check_same "mux" t e;
+  fresh c ?name t.width (Mux { sel; t; e })
+
+let add c a b =
+  check_same "add" a b;
+  fresh c a.width (Add { a; b; wrap = true })
+
+let add_ext c a b =
+  check_same "add_ext" a b;
+  fresh c (a.width + 1) (Add { a; b; wrap = false })
+
+let sub c a b =
+  check_same "sub" a b;
+  fresh c a.width (Sub { a; b })
+
+let inc c a = add c a (const c ~width:a.width 1)
+
+let mul_const c k a =
+  if k < 1 then invalid_arg "mul_const: k must be positive";
+  let maxv = k * ((1 lsl a.width) - 1) in
+  let rec bits w = if (1 lsl w) - 1 >= maxv then w else bits (w + 1) in
+  fresh c (bits a.width) (Mul_const { k; a })
+
+let cmp c ?name op a b =
+  check_same "cmp" a b;
+  fresh c ?name 1 (Cmp { op; a; b })
+
+let eq c a b = cmp c Eq a b
+let ne c a b = cmp c Ne a b
+let lt c a b = cmp c Lt a b
+let le c a b = cmp c Le a b
+let gt c a b = cmp c Gt a b
+let ge c a b = cmp c Ge a b
+let eq_const c n v = eq c n (const c ~width:n.width v)
+
+let concat c ~hi ~lo = fresh c (hi.width + lo.width) (Concat { hi; lo })
+
+let extract c a ~msb ~lsb =
+  if lsb < 0 || msb < lsb || msb >= a.width then invalid_arg "extract: bad range";
+  fresh c (msb - lsb + 1) (Extract { a; msb; lsb })
+
+let bit c n i = extract c n ~msb:i ~lsb:i
+
+let zext c a ~width =
+  if width <= a.width then invalid_arg "zext: target width must be larger";
+  fresh c width (Zext a)
+
+let shl c a k =
+  if k < 0 then invalid_arg "shl: negative shift";
+  if k = 0 then a else fresh c (a.width + k) (Shl { a; k })
+
+let shr c a k =
+  if k < 0 || k >= a.width then invalid_arg "shr: shift out of range";
+  if k = 0 then a else fresh c a.width (Shr { a; k })
+
+let bitwise ctx mk c a b =
+  check_same ctx a b;
+  fresh c a.width (mk a b)
+
+let bitand c a b = bitwise "bitand" (fun a b -> Bitand (a, b)) c a b
+let bitor c a b = bitwise "bitor" (fun a b -> Bitor (a, b)) c a b
+let bitxor c a b = bitwise "bitxor" (fun a b -> Bitxor (a, b)) c a b
+
+let reg c ?name ~width ~init () =
+  if init < 0 || (width < 61 && init > (1 lsl width) - 1) then
+    invalid_arg "reg: init out of range";
+  let n = fresh c ?name width (Reg { init; next = None }) in
+  c.rev_regs <- n :: c.rev_regs;
+  n
+
+let connect r n =
+  match r.op with
+  | Reg ({ next = None; _ } as rg) ->
+    if r.width <> n.width then invalid_arg "connect: width mismatch";
+    rg.next <- Some n
+  | Reg { next = Some _; _ } -> invalid_arg "connect: register already connected"
+  | _ -> invalid_arg "connect: not a register"
+
+let output c name n = c.outputs <- (name, n) :: c.outputs
+
+let set_name n name = if n.name = None then n.name <- Some name
+
+let find_by_name ns name =
+  match List.find_opt (fun n -> n.name = Some name) ns with
+  | Some n -> n
+  | None -> raise Not_found
+
+let find_input c name = find_by_name (inputs c) name
+
+let find_output c name =
+  match List.assoc_opt name c.outputs with
+  | Some n -> n
+  | None -> raise Not_found

@@ -1,0 +1,89 @@
+(** Width-checked builder for {!Ir} circuits.
+
+    Every function validates operand widths and registers the new node
+    with the circuit, so that [Ir.nodes] is a topological order of the
+    combinational netlist.  All raise [Invalid_argument] on width or
+    range violations. *)
+
+open Ir
+
+val create : string -> circuit
+
+val input : circuit -> ?name:string -> int -> node
+(** [input c w] is a fresh primary input of width [w]. *)
+
+val const : circuit -> width:int -> int -> node
+val ctrue : circuit -> node
+val cfalse : circuit -> node
+
+val not_ : circuit -> node -> node
+val and_ : circuit -> ?name:string -> node list -> node
+val or_ : circuit -> ?name:string -> node list -> node
+val xor_ : circuit -> node -> node -> node
+val nand_ : circuit -> node list -> node
+val nor_ : circuit -> node list -> node
+val xnor_ : circuit -> node -> node -> node
+val implies : circuit -> node -> node -> node
+
+val mux : circuit -> ?name:string -> sel:node -> t:node -> e:node -> unit -> node
+(** [mux c ~sel ~t ~e ()] is [sel ? t : e]. *)
+
+val add : circuit -> node -> node -> node
+(** Wrapping addition (modulo [2^w]); operands of equal width. *)
+
+val add_ext : circuit -> node -> node -> node
+(** Exact addition; result width [w + 1]. *)
+
+val sub : circuit -> node -> node -> node
+(** Wrapping subtraction (modulo [2^w]). *)
+
+val inc : circuit -> node -> node
+(** Wrapping increment by one. *)
+
+val mul_const : circuit -> int -> node -> node
+(** Exact multiplication by a positive constant; the result is wide
+    enough never to overflow. *)
+
+val cmp : circuit -> ?name:string -> cmp -> node -> node -> node
+val eq : circuit -> node -> node -> node
+val ne : circuit -> node -> node -> node
+val lt : circuit -> node -> node -> node
+val le : circuit -> node -> node -> node
+val gt : circuit -> node -> node -> node
+val ge : circuit -> node -> node -> node
+val eq_const : circuit -> node -> int -> node
+(** [eq_const c n v] is the predicate [n == v]. *)
+
+val concat : circuit -> hi:node -> lo:node -> node
+val extract : circuit -> node -> msb:int -> lsb:int -> node
+val bit : circuit -> node -> int -> node
+(** [bit c n i] is [extract c n ~msb:i ~lsb:i]. *)
+
+val zext : circuit -> node -> width:int -> node
+val shl : circuit -> node -> int -> node
+val shr : circuit -> node -> int -> node
+
+val bitand : circuit -> node -> node -> node
+val bitor : circuit -> node -> node -> node
+val bitxor : circuit -> node -> node -> node
+
+val reg : circuit -> ?name:string -> width:int -> init:int -> unit -> node
+(** Creates a state element with reset value [init]; connect its
+    next-state input with {!connect}. *)
+
+val connect : node -> node -> unit
+(** [connect r n] sets the next-state input of register [r] to [n].
+    @raise Invalid_argument on width mismatch, non-register, or double
+    connection. *)
+
+val output : circuit -> string -> node -> unit
+
+val set_name : node -> string -> unit
+(** Attach a debug name to an anonymous node; no-op when the node is
+    already named (used by the {!Text} parser). *)
+
+val find_input : circuit -> string -> node
+(** @raise Not_found. *)
+
+val find_output : circuit -> string -> node
+(** @raise Not_found. *)

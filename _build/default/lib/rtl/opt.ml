@@ -1,0 +1,261 @@
+open Ir
+
+type mapping = {
+  optimized : circuit;
+  fwd : node -> node;
+}
+
+let node_count c = c.ncount
+
+let cvalue n = match n.op with Const v -> Some v | _ -> None
+let is_const v n = cvalue n = Some v
+
+let mask w = (1 lsl w) - 1
+
+let simplify source =
+  let dst = Netlist.create source.cname in
+  let image : node option array = Array.make source.ncount None in
+  let hash : (string, node) Hashtbl.t = Hashtbl.create 256 in
+  (* reachable from outputs and register next-state functions *)
+  let keep = Array.make source.ncount false in
+  let rec mark n =
+    if not keep.(n.id) then begin
+      keep.(n.id) <- true;
+      List.iter mark (fanins n)
+    end
+  in
+  List.iter (fun (_, n) -> mark n) source.outputs;
+  List.iter
+    (fun n ->
+       mark n;
+       match n.op with Reg { next = Some nx; _ } -> mark nx | _ -> ())
+    (regs source);
+  List.iter (fun n -> keep.(n.id) <- true) (inputs source);
+  (* interning: structural hashing of every freshly built node *)
+  let interned key build =
+    match Hashtbl.find_opt hash key with
+    | Some n -> n
+    | None ->
+      let n = build () in
+      Hashtbl.replace hash key n;
+      n
+  in
+  let const w v = interned (Printf.sprintf "c%d_%d" w v) (fun () -> Netlist.const dst ~width:w v) in
+  let key1 tag a = Printf.sprintf "%s %d" tag a.id in
+  let key2 tag a b = Printf.sprintf "%s %d %d" tag a.id b.id in
+  let keyn tag ns =
+    tag ^ String.concat "," (List.map (fun n -> string_of_int n.id) ns)
+  in
+  (* simplifying constructors over already-optimized operands *)
+  let mk_not a =
+    match (cvalue a, a.op) with
+    | Some v, _ -> const 1 (1 - v)
+    | None, Not inner -> inner
+    | None, _ -> interned (key1 "not" a) (fun () -> Netlist.not_ dst a)
+  in
+  let mk_and ns =
+    if List.exists (is_const 0) ns then const 1 0
+    else begin
+      let ns =
+        List.filter (fun n -> not (is_const 1 n)) ns
+        |> List.sort_uniq (fun a b -> compare a.id b.id)
+      in
+      match ns with
+      | [] -> const 1 1
+      | [ n ] -> n
+      | _ -> interned (keyn "and" ns) (fun () -> Netlist.and_ dst ns)
+    end
+  in
+  let mk_or ns =
+    if List.exists (is_const 1) ns then const 1 1
+    else begin
+      let ns =
+        List.filter (fun n -> not (is_const 0 n)) ns
+        |> List.sort_uniq (fun a b -> compare a.id b.id)
+      in
+      match ns with
+      | [] -> const 1 0
+      | [ n ] -> n
+      | _ -> interned (keyn "or" ns) (fun () -> Netlist.or_ dst ns)
+    end
+  in
+  let mk_xor a b =
+    match (cvalue a, cvalue b) with
+    | Some va, Some vb -> const 1 (va lxor vb)
+    | _ when a.id = b.id -> const 1 0
+    | Some 0, None -> b
+    | Some 1, None -> mk_not b
+    | None, Some 0 -> a
+    | None, Some 1 -> mk_not a
+    | _ ->
+      let a, b = if a.id <= b.id then (a, b) else (b, a) in
+      interned (key2 "xor" a b) (fun () -> Netlist.xor_ dst a b)
+  in
+  let mk_mux sel t e =
+    if t.id = e.id then t
+    else begin
+      match cvalue sel with
+      | Some 1 -> t
+      | Some 0 -> e
+      | _ ->
+        if t.width = 1 && is_const 1 t && is_const 0 e then sel
+        else if t.width = 1 && is_const 0 t && is_const 1 e then mk_not sel
+        else
+          interned
+            (Printf.sprintf "mux %d %d %d" sel.id t.id e.id)
+            (fun () -> Netlist.mux dst ~sel ~t ~e ())
+    end
+  in
+  let mk_add ~wrap a b w =
+    match (cvalue a, cvalue b) with
+    | Some va, Some vb ->
+      let s = va + vb in
+      const w (if wrap then s land mask w else s)
+    | Some 0, None when wrap -> b
+    | None, Some 0 when wrap -> a
+    | _ ->
+      let a, b = if a.id <= b.id then (a, b) else (b, a) in
+      interned
+        (key2 (if wrap then "add" else "addext") a b)
+        (fun () -> if wrap then Netlist.add dst a b else Netlist.add_ext dst a b)
+  in
+  let mk_sub a b w =
+    match (cvalue a, cvalue b) with
+    | Some va, Some vb -> const w ((va - vb) land mask w)
+    | None, Some 0 -> a
+    | _ when a.id = b.id -> const w 0
+    | _ -> interned (key2 "sub" a b) (fun () -> Netlist.sub dst a b)
+  in
+  let mk_mulc k a w =
+    match cvalue a with
+    | Some va -> const w (k * va)
+    | None ->
+      if k = 1 then a
+      else interned (Printf.sprintf "mulc%d %d" k a.id) (fun () -> Netlist.mul_const dst k a)
+  in
+  let mk_cmp op a b =
+    let cmp_tag =
+      match op with
+      | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+    in
+    match (cvalue a, cvalue b) with
+    | Some va, Some vb ->
+      let r =
+        match op with
+        | Eq -> va = vb | Ne -> va <> vb | Lt -> va < vb
+        | Le -> va <= vb | Gt -> va > vb | Ge -> va >= vb
+      in
+      const 1 (if r then 1 else 0)
+    | _ when a.id = b.id ->
+      const 1 (match op with Eq | Le | Ge -> 1 | Ne | Lt | Gt -> 0)
+    | _ -> interned (key2 cmp_tag a b) (fun () -> Netlist.cmp dst op a b)
+  in
+  let mk_concat hi lo w =
+    match (cvalue hi, cvalue lo) with
+    | Some vh, Some vl -> const w ((vh lsl lo.width) lor vl)
+    | _ -> interned (key2 "concat" hi lo) (fun () -> Netlist.concat dst ~hi ~lo)
+  in
+  let mk_extract a msb lsb =
+    if lsb = 0 && msb = a.width - 1 then a
+    else begin
+      match cvalue a with
+      | Some v -> const (msb - lsb + 1) ((v lsr lsb) land mask (msb - lsb + 1))
+      | None ->
+        interned
+          (Printf.sprintf "ex %d %d %d" a.id msb lsb)
+          (fun () -> Netlist.extract dst a ~msb ~lsb)
+    end
+  in
+  let mk_zext a w =
+    match cvalue a with
+    | Some v -> const w v
+    | None -> interned (Printf.sprintf "zx %d %d" a.id w) (fun () -> Netlist.zext dst a ~width:w)
+  in
+  let mk_shl a k w =
+    match cvalue a with
+    | Some v -> const w (v lsl k)
+    | None -> interned (Printf.sprintf "shl %d %d" a.id k) (fun () -> Netlist.shl dst a k)
+  in
+  let mk_shr a k w =
+    match cvalue a with
+    | Some v -> const w (v lsr k)
+    | None -> interned (Printf.sprintf "shr %d %d" a.id k) (fun () -> Netlist.shr dst a k)
+  in
+  let mk_bitwise tag f fold a b w =
+    match (cvalue a, cvalue b) with
+    | Some va, Some vb -> const w (fold va vb)
+    | _ when a.id = b.id && tag <> "bxor" -> a
+    | _ when a.id = b.id -> const w 0
+    | _ ->
+      let a, b = if a.id <= b.id then (a, b) else (b, a) in
+      interned (key2 tag a b) (fun () -> f a b)
+  in
+  (* pass 1: register shells (their next inputs are connected later) *)
+  List.iter
+    (fun n ->
+       match n.op with
+       | Reg r ->
+         let shell = Netlist.reg dst ?name:n.name ~width:n.width ~init:r.init () in
+         image.(n.id) <- Some shell
+       | _ -> ())
+    (nodes source);
+  (* pass 2: rebuild every kept node in topological order *)
+  let img n =
+    match image.(n.id) with
+    | Some m -> m
+    | None -> invalid_arg "Opt.simplify: operand not yet rebuilt"
+  in
+  List.iter
+    (fun n ->
+       if keep.(n.id) && image.(n.id) = None then begin
+         let m =
+           match n.op with
+           | Reg _ -> assert false
+           | Input ->
+             let m = Netlist.input dst ?name:n.name n.width in
+             m
+           | Const v -> const n.width v
+           | Not a -> mk_not (img a)
+           | And ns -> mk_and (Array.to_list (Array.map img ns))
+           | Or ns -> mk_or (Array.to_list (Array.map img ns))
+           | Xor (a, b) -> mk_xor (img a) (img b)
+           | Mux { sel; t; e } -> mk_mux (img sel) (img t) (img e)
+           | Add { a; b; wrap } -> mk_add ~wrap (img a) (img b) n.width
+           | Sub { a; b } -> mk_sub (img a) (img b) n.width
+           | Mul_const { k; a } -> mk_mulc k (img a) n.width
+           | Cmp { op; a; b } -> mk_cmp op (img a) (img b)
+           | Concat { hi; lo } -> mk_concat (img hi) (img lo) n.width
+           | Extract { a; msb; lsb } -> mk_extract (img a) msb lsb
+           | Zext a -> mk_zext (img a) n.width
+           | Shl { a; k } -> mk_shl (img a) k n.width
+           | Shr { a; k } -> mk_shr (img a) k n.width
+           | Bitand (a, b) ->
+             mk_bitwise "band" (fun a b -> Netlist.bitand dst a b) ( land ) (img a)
+               (img b) n.width
+           | Bitor (a, b) ->
+             mk_bitwise "bor" (fun a b -> Netlist.bitor dst a b) ( lor ) (img a)
+               (img b) n.width
+           | Bitxor (a, b) ->
+             mk_bitwise "bxor" (fun a b -> Netlist.bitxor dst a b) ( lxor ) (img a)
+               (img b) n.width
+         in
+         (match n.name with Some s -> Netlist.set_name m s | None -> ());
+         image.(n.id) <- Some m
+       end)
+    (nodes source);
+  (* pass 3: connect registers and rebuild outputs *)
+  List.iter
+    (fun n ->
+       match n.op with
+       | Reg { next = Some nx; _ } -> Netlist.connect (img n) (img nx)
+       | _ -> ())
+    (regs source);
+  List.iter
+    (fun (port, n) -> Netlist.output dst port (img n))
+    (List.rev source.outputs);
+  let fwd n =
+    match image.(n.id) with
+    | Some m -> m
+    | None -> raise Not_found
+  in
+  { optimized = dst; fwd }

@@ -1,0 +1,33 @@
+(** Netlist simplification: constant folding, algebraic identities and
+    structural hashing (common-subexpression elimination).
+
+    Unrolled BMC circuits are full of frame-0 reset constants and
+    repeated per-frame logic; one simplification pass typically
+    removes a large fraction of the nodes before encoding.  The pass
+    is purely structural and behaviour-preserving (validated against
+    the simulator in the test suite). *)
+
+open Ir
+
+type mapping = {
+  optimized : circuit;
+  fwd : node -> node;
+      (** image of an original node in the optimized circuit *)
+}
+
+val simplify : circuit -> mapping
+(** Rebuilds the circuit in topological order, applying:
+    - constant folding of every operator with constant inputs;
+    - identities: [x&0=0], [x&1=x], [x|1=1], [x|0=x], [x^x=0] (as
+      gates over equal operands), double negation, [mux c t t = t],
+      [mux 1 t e = t], [mux 0 t e = e], [x+0=x], [x-0=x],
+      comparisons of a node with itself, full-width extracts;
+    - structural hashing: identical operators over identical operands
+      are shared.
+
+    Dead nodes (not reachable from outputs, registers or retained by
+    construction) are simply not copied.  Registers and primary inputs
+    are always retained. *)
+
+val node_count : circuit -> int
+(** Number of nodes, for shrink statistics. *)

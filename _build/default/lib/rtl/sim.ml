@@ -1,0 +1,85 @@
+open Ir
+
+type values = (int, int) Hashtbl.t
+type state = (int, int) Hashtbl.t
+
+let initial_state c =
+  let st = Hashtbl.create 16 in
+  let set_init n = match n.op with Reg r -> Hashtbl.replace st n.id r.init | _ -> () in
+  List.iter set_init (regs c);
+  st
+
+let mask w = if w >= 61 then max_int else (1 lsl w) - 1
+
+let eval c st ~inputs =
+  let vals : values = Hashtbl.create (c.ncount * 2) in
+  let ins = Hashtbl.create 16 in
+  let add_input (n, v) =
+    if v < 0 || v > mask n.width then invalid_arg "Sim.eval: input out of range";
+    Hashtbl.replace ins n.id v
+  in
+  List.iter add_input inputs;
+  let value_of m = Hashtbl.find vals m.id in
+  let eval_node n =
+    let v =
+      match n.op with
+      | Input -> (match Hashtbl.find_opt ins n.id with Some v -> v | None -> 0)
+      | Const v -> v
+      | Not a -> 1 - value_of a
+      | And ns -> if Array.for_all (fun m -> value_of m = 1) ns then 1 else 0
+      | Or ns -> if Array.exists (fun m -> value_of m = 1) ns then 1 else 0
+      | Xor (a, b) -> value_of a lxor value_of b
+      | Mux { sel; t; e } -> if value_of sel = 1 then value_of t else value_of e
+      | Add { a; b; wrap } ->
+        let s = value_of a + value_of b in
+        if wrap then s land mask n.width else s
+      | Sub { a; b } -> (value_of a - value_of b) land mask n.width
+      | Mul_const { k; a } -> k * value_of a
+      | Cmp { op; a; b } ->
+        let x = value_of a and y = value_of b in
+        let r =
+          match op with
+          | Eq -> x = y | Ne -> x <> y | Lt -> x < y
+          | Le -> x <= y | Gt -> x > y | Ge -> x >= y
+        in
+        if r then 1 else 0
+      | Concat { hi; lo } -> (value_of hi lsl lo.width) lor value_of lo
+      | Extract { a; msb; lsb } -> (value_of a lsr lsb) land mask (msb - lsb + 1)
+      | Zext a -> value_of a
+      | Shl { a; k } -> value_of a lsl k
+      | Shr { a; k } -> value_of a lsr k
+      | Bitand (a, b) -> value_of a land value_of b
+      | Bitor (a, b) -> value_of a lor value_of b
+      | Bitxor (a, b) -> value_of a lxor value_of b
+      | Reg _ -> (match Hashtbl.find_opt st n.id with Some v -> v | None -> 0)
+    in
+    Hashtbl.replace vals n.id v
+  in
+  List.iter eval_node (nodes c);
+  vals
+
+let next_state c vals =
+  let st' = Hashtbl.create 16 in
+  let step_reg n =
+    match n.op with
+    | Reg { next = Some nx; _ } -> Hashtbl.replace st' n.id (Hashtbl.find vals nx.id)
+    | Reg { next = None; _ } -> invalid_arg "Sim.next_state: unconnected register"
+    | _ -> ()
+  in
+  List.iter step_reg (regs c);
+  st'
+
+let step c st ~inputs =
+  let vals = eval c st ~inputs in
+  (vals, next_state c vals)
+
+let run c ~inputs =
+  let rec go st acc = function
+    | [] -> List.rev acc
+    | ins :: rest ->
+      let vals, st' = step c st ~inputs:ins in
+      go st' (vals :: acc) rest
+  in
+  go (initial_state c) [] inputs
+
+let value vals n = Hashtbl.find vals n.id

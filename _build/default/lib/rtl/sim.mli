@@ -1,0 +1,32 @@
+(** Concrete cycle-accurate simulator for {!Ir} circuits.
+
+    Used to validate SAT witnesses end-to-end: a satisfying assignment
+    found by any engine is replayed here and the property violation is
+    confirmed on the actual RTL semantics. *)
+
+open Ir
+
+type values = (int, int) Hashtbl.t
+(** Node id -> value. *)
+
+type state = (int, int) Hashtbl.t
+(** Register id -> current value. *)
+
+val initial_state : circuit -> state
+
+val eval : circuit -> state -> inputs:(node * int) list -> values
+(** Evaluate all combinational nodes for one cycle.  Unlisted inputs
+    default to 0.  @raise Invalid_argument if an input value exceeds
+    the node's width. *)
+
+val next_state : circuit -> values -> state
+(** Register values for the next cycle, from this cycle's values. *)
+
+val step : circuit -> state -> inputs:(node * int) list -> values * state
+
+val run : circuit -> inputs:(node * int) list list -> values list
+(** Simulate from reset for [List.length inputs] cycles; element [t]
+    of the result holds every node's value during cycle [t]. *)
+
+val value : values -> node -> int
+(** @raise Not_found if the node was not evaluated. *)

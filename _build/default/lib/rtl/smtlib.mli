@@ -1,0 +1,16 @@
+(** SMT-LIB 2 (QF_BV) export of combinational RTL problems, so any
+    instance can be cross-checked with an external bit-vector solver
+    (Z3, Bitwuzla, …).
+
+    Every node becomes a [define-fun] over bit-vectors; Booleans are
+    width-1 bit-vectors.  Registers are not supported — unroll first
+    ({!Rtlsat_bmc.Unroll}). *)
+
+open Ir
+
+val export : ?assumes:(node * int) list -> circuit -> string
+(** [export c ~assumes] is a complete SMT-LIB 2 script:
+    [set-logic QF_BV], input declarations, node definitions, one
+    [assert] per assumption ([node = value]) and [check-sat].
+    @raise Invalid_argument on a sequential circuit or an assumption
+    value outside the node's width. *)

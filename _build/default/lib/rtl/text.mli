@@ -1,0 +1,33 @@
+(** A line-oriented textual netlist format, so circuits can be stored
+    in files and fed to the engines without writing OCaml.
+
+    {v
+    circuit adder
+    input a 4
+    input b 4
+    reg acc 4 0
+    node s = add a b
+    node p = eq s acc
+    connect acc s
+    output sum s
+    v}
+
+    One definition per line; [#] starts a comment.  Node operators:
+    [const V W], [not x], [and x y ...], [or x y ...], [xor x y],
+    [mux sel t e], [add x y], [addext x y], [sub x y], [mulc K x],
+    [eq|ne|lt|le|gt|ge x y], [concat hi lo], [extract x MSB LSB],
+    [zext x W], [shl x K], [shr x K], [bitand|bitor|bitxor x y].
+
+    {!print} emits a canonical form that {!parse} accepts; parsing a
+    printed circuit and printing again is the identity. *)
+
+open Ir
+
+val print : Format.formatter -> circuit -> unit
+val to_string : circuit -> string
+
+val parse : string -> circuit
+(** @raise Failure with a [line N:] prefix on malformed input. *)
+
+val parse_file : string -> circuit
+(** @raise Sys_error on I/O failure, [Failure] on malformed input. *)

@@ -1,0 +1,75 @@
+open Ir
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian base-94 *)
+let ident i =
+  let b = Buffer.create 4 in
+  let rec go i =
+    Buffer.add_char b (Char.chr (33 + (i mod 94)));
+    if i >= 94 then go ((i / 94) - 1)
+  in
+  go i;
+  Buffer.contents b
+
+let default_nodes c =
+  let outputs = List.map snd c.outputs in
+  let named = List.filter (fun n -> n.name <> None) (nodes c) in
+  let all = inputs c @ regs c @ named @ outputs in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+       if Hashtbl.mem seen n.id then false
+       else begin
+         Hashtbl.replace seen n.id ();
+         true
+       end)
+    all
+
+let binary_string width v =
+  String.init width (fun i ->
+      if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let dump ?nodes:node_list c traces buf =
+  let selected = match node_list with Some l -> l | None -> default_nodes c in
+  let add = Buffer.add_string buf in
+  add "$date\n  rtlsat trace\n$end\n";
+  add "$version\n  rtlsat 1.0\n$end\n";
+  add "$timescale 1 ns $end\n";
+  add (Printf.sprintf "$scope module %s $end\n" c.cname);
+  List.iteri
+    (fun i n ->
+       add
+         (Printf.sprintf "$var wire %d %s %s $end\n" n.width (ident i)
+            (node_name n)))
+    selected;
+  add "$upscope $end\n$enddefinitions $end\n";
+  let previous = Hashtbl.create 16 in
+  List.iteri
+    (fun t vals ->
+       add (Printf.sprintf "#%d\n" t);
+       List.iteri
+         (fun i n ->
+            let v = Sim.value vals n in
+            let changed =
+              match Hashtbl.find_opt previous n.id with
+              | Some old -> old <> v
+              | None -> true
+            in
+            if changed then begin
+              Hashtbl.replace previous n.id v;
+              if n.width = 1 then add (Printf.sprintf "%d%s\n" v (ident i))
+              else add (Printf.sprintf "b%s %s\n" (binary_string n.width v) (ident i))
+            end)
+         selected)
+    traces;
+  add (Printf.sprintf "#%d\n" (List.length traces))
+
+let to_string ?nodes c traces =
+  let buf = Buffer.create 4096 in
+  dump ?nodes c traces buf;
+  Buffer.contents buf
+
+let to_file ?nodes c traces path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?nodes c traces))

@@ -1,0 +1,21 @@
+(** Value-change-dump (IEEE 1364 §18) export of simulation traces, so
+    counterexamples found by the engines can be inspected in any
+    waveform viewer. *)
+
+open Ir
+
+val dump :
+  ?nodes:node list ->
+  circuit ->
+  Sim.values list ->
+  Buffer.t ->
+  unit
+(** [dump c traces buf] writes a VCD document for the per-cycle value
+    tables [traces] (as produced by {!Sim.run}).  By default the
+    primary inputs, registers, outputs and all named nodes are
+    dumped; [nodes] overrides the selection. *)
+
+val to_string : ?nodes:node list -> circuit -> Sim.values list -> string
+
+val to_file : ?nodes:node list -> circuit -> Sim.values list -> string -> unit
+(** @raise Sys_error on I/O failure. *)

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Array Cdcl Format List Printf String

@@ -1,0 +1,60 @@
+(** A standalone CDCL Boolean satisfiability solver.
+
+    Implements the modern DPLL variant sketched in §2.4: two-watched-
+    literal unit propagation, first-UIP conflict analysis with clause
+    learning, non-chronological backtracking, exponentially-decaying
+    variable activities (VSIDS), phase saving and Luby restarts.
+
+    This is the Boolean engine behind the eager bit-blasting baseline
+    (the UCLID stand-in) and the propositional skeleton of the lazy
+    combined-decision-procedure baseline (the ICS stand-in). *)
+
+type t
+
+type lit = int
+(** Literal encoding: [2*v] is the positive literal of variable [v],
+    [2*v+1] the negative one. *)
+
+val pos : int -> lit
+val neg : int -> lit
+val lit_var : lit -> int
+val lit_sign : lit -> bool
+(** [true] for positive literals. *)
+
+val lit_not : lit -> lit
+
+val create : unit -> t
+
+val new_var : t -> int
+
+val n_vars : t -> int
+val n_clauses : t -> int
+val n_conflicts : t -> int
+
+val add_clause : t -> lit list -> unit
+(** May be called only at decision level 0 (before or between
+    [solve] calls).  An empty clause makes the instance trivially
+    unsatisfiable. *)
+
+val fold_clauses : ('a -> lit array -> 'a) -> 'a -> t -> 'a
+(** Fold over the stored clauses (original and learned), in insertion
+    order.  Unit clauses are not stored — see {!root_units}. *)
+
+val root_units : t -> lit list
+(** Literals asserted at decision level 0 (unit input clauses and
+    learned units), in assignment order. *)
+
+type outcome =
+  | Sat
+  | Unsat
+  | Timeout
+
+val solve : ?deadline:float -> ?assumptions:lit list -> t -> outcome
+(** [deadline] is an absolute [Unix.gettimeofday]-style instant;
+    the solver polls it and returns [Timeout] when exceeded.
+    With [assumptions], [Unsat] means unsatisfiable under them. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after [solve] returned [Sat]. *)
+
+val model : t -> bool array

@@ -1,0 +1,22 @@
+(** DIMACS CNF front end for the standalone CDCL solver, so the
+    Boolean engine can be used (and cross-checked) on standard SAT
+    files. *)
+
+val parse : string -> int * int list list
+(** [parse text] is [(n_vars, clauses)] with DIMACS literal
+    conventions (positive/negative 1-based integers).
+    @raise Failure with a [line N:] prefix on malformed input. *)
+
+val load : Cdcl.t -> string -> int array
+(** Parse and add every clause to the solver; returns the variable map
+    (DIMACS variable [i] is solver variable [map.(i - 1)]).  Missing
+    variables are created. *)
+
+val solve_text : ?deadline:float -> string -> [ `Sat of bool array | `Unsat | `Timeout ]
+(** One-shot: parse, solve, and return the model indexed by DIMACS
+    variable - 1. *)
+
+val print_result :
+  Format.formatter -> [ `Sat of bool array | `Unsat | `Timeout ] -> unit
+(** Competition-style output: an [s] line and, when satisfiable,
+    [v] lines. *)

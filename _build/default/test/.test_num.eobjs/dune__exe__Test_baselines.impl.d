@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Result Rtlsat_baselines Rtlsat_constr Rtlsat_core Rtlsat_interval Rtlsat_rtl Unix

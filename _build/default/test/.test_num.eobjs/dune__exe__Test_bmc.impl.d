@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Array List Printf Rtlsat_bmc Rtlsat_constr Rtlsat_core Rtlsat_rtl

@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Random Result Rtlsat_constr Rtlsat_interval Rtlsat_rtl

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Option QCheck QCheck_alcotest Random Result Rtlsat_constr Rtlsat_core Rtlsat_interval Rtlsat_rtl Unix

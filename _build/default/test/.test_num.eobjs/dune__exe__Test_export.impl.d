@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest List Rtlsat_baselines Rtlsat_bmc Rtlsat_interval Rtlsat_itc99 Rtlsat_rtl String

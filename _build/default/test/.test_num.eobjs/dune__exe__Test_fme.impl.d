@@ -1,0 +1,1 @@
+test/test_fme.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Rtlsat_fme Rtlsat_num String

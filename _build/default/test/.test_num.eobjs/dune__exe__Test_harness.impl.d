@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Format List Option Printf Random Rtlsat_bmc Rtlsat_constr Rtlsat_core Rtlsat_harness Rtlsat_itc99 Rtlsat_rtl String

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest List QCheck QCheck_alcotest Rtlsat_interval Seq String

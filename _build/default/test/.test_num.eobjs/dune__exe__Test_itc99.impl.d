@@ -1,0 +1,1 @@
+test/test_itc99.ml: Alcotest List Printf Random Rtlsat_bmc Rtlsat_harness Rtlsat_itc99 Rtlsat_rtl

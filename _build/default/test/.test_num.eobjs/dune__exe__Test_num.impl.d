@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest List Printf QCheck QCheck_alcotest Rtlsat_num

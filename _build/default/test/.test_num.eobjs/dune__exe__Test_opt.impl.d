@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest List Printf QCheck QCheck_alcotest Random Rtlsat_bmc Rtlsat_itc99 Rtlsat_rtl

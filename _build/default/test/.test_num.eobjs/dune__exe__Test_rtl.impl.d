@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Format List Printf Rtlsat_rtl String

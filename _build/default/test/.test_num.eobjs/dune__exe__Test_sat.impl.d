@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Buffer Format List Printf QCheck QCheck_alcotest Rtlsat_sat String Unix

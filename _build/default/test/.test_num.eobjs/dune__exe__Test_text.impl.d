@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest List Printf QCheck QCheck_alcotest Random Rtlsat_itc99 Rtlsat_rtl String

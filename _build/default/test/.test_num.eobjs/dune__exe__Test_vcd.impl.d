@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Filename List Printf Rtlsat_rtl String Sys

@@ -1,0 +1,203 @@
+(* Tests for the two baseline engines: bit-blasting and the lazy CDP,
+   cross-validated against the hybrid solver and brute-force
+   simulation. *)
+
+module Ir = Rtlsat_rtl.Ir
+module N = Rtlsat_rtl.Netlist
+module Sim = Rtlsat_rtl.Sim
+module E = Rtlsat_constr.Encode
+module P = Rtlsat_constr.Problem
+module I = Rtlsat_interval.Interval
+module Solver = Rtlsat_core.Solver
+module BB = Rtlsat_baselines.Bitblast
+module Lazy_cdp = Rtlsat_baselines.Lazy_cdp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- bit-blasting ---- *)
+
+let test_bb_ops_exhaustive () =
+  (* every word operator agrees with the simulator, via SAT models:
+     constrain inputs to concrete values and read the outputs *)
+  let c = N.create "ops" in
+  let a = N.input c ~name:"a" 3 in
+  let b = N.input c ~name:"b" 3 in
+  let nodes =
+    [
+      N.add c a b; N.add_ext c a b; N.sub c a b; N.mul_const c 5 a;
+      N.concat c ~hi:a ~lo:b; N.extract c a ~msb:2 ~lsb:1;
+      N.zext c a ~width:5; N.shl c a 2; N.shr c a 1;
+      N.bitand c a b; N.bitor c a b; N.bitxor c a b;
+    ]
+  in
+  let cmps = List.map (fun op -> N.cmp c op a b) [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ] in
+  let mux =
+    N.mux c ~sel:(List.hd cmps) ~t:a ~e:b ()
+  in
+  let all = (mux :: nodes) @ cmps in
+  for av = 0 to 7 do
+    for bv = 0 to 7 do
+      let bb = BB.encode c in
+      BB.assume_interval bb a (I.point av);
+      BB.assume_interval bb b (I.point bv);
+      (match BB.solve bb with
+       | BB.Sat ->
+         let vals = Sim.eval c (Sim.initial_state c) ~inputs:[ (a, av); (b, bv) ] in
+         List.iter
+           (fun n ->
+              check_int
+                (Printf.sprintf "node %s a=%d b=%d" (Ir.node_name n) av bv)
+                (Sim.value vals n) (BB.node_value bb n))
+           all
+       | _ -> Alcotest.fail "point assignment must be sat")
+    done
+  done
+
+let test_bb_unsat () =
+  let c = N.create "unsat" in
+  let a = N.input c ~name:"a" 4 in
+  let b = N.input c ~name:"b" 4 in
+  let both = N.and_ c [ N.lt c a b; N.gt c a b ] in
+  N.output c "both" both;
+  let bb = BB.encode c in
+  BB.assume_bool bb both true;
+  check_bool "unsat" true (BB.solve bb = BB.Unsat)
+
+let test_bb_interval_assumption () =
+  let c = N.create "iv" in
+  let a = N.input c ~name:"a" 4 in
+  N.output c "a" a;
+  let bb = BB.encode c in
+  BB.assume_interval bb a (I.make 5 9);
+  (match BB.solve bb with
+   | BB.Sat ->
+     let v = BB.node_value bb a in
+     check_bool "in range" true (v >= 5 && v <= 9)
+   | _ -> Alcotest.fail "sat expected");
+  let bb2 = BB.encode c in
+  BB.assume_interval bb2 a (I.make 5 9);
+  BB.assume_interval bb2 a (I.make 10 12);
+  check_bool "disjoint ranges unsat" true (BB.solve bb2 = BB.Unsat)
+
+(* ---- lazy CDP ---- *)
+
+let test_lazy_simple () =
+  let c = N.create "lz" in
+  let a = N.input c ~name:"a" 4 in
+  let b = N.input c ~name:"b" 4 in
+  let p = N.and_ c [ N.lt c a b; N.eq_const c a 7 ] in
+  N.output c "p" p;
+  let enc = E.encode c in
+  E.assume_bool enc p true;
+  let result, stats = Lazy_cdp.solve enc.E.problem in
+  (match result with
+   | Lazy_cdp.Sat m ->
+     check_int "a=7" 7 m.(E.var enc a);
+     check_bool "b>7" true (m.(E.var enc b) > 7)
+   | _ -> Alcotest.fail "sat expected");
+  check_bool "theory consulted" true (stats.Lazy_cdp.theory_calls >= 1)
+
+let test_lazy_unsat_needs_blocking () =
+  (* a < b ∧ b < c ∧ c < a: the skeleton is Boolean-satisfiable, only
+     theory refutations (blocking clauses) can close it *)
+  let c = N.create "cycle" in
+  let x = N.input c ~name:"x" 3 in
+  let y = N.input c ~name:"y" 3 in
+  let z = N.input c ~name:"z" 3 in
+  let p = N.and_ c [ N.lt c x y; N.lt c y z; N.lt c z x ] in
+  N.output c "p" p;
+  let enc = E.encode c in
+  E.assume_bool enc p true;
+  let result, stats = Lazy_cdp.solve enc.E.problem in
+  check_bool "unsat" true (result = Lazy_cdp.Unsat);
+  check_bool "used blocking clauses" true (stats.Lazy_cdp.blocking_clauses >= 1)
+
+(* ---- randomized cross-engine agreement ---- *)
+
+let gen_circuit seed =
+  let rng = Random.State.make [| seed |] in
+  let c = N.create "rand" in
+  let a = N.input c ~name:"a" 4 and b = N.input c ~name:"b" 4 in
+  let words = ref [ a; b ] in
+  let bools = ref [] in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  for _ = 1 to 12 do
+    match Random.State.int rng 8 with
+    | 0 -> words := N.add c (pick !words) (pick !words) :: !words
+    | 1 -> words := N.sub c (pick !words) (pick !words) :: !words
+    | 2 ->
+      bools :=
+        N.cmp c (pick [ Ir.Eq; Ir.Lt; Ir.Ge; Ir.Ne ]) (pick !words) (pick !words)
+        :: !bools
+    | 3 ->
+      if !bools <> [] then
+        words := N.mux c ~sel:(pick !bools) ~t:(pick !words) ~e:(pick !words) () :: !words
+    | 4 -> if !bools <> [] then bools := N.not_ c (pick !bools) :: !bools
+    | 5 -> if List.length !bools >= 2 then bools := N.and_ c [ pick !bools; pick !bools ] :: !bools
+    | 6 -> if List.length !bools >= 2 then bools := N.or_ c [ pick !bools; pick !bools ] :: !bools
+    | _ -> words := N.bitxor c (pick !words) (pick !words) :: !words
+  done;
+  let goal = match !bools with [] -> N.eq_const c (pick !words) 3 | _ -> pick !bools in
+  N.output c "goal" goal;
+  (c, goal)
+
+let hdpll_verdict c goal value =
+  let enc = E.encode c in
+  E.assume_bool enc goal value;
+  match (Solver.solve enc).Solver.result with
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Timeout -> QCheck.assume_fail ()
+
+let prop_bb_matches_hdpll =
+  QCheck.Test.make ~name:"bitblast = hdpll" ~count:100
+    (QCheck.pair (QCheck.int_bound 100_000) QCheck.bool)
+    (fun (seed, value) ->
+       let c, goal = gen_circuit seed in
+       let expected = hdpll_verdict c goal value in
+       let bb = BB.encode c in
+       BB.assume_bool bb goal value;
+       match BB.solve bb with
+       | BB.Sat ->
+         expected
+         && (let inputs =
+               List.map (fun n -> (n, BB.node_value bb n)) (Ir.inputs c)
+             in
+             let vals = Sim.eval c (Sim.initial_state c) ~inputs in
+             Sim.value vals goal = (if value then 1 else 0))
+       | BB.Unsat -> not expected
+       | BB.Timeout -> QCheck.assume_fail ())
+
+let prop_lazy_matches_hdpll =
+  QCheck.Test.make ~name:"lazy-cdp = hdpll" ~count:60
+    (QCheck.pair (QCheck.int_bound 100_000) QCheck.bool)
+    (fun (seed, value) ->
+       let c, goal = gen_circuit seed in
+       let expected = hdpll_verdict c goal value in
+       let enc = E.encode c in
+       E.assume_bool enc goal value;
+       match fst (Lazy_cdp.solve ~deadline:(Unix.gettimeofday () +. 30.0) enc.E.problem) with
+       | Lazy_cdp.Sat m ->
+         expected && Result.is_ok (P.check_model enc.E.problem (fun v -> m.(v)))
+       | Lazy_cdp.Unsat -> not expected
+       | Lazy_cdp.Timeout -> QCheck.assume_fail ())
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "bitblast",
+        [
+          Alcotest.test_case "ops exhaustive" `Slow test_bb_ops_exhaustive;
+          Alcotest.test_case "unsat" `Quick test_bb_unsat;
+          Alcotest.test_case "interval assumptions" `Quick test_bb_interval_assumption;
+        ] );
+      ( "lazy-cdp",
+        [
+          Alcotest.test_case "simple theory" `Quick test_lazy_simple;
+          Alcotest.test_case "blocking clauses" `Quick test_lazy_unsat_needs_blocking;
+        ] );
+      qsuite "props" [ prop_bb_matches_hdpll; prop_lazy_matches_hdpll ];
+    ]

@@ -1,0 +1,372 @@
+(* Tests for the hybrid constraint layer: atoms, linear expressions,
+   problems and the RTL encoder.  The key property: for every concrete
+   input valuation, the simulator's node values (extended with the
+   right auxiliary values) satisfy every clause and constraint the
+   encoder produced — i.e. the encoding admits exactly the circuit's
+   behaviours. *)
+
+module Ir = Rtlsat_rtl.Ir
+module N = Rtlsat_rtl.Netlist
+module Sim = Rtlsat_rtl.Sim
+module T = Rtlsat_constr.Types
+module P = Rtlsat_constr.Problem
+module E = Rtlsat_constr.Encode
+module I = Rtlsat_interval.Interval
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Vec unit tests ---- *)
+
+module Vec = Rtlsat_constr.Vec
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:0 () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do Vec.push v (i * i) done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 49 (Vec.get v 7);
+  Vec.set v 7 (-1);
+  check_int "set" (-1) (Vec.get v 7);
+  check_int "top" (99 * 99) (Vec.top v);
+  check_int "pop" (99 * 99) (Vec.pop v);
+  check_int "after pop" 99 (Vec.length v);
+  Vec.shrink v 10;
+  check_int "after shrink" 10 (Vec.length v);
+  check_int "fold" (List.fold_left ( + ) 0 (List.init 10 (fun i -> i * i)) - 49 - 1)
+    (Vec.fold ( + ) 0 v);
+  Vec.clear v;
+  check_bool "cleared" true (Vec.is_empty v)
+
+let test_vec_errors () =
+  let v = Vec.create ~dummy:0 () in
+  Alcotest.check_raises "get" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 0));
+  Alcotest.check_raises "pop" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Vec.pop v));
+  Vec.push v 1;
+  Alcotest.check_raises "shrink" (Invalid_argument "Vec.shrink") (fun () ->
+      Vec.shrink v 5)
+
+let test_vec_of_list () =
+  let v = Vec.of_list ~dummy:0 [ 3; 1; 4 ] in
+  Alcotest.(check (list int)) "roundtrip" [ 3; 1; 4 ] (Vec.to_list v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check_int "iteri entries" 3 (List.length !acc)
+
+(* ---- Types unit tests ---- *)
+
+let test_negate_atom () =
+  let open T in
+  Alcotest.(check bool) "pos" true (negate_atom (Pos 3) = Neg 3);
+  Alcotest.(check bool) "ge" true (negate_atom (Ge (2, 5)) = Le (2, 4));
+  Alcotest.(check bool) "le" true (negate_atom (Le (2, 5)) = Ge (2, 6));
+  Alcotest.(check bool) "involution" true
+    (negate_atom (negate_atom (Ge (1, 7))) = Ge (1, 7))
+
+let test_lin_normalize () =
+  let open T in
+  let e = lin_of_terms [ (2, 1); (3, 1); (1, 2); (-1, 2) ] 4 in
+  Alcotest.(check bool) "merged" true (e.terms = [ (5, 1) ]);
+  check_int "const" 4 e.const
+
+let test_lin_ops () =
+  let open T in
+  let a = lin_of_terms [ (1, 0); (2, 1) ] 3 in
+  let b = lin_of_terms [ (1, 0); (-2, 1) ] (-3) in
+  let s = lin_add a b in
+  Alcotest.(check bool) "sum" true (s.terms = [ (2, 0) ] && s.const = 0);
+  let d = lin_sub a a in
+  Alcotest.(check bool) "self-sub" true (d.terms = [] && d.const = 0)
+
+let test_eval () =
+  let open T in
+  let env = function 0 -> 3 | 1 -> 1 | _ -> 0 in
+  check_int "linexpr" 6 (eval_linexpr env (lin_of_terms [ (1, 0); (3, 1) ] 0));
+  check_bool "clause true" true (eval_clause env [| Pos 1; Ge (0, 5) |]);
+  check_bool "clause false" false (eval_clause env [| Neg 1; Ge (0, 5) |]);
+  check_bool "pred holds" true
+    (eval_constr env (Pred { b = 1; e = lin_of_terms [ (1, 0) ] (-3) }));
+  check_bool "mux" true (eval_constr env (Mux_w { sel = 1; t = 0; e = 1; z = 0 }))
+
+(* ---- Problem tests ---- *)
+
+let test_problem_basics () =
+  let p = P.create () in
+  let b = P.new_bool p ~name:"b" () in
+  let w = P.new_word p ~name:"w" (I.make 0 7) in
+  check_int "nvars" 2 (P.n_vars p);
+  check_bool "bool kind" true (P.is_bool_var p b);
+  check_bool "word kind" false (P.is_bool_var p w);
+  Alcotest.(check string) "name" "w" (P.var_name p w);
+  check_bool "bool dom" true (I.equal (P.initial_domain p b) I.bool_dom);
+  Alcotest.check_raises "empty clause"
+    (Invalid_argument "Problem.add_clause: empty clause") (fun () ->
+        P.add_clause p [||])
+
+let test_check_model () =
+  let p = P.create () in
+  let b = P.new_bool p () in
+  let w = P.new_word p (I.make 0 7) in
+  P.add_clause p [| T.Pos b; T.Ge (w, 5) |];
+  P.add_constr p (T.Pred { b; e = T.lin_of_terms [ (1, w) ] (-3) });
+  let env_of l v = List.assoc v l in
+  check_bool "good model" true
+    (Result.is_ok (P.check_model p (env_of [ (b, 1); (w, 2) ])));
+  check_bool "bad clause" true
+    (Result.is_error (P.check_model p (env_of [ (b, 0); (w, 2) ])));
+  check_bool "domain violation" true
+    (Result.is_error (P.check_model p (env_of [ (b, 1); (w, 9) ])))
+
+(* ---- Encoder: simulation agreement ---- *)
+
+(* Build an environment for the encoded problem from simulator values,
+   solving for auxiliary variables (overflow bits, remainders, ...)
+   by constraint inspection. *)
+let env_from_sim (enc : E.t) vals =
+  let n = P.n_vars enc.problem in
+  let env = Array.make n min_int in
+  Array.iteri
+    (fun node_id v -> if v >= 0 then env.(v) <- Hashtbl.find vals node_id)
+    enc.var_of;
+  (* solve remaining aux vars: each appears in some Lin_eq with all
+     other vars known; iterate to fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    P.iter_constrs
+      (fun _ c ->
+         match c with
+         | T.Lin_eq e ->
+           let unknown = List.filter (fun (_, v) -> env.(v) = min_int) e.T.terms in
+           (match unknown with
+            | [ (coef, v) ] ->
+              let rest =
+                List.fold_left
+                  (fun acc (k, u) -> if u = v then acc else acc + (k * env.(u)))
+                  e.T.const e.T.terms
+              in
+              if rest mod coef = 0 then begin
+                env.(v) <- -rest / coef;
+                changed := true
+              end
+            | _ -> ())
+         | _ -> ())
+      enc.problem
+  done;
+  (* predicate helper Booleans: b <-> e <= 0 with e fully known *)
+  P.iter_constrs
+    (fun _ c ->
+       match c with
+       | T.Pred { b; e } when env.(b) = min_int ->
+         let all_known = List.for_all (fun (_, v) -> env.(v) <> min_int) e.T.terms in
+         if all_known then
+           env.(b) <- (if T.eval_linexpr (fun v -> env.(v)) e <= 0 then 1 else 0)
+       | _ -> ())
+    enc.problem;
+  (* bit-splitting Booleans: recover from the channeled word value *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    P.iter_constrs
+      (fun _ c ->
+         match c with
+         | T.Lin_eq e ->
+           let unknown = List.filter (fun (_, v) -> env.(v) = min_int) e.T.terms in
+           (match unknown with
+            | [] -> ()
+            | _ ->
+              (* bit channeling: -1*word + sum 2^i * bit_i = 0 *)
+              let word =
+                List.find_opt (fun (k, v) -> k = -1 && env.(v) <> min_int) e.T.terms
+              in
+              (match word with
+               | Some (_, wv)
+                 when List.for_all
+                        (fun (k, v) -> v = wv || (k land (k - 1)) = 0)
+                        e.T.terms ->
+                 let value = env.(wv) in
+                 List.iter
+                   (fun (k, v) ->
+                      if v <> wv && env.(v) = min_int then begin
+                        let bit_idx =
+                          let rec log2 k i = if k = 1 then i else log2 (k lsr 1) (i + 1) in
+                          log2 k 0
+                        in
+                        env.(v) <- (value lsr bit_idx) land 1;
+                        changed := true
+                      end)
+                   e.T.terms
+               | _ -> ()))
+         | _ -> ())
+      enc.problem
+  done;
+  fun v ->
+    if env.(v) = min_int then failwith ("aux var not recovered: " ^ P.var_name enc.problem v)
+    else env.(v)
+
+let check_encoding_on circuit inputs_list =
+  let enc = E.encode circuit in
+  List.iter
+    (fun inputs ->
+       let vals = Sim.eval circuit (Sim.initial_state circuit) ~inputs in
+       let env = env_from_sim enc vals in
+       match P.check_model enc.problem env with
+       | Ok _ -> ()
+       | Error msg -> Alcotest.failf "encoding disagrees with simulator: %s" msg)
+    inputs_list
+
+let test_encode_gates () =
+  let c = N.create "gates" in
+  let a = N.input c ~name:"a" 1 and b = N.input c ~name:"b" 1 in
+  let x = N.and_ c [ a; b ] in
+  let y = N.or_ c [ a; N.not_ c b ] in
+  let z = N.xor_ c x y in
+  let m = N.mux c ~sel:z ~t:a ~e:b () in
+  N.output c "m" m;
+  let all =
+    List.concat_map (fun av -> List.map (fun bv -> [ (a, av); (b, bv) ]) [ 0; 1 ]) [ 0; 1 ]
+  in
+  check_encoding_on c all
+
+let test_encode_arith () =
+  let c = N.create "arith" in
+  let a = N.input c ~name:"a" 3 and b = N.input c ~name:"b" 3 in
+  let _sum = N.add c a b in
+  let _sume = N.add_ext c a b in
+  let _diff = N.sub c a b in
+  let _prod = N.mul_const c 3 a in
+  let _cc = N.concat c ~hi:a ~lo:b in
+  let _ex = N.extract c a ~msb:2 ~lsb:1 in
+  let _ze = N.zext c a ~width:5 in
+  let _sl = N.shl c a 2 in
+  let _sr = N.shr c a 1 in
+  let inputs = ref [] in
+  for av = 0 to 7 do
+    for bv = 0 to 7 do
+      inputs := [ (a, av); (b, bv) ] :: !inputs
+    done
+  done;
+  check_encoding_on c !inputs
+
+let test_encode_cmp () =
+  let c = N.create "cmps" in
+  let a = N.input c ~name:"a" 3 and b = N.input c ~name:"b" 3 in
+  List.iter
+    (fun op -> ignore (N.cmp c op a b))
+    [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ];
+  let inputs = ref [] in
+  for av = 0 to 7 do
+    for bv = 0 to 7 do
+      inputs := [ (a, av); (b, bv) ] :: !inputs
+    done
+  done;
+  check_encoding_on c !inputs
+
+let test_encode_bitwise () =
+  let c = N.create "bitwise" in
+  let a = N.input c ~name:"a" 3 and b = N.input c ~name:"b" 3 in
+  let _x = N.bitand c a b in
+  let _y = N.bitor c a b in
+  let _z = N.bitxor c a b in
+  let inputs = ref [] in
+  for av = 0 to 7 do
+    for bv = 0 to 7 do
+      inputs := [ (a, av); (b, bv) ] :: !inputs
+    done
+  done;
+  check_encoding_on c !inputs
+
+let test_encode_rejects_sequential () =
+  let c = N.create "seq" in
+  let r = N.reg c ~width:2 ~init:0 () in
+  N.connect r r;
+  Alcotest.check_raises "regs rejected"
+    (Invalid_argument "Encode.encode: sequential circuit (unroll first)")
+    (fun () -> ignore (E.encode c))
+
+let test_assume () =
+  let c = N.create "assume" in
+  let a = N.input c ~name:"a" 3 in
+  let p = N.eq_const c a 5 in
+  N.output c "p" p;
+  let enc = E.encode c in
+  let before = P.n_clauses enc.problem in
+  E.assume_bool enc p true;
+  check_int "one clause" (before + 1) (P.n_clauses enc.problem);
+  E.assume_interval enc a (I.make 2 6);
+  check_int "two bound clauses" (before + 3) (P.n_clauses enc.problem);
+  Alcotest.check_raises "assume_bool on word"
+    (Invalid_argument "Encode.assume_bool: word node") (fun () ->
+        E.assume_bool enc a true)
+
+(* property: random circuits, random inputs — encoding matches simulator *)
+let prop_random_circuit =
+  let gen_circuit seed =
+    (* build a random 2-input-word circuit from a seed *)
+    let rng = Random.State.make [| seed |] in
+    let c = N.create "rand" in
+    let a = N.input c ~name:"a" 4 and b = N.input c ~name:"b" 4 in
+    let words = ref [ a; b ] in
+    let bools = ref [] in
+    let pick l = List.nth l (Random.State.int rng (List.length l)) in
+    for _ = 1 to 12 do
+      match Random.State.int rng 8 with
+      | 0 -> words := N.add c (pick !words) (pick !words) :: !words
+      | 1 -> words := N.sub c (pick !words) (pick !words) :: !words
+      | 2 -> bools := N.cmp c (pick [ Ir.Eq; Ir.Lt; Ir.Ge; Ir.Ne ]) (pick !words) (pick !words) :: !bools
+      | 3 ->
+        if !bools <> [] then
+          words := N.mux c ~sel:(pick !bools) ~t:(pick !words) ~e:(pick !words) () :: !words
+      | 4 -> if !bools <> [] then bools := N.not_ c (pick !bools) :: !bools
+      | 5 -> if List.length !bools >= 2 then bools := N.and_ c [ pick !bools; pick !bools ] :: !bools
+      | 6 -> if List.length !bools >= 2 then bools := N.or_ c [ pick !bools; pick !bools ] :: !bools
+      | _ -> words := N.bitxor c (pick !words) (pick !words) :: !words
+    done;
+    (* keep widths uniform: filter to width-4 words for ops above *)
+    (c, a, b)
+  in
+  QCheck.Test.make ~name:"random circuits encode = simulate" ~count:60
+    QCheck.(triple (int_bound 10_000) (int_bound 15) (int_bound 15))
+    (fun (seed, av, bv) ->
+       let c, a, b = gen_circuit seed in
+       let enc = E.encode c in
+       let vals = Sim.eval c (Sim.initial_state c) ~inputs:[ (a, av); (b, bv) ] in
+       let env = env_from_sim enc vals in
+       Result.is_ok (P.check_model enc.problem env))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "constr"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop/shrink/fold" `Quick test_vec_basics;
+          Alcotest.test_case "bounds errors" `Quick test_vec_errors;
+          Alcotest.test_case "of_list/iteri" `Quick test_vec_of_list;
+        ] );
+      ( "types",
+        [
+          Alcotest.test_case "negate_atom" `Quick test_negate_atom;
+          Alcotest.test_case "lin normalize" `Quick test_lin_normalize;
+          Alcotest.test_case "lin ops" `Quick test_lin_ops;
+          Alcotest.test_case "eval" `Quick test_eval;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "basics" `Quick test_problem_basics;
+          Alcotest.test_case "check_model" `Quick test_check_model;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "boolean gates" `Quick test_encode_gates;
+          Alcotest.test_case "arithmetic ops" `Quick test_encode_arith;
+          Alcotest.test_case "comparators" `Quick test_encode_cmp;
+          Alcotest.test_case "bitwise splitting" `Quick test_encode_bitwise;
+          Alcotest.test_case "rejects sequential" `Quick test_encode_rejects_sequential;
+          Alcotest.test_case "assume" `Quick test_assume;
+        ] );
+      qsuite "encode-props" [ prop_random_circuit ];
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the exporters: SMT-LIB 2 and DIMACS. *)
+
+module Ir = Rtlsat_rtl.Ir
+module N = Rtlsat_rtl.Netlist
+module Smtlib = Rtlsat_rtl.Smtlib
+module BB = Rtlsat_baselines.Bitblast
+module Registry = Rtlsat_itc99.Registry
+module Unroll = Rtlsat_bmc.Unroll
+module Bmc = Rtlsat_bmc.Bmc
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let build () =
+  let c = N.create "exp" in
+  let a = N.input c ~name:"a" 4 in
+  let b = N.input c ~name:"b" 4 in
+  let gtb = N.gt c a b in
+  let z = N.mux c ~name:"z" ~sel:gtb ~t:(N.add c a b) ~e:(N.sub c a b) () in
+  N.output c "z" z;
+  (c, a, z)
+
+(* ---- SMT-LIB ---- *)
+
+let test_smtlib_structure () =
+  let c, _, z = build () in
+  let script = Smtlib.export ~assumes:[ (z, 9) ] c in
+  List.iter
+    (fun s -> check_bool ("has " ^ s) true (contains script s))
+    [
+      "(set-logic QF_BV)"; "(declare-const a (_ BitVec 4))";
+      "(declare-const b (_ BitVec 4))"; "(define-fun z () (_ BitVec 4)";
+      "bvadd"; "bvsub"; "bvugt"; "(assert (= z (_ bv9 4)))"; "(check-sat)";
+    ]
+
+let test_smtlib_balanced_parens () =
+  List.iter
+    (fun name ->
+       let inst = Registry.instance ~circuit:name ~prop:(List.hd (Registry.properties name)) ~bound:4 in
+       let combo = Unroll.combo inst.Bmc.unrolled in
+       let script =
+         Smtlib.export ~assumes:[ (inst.Bmc.violation, 1) ] combo
+       in
+       let depth = ref 0 and min_depth = ref 0 in
+       String.iter
+         (fun ch ->
+            if ch = '(' then incr depth
+            else if ch = ')' then begin
+              decr depth;
+              if !depth < !min_depth then min_depth := !depth
+            end)
+         script;
+       check_int (name ^ " balanced") 0 !depth;
+       check_int (name ^ " never negative") 0 !min_depth)
+    Registry.circuits
+
+let test_smtlib_every_op () =
+  (* all operators export without raising and reference defined symbols *)
+  let c = N.create "ops" in
+  let a = N.input c ~name:"a" 4 and b = N.input c ~name:"b" 4 in
+  let s1 = N.input c ~name:"s" 1 in
+  let nodes =
+    [
+      N.add c a b; N.add_ext c a b; N.sub c a b; N.mul_const c 5 a;
+      N.concat c ~hi:a ~lo:b; N.extract c a ~msb:2 ~lsb:1; N.zext c a ~width:6;
+      N.shl c a 2; N.shr c a 1; N.bitand c a b; N.bitor c a b; N.bitxor c a b;
+      N.mux c ~sel:s1 ~t:a ~e:b ();
+    ]
+  in
+  let cmps = List.map (fun op -> N.cmp c op a b) [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ] in
+  List.iteri (fun i n -> N.output c (string_of_int i) n) (nodes @ cmps);
+  let script = Smtlib.export c in
+  List.iter
+    (fun kw -> check_bool ("mentions " ^ kw) true (contains script kw))
+    [ "bvadd"; "bvsub"; "bvmul"; "concat"; "extract"; "zero_extend"; "bvlshr";
+      "bvand"; "bvor"; "bvxor"; "bvult"; "bvule"; "bvugt"; "bvuge"; "distinct" ]
+
+let test_smtlib_rejects () =
+  let c = N.create "seq" in
+  let r = N.reg c ~width:2 ~init:0 () in
+  N.connect r r;
+  Alcotest.check_raises "sequential"
+    (Invalid_argument "Smtlib.export: sequential circuit (unroll first)")
+    (fun () -> ignore (Smtlib.export c));
+  let c, _, z = build () in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Smtlib.export: assumption out of range") (fun () ->
+        ignore (Smtlib.export ~assumes:[ (z, 99) ] c))
+
+(* ---- DIMACS ---- *)
+
+let test_dimacs_header_and_shape () =
+  let c, _, z = build () in
+  let bb = BB.encode c in
+  BB.assume_interval bb z (Rtlsat_interval.Interval.point 9);
+  let text = BB.to_dimacs bb in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  (match lines with
+   | comment :: header :: rest ->
+     check_bool "comment" true (String.length comment > 0 && comment.[0] = 'c');
+     (match String.split_on_char ' ' header with
+      | [ "p"; "cnf"; nv; nc ] ->
+        let nv = int_of_string nv and nc = int_of_string nc in
+        check_bool "vars positive" true (nv > 0);
+        check_int "clause count matches body" nc (List.length rest);
+        (* every clause line ends with 0 and stays within var bounds *)
+        List.iter
+          (fun line ->
+             let toks = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+             let last = List.nth toks (List.length toks - 1) in
+             check_bool "terminated" true (last = "0");
+             List.iter
+               (fun tk ->
+                  let v = abs (int_of_string tk) in
+                  check_bool "var in range" true (v <= nv))
+               toks)
+          rest
+      | _ -> Alcotest.fail "bad header")
+   | _ -> Alcotest.fail "too short")
+
+let test_dimacs_roundtrip_verdict () =
+  (* brute-force the exported CNF and compare with the solver verdict *)
+  let c = N.create "tiny" in
+  let a = N.input c ~name:"a" 2 in
+  let p = N.eq_const c a 3 in
+  N.output c "p" p;
+  let bb = BB.encode c in
+  BB.assume_bool bb p true;
+  let text = BB.to_dimacs bb in
+  (* parse back *)
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "" && l.[0] <> 'c' && l.[0] <> 'p') in
+  let clauses =
+    List.map
+      (fun l ->
+         String.split_on_char ' ' l
+         |> List.filter (( <> ) "")
+         |> List.map int_of_string
+         |> List.filter (( <> ) 0))
+      lines
+  in
+  let nv =
+    List.fold_left (fun acc cl -> List.fold_left (fun a l -> max a (abs l)) acc cl) 0 clauses
+  in
+  check_bool "small enough to brute force" true (nv <= 20);
+  let sat = ref false in
+  for m = 0 to (1 lsl nv) - 1 do
+    if not !sat then begin
+      let value l =
+        let bit = (m lsr (abs l - 1)) land 1 = 1 in
+        if l > 0 then bit else not bit
+      in
+      if List.for_all (fun cl -> List.exists value cl) clauses then sat := true
+    end
+  done;
+  check_bool "dimacs verdict = solver verdict" true (!sat = (BB.solve bb = BB.Sat))
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "smtlib",
+        [
+          Alcotest.test_case "structure" `Quick test_smtlib_structure;
+          Alcotest.test_case "balanced parens on benchmarks" `Quick
+            test_smtlib_balanced_parens;
+          Alcotest.test_case "every operator" `Quick test_smtlib_every_op;
+          Alcotest.test_case "rejections" `Quick test_smtlib_rejects;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "header and clause shape" `Quick
+            test_dimacs_header_and_shape;
+          Alcotest.test_case "verdict round-trip" `Quick test_dimacs_roundtrip_verdict;
+        ] );
+    ]

@@ -1,0 +1,317 @@
+(* Tests for Fourier–Motzkin elimination, the box search and the
+   layered Omega oracle, including randomized equivalence with brute
+   force over small boxes. *)
+
+module F = Rtlsat_fme.Fme
+module Box = Rtlsat_fme.Boxsearch
+module O = Rtlsat_fme.Omega
+module B = Rtlsat_num.Bigint
+
+let check_bool = Alcotest.(check bool)
+
+let feasible = function F.Feasible -> true | F.Infeasible _ -> false
+
+(* ---- FME unit tests ---- *)
+
+let test_constant_ineqs () =
+  check_bool "0<=0" true (feasible (F.check [ F.ineq [] 0 ]));
+  check_bool "1<=0" false (feasible (F.check [ F.ineq [] 1 ]));
+  check_bool "-5<=0" true (feasible (F.check [ F.ineq [] (-5) ]))
+
+let test_simple_elim () =
+  (* x >= 3  ∧  x <= 2  is infeasible *)
+  let sys = [ F.ineq [ (-1, 0) ] 3; F.ineq [ (1, 0) ] (-2) ] in
+  check_bool "x>=3,x<=2" false (feasible (F.check sys));
+  (* x >= 3  ∧  x <= 5  is feasible *)
+  let sys = [ F.ineq [ (-1, 0) ] 3; F.ineq [ (1, 0) ] (-5) ] in
+  check_bool "x>=3,x<=5" true (feasible (F.check sys))
+
+let test_chain () =
+  (* x <= y, y <= z, z <= x - 1: infeasible *)
+  let sys =
+    [
+      F.ineq [ (1, 0); (-1, 1) ] 0;
+      F.ineq [ (1, 1); (-1, 2) ] 0;
+      F.ineq [ (1, 2); (-1, 0) ] 1;
+    ]
+  in
+  check_bool "cycle" false (feasible (F.check sys))
+
+let test_core () =
+  (* tag inequalities; the core must identify the contradicting pair *)
+  let sys =
+    [
+      F.ineq ~origin:[ 10 ] [ (-1, 0) ] 3;       (* x >= 3 *)
+      F.ineq ~origin:[ 20 ] [ (1, 0) ] (-2);     (* x <= 2 *)
+      F.ineq ~origin:[ 30 ] [ (1, 1) ] (-100);   (* irrelevant: y <= 100 *)
+    ]
+  in
+  match F.check sys with
+  | F.Feasible -> Alcotest.fail "expected infeasible"
+  | F.Infeasible core -> Alcotest.(check (list int)) "core" [ 10; 20 ] core
+
+let test_integer_normalization () =
+  (* 2x >= 1 ∧ 2x <= 1 has a real solution (x = 1/2) but no integer
+     one; gcd normalization with floor rounding must refute it *)
+  let sys = [ F.ineq [ (-2, 0) ] 1; F.ineq [ (2, 0) ] (-1) ] in
+  check_bool "2x=1 integer-infeasible" false (feasible (F.check sys))
+
+let test_dark_shadow () =
+  (* dark shadow proves integer feasibility of a wide box *)
+  let sys = [ F.ineq [ (-1, 0) ] 0; F.ineq [ (1, 0) ] (-10) ] in
+  check_bool "dark feasible" true (feasible (F.check ~shadow:`Dark sys))
+
+let test_eq_ineqs () =
+  let le, ge = F.eq_ineqs [ (1, 0); (1, 1) ] (-5) in
+  (* x + y = 5 with x,y >= 0 bounded: feasible *)
+  let sys = [ le; ge; F.ineq [ (-1, 0) ] 0; F.ineq [ (-1, 1) ] 0 ] in
+  check_bool "x+y=5" true (feasible (F.check sys));
+  let sys = sys @ [ F.ineq [ (1, 0) ] (-1); F.ineq [ (1, 1) ] (-1) ] in
+  (* additionally x <= 1, y <= 1: infeasible *)
+  check_bool "x+y=5, x,y<=1" false (feasible (F.check sys))
+
+let test_eval_ineq () =
+  let i = F.ineq [ (2, 0); (-1, 1) ] (-3) in
+  check_bool "sat point" true (F.eval_ineq (function 0 -> 1 | _ -> 0) i);
+  check_bool "unsat point" false (F.eval_ineq (function 0 -> 5 | _ -> 0) i)
+
+let test_budget_exceeded () =
+  (* a dense random-ish system with a 1-combination budget must trip *)
+  let sys =
+    List.concat
+      (List.init 6 (fun i ->
+           [ F.ineq [ (1, i); (1, (i + 1) mod 6) ] (-5);
+             F.ineq [ (-1, i); (-2, (i + 2) mod 6) ] 1 ]))
+  in
+  match F.check ~max_derived:1 sys with
+  | exception F.Budget_exceeded -> ()
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+
+let test_pp_ineq () =
+  let show i = Format.asprintf "%a" F.pp_ineq i in
+  Alcotest.(check string) "mixed" "x0 - 2*x1 + 3 <= 0"
+    (show (F.ineq [ (1, 0); (-2, 1) ] 3));
+  Alcotest.(check string) "constant" "-4 <= 0" (show (F.ineq [] (-4)));
+  Alcotest.(check string) "normalized" "x0 - 1 <= 0"
+    (show (F.ineq [ (3, 0) ] (-5)))
+  (* 3x <= 5 tightens to x <= 1 over the integers *)
+
+(* ---- Boxsearch unit tests ---- *)
+
+let test_box_propagate () =
+  (* x - z < 0 (i.e. x - z + 1 <= 0) over <0,15>²: the paper's
+     Equations (2)-(3): x ∈ <0,14>, z ∈ <1,15> *)
+  let bounds = [| (0, 15); (0, 15) |] in
+  match Box.propagate_bounds ~bounds [ Box.lin [ (1, 0); (-1, 1) ] 1 ] with
+  | None -> Alcotest.fail "should not be empty"
+  | Some b ->
+    Alcotest.(check (pair int int)) "x" (0, 14) b.(0);
+    Alcotest.(check (pair int int)) "z" (1, 15) b.(1)
+
+let test_box_point () =
+  (* x + y = 7, x - y = 1 → x=4, y=3 *)
+  let e1a, e1b = Box.lin_eq [ (1, 0); (1, 1) ] (-7) in
+  let e2a, e2b = Box.lin_eq [ (1, 0); (-1, 1) ] (-1) in
+  match Box.solve ~bounds:[| (0, 15); (0, 15) |] [ e1a; e1b; e2a; e2b ] with
+  | Box.Point p ->
+    Alcotest.(check int) "x" 4 p.(0);
+    Alcotest.(check int) "y" 3 p.(1)
+  | _ -> Alcotest.fail "expected point"
+
+let test_box_empty () =
+  (* 3x = 7 has no integer solution in <0,10> *)
+  let a, b = Box.lin_eq [ (3, 0) ] (-7) in
+  match Box.solve ~bounds:[| (0, 10) |] [ a; b ] with
+  | Box.Empty -> ()
+  | _ -> Alcotest.fail "expected empty"
+
+let test_box_limit () =
+  let a = Box.lin [ (1, 0); (1, 1) ] (-100000) in
+  match Box.solve ~max_nodes:1 ~bounds:[| (0, 100000); (0, 100000) |] [ a ] with
+  | Box.Limit | Box.Point _ -> () (* fixpoint may solve at the root *)
+  | Box.Empty -> Alcotest.fail "not empty"
+
+(* ---- Omega unit tests ---- *)
+
+let test_omega_sat_witness () =
+  let lins = [ Box.lin [ (2, 0); (3, 1) ] (-12) ] in
+  (* 2x + 3y >= ... wait: 2x+3y <= 12; also x >= 2 via bounds *)
+  match O.decide ~bounds:[| (2, 10); (0, 10) |] lins with
+  | O.Sat p ->
+    check_bool "witness" true ((2 * p.(0)) + (3 * p.(1)) <= 12 && p.(0) >= 2)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_omega_unsat_core_bounds () =
+  (* x <= 3 constraint vs bound x >= 5: core mentions ineq 0 and var 0 *)
+  let lins = [ Box.lin [ (1, 0) ] (-3) ] in
+  match O.decide ~bounds:[| (5, 10) |] lins with
+  | O.Unsat core ->
+    check_bool "mentions constraint" true (List.mem 0 core);
+    check_bool "mentions var bound" true (List.mem (-1) core)
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_omega_empty_bounds () =
+  match O.decide ~bounds:[| (0, 3); (7, 2) |] [] with
+  | O.Unsat core -> Alcotest.(check (list int)) "core is var 1" [ -2 ] core
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_omega_integer_gap () =
+  (* 2 <= 2x <= 3 ∧ 2x odd-ish gap: 2x >= 3 and 2x <= 3 → x = 3/2 *)
+  let lins = [ Box.lin [ (-2, 0) ] 3; Box.lin [ (2, 0) ] (-3) ] in
+  match O.decide ~bounds:[| (0, 10) |] lins with
+  | O.Unsat _ -> ()
+  | _ -> Alcotest.fail "expected unsat (no integer point)"
+
+(* ---- randomized equivalence with brute force ---- *)
+
+let gen_system =
+  QCheck.make
+    ~print:(fun (n, lins) ->
+        String.concat "; "
+          (List.map
+             (fun (coeffs, c) ->
+                String.concat "+"
+                  (List.map (fun (k, v) -> Printf.sprintf "%d*x%d" k v) coeffs)
+                ^ Printf.sprintf "%+d<=0" c)
+             lins)
+        ^ Printf.sprintf " [n=%d]" n)
+    QCheck.Gen.(
+      let* n = int_range 1 4 in
+      let* n_ineqs = int_range 1 6 in
+      let gen_term = map2 (fun c v -> (c, v)) (int_range (-3) 3) (int_bound (n - 1)) in
+      let gen_ineq =
+        map2 (fun ts c -> (ts, c)) (list_size (int_range 1 3) gen_term) (int_range (-10) 10)
+      in
+      let* lins = list_size (return n_ineqs) gen_ineq in
+      return (n, lins))
+
+let brute_force n lins lo hi =
+  (* exhaustive over [lo,hi]^n *)
+  let sat = ref None in
+  let point = Array.make n lo in
+  let rec go v =
+    if !sat <> None then ()
+    else if v = n then begin
+      let ok =
+        List.for_all
+          (fun (coeffs, c) ->
+             List.fold_left (fun acc (k, u) -> acc + (k * point.(u))) c coeffs <= 0)
+          lins
+      in
+      if ok then sat := Some (Array.copy point)
+    end
+    else
+      for x = lo to hi do
+        point.(v) <- x;
+        go (v + 1)
+      done
+  in
+  go 0;
+  !sat
+
+let prop_omega_matches_brute =
+  QCheck.Test.make ~name:"omega = brute force on small boxes" ~count:300 gen_system
+    (fun (n, raw) ->
+       let lins = List.map (fun (coeffs, c) -> Box.lin coeffs c) raw in
+       let bounds = Array.make n (0, 5) in
+       let bf = brute_force n raw 0 5 in
+       match O.decide ~bounds lins with
+       | O.Sat p ->
+         bf <> None
+         && List.for_all
+              (fun (coeffs, c) ->
+                 List.fold_left (fun acc (k, u) -> acc + (k * p.(u))) c coeffs <= 0)
+              raw
+         && Array.for_all (fun x -> x >= 0 && x <= 5) p
+       | O.Unsat _ -> bf = None
+       | O.Unknown -> QCheck.assume_fail ())
+
+let prop_fme_real_sound =
+  (* if FME says infeasible, brute force must find nothing *)
+  QCheck.Test.make ~name:"FME infeasible => no integer point" ~count:300 gen_system
+    (fun (n, raw) ->
+       let sys =
+         List.map (fun (coeffs, c) -> F.ineq coeffs c) raw
+         @ List.concat
+             (List.init n (fun v ->
+                  [ F.ineq [ (1, v) ] (-5); F.ineq [ (-1, v) ] 0 ]))
+       in
+       match F.check sys with
+       | F.Infeasible _ -> brute_force n raw 0 5 = None
+       | F.Feasible -> true)
+
+let prop_dark_shadow_complete =
+  (* if the dark shadow is feasible, an integer point must exist *)
+  QCheck.Test.make ~name:"dark feasible => integer point exists" ~count:300 gen_system
+    (fun (n, raw) ->
+       let sys =
+         List.map (fun (coeffs, c) -> F.ineq coeffs c) raw
+         @ List.concat
+             (List.init n (fun v ->
+                  [ F.ineq [ (1, v) ] (-5); F.ineq [ (-1, v) ] 0 ]))
+       in
+       match F.check ~shadow:`Dark sys with
+       | F.Feasible -> brute_force n raw 0 5 <> None
+       | F.Infeasible _ -> true)
+
+let prop_core_is_unsat =
+  (* restricting the system to its core must still be infeasible *)
+  QCheck.Test.make ~name:"unsat core is itself infeasible" ~count:300 gen_system
+    (fun (n, raw) ->
+       let tagged =
+         List.mapi (fun i (coeffs, c) -> F.ineq ~origin:[ i ] coeffs c) raw
+         @ List.concat
+             (List.init n (fun v ->
+                  [
+                    F.ineq ~origin:[ 1000 + v ] [ (1, v) ] (-5);
+                    F.ineq ~origin:[ 1000 + v ] [ (-1, v) ] 0;
+                  ]))
+       in
+       match F.check tagged with
+       | F.Feasible -> true
+       | F.Infeasible core ->
+         let sub =
+           List.filter
+             (fun (i : F.ineq) -> List.exists (fun o -> List.mem o core) i.F.origin)
+             tagged
+         in
+         (match F.check sub with F.Infeasible _ -> true | F.Feasible -> false))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "fme"
+    [
+      ( "fme",
+        [
+          Alcotest.test_case "constants" `Quick test_constant_ineqs;
+          Alcotest.test_case "single var" `Quick test_simple_elim;
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "unsat core" `Quick test_core;
+          Alcotest.test_case "integer normalization" `Quick test_integer_normalization;
+          Alcotest.test_case "dark shadow" `Quick test_dark_shadow;
+          Alcotest.test_case "equalities" `Quick test_eq_ineqs;
+          Alcotest.test_case "eval" `Quick test_eval_ineq;
+          Alcotest.test_case "budget exception" `Quick test_budget_exceeded;
+          Alcotest.test_case "pretty printer" `Quick test_pp_ineq;
+        ] );
+      ( "boxsearch",
+        [
+          Alcotest.test_case "paper eq2/3 narrowing" `Quick test_box_propagate;
+          Alcotest.test_case "point solving" `Quick test_box_point;
+          Alcotest.test_case "integer gap" `Quick test_box_empty;
+          Alcotest.test_case "node limit" `Quick test_box_limit;
+        ] );
+      ( "omega",
+        [
+          Alcotest.test_case "sat witness" `Quick test_omega_sat_witness;
+          Alcotest.test_case "unsat core tags" `Quick test_omega_unsat_core_bounds;
+          Alcotest.test_case "empty bounds" `Quick test_omega_empty_bounds;
+          Alcotest.test_case "integer gap" `Quick test_omega_integer_gap;
+        ] );
+      qsuite "props"
+        [
+          prop_omega_matches_brute; prop_fme_real_sound; prop_dark_shadow_complete;
+          prop_core_is_unsat;
+        ];
+    ]

@@ -1,0 +1,146 @@
+(* Unit and property tests for Interval. *)
+
+module I = Rtlsat_interval.Interval
+
+let iv lo hi = I.make lo hi
+
+let check_iv msg expected actual =
+  Alcotest.(check string) msg (I.to_string expected) (I.to_string actual)
+
+let check_iv_opt msg expected actual =
+  let show = function None -> "empty" | Some i -> I.to_string i in
+  Alcotest.(check string) msg (show expected) (show actual)
+
+let test_make () =
+  Alcotest.check_raises "lo>hi" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (I.make 3 2));
+  Alcotest.(check int) "size" 4 (I.size (iv 2 5));
+  Alcotest.(check bool) "point" true (I.is_point (I.point 7))
+
+let test_of_width () =
+  check_iv "w3" (iv 0 7) (I.of_width 3);
+  check_iv "w1" (iv 0 1) (I.of_width 1);
+  Alcotest.check_raises "w0" (Invalid_argument "Interval.of_width") (fun () ->
+      ignore (I.of_width 0))
+
+let test_mem_subset () =
+  Alcotest.(check bool) "mem" true (I.mem 3 (iv 1 5));
+  Alcotest.(check bool) "not mem" false (I.mem 6 (iv 1 5));
+  Alcotest.(check bool) "subset" true (I.subset (iv 2 3) (iv 1 5));
+  Alcotest.(check bool) "not subset" false (I.subset (iv 0 3) (iv 1 5))
+
+let test_inter_hull () =
+  check_iv_opt "overlap" (Some (iv 3 5)) (I.inter (iv 1 5) (iv 3 8));
+  check_iv_opt "disjoint" None (I.inter (iv 1 2) (iv 4 5));
+  Alcotest.(check bool) "disjoint" true (I.disjoint (iv 1 2) (iv 4 5));
+  check_iv "hull" (iv 1 8) (I.hull (iv 1 2) (iv 4 8))
+
+let test_arith () =
+  check_iv "add" (iv 5 9) (I.add (iv 1 4) (iv 4 5));
+  check_iv "sub" (iv (-4) 1) (I.sub (iv 1 4) (iv 3 5));
+  check_iv "neg" (iv (-4) (-1)) (I.neg (iv 1 4));
+  check_iv "mulc pos" (iv 3 12) (I.mul_const 3 (iv 1 4));
+  check_iv "mulc neg" (iv (-12) (-3)) (I.mul_const (-3) (iv 1 4));
+  check_iv "mul" (iv (-8) 12) (I.mul (iv (-2) 3) (iv 1 4))
+
+let test_shift () =
+  check_iv "shl" (iv 4 16) (I.shift_left (iv 1 4) 2);
+  check_iv "shr" (iv 1 3) (I.shift_right (iv 5 15) 2);
+  check_iv "shr neg" (iv (-2) 1) (I.shift_right (iv (-7) 5) 2)
+
+let test_remove () =
+  let show l = String.concat ";" (List.map I.to_string l) in
+  Alcotest.(check string) "middle" "<1,2>;<6,9>"
+    (show (I.remove (iv 1 9) (iv 3 5)));
+  Alcotest.(check string) "prefix" "<6,9>" (show (I.remove (iv 1 9) (iv 0 5)));
+  Alcotest.(check string) "all" "" (show (I.remove (iv 1 9) (iv 0 10)))
+
+let test_clamp () =
+  check_iv_opt "lo" (Some (iv 3 5)) (I.clamp_lo 3 (iv 1 5));
+  check_iv_opt "lo empty" None (I.clamp_lo 6 (iv 1 5));
+  check_iv_opt "hi" (Some (iv 1 3)) (I.clamp_hi 3 (iv 1 5))
+
+let test_seq_and_value () =
+  Alcotest.(check (list int)) "to_seq" [ 2; 3; 4 ] (List.of_seq (I.to_seq (iv 2 4)));
+  Alcotest.(check (option int)) "value point" (Some 7) (I.value (I.point 7));
+  Alcotest.(check (option int)) "value range" None (I.value (iv 1 2));
+  Alcotest.(check string) "pp point" "<7>" (I.to_string (I.point 7));
+  Alcotest.(check string) "pp range" "<1,2>" (I.to_string (iv 1 2))
+
+let test_equation2_narrowing () =
+  (* the paper's Equation (2)/(3) example:
+     x - z < 0, x ∈ <0,15>, z ∈ <0,15>  ⟹  x ∈ <0,14>, z ∈ <1,15> *)
+  let x = iv 0 15 and z = iv 0 15 in
+  let x' = I.clamp_hi (I.hi z - 1) x and z' = I.clamp_lo (I.lo x + 1) z in
+  check_iv_opt "x narrowed" (Some (iv 0 14)) x';
+  check_iv_opt "z narrowed" (Some (iv 1 15)) z'
+
+(* ---- properties: extended ops are the exact image hulls ---- *)
+
+let arb_iv =
+  QCheck.map
+    (fun (a, b) -> if a <= b then iv a b else iv b a)
+    QCheck.(pair (int_range (-30) 30) (int_range (-30) 30))
+
+let exact_image f a b =
+  let vals =
+    Seq.concat_map (fun x -> Seq.map (fun y -> f x y) (I.to_seq b)) (I.to_seq a)
+  in
+  let lo = Seq.fold_left min max_int vals and hi = Seq.fold_left max min_int vals in
+  iv lo hi
+
+let prop_exact op f name =
+  QCheck.Test.make ~name ~count:200 (QCheck.pair arb_iv arb_iv)
+    (fun (a, b) -> I.equal (op a b) (exact_image f a b))
+
+let prop_add = prop_exact I.add ( + ) "add is exact hull"
+let prop_sub = prop_exact I.sub ( - ) "sub is exact hull"
+let prop_mul = prop_exact I.mul ( * ) "mul is exact hull (Equation 1)"
+
+let prop_inter_sound =
+  QCheck.Test.make ~name:"inter = set intersection" ~count:200
+    (QCheck.triple arb_iv arb_iv (QCheck.int_range (-40) 40))
+    (fun (a, b, v) ->
+       let in_inter = match I.inter a b with None -> false | Some i -> I.mem v i in
+       in_inter = (I.mem v a && I.mem v b))
+
+let prop_remove_partition =
+  QCheck.Test.make ~name:"remove partitions membership" ~count:200
+    (QCheck.triple arb_iv arb_iv (QCheck.int_range (-40) 40))
+    (fun (a, b, v) ->
+       let in_removed = List.exists (I.mem v) (I.remove a b) in
+       in_removed = (I.mem v a && not (I.mem v b)))
+
+let prop_shr_exact =
+  QCheck.Test.make ~name:"shift_right is exact hull" ~count:200
+    (QCheck.pair arb_iv (QCheck.int_range 0 4))
+    (fun (a, k) ->
+       let f v = if v >= 0 then v lsr k else -(((-v) + (1 lsl k) - 1) lsr k) in
+       let img = List.of_seq (Seq.map f (I.to_seq a)) in
+       I.equal (I.shift_right a k)
+         (iv (List.fold_left min max_int img) (List.fold_left max min_int img)))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make/size/point" `Quick test_make;
+          Alcotest.test_case "of_width" `Quick test_of_width;
+          Alcotest.test_case "mem/subset" `Quick test_mem_subset;
+          Alcotest.test_case "inter/hull" `Quick test_inter_hull;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "paper equation 2/3" `Quick test_equation2_narrowing;
+          Alcotest.test_case "to_seq/value/pp" `Quick test_seq_and_value;
+        ] );
+      qsuite "props"
+        [
+          prop_add; prop_sub; prop_mul; prop_inter_sound; prop_remove_partition;
+          prop_shr_exact;
+        ];
+    ]

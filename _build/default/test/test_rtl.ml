@@ -1,0 +1,246 @@
+(* Tests for the RTL IR: builder discipline, simulator semantics,
+   structural analyses. *)
+
+module Ir = Rtlsat_rtl.Ir
+module N = Rtlsat_rtl.Netlist
+module Sim = Rtlsat_rtl.Sim
+module S = Rtlsat_rtl.Structure
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* a small combinational circuit: z = (a > b) ? a+b : a-b over 4-bit words *)
+let build_combo () =
+  let c = N.create "combo" in
+  let a = N.input c ~name:"a" 4 in
+  let b = N.input c ~name:"b" 4 in
+  let gtb = N.gt c a b in
+  let s = N.add c a b in
+  let d = N.sub c a b in
+  let z = N.mux c ~sel:gtb ~t:s ~e:d () in
+  N.output c "z" z;
+  (c, a, b, z)
+
+let test_builder_widths () =
+  let c = N.create "w" in
+  let a = N.input c 4 and b = N.input c 3 in
+  Alcotest.check_raises "add mismatch" (Invalid_argument "add: width mismatch")
+    (fun () -> ignore (N.add c a b));
+  let x = N.input c 1 in
+  Alcotest.check_raises "and word" (Invalid_argument "and: Boolean operand expected")
+    (fun () -> ignore (N.and_ c [ a; x ]));
+  Alcotest.check_raises "1-ary or" (Invalid_argument "or: needs >= 2 operands")
+    (fun () -> ignore (N.or_ c [ x ]));
+  Alcotest.check_raises "const range" (Invalid_argument "Netlist.const: value out of range")
+    (fun () -> ignore (N.const c ~width:3 8));
+  Alcotest.check_raises "extract range" (Invalid_argument "extract: bad range")
+    (fun () -> ignore (N.extract c a ~msb:4 ~lsb:0))
+
+let test_derived_widths () =
+  let c = N.create "w2" in
+  let a = N.input c 4 and b = N.input c 4 in
+  check_int "add wrap" 4 (N.add c a b).Ir.width;
+  check_int "add ext" 5 (N.add_ext c a b).Ir.width;
+  check_int "mulc 3" 6 (N.mul_const c 3 a).Ir.width;
+  check_int "concat" 8 (N.concat c ~hi:a ~lo:b).Ir.width;
+  check_int "extract" 2 (N.extract c a ~msb:2 ~lsb:1).Ir.width;
+  check_int "shl" 6 (N.shl c a 2).Ir.width;
+  check_int "shr" 4 (N.shr c a 2).Ir.width;
+  check_int "cmp" 1 (N.lt c a b).Ir.width;
+  check_int "zext" 7 (N.zext c a ~width:7).Ir.width
+
+let test_sim_combo () =
+  let c, a, b, z = build_combo () in
+  let run av bv =
+    let vals = Sim.eval c (Sim.initial_state c) ~inputs:[ (a, av); (b, bv) ] in
+    Sim.value vals z
+  in
+  check_int "gt branch" ((9 + 3) land 15) (run 9 3);
+  check_int "le branch" ((3 - 9) land 15) (run 3 9);
+  check_int "eq branch" 0 (run 5 5)
+
+let test_sim_ops () =
+  let c = N.create "ops" in
+  let a = N.input c ~name:"a" 4 in
+  let b = N.input c ~name:"b" 4 in
+  let nodes =
+    [
+      ("concat", N.concat c ~hi:a ~lo:b, fun x y -> (x lsl 4) lor y);
+      ("extract", N.extract c a ~msb:2 ~lsb:1, fun x _ -> (x lsr 1) land 3);
+      ("mulc", N.mul_const c 5 a, fun x _ -> 5 * x);
+      ("shl", N.shl c a 2, fun x _ -> x lsl 2);
+      ("shr", N.shr c a 2, fun x _ -> x lsr 2);
+      ("zext", N.zext c a ~width:6, fun x _ -> x);
+      ("bitand", N.bitand c a b, fun x y -> x land y);
+      ("bitor", N.bitor c a b, fun x y -> x lor y);
+      ("bitxor", N.bitxor c a b, fun x y -> x lxor y);
+      ("sub", N.sub c a b, fun x y -> (x - y) land 15);
+      ("addext", N.add_ext c a b, fun x y -> x + y);
+    ]
+  in
+  for av = 0 to 15 do
+    for bv = 0 to 15 do
+      let vals = Sim.eval c (Sim.initial_state c) ~inputs:[ (a, av); (b, bv) ] in
+      List.iter
+        (fun (msg, n, f) ->
+           check_int (Printf.sprintf "%s %d %d" msg av bv) (f av bv) (Sim.value vals n))
+        nodes
+    done
+  done
+
+let test_derived_gates () =
+  let c = N.create "derived" in
+  let a = N.input c ~name:"a" 1 and b = N.input c ~name:"b" 1 in
+  let gates =
+    [
+      ("nand", N.nand_ c [ a; b ], fun x y -> 1 - (x land y));
+      ("nor", N.nor_ c [ a; b ], fun x y -> 1 - (x lor y));
+      ("xnor", N.xnor_ c a b, fun x y -> 1 - (x lxor y));
+      ("implies", N.implies c a b, fun x y -> if x = 1 && y = 0 then 0 else 1);
+    ]
+  in
+  let w = N.input c ~name:"w" 4 in
+  let bit2 = N.bit c w 2 in
+  for av = 0 to 1 do
+    for bv = 0 to 1 do
+      let vals = Sim.eval c (Sim.initial_state c) ~inputs:[ (a, av); (b, bv); (w, 13) ] in
+      List.iter
+        (fun (msg, n, f) ->
+           check_int (Printf.sprintf "%s %d %d" msg av bv) (f av bv) (Sim.value vals n))
+        gates;
+      check_int "bit extraction" 1 (Sim.value vals bit2)
+    done
+  done
+
+let test_pretty_printers () =
+  let c, _, _, _ = build_combo () in
+  let text = Format.asprintf "%a" Ir.pp_circuit c in
+  check_bool "mentions circuit" true
+    (String.length text > 0 && String.sub text 0 7 = "circuit");
+  List.iter
+    (fun needle ->
+       check_bool ("mentions " ^ needle) true
+         (let n = String.length text and m = String.length needle in
+          let rec go i = i + m <= n && (String.sub text i m = needle || go (i + 1)) in
+          go 0))
+    [ "mux"; "add"; "cmp >"; "output z" ]
+
+let test_sim_sequential () =
+  (* 3-bit counter with enable; check wrap-around *)
+  let c = N.create "counter" in
+  let en = N.input c ~name:"en" 1 in
+  let cnt = N.reg c ~name:"cnt" ~width:3 ~init:0 () in
+  let next = N.mux c ~sel:en ~t:(N.inc c cnt) ~e:cnt () in
+  N.connect cnt next;
+  N.output c "cnt" cnt;
+  let traces = Sim.run c ~inputs:(List.init 10 (fun i -> [ (en, if i = 4 then 0 else 1) ])) in
+  let values = List.map (fun vals -> Sim.value vals cnt) traces in
+  Alcotest.(check (list int)) "counter trace" [ 0; 1; 2; 3; 4; 4; 5; 6; 7; 0 ] values
+
+let test_connect_errors () =
+  let c = N.create "r" in
+  let r = N.reg c ~width:2 ~init:0 () in
+  let x = N.input c 3 in
+  Alcotest.check_raises "width" (Invalid_argument "connect: width mismatch")
+    (fun () -> N.connect r x);
+  let y = N.input c 2 in
+  N.connect r y;
+  Alcotest.check_raises "double" (Invalid_argument "connect: register already connected")
+    (fun () -> N.connect r y);
+  Alcotest.check_raises "not reg" (Invalid_argument "connect: not a register")
+    (fun () -> N.connect x x)
+
+let test_levels () =
+  let c, a, b, z = build_combo () in
+  let lvl = S.levels c in
+  check_int "input level" 0 lvl.(a.Ir.id);
+  check_int "input level" 0 lvl.(b.Ir.id);
+  check_int "mux is deepest" 2 lvl.(z.Ir.id)
+
+let test_fanout () =
+  let c, a, _, _ = build_combo () in
+  let fo = S.fanout_counts c in
+  (* a feeds gt, add, sub *)
+  check_int "fanout a" 3 fo.(a.Ir.id)
+
+let test_coi () =
+  let c = N.create "coi" in
+  let a = N.input c 4 and b = N.input c 4 in
+  let s = N.add c a a in
+  let t = N.sub c b b in
+  let mark = S.coi c [ s ] in
+  check_bool "a in coi" true mark.(a.Ir.id);
+  check_bool "b not in coi" false mark.(b.Ir.id);
+  check_bool "t not in coi" false mark.(t.Ir.id)
+
+let test_coi_through_regs () =
+  let c = N.create "coi_seq" in
+  let a = N.input c 2 in
+  let r = N.reg c ~width:2 ~init:0 () in
+  N.connect r a;
+  let z = N.inc c r in
+  N.output c "z" z;
+  let with_regs = S.coi ~through_regs:true c [ z ] in
+  let without = S.coi ~through_regs:false c [ z ] in
+  check_bool "a reached through reg" true with_regs.(a.Ir.id);
+  check_bool "a cut at reg" false without.(a.Ir.id)
+
+let test_predicates () =
+  let c, a, b, _ = build_combo () in
+  let roots = S.predicate_roots c in
+  (* the comparator (which is also the mux select) is the only predicate *)
+  check_int "one predicate root" 1 (List.length roots);
+  let cone = S.predicate_cone c in
+  check_bool "cmp in cone" true (List.for_all (fun n -> cone.(n.Ir.id)) roots);
+  check_bool "a not in cone" false cone.(a.Ir.id);
+  ignore b
+
+let test_candidate_gates_order () =
+  let c = N.create "cand" in
+  let x = N.input c ~name:"x" 1 and y = N.input c ~name:"y" 1 in
+  let g1 = N.and_ c [ x; y ] in
+  let g2 = N.or_ c [ g1; x ] in
+  let w = N.input c 3 in
+  let z = N.mux c ~sel:g2 ~t:w ~e:(N.const c ~width:3 0) () in
+  N.output c "z" z;
+  let cands = S.candidate_gates c in
+  check_int "two candidates" 2 (List.length cands);
+  (* level order: g1 before g2 *)
+  Alcotest.(check (list int)) "order" [ g1.Ir.id; g2.Ir.id ]
+    (List.map (fun n -> n.Ir.id) cands)
+
+let test_op_counts () =
+  let c, _, _, _ = build_combo () in
+  let arith, boolean = S.op_counts c in
+  (* gt, add, sub, mux are arithmetic/word ops; no Boolean gates *)
+  check_int "arith" 4 arith;
+  check_int "bool" 0 boolean
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "width checks" `Quick test_builder_widths;
+          Alcotest.test_case "derived widths" `Quick test_derived_widths;
+          Alcotest.test_case "connect errors" `Quick test_connect_errors;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "combo mux/cmp/add" `Quick test_sim_combo;
+          Alcotest.test_case "all ops exhaustive" `Quick test_sim_ops;
+          Alcotest.test_case "sequential counter" `Quick test_sim_sequential;
+          Alcotest.test_case "derived gates" `Quick test_derived_gates;
+          Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "fanout" `Quick test_fanout;
+          Alcotest.test_case "coi" `Quick test_coi;
+          Alcotest.test_case "coi through regs" `Quick test_coi_through_regs;
+          Alcotest.test_case "predicate roots/cone" `Quick test_predicates;
+          Alcotest.test_case "candidate gates order" `Quick test_candidate_gates_order;
+          Alcotest.test_case "op counts" `Quick test_op_counts;
+        ] );
+    ]

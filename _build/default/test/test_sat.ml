@@ -1,0 +1,244 @@
+(* Tests for the standalone CDCL solver: unit cases and randomized
+   equivalence against a brute-force model enumerator. *)
+
+module C = Rtlsat_sat.Cdcl
+
+let check_bool = Alcotest.(check bool)
+
+let mk n_vars clauses =
+  let s = C.create () in
+  let vars = Array.init n_vars (fun _ -> C.new_var s) in
+  List.iter
+    (fun cl ->
+       C.add_clause s
+         (List.map (fun l -> if l > 0 then C.pos vars.(l - 1) else C.neg vars.(-l - 1)) cl))
+    clauses;
+  (s, vars)
+
+let is_sat = function C.Sat -> true | C.Unsat -> false | C.Timeout -> failwith "timeout"
+
+let test_lit_encoding () =
+  Alcotest.(check int) "var" 7 (C.lit_var (C.pos 7));
+  Alcotest.(check int) "var neg" 7 (C.lit_var (C.neg 7));
+  check_bool "sign" true (C.lit_sign (C.pos 7));
+  check_bool "sign neg" false (C.lit_sign (C.neg 7));
+  Alcotest.(check int) "double negation" (C.pos 3) (C.lit_not (C.lit_not (C.pos 3)))
+
+let test_trivial_sat () =
+  let s, vars = mk 2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  check_bool "sat" true (is_sat (C.solve s));
+  check_bool "v2 true" true (C.value s vars.(1))
+
+let test_trivial_unsat () =
+  let s, _ = mk 1 [ [ 1 ]; [ -1 ] ] in
+  check_bool "unsat" false (is_sat (C.solve s))
+
+let test_empty_clause () =
+  let s, _ = mk 1 [ [] ] in
+  check_bool "unsat" false (is_sat (C.solve s))
+
+let test_unsat_chain () =
+  (* pigeonhole-ish small unsat: x1=x2, x2=x3, x1<>x3 *)
+  let s, _ =
+    mk 3 [ [ -1; 2 ]; [ 1; -2 ]; [ -2; 3 ]; [ 2; -3 ]; [ 1; 3 ]; [ -1; -3 ] ]
+  in
+  check_bool "unsat" false (is_sat (C.solve s))
+
+let test_model_satisfies () =
+  let clauses = [ [ 1; -2; 3 ]; [ -1; 2 ]; [ 2; 3 ]; [ -3; -2; 1 ] ] in
+  let s, vars = mk 3 clauses in
+  check_bool "sat" true (is_sat (C.solve s));
+  let value l = if l > 0 then C.value s vars.(l - 1) else not (C.value s vars.(-l - 1)) in
+  List.iter (fun cl -> check_bool "clause satisfied" true (List.exists value cl)) clauses
+
+let test_assumptions () =
+  let s, vars = mk 2 [ [ 1; 2 ] ] in
+  check_bool "sat under a" true (is_sat (C.solve ~assumptions:[ C.neg vars.(0) ] s));
+  check_bool "v2 forced" true (C.value s vars.(1));
+  check_bool "unsat under both neg" false
+    (is_sat (C.solve ~assumptions:[ C.neg vars.(0); C.neg vars.(1) ] s));
+  (* solver state survives: still sat without assumptions *)
+  check_bool "sat again" true (is_sat (C.solve s))
+
+let test_incremental_clauses () =
+  let s, vars = mk 2 [ [ 1; 2 ] ] in
+  check_bool "sat" true (is_sat (C.solve s));
+  C.add_clause s [ C.neg vars.(0) ];
+  C.add_clause s [ C.neg vars.(1) ];
+  check_bool "now unsat" false (is_sat (C.solve s))
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small UNSAT needing real search *)
+  let var p h = (p * 2) + h + 1 in
+  let clauses =
+    List.concat_map (fun p -> [ [ var p 0; var p 1 ] ]) [ 0; 1; 2 ]
+    @ List.concat_map
+        (fun h ->
+           [ [ -var 0 h; -var 1 h ]; [ -var 0 h; -var 2 h ]; [ -var 1 h; -var 2 h ] ])
+        [ 0; 1 ]
+  in
+  let s, _ = mk 6 clauses in
+  check_bool "php(3,2) unsat" false (is_sat (C.solve s))
+
+let test_timeout () =
+  (* php(8,7) is hard enough that a 0-second deadline must trigger *)
+  let n = 8 in
+  let var p h = (p * (n - 1)) + h + 1 in
+  let clauses =
+    List.concat_map (fun p -> [ List.init (n - 1) (fun h -> var p h) ])
+      (List.init n (fun p -> p))
+    @ List.concat_map
+        (fun h ->
+           List.concat_map
+             (fun p1 ->
+                List.filter_map
+                  (fun p2 -> if p1 < p2 then Some [ -var p1 h; -var p2 h ] else None)
+                  (List.init n (fun p -> p)))
+             (List.init n (fun p -> p)))
+        (List.init (n - 1) (fun h -> h))
+  in
+  let s, _ = mk (n * (n - 1)) clauses in
+  match C.solve ~deadline:(Unix.gettimeofday () -. 1.0) s with
+  | C.Timeout -> ()
+  | C.Unsat -> () (* solved faster than the first deadline poll: also fine *)
+  | C.Sat -> Alcotest.fail "php must not be sat"
+
+(* ---- DIMACS front end ---- *)
+
+module D = Rtlsat_sat.Dimacs
+
+let test_dimacs_parse () =
+  let n, cls = D.parse "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  Alcotest.(check int) "vars" 3 n;
+  Alcotest.(check int) "clauses" 2 (List.length cls);
+  Alcotest.(check (list (list int))) "content" [ [ 1; -2 ]; [ 2; 3 ] ] cls
+
+let test_dimacs_multiline_clause () =
+  (* clauses may span lines; a missing final 0 is tolerated *)
+  let _, cls = D.parse "p cnf 2 1\n1\n-2\n0\n" in
+  Alcotest.(check (list (list int))) "span" [ [ 1; -2 ] ] cls;
+  let _, cls = D.parse "p cnf 2 1\n1 2" in
+  Alcotest.(check (list (list int))) "no trailing zero" [ [ 1; 2 ] ] cls
+
+let test_dimacs_errors () =
+  let expect text =
+    match D.parse text with
+    | exception Failure m ->
+      check_bool "line prefix" true (String.length m > 5 && String.sub m 0 5 = "line ")
+    | _ -> Alcotest.fail "expected failure"
+  in
+  expect "1 2 0\n";                 (* clause before header *)
+  expect "p cnf x 2\n";             (* bad count *)
+  expect "p cnf 2 1\n1 5 0\n";     (* literal out of range *)
+  expect "p cnf 2 1\n1 foo 0\n"    (* bad literal *)
+
+let test_dimacs_solve () =
+  (match D.solve_text "p cnf 2 2\n1 2 0\n-1 0\n" with
+   | `Sat model ->
+     check_bool "model" true (model.(1) && not model.(0))
+   | _ -> Alcotest.fail "sat expected");
+  (match D.solve_text "p cnf 1 2\n1 0\n-1 0\n" with
+   | `Unsat -> ()
+   | _ -> Alcotest.fail "unsat expected");
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  D.print_result fmt (`Sat [| true; false |]);
+  Format.pp_print_flush fmt ();
+  Alcotest.(check string) "v-line" "s SATISFIABLE\nv 1 -2 0\n" (Buffer.contents buf)
+
+let test_clause_access () =
+  let s, _ = mk 3 [ [ 1; 2 ]; [ -1; 3 ]; [ 2 ] ] in
+  let stored = C.fold_clauses (fun acc _ -> acc + 1) 0 s in
+  Alcotest.(check int) "stored clauses" 2 stored;
+  Alcotest.(check int) "one root unit" 1 (List.length (C.root_units s))
+
+(* ---- randomized equivalence with brute force ---- *)
+
+let brute_force n_vars clauses =
+  let sat = ref false in
+  for m = 0 to (1 lsl n_vars) - 1 do
+    if not !sat then begin
+      let value l =
+        let v = abs l - 1 in
+        let bit = (m lsr v) land 1 = 1 in
+        if l > 0 then bit else not bit
+      in
+      if List.for_all (fun cl -> List.exists value cl) clauses then sat := true
+    end
+  done;
+  !sat
+
+let gen_cnf =
+  QCheck.make
+    ~print:(fun (n, cls) ->
+        Printf.sprintf "n=%d cls=[%s]" n
+          (String.concat ";"
+             (List.map (fun cl -> String.concat "," (List.map string_of_int cl)) cls)))
+    QCheck.Gen.(
+      let* n = int_range 3 8 in
+      let* n_clauses = int_range 1 30 in
+      let gen_lit = map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound (n - 1)) bool in
+      let gen_clause = list_size (int_range 1 4) gen_lit in
+      let* cls = list_size (return n_clauses) gen_clause in
+      return (n, cls))
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"CDCL = brute force" ~count:400 gen_cnf
+    (fun (n, clauses) ->
+       let s, vars = mk n clauses in
+       let r = is_sat (C.solve s) in
+       let bf = brute_force n clauses in
+       if r <> bf then false
+       else if r then begin
+         (* verify the model *)
+         let value l =
+           if l > 0 then C.value s vars.(l - 1) else not (C.value s vars.(-l - 1))
+         in
+         List.for_all (fun cl -> List.exists value cl) clauses
+       end
+       else true)
+
+let prop_assumptions_sound =
+  QCheck.Test.make ~name:"assumptions = added units" ~count:200
+    (QCheck.pair gen_cnf (QCheck.list_of_size (QCheck.Gen.return 2) QCheck.bool))
+    (fun ((n, clauses), signs) ->
+       let s1, vars1 = mk n clauses in
+       let assumptions =
+         List.mapi (fun i b -> if b then C.pos vars1.(i) else C.neg vars1.(i)) signs
+       in
+       let r1 = is_sat (C.solve ~assumptions s1) in
+       let s2, _ = mk n clauses in
+       List.iteri
+         (fun i b -> C.add_clause s2 [ (if b then C.pos i else C.neg i) ])
+         signs;
+       let r2 = is_sat (C.solve s2) in
+       r1 = r2)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "literal encoding" `Quick test_lit_encoding;
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "equality chain unsat" `Quick test_unsat_chain;
+          Alcotest.test_case "model satisfies clauses" `Quick test_model_satisfies;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental clauses" `Quick test_incremental_clauses;
+          Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "clause access" `Quick test_clause_access;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "parse" `Quick test_dimacs_parse;
+          Alcotest.test_case "multiline clauses" `Quick test_dimacs_multiline_clause;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "solve & print" `Quick test_dimacs_solve;
+        ] );
+      qsuite "props" [ prop_matches_brute_force; prop_assumptions_sound ];
+    ]

@@ -1,0 +1,99 @@
+(* Tests for the VCD trace writer. *)
+
+module Ir = Rtlsat_rtl.Ir
+module N = Rtlsat_rtl.Netlist
+module Sim = Rtlsat_rtl.Sim
+module Vcd = Rtlsat_rtl.Vcd
+
+let check_bool = Alcotest.(check bool)
+
+let build () =
+  let c = N.create "trace" in
+  let en = N.input c ~name:"en" 1 in
+  let cnt = N.reg c ~name:"cnt" ~width:3 ~init:0 () in
+  N.connect cnt (N.mux c ~sel:en ~t:(N.inc c cnt) ~e:cnt ());
+  N.output c "cnt" cnt;
+  (c, en, cnt)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_structure () =
+  let c, en, _ = build () in
+  let traces = Sim.run c ~inputs:[ [ (en, 1) ]; [ (en, 1) ]; [ (en, 0) ] ] in
+  let vcd = Vcd.to_string c traces in
+  List.iter
+    (fun s -> check_bool ("has " ^ s) true (contains vcd s))
+    [
+      "$timescale"; "$scope module trace"; "$var wire 1"; "$var wire 3";
+      " en "; " cnt "; "$enddefinitions"; "#0"; "#1"; "#2"; "#3";
+    ]
+
+let test_values_and_changes () =
+  let c, en, _ = build () in
+  let traces = Sim.run c ~inputs:[ [ (en, 1) ]; [ (en, 1) ]; [ (en, 1) ] ] in
+  let vcd = Vcd.to_string c traces in
+  (* cnt counts 0,1,2: binary dumps present *)
+  check_bool "b000" true (contains vcd "b000 ");
+  check_bool "b001" true (contains vcd "b001 ");
+  check_bool "b010" true (contains vcd "b010 ");
+  (* en is constant 1 after #0: only one change record for it *)
+  let count_sub sub =
+    let n = String.length vcd and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else go (i + 1) (if String.sub vcd i m = sub then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  (* identifier of the first var (en) is '!' *)
+  check_bool "en dumped once" true (count_sub "1!" = 1)
+
+let test_node_selection () =
+  let c, en, cnt = build () in
+  let traces = Sim.run c ~inputs:[ [ (en, 1) ] ] in
+  let vcd = Vcd.to_string ~nodes:[ cnt ] c traces in
+  check_bool "cnt present" true (contains vcd " cnt ");
+  check_bool "en absent" false (contains vcd " en ")
+
+let test_to_file () =
+  let c, en, _ = build () in
+  let traces = Sim.run c ~inputs:[ [ (en, 1) ] ] in
+  let path = Filename.temp_file "rtlsat" ".vcd" in
+  Vcd.to_file c traces path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "non-empty file" true (len > 100)
+
+let test_ident_uniqueness () =
+  (* the base-94 identifier encoding must be injective over a big range *)
+  let c = N.create "many" in
+  let nodes =
+    List.init 300 (fun i -> N.input c ~name:(Printf.sprintf "i%d" i) 1)
+  in
+  let traces = Sim.run c ~inputs:[ List.map (fun n -> (n, 0)) nodes ] in
+  let vcd = Vcd.to_string c traces in
+  (* every var declaration line must be distinct *)
+  let decls =
+    String.split_on_char '\n' vcd
+    |> List.filter (fun l -> String.length l > 4 && String.sub l 0 4 = "$var")
+  in
+  let uniq = List.sort_uniq compare decls in
+  Alcotest.(check int) "unique declarations" (List.length decls) (List.length uniq)
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "vcd",
+        [
+          Alcotest.test_case "document structure" `Quick test_structure;
+          Alcotest.test_case "values and change records" `Quick test_values_and_changes;
+          Alcotest.test_case "node selection" `Quick test_node_selection;
+          Alcotest.test_case "to_file" `Quick test_to_file;
+          Alcotest.test_case "identifier uniqueness" `Quick test_ident_uniqueness;
+        ] );
+    ]
