@@ -3,28 +3,64 @@
    table) on representative instances.
 
    Default run: scaled-down bound matrix (minutes on a laptop).
-   RTLSAT_FULL=1, or `-- table2 --full`, switches to the paper's full
-   bounds with the 1200 s timeout.
+   RTLSAT_FULL=1 or --full switches to the paper's full bounds with
+   the 1200 s timeout.
+
+   Usage: main.exe [--full] [--json [--json-file FILE]] [SUBCOMMAND]
 
    Subcommands:
-     (none) | all      tables 1 and 2 + micro-benchmarks
-     table1 [--full]   Table 1 only
-     table2 [--full]   Table 2 only
+     (none) | all      tables 1 and 2 + extension + ablation + micro
+     table1            Table 1 only
+     table2            Table 2 only
      micro             Bechamel micro-benchmarks only
-     ablation          decision/learning ablation sweep (see below) *)
+     ablation          decision/learning ablation sweep (see below)
+     extension         suite-extension circuits
+     sweep             scaling curve (CSV)
+
+   --json collects tables 1 and 2 with per-run metrics attached and
+   writes a BENCH_<timestamp>.json perf-trajectory artifact (schema
+   rtlsat.bench/1, see docs/OBSERVABILITY.md). *)
 
 module Engines = Rtlsat_harness.Engines
 module Tables = Rtlsat_harness.Tables
+module Report = Rtlsat_harness.Report
+module Json = Rtlsat_obs.Json
 module Registry = Rtlsat_itc99.Registry
 module Bmc = Rtlsat_bmc.Bmc
 module Unroll = Rtlsat_bmc.Unroll
 module E = Rtlsat_constr.Encode
 module Solver = Rtlsat_core.Solver
 
-let full_requested args =
-  Sys.getenv_opt "RTLSAT_FULL" = Some "1" || List.mem "--full" args
+(* ---- command line (stdlib Arg; previously a raw Sys.argv scan that
+   mistook "--full" anywhere — including file names — for the flag) ---- *)
 
-let scale_of args : Tables.scale = if full_requested args then `Full else `Scaled
+let opt_full = ref (Sys.getenv_opt "RTLSAT_FULL" = Some "1")
+let opt_json = ref false
+let opt_json_file = ref ""
+let subcommand = ref "all"
+
+let usage =
+  "main.exe [--full] [--json [--json-file FILE]] \
+   [all|table1|table2|micro|ablation|extension|sweep]"
+
+let spec =
+  Arg.align
+    [
+      ("--full", Arg.Set opt_full,
+       " Paper's full bound matrix and 1200 s timeout (also: RTLSAT_FULL=1)");
+      ("--json", Arg.Set opt_json,
+       " Write a BENCH_<timestamp>.json perf-trajectory artifact");
+      ("--json-file", Arg.Set_string opt_json_file,
+       "FILE Override the artifact path (default BENCH_<timestamp>.json)");
+    ]
+
+let anon cmd =
+  match cmd with
+  | "all" | "table1" | "table2" | "micro" | "ablation" | "extension" | "sweep" ->
+    subcommand := cmd
+  | _ -> raise (Arg.Bad (Printf.sprintf "unknown subcommand %S" cmd))
+
+let scale () : Tables.scale = if !opt_full then `Full else `Scaled
 
 (* ---- bechamel micro-benchmarks ---- *)
 
@@ -134,38 +170,77 @@ let sweep () =
        Format.printf "@.")
     bounds
 
-let table1 args =
-  let scale = scale_of args in
-  let rows = Tables.run_table1 scale in
+let table1 () =
+  let rows = Tables.run_table1 (scale ()) in
   Tables.print_table1 Format.std_formatter rows
 
-let table2 args =
-  let scale = scale_of args in
-  let rows = Tables.run_table2 scale in
+let table2 () =
+  let rows = Tables.run_table2 (scale ()) in
   Tables.print_table2 Format.std_formatter rows
 
 let extension () =
   Format.printf "@.Suite extension (beyond the paper's benchmark subset):@.";
   Tables.print_table2 Format.std_formatter (Tables.run_extension ())
 
+(* ---- the perf-trajectory artifact: both tables with per-run
+   metrics, one timestamped JSON file per invocation ---- *)
+
+let bench_artifact () =
+  let sc = scale () in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let generated_at =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let path =
+    if !opt_json_file <> "" then !opt_json_file else "BENCH_" ^ stamp ^ ".json"
+  in
+  let scale_str = Tables.scale_name sc in
+  Format.printf "collecting Table 1 with metrics...@.";
+  let t1 = Tables.run_table1 ~metrics:true sc in
+  Tables.print_table1 Format.std_formatter t1;
+  Format.printf "@.collecting Table 2 with metrics...@.";
+  let t2 = Tables.run_table2 ~metrics:true sc in
+  Tables.print_table2 Format.std_formatter t2;
+  let doc =
+    Report.bench_json ~generated_at ~scale:scale_str
+      ~sections:
+        [
+          ("table1", Report.table1_json ~scale:scale_str t1);
+          ("table2", Report.table2_json ~scale:scale_str t2);
+        ]
+  in
+  let oc = open_out path in
+  Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.perf-trajectory artifact written to %s@." path
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let has cmd = List.mem cmd args in
+  Arg.parse spec anon usage;
   Format.printf
     "rtlsat benchmark harness — reproduction of DAC'05 \"Structural Search@.\
-     for RTL with Predicate Learning\" (scaled bounds%s)@.@."
-    (if full_requested args then ": FULL matrix" else "; RTLSAT_FULL=1 for the paper's");
-  if has "table1" then table1 args
-  else if has "table2" then table2 args
-  else if has "micro" then micro ()
-  else if has "ablation" then ablation ()
-  else if has "extension" then extension ()
-  else if has "sweep" then sweep ()
-  else begin
-    table1 args;
-    Format.printf "@.";
-    table2 args;
-    extension ();
-    ablation ();
-    micro ()
-  end
+     for RTL with Predicate Learning\" (%s)@.@."
+    (if !opt_full then "FULL matrix" else "scaled bounds; --full or RTLSAT_FULL=1 for the paper's");
+  if !opt_json then bench_artifact ()
+  else
+    match !subcommand with
+    | "table1" -> table1 ()
+    | "table2" -> table2 ()
+    | "micro" -> micro ()
+    | "ablation" -> ablation ()
+    | "extension" -> extension ()
+    | "sweep" -> sweep ()
+    | _ ->
+      table1 ();
+      Format.printf "@.";
+      table2 ();
+      extension ();
+      ablation ();
+      micro ()

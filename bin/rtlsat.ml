@@ -14,6 +14,16 @@ module Structure = Rtlsat_rtl.Structure
 module Registry = Rtlsat_itc99.Registry
 module Engines = Rtlsat_harness.Engines
 module Tables = Rtlsat_harness.Tables
+module Report = Rtlsat_harness.Report
+module Obs = Rtlsat_obs.Obs
+module Trace = Rtlsat_obs.Trace
+module Json = Rtlsat_obs.Json
+
+let write_json path v =
+  let oc = open_out path in
+  Json.to_channel oc v;
+  output_char oc '\n';
+  close_out oc
 
 let engine_conv =
   let all =
@@ -87,12 +97,51 @@ let solve_cmd =
     Arg.(value & opt engine_conv Engines.Hdpll_sp & info [ "e"; "engine" ])
   in
   let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ] ~docv:"SECONDS") in
-  let run circuit prop bound engine timeout =
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the run's counters, per-phase timings and histograms as JSON")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSON-lines event trace (decisions, conflicts, restarts, \
+                 learned clauses, J-frontier sizes)")
+  in
+  let progress =
+    Arg.(value & flag & info [ "v"; "progress" ]
+           ~doc:"Periodic one-line progress reports on stderr (decisions/s, \
+                 conflicts/s, learned DB size, depth) and a phase-time summary")
+  in
+  let run circuit prop bound engine timeout stats_json trace_out progress =
     match Registry.instance ~circuit ~prop ~bound with
     | inst ->
-      let r = Engines.run_instance ~timeout engine inst in
-      Format.printf "%s %s: %s in %.2fs@."
-        (Registry.instance_name ~circuit ~prop ~bound)
+      (* fail on unwritable output paths before solving, not after *)
+      (match stats_json with
+       | Some path ->
+         (try close_out (open_out path)
+          with Sys_error msg ->
+            Format.eprintf "rtlsat: cannot write stats file: %s@." msg;
+            exit 1)
+       | None -> ());
+      let need_obs = stats_json <> None || trace_out <> None || progress in
+      let obs =
+        if need_obs then
+          Obs.create
+            ?trace:
+              (Option.map
+                 (fun path ->
+                    try Trace.to_file path
+                    with Sys_error msg ->
+                      Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
+                      exit 1)
+                 trace_out)
+            ?progress_every:(if progress then Some 1.0 else None)
+            ()
+        else Obs.disabled
+      in
+      let r = Engines.run_instance ~timeout ~obs engine inst in
+      Obs.close obs;
+      let label = Registry.instance_name ~circuit ~prop ~bound in
+      Format.printf "%s %s: %s in %.2fs@." label
         (Engines.engine_name engine)
         (match r.Engines.verdict with
          | Engines.Sat -> "SATISFIABLE (witness validated)"
@@ -101,14 +150,33 @@ let solve_cmd =
          | Engines.Abort msg -> "ABORT: " ^ msg)
         r.Engines.time;
       Format.printf "decisions=%d conflicts=%d relations=%d@." r.Engines.decisions
-        r.Engines.conflicts r.Engines.relations
+        r.Engines.conflicts r.Engines.relations;
+      if progress then
+        (match r.Engines.metrics with
+         | Some m ->
+           Format.eprintf "phase self-times:@.";
+           List.iter
+             (fun (name, self, calls) ->
+                if calls > 0 then
+                  Format.eprintf "  %-18s %8.3fs  (%d)@." name self calls)
+             m.Obs.phases
+         | None -> ());
+      (match stats_json with
+       | Some path ->
+         write_json path (Report.solve_json ~instance:label ~bound engine r);
+         Format.printf "stats written to %s@." path
+       | None -> ());
+      (match trace_out with
+       | Some path -> Format.printf "trace written to %s@." path
+       | None -> ())
     | exception Not_found ->
       Format.eprintf "unknown instance %s_%s@." circuit prop;
       exit 1
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide one BMC instance")
-    Term.(const run $ circuit $ prop $ bound $ engine $ timeout)
+    Term.(const run $ circuit $ prop $ bound $ engine $ timeout $ stats_json
+          $ trace_out $ progress)
 
 (* ---- check: external netlist files ---- *)
 
@@ -276,19 +344,34 @@ let scale_term =
 let timeout_term =
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS")
 
+let json_term =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the table as JSON on stdout (with per-run metrics) \
+               instead of the formatted text table")
+
 let table1_cmd =
-  let run scale timeout =
-    Tables.print_table1 Format.std_formatter (Tables.run_table1 ?timeout scale)
+  let run scale timeout json =
+    let rows = Tables.run_table1 ?timeout ~metrics:json scale in
+    if json then (
+      Json.to_channel stdout
+        (Report.table1_json ~scale:(Tables.scale_name scale) rows);
+      print_newline ())
+    else Tables.print_table1 Format.std_formatter rows
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 (predicate learning)")
-    Term.(const run $ scale_term $ timeout_term)
+    Term.(const run $ scale_term $ timeout_term $ json_term)
 
 let table2_cmd =
-  let run scale timeout =
-    Tables.print_table2 Format.std_formatter (Tables.run_table2 ?timeout scale)
+  let run scale timeout json =
+    let rows = Tables.run_table2 ?timeout ~metrics:json scale in
+    if json then (
+      Json.to_channel stdout
+        (Report.table2_json ~scale:(Tables.scale_name scale) rows);
+      print_newline ())
+    else Tables.print_table2 Format.std_formatter rows
   in
   Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 (structural decisions)")
-    Term.(const run $ scale_term $ timeout_term)
+    Term.(const run $ scale_term $ timeout_term $ json_term)
 
 let () =
   let doc = "RTL satisfiability with structural search and predicate learning" in

@@ -1,6 +1,7 @@
 open Rtlsat_constr.Types
 module Box = Rtlsat_fme.Boxsearch
 module Omega = Rtlsat_fme.Omega
+module Obs = Rtlsat_obs.Obs
 
 type outcome =
   | Model of int array
@@ -67,8 +68,7 @@ let nontrivial_bound_atoms s v =
     out := State.canonical s (Le (v, s.State.ub.(v))) :: !out;
   !out
 
-let run ?max_nodes s =
-  s.State.n_final_checks <- s.State.n_final_checks + 1;
+let check ?max_nodes s obs =
   let lb = s.State.lb and ub = s.State.ub in
   let fixed v = lb.(v) = ub.(v) in
   (* substitute fixed variables; keep the fixed vars for explanations *)
@@ -132,7 +132,7 @@ let run ?max_nodes s =
          in
          let back = Array.of_list (List.rev !back) in
          let bounds = Array.map (fun v -> (lb.(v), ub.(v))) back in
-         match Omega.decide ?max_nodes ~bounds lins with
+         match Omega.decide ~obs ?max_nodes ~bounds lins with
          | Omega.Sat p -> Array.iteri (fun i v -> model.(v) <- p.(i)) back
          | Omega.Unknown -> raise Out_of_resource
          | Omega.Unsat core ->
@@ -158,3 +158,19 @@ let run ?max_nodes s =
   with
   | Conflict_found atoms -> Conflict_atoms atoms
   | Out_of_resource -> Resource_out
+
+let run ?max_nodes s =
+  s.State.n_final_checks <- s.State.n_final_checks + 1;
+  let obs = s.State.obs in
+  let outcome = Obs.span obs Obs.Final_check (fun () -> check ?max_nodes s obs) in
+  if Obs.tracing obs then
+    Obs.event obs "final_check"
+      [
+        ( "result",
+          Rtlsat_obs.Json.Str
+            (match outcome with
+             | Model _ -> "model"
+             | Conflict_atoms _ -> "conflict"
+             | Resource_out -> "resource_out") );
+      ];
+  outcome

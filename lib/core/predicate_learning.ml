@@ -3,6 +3,8 @@ module Ir = Rtlsat_rtl.Ir
 module Structure = Rtlsat_rtl.Structure
 module Encode = Rtlsat_constr.Encode
 module Vec = Rtlsat_constr.Vec
+module Obs = Rtlsat_obs.Obs
+module Json = Rtlsat_obs.Json
 
 type summary = {
   relations : int;
@@ -115,6 +117,13 @@ let run ?threshold ?(depth = 1) ?(deadline = infinity) s (enc : Encode.t) =
       State.add_clause s [| fst cl; snd cl |];
       s.State.n_learned <- s.State.n_learned + 1;
       incr relations;
+      if Obs.tracing s.State.obs then
+        Obs.event s.State.obs "learn"
+          [
+            ("cause", Json.Str "static");
+            ("len", Json.Int 2);
+            ("trigger_var", Json.Int (atom_var trigger));
+          ];
       List.iter
         (fun at ->
            State.bump_var s (atom_var at);

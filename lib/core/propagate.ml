@@ -1,5 +1,6 @@
 open Rtlsat_constr.Types
 module Vec = Rtlsat_constr.Vec
+module Obs = Rtlsat_obs.Obs
 
 let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
 let cdiv a b = -(fdiv (-a) b)
@@ -176,20 +177,32 @@ let propagate_constr s ci =
         | None -> ()))
 
 let run ?(full = false) s =
+  let obs = s.State.obs in
   try
     if full then begin
-      for ci = 0 to Vec.length s.State.clauses - 1 do
-        check_clause s ci
-      done;
-      Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs
+      Obs.span obs Obs.Bcp (fun () ->
+          for ci = 0 to Vec.length s.State.clauses - 1 do
+            check_clause s ci
+          done);
+      Obs.span obs Obs.Icp (fun () ->
+          Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs)
     end;
     while s.State.qhead < Vec.length s.State.trail do
       let e = Vec.get s.State.trail s.State.qhead in
       s.State.qhead <- s.State.qhead + 1;
       s.State.n_propagations <- s.State.n_propagations + 1;
       let v = atom_var e.State.eatom in
-      List.iter (check_clause s) s.State.clause_occs.(v);
-      List.iter (propagate_constr s) s.State.constr_occs.(v)
+      (* the duplicated disabled arm keeps the hot path closure-free *)
+      if obs.Obs.enabled then begin
+        Obs.span obs Obs.Bcp (fun () ->
+            List.iter (check_clause s) s.State.clause_occs.(v));
+        Obs.span obs Obs.Icp (fun () ->
+            List.iter (propagate_constr s) s.State.constr_occs.(v))
+      end
+      else begin
+        List.iter (check_clause s) s.State.clause_occs.(v);
+        List.iter (propagate_constr s) s.State.constr_occs.(v)
+      end
     done;
     None
   with State.Conflict c -> Some c

@@ -3,6 +3,8 @@ module Vec = Rtlsat_constr.Vec
 module Problem = Rtlsat_constr.Problem
 module Encode = Rtlsat_constr.Encode
 module Structure = Rtlsat_rtl.Structure
+module Obs = Rtlsat_obs.Obs
+module Json = Rtlsat_obs.Json
 
 type options = {
   structural : bool;
@@ -16,6 +18,7 @@ type options = {
   random_seed : int option;
   collect_learned : bool;
   reduce_db : int option;
+  obs : Obs.t;
 }
 
 let default =
@@ -31,6 +34,7 @@ let default =
     random_seed = None;
     collect_learned = false;
     reduce_db = Some 20_000;
+    obs = Obs.disabled;
   }
 
 let hdpll = default
@@ -56,6 +60,7 @@ type outcome = {
   result : result;
   stats : stats;
   learned_clauses : clause list;
+  metrics : Obs.snapshot;
 }
 
 let luby x =
@@ -135,6 +140,7 @@ let collected_clauses opts s =
   end
 
 let solve_loop opts s enc t0 learn_summary =
+  let obs = opts.obs in
   let justifier =
     match (opts.structural, enc) with
     | true, Some enc -> Some (Justify.create enc)
@@ -155,9 +161,19 @@ let solve_loop opts s enc t0 learn_summary =
   let rec handle_conflict conflict =
     s.State.n_conflicts <- s.State.n_conflicts + 1;
     decr conflicts_left;
-    match Conflict.analyze s conflict with
+    let level = State.decision_level s in
+    match Obs.span obs Obs.Conflict_analysis (fun () -> Conflict.analyze s conflict) with
     | exception Conflict.Root_conflict -> result := Some Unsat
     | { Conflict.clause; btlevel } ->
+      Obs.observe_learned_len obs (Array.length clause);
+      Obs.observe_backjump obs (level - btlevel);
+      if Obs.tracing obs then begin
+        Obs.event obs "conflict"
+          [ ("lvl", Json.Int level); ("bt", Json.Int btlevel);
+            ("len", Json.Int (Array.length clause)) ];
+        Obs.event obs "learn"
+          [ ("cause", Json.Str "conflict"); ("len", Json.Int (Array.length clause)) ]
+      end;
       State.backtrack_to s btlevel;
       State.add_clause s clause;
       s.State.n_learned <- s.State.n_learned + 1;
@@ -182,6 +198,11 @@ let solve_loop opts s enc t0 learn_summary =
   in
   while !result = None do
     incr steps;
+    if obs.Obs.enabled && !steps land 255 = 0 then
+      Obs.progress_tick obs ~decisions:s.State.n_decisions
+        ~conflicts:s.State.n_conflicts
+        ~learned:(Vec.length s.State.clauses - s.State.n_root_clauses)
+        ~depth:(State.decision_level s);
     if !steps land 63 = 0 && Unix.gettimeofday () > opts.deadline then
       result := Some Timeout
     else begin
@@ -193,11 +214,19 @@ let solve_loop opts s enc t0 learn_summary =
         if opts.restarts && !conflicts_left <= 0 then begin
           incr restart_num;
           conflicts_left := restart_base * luby !restart_num;
+          if Obs.tracing obs then
+            Obs.event obs "restart"
+              [ ("num", Json.Int !restart_num);
+                ("conflicts", Json.Int s.State.n_conflicts) ];
           State.backtrack_to s 0;
           (match opts.reduce_db with
            | Some budget
              when Vec.length s.State.clauses - s.State.n_root_clauses > budget ->
-             State.reduce_clauses s ~keep_recent:(budget / 2)
+             State.reduce_clauses s ~keep_recent:(budget / 2);
+             if Obs.tracing obs then
+               Obs.event obs "reduce_db"
+                 [ ( "learned_db",
+                     Json.Int (Vec.length s.State.clauses - s.State.n_root_clauses) ) ]
            | _ -> ())
         end
         else begin
@@ -207,9 +236,12 @@ let solve_loop opts s enc t0 learn_summary =
             match justifier with
             | None -> None
             | Some j ->
-              (try Justify.decide ?mux_pref j s
+              (try Obs.span obs Obs.Justification (fun () -> Justify.decide ?mux_pref j s)
                with Justify.Jconflict atoms ->
                  s.State.n_jconflicts <- s.State.n_jconflicts + 1;
+                 if Obs.tracing obs then
+                   Obs.event obs "jconflict"
+                     [ ("lvl", Json.Int (State.decision_level s)) ];
                  if State.decision_level s = 0 then begin
                    result := Some Unsat;
                    None
@@ -224,6 +256,17 @@ let solve_loop opts s enc t0 learn_summary =
           | Some (Pos v) when v = -1 -> () (* J-conflict handled *)
           | Some a ->
             s.State.n_decisions <- s.State.n_decisions + 1;
+            if Obs.tracing obs then begin
+              Obs.event obs "decide"
+                [ ("kind", Json.Str "structural");
+                  ("lvl", Json.Int (State.decision_level s + 1));
+                  ("var", Json.Int (atom_var a)) ];
+              match justifier with
+              | Some j ->
+                Obs.event obs "jfrontier"
+                  [ ("size", Json.Int (Justify.frontier_size j s)) ]
+              | None -> ()
+            end;
             State.new_level s;
             State.assert_atom s a None
           | None ->
@@ -238,6 +281,12 @@ let solve_loop opts s enc t0 learn_summary =
             (match pick with
              | Some v ->
                s.State.n_decisions <- s.State.n_decisions + 1;
+               if Obs.tracing obs then
+                 Obs.event obs "decide"
+                   [ ( "kind",
+                       Json.Str (match rng with Some _ -> "random" | None -> "activity") );
+                     ("lvl", Json.Int (State.decision_level s + 1));
+                     ("var", Json.Int v) ];
                State.new_level s;
                State.assert_atom s
                  (if s.State.phase.(v) then Pos v else Neg v)
@@ -254,6 +303,13 @@ let solve_loop opts s enc t0 learn_summary =
     end
   done;
   let r = Option.get !result in
+  if Obs.tracing obs then
+    Obs.event obs "done"
+      [ ( "result",
+          Json.Str
+            (match r with Sat _ -> "sat" | Unsat -> "unsat" | Timeout -> "timeout") );
+        ("conflicts", Json.Int s.State.n_conflicts);
+        ("decisions", Json.Int s.State.n_decisions) ];
   let relations, learn_time =
     match learn_summary with
     | Some sm -> (sm.Predicate_learning.relations, sm.Predicate_learning.learn_time)
@@ -274,6 +330,7 @@ let solve_loop opts s enc t0 learn_summary =
         solve_time = Unix.gettimeofday () -. t0;
       };
     learned_clauses = collected_clauses opts s;
+    metrics = Obs.snapshot opts.obs;
   }
 
 let unsat_outcome opts s t0 learn_summary =
@@ -297,12 +354,14 @@ let unsat_outcome opts s t0 learn_summary =
         solve_time = Unix.gettimeofday () -. t0;
       };
     learned_clauses = collected_clauses opts s;
+    metrics = Obs.snapshot opts.obs;
   }
 
 let solve_common ?(options = default) prob enc =
   let t0 = Unix.gettimeofday () in
   validate_input_clauses prob;
   let s = State.create prob in
+  s.State.obs <- options.obs;
   if options.seed_fanout then seed_activities s enc;
   match Propagate.run ~full:true s with
   | Some _ -> unsat_outcome options s t0 None
@@ -311,8 +370,9 @@ let solve_common ?(options = default) prob enc =
       match (options.predicate_learning, enc) with
       | true, Some enc ->
         Some
-          (Predicate_learning.run ?threshold:options.learn_threshold
-             ~depth:options.learn_depth ~deadline:options.deadline s enc)
+          (Obs.span options.obs Obs.Static_learn (fun () ->
+               Predicate_learning.run ?threshold:options.learn_threshold
+                 ~depth:options.learn_depth ~deadline:options.deadline s enc))
       | _ -> None
     in
     (match learn_summary with

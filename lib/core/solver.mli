@@ -29,6 +29,12 @@ type options = {
   reduce_db : int option;       (** learned-clause budget; on restarts
                                     beyond it, old long clauses are
                                     dropped ([None] keeps everything) *)
+  obs : Rtlsat_obs.Obs.t;       (** observability handle (span timers,
+                                    histograms, trace sink, progress);
+                                    default {!Rtlsat_obs.Obs.disabled},
+                                    which costs one branch per
+                                    instrumentation site and never
+                                    changes solver behaviour *)
 }
 
 val default : options
@@ -68,6 +74,10 @@ type outcome = {
   learned_clauses : Rtlsat_constr.Types.clause list;
       (** conflict-learned and statically-learned clauses, in learning
           order; empty unless [collect_learned] *)
+  metrics : Rtlsat_obs.Obs.snapshot;
+      (** per-phase timings, histograms and counters from the run's
+          [obs] handle; all-zero when observability was disabled.  The
+          [stats] record above is unchanged — [metrics] extends it. *)
 }
 
 val solve : ?options:options -> Rtlsat_constr.Encode.t -> outcome

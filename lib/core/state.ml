@@ -2,6 +2,8 @@ open Rtlsat_constr.Types
 module Vec = Rtlsat_constr.Vec
 module Problem = Rtlsat_constr.Problem
 module Interval = Rtlsat_interval.Interval
+module Obs = Rtlsat_obs.Obs
+module Hist = Rtlsat_obs.Hist
 
 type reason = atom array option
 
@@ -42,6 +44,7 @@ type t = {
   mutable n_jconflicts : int;
   mutable n_final_checks : int;
   mutable n_reductions : int;
+  mutable obs : Obs.t;
 }
 
 let decision_level s = Vec.length s.lim
@@ -97,6 +100,8 @@ let assert_atom s a reason =
       s.lb.(v) <- k;
       s.lo_ev.(v) <- (k, idx) :: s.lo_ev.(v);
       if k = 1 && Problem.is_bool_var s.prob v then s.phase.(v) <- true
+      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then
+        Hist.observe s.obs.Obs.interval_width (s.ub.(v) - s.lb.(v))
     end
   | `Hi ->
     if k < s.ub.(v) then begin
@@ -111,6 +116,8 @@ let assert_atom s a reason =
       s.ub.(v) <- k;
       s.hi_ev.(v) <- (k, idx) :: s.hi_ev.(v);
       if k = 0 && Problem.is_bool_var s.prob v then s.phase.(v) <- false
+      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then
+        Hist.observe s.obs.Obs.interval_width (s.ub.(v) - s.lb.(v))
     end
 
 let new_level s = Vec.push s.lim (Vec.length s.trail)
@@ -247,6 +254,7 @@ let create prob =
       n_jconflicts = 0;
       n_final_checks = 0;
       n_reductions = 0;
+      obs = Obs.disabled;
     }
   in
   (* clause and constraint occurrence lists *)

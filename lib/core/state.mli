@@ -54,6 +54,11 @@ type t = {
   mutable n_jconflicts : int;
   mutable n_final_checks : int;
   mutable n_reductions : int;
+  (* observability *)
+  mutable obs : Rtlsat_obs.Obs.t;
+      (** instrumentation handle threaded through every kernel client;
+          {!Rtlsat_obs.Obs.disabled} (the default) makes every
+          instrumentation site a single load-and-branch *)
 }
 
 val create : Rtlsat_constr.Problem.t -> t

@@ -21,9 +21,14 @@ let empty_var bounds =
   Array.iteri (fun v (lo, hi) -> if !found = None && lo > hi then found := Some v) bounds;
   !found
 
-let decide ?max_nodes ?deadline ?(fme_max_vars = 64) ~bounds lins =
+module Obs = Rtlsat_obs.Obs
+
+let decide ?(obs = Obs.disabled) ?max_nodes ?deadline ?(fme_max_vars = 64) ~bounds lins =
+  Obs.incr obs "fme.calls";
   match empty_var bounds with
-  | Some v -> Unsat [ (-v) - 1 ]
+  | Some v ->
+    Obs.incr obs "fme.empty_box";
+    Unsat [ (-v) - 1 ]
   | None ->
     let live =
       List.fold_left
@@ -33,26 +38,40 @@ let decide ?max_nodes ?deadline ?(fme_max_vars = 64) ~bounds lins =
         [] lins
     in
     let fme_verdict =
-      if List.length live > fme_max_vars then Fme.Feasible
+      if List.length live > fme_max_vars then begin
+        Obs.incr obs "fme.skipped_too_many_vars";
+        Fme.Feasible
+      end
       else begin
         let system = to_fme ~bounds lins in
-        try Fme.check ~shadow:`Real ?deadline system
-        with Fme.Budget_exceeded -> Fme.Feasible
+        Obs.span obs Obs.Fme (fun () ->
+            try Fme.check ~shadow:`Real ?deadline system
+            with Fme.Budget_exceeded ->
+              Obs.incr obs "fme.budget_exceeded";
+              Fme.Feasible)
       end
     in
     (match fme_verdict with
-     | Fme.Infeasible core -> Unsat core
+     | Fme.Infeasible core ->
+       Obs.incr obs "fme.refuted";
+       Unsat core
      | Fme.Feasible ->
        (* The dark shadow cannot refute; when it is feasible an integer
           point exists and the box search will find it quickly.  Either
           way the complete search gives the final answer (and the
           witness). *)
+       Obs.incr obs "fme.box_searches";
        (match Boxsearch.solve ?max_nodes ?deadline ~bounds lins with
-        | Boxsearch.Point p -> Sat p
+        | Boxsearch.Point p ->
+          Obs.incr obs "fme.box_sat";
+          Sat p
         | Boxsearch.Empty ->
+          Obs.incr obs "fme.box_empty";
           (* no refined core available: everything participated,
              including the box itself *)
           Unsat
             (List.init (List.length lins) (fun i -> i)
              @ List.init (Array.length bounds) (fun v -> (-v) - 1))
-        | Boxsearch.Limit -> Unknown))
+        | Boxsearch.Limit ->
+          Obs.incr obs "fme.box_limit";
+          Unknown))

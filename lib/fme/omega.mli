@@ -16,6 +16,7 @@ type outcome =
   | Unknown                 (** box-search node budget exhausted *)
 
 val decide :
+  ?obs:Rtlsat_obs.Obs.t ->
   ?max_nodes:int ->
   ?deadline:float ->
   ?fme_max_vars:int ->

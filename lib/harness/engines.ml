@@ -5,6 +5,7 @@ module Solver = Rtlsat_core.Solver
 module Bitblast = Rtlsat_baselines.Bitblast
 module Lazy_cdp = Rtlsat_baselines.Lazy_cdp
 module Structure = Rtlsat_rtl.Structure
+module Obs = Rtlsat_obs.Obs
 
 type engine = Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p | Bitblast | Lazy_cdp
 
@@ -27,6 +28,8 @@ type run = {
   learn_time : float;
   decisions : int;
   conflicts : int;
+  stats : Solver.stats option;
+  metrics : Obs.snapshot option;
 }
 
 let verdict_symbol = function
@@ -35,7 +38,7 @@ let verdict_symbol = function
   | Timeout -> "-to-"
   | Abort _ -> "-A-"
 
-let solver_options engine ?learn_threshold ~deadline () =
+let solver_options engine ?learn_threshold ~deadline ~obs () =
   let base =
     match engine with
     | Hdpll -> Solver.hdpll
@@ -44,18 +47,23 @@ let solver_options engine ?learn_threshold ~deadline () =
     | Hdpll_p -> Solver.hdpll_p
     | Bitblast | Lazy_cdp -> invalid_arg "solver_options"
   in
-  { base with Solver.deadline; Solver.learn_threshold = learn_threshold }
+  { base with Solver.deadline; Solver.learn_threshold = learn_threshold; Solver.obs = obs }
 
-let run_instance ?(timeout = 1200.0) ?learn_threshold engine (inst : Bmc.instance) =
+let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled) engine
+    (inst : Bmc.instance) =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. timeout in
   let elapsed () = Unix.gettimeofday () -. t0 in
-  let combo = Unroll.combo inst.Bmc.unrolled in
+  let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
   match engine with
   | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
-    let enc = E.encode combo in
-    E.assume_bool enc inst.Bmc.violation true;
-    let options = solver_options engine ?learn_threshold ~deadline () in
+    let enc =
+      Obs.span obs Obs.Encode (fun () ->
+          let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
+          E.assume_bool enc inst.Bmc.violation true;
+          enc)
+    in
+    let options = solver_options engine ?learn_threshold ~deadline ~obs () in
     let { Solver.result; stats; _ } = Solver.solve ~options enc in
     let mk verdict =
       {
@@ -65,6 +73,8 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold engine (inst : Bmc.instanc
         learn_time = stats.Solver.learn_time;
         decisions = stats.Solver.decisions;
         conflicts = stats.Solver.conflicts;
+        stats = Some stats;
+        metrics = snap ();
       }
     in
     (match result with
@@ -74,8 +84,12 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold engine (inst : Bmc.instanc
        if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then mk Sat
        else mk (Abort "witness failed replay"))
   | Bitblast ->
-    let bb = Bitblast.encode combo in
-    Bitblast.assume_bool bb inst.Bmc.violation true;
+    let bb =
+      Obs.span obs Obs.Encode (fun () ->
+          let bb = Bitblast.encode (Unroll.combo inst.Bmc.unrolled) in
+          Bitblast.assume_bool bb inst.Bmc.violation true;
+          bb)
+    in
     let verdict =
       match Bitblast.solve ~deadline bb with
       | Bitblast.Unsat -> Unsat
@@ -91,10 +105,16 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold engine (inst : Bmc.instanc
       learn_time = 0.0;
       decisions = 0;
       conflicts = Rtlsat_sat.Cdcl.n_conflicts (Bitblast.solver bb);
+      stats = None;
+      metrics = snap ();
     }
   | Lazy_cdp ->
-    let enc = E.encode combo in
-    E.assume_bool enc inst.Bmc.violation true;
+    let enc =
+      Obs.span obs Obs.Encode (fun () ->
+          let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
+          E.assume_bool enc inst.Bmc.violation true;
+          enc)
+    in
     let result, st = Lazy_cdp.solve ~deadline enc.E.problem in
     let verdict =
       match result with
@@ -111,6 +131,8 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold engine (inst : Bmc.instanc
       learn_time = 0.0;
       decisions = st.Lazy_cdp.theory_calls;
       conflicts = st.Lazy_cdp.blocking_clauses;
+      stats = None;
+      metrics = snap ();
     }
 
 let op_counts (inst : Bmc.instance) =

@@ -30,6 +30,11 @@ type run = {
   learn_time : float;
   decisions : int;
   conflicts : int;
+  stats : Rtlsat_core.Solver.stats option;
+      (** full solver counters; [None] for the baseline engines *)
+  metrics : Rtlsat_obs.Obs.snapshot option;
+      (** observability snapshot; [None] unless an enabled [obs]
+          handle was passed to {!run_instance} *)
 }
 
 val verdict_symbol : verdict -> string
@@ -38,13 +43,16 @@ val verdict_symbol : verdict -> string
 val run_instance :
   ?timeout:float ->
   ?learn_threshold:int ->
+  ?obs:Rtlsat_obs.Obs.t ->
   engine ->
   Rtlsat_bmc.Bmc.instance ->
   run
 (** Solve a BMC instance with the given engine.  [timeout] is a
     per-run budget in seconds (default 1200, the paper's limit).
     Satisfiable results are checked with {!Rtlsat_bmc.Bmc.witness_ok};
-    failures become [Abort]. *)
+    failures become [Abort].  [obs] (default disabled) instruments the
+    whole run — encoding included — and fills [run.metrics]; pass a
+    fresh handle per run for per-run snapshots. *)
 
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —

@@ -1,0 +1,113 @@
+module Json = Rtlsat_obs.Json
+module Obs = Rtlsat_obs.Obs
+module Solver = Rtlsat_core.Solver
+
+let verdict_string = function
+  | Engines.Sat -> "sat"
+  | Engines.Unsat -> "unsat"
+  | Engines.Timeout -> "timeout"
+  | Engines.Abort _ -> "abort"
+
+let stats_json (st : Solver.stats) =
+  Json.Obj
+    [
+      ("decisions", Json.Int st.Solver.decisions);
+      ("conflicts", Json.Int st.Solver.conflicts);
+      ("propagations", Json.Int st.Solver.propagations);
+      ("learned", Json.Int st.Solver.learned);
+      ("jconflicts", Json.Int st.Solver.jconflicts);
+      ("final_checks", Json.Int st.Solver.final_checks);
+      ("relations", Json.Int st.Solver.relations);
+      ("learn_time_s", Json.Float st.Solver.learn_time);
+      ("solve_time_s", Json.Float st.Solver.solve_time);
+    ]
+
+let run_json engine (r : Engines.run) =
+  let base =
+    [
+      ("engine", Json.Str (Engines.engine_name engine));
+      ("verdict", Json.Str (verdict_string r.Engines.verdict));
+      ("time_s", Json.Float r.Engines.time);
+      ("decisions", Json.Int r.Engines.decisions);
+      ("conflicts", Json.Int r.Engines.conflicts);
+      ("relations", Json.Int r.Engines.relations);
+      ("learn_time_s", Json.Float r.Engines.learn_time);
+    ]
+  in
+  let abort =
+    match r.Engines.verdict with
+    | Engines.Abort msg -> [ ("abort_reason", Json.Str msg) ]
+    | _ -> []
+  in
+  let stats =
+    match r.Engines.stats with
+    | Some st -> [ ("stats", stats_json st) ]
+    | None -> []
+  in
+  let metrics =
+    match r.Engines.metrics with
+    | Some m -> [ ("metrics", Obs.snapshot_json m) ]
+    | None -> []
+  in
+  Json.Obj (base @ abort @ stats @ metrics)
+
+let solve_json ~instance ~bound engine r =
+  match run_json engine r with
+  | Json.Obj fields ->
+    Json.Obj
+      (("schema", Json.Str "rtlsat.solve/1")
+       :: ("instance", Json.Str instance)
+       :: ("bound", Json.Int bound)
+       :: fields)
+  | v -> v
+
+let t1_row_json (row : Tables.t1_row) =
+  Json.Obj
+    [
+      ("instance", Json.Str row.Tables.t1_label);
+      ("verdict", Json.Str (verdict_string row.Tables.t1_type));
+      ("relations", Json.Int row.Tables.t1_relations);
+      ("learn_time_s", Json.Float row.Tables.t1_learn_time);
+      ( "runs",
+        Json.Arr
+          [
+            run_json Engines.Hdpll row.Tables.t1_hdpll;
+            run_json Engines.Hdpll_p row.Tables.t1_hdpll_p;
+          ] );
+    ]
+
+let t2_row_json (row : Tables.t2_row) =
+  Json.Obj
+    [
+      ("instance", Json.Str row.Tables.t2_label);
+      ("verdict", Json.Str (verdict_string row.Tables.t2_type));
+      ("arith_ops", Json.Int row.Tables.t2_arith);
+      ("bool_ops", Json.Int row.Tables.t2_bool);
+      ( "runs",
+        Json.Arr (List.map (fun (e, r) -> run_json e r) row.Tables.t2_runs) );
+    ]
+
+let table1_json ~scale rows =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.table1/1");
+      ("scale", Json.Str scale);
+      ("rows", Json.Arr (List.map t1_row_json rows));
+    ]
+
+let table2_json ~scale rows =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.table2/1");
+      ("scale", Json.Str scale);
+      ("rows", Json.Arr (List.map t2_row_json rows));
+    ]
+
+let bench_json ~generated_at ~scale ~sections =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.bench/1");
+      ("generated_at", Json.Str generated_at);
+      ("scale", Json.Str scale);
+      ("sections", Json.Obj sections);
+    ]

@@ -1,0 +1,41 @@
+(** The one JSON schema for every machine-readable result this repo
+    emits — [rtlsat solve --stats-json], [rtlsat table1/table2 --json]
+    and the bench harness's [BENCH_<timestamp>.json] perf-trajectory
+    artifact all go through these serializers.  The schema is
+    documented in docs/OBSERVABILITY.md; bump the ["schema"] tags when
+    changing shapes. *)
+
+module Json = Rtlsat_obs.Json
+
+val verdict_string : Engines.verdict -> string
+(** ["sat"], ["unsat"], ["timeout"], ["abort"]. *)
+
+val stats_json : Rtlsat_core.Solver.stats -> Json.t
+(** Every §5 counter: decisions, conflicts, propagations, learned,
+    jconflicts, final_checks, relations, learn_time_s, solve_time_s. *)
+
+val run_json : Engines.engine -> Engines.run -> Json.t
+(** One engine run: engine, verdict, time_s, plus [stats]/[metrics]
+    objects when present. *)
+
+val solve_json : instance:string -> bound:int -> Engines.engine -> Engines.run -> Json.t
+(** Top-level object of [rtlsat solve --stats-json]
+    (schema ["rtlsat.solve/1"]). *)
+
+val t1_row_json : Tables.t1_row -> Json.t
+val t2_row_json : Tables.t2_row -> Json.t
+
+val table1_json : scale:string -> Tables.t1_row list -> Json.t
+(** Schema ["rtlsat.table1/1"]. *)
+
+val table2_json : scale:string -> Tables.t2_row list -> Json.t
+(** Schema ["rtlsat.table2/1"]. *)
+
+val bench_json :
+  generated_at:string ->
+  scale:string ->
+  sections:(string * Json.t) list ->
+  Json.t
+(** The perf-trajectory artifact (schema ["rtlsat.bench/1"]):
+    [sections] maps section names (["table1"], ["table2"], …) to
+    their [table*_json] payloads. *)

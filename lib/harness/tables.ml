@@ -1,6 +1,12 @@
 module Registry = Rtlsat_itc99.Registry
+module Obs = Rtlsat_obs.Obs
 
 type scale = [ `Scaled | `Full ]
+
+let scale_name = function `Scaled -> "scaled" | `Full -> "full"
+
+(* fresh per-run obs handle when metrics collection is requested *)
+let run_obs metrics = if metrics then Obs.create () else Obs.disabled
 
 (* ---- Table 1 (§3.1): predicate learning analysis ---- *)
 
@@ -42,15 +48,17 @@ let default_timeout = function `Full -> 1200.0 | `Scaled -> 20.0
 (* the paper's Table 1 threshold: 2500 learned relations *)
 let t1_threshold = 2500
 
-let run_table1 ?timeout scale =
+let run_table1 ?timeout ?(metrics = false) scale =
   let timeout = match timeout with Some t -> t | None -> default_timeout scale in
   List.map
     (fun (circuit, prop, bound) ->
        let mk () = Registry.instance ~circuit ~prop ~bound in
-       let base = Engines.run_instance ~timeout Engines.Hdpll (mk ()) in
+       let base =
+         Engines.run_instance ~timeout ~obs:(run_obs metrics) Engines.Hdpll (mk ())
+       in
        let learned =
-         Engines.run_instance ~timeout ~learn_threshold:t1_threshold Engines.Hdpll_p
-           (mk ())
+         Engines.run_instance ~timeout ~learn_threshold:t1_threshold
+           ~obs:(run_obs metrics) Engines.Hdpll_p (mk ())
        in
        {
          t1_label = Registry.instance_name ~circuit ~prop ~bound;
@@ -118,13 +126,16 @@ type t2_row = {
   t2_runs : (Engines.engine * Engines.run) list;
 }
 
-let run_row ?(timeout = 1200.0) ~engines (circuit, prop, bound) =
+let run_row ?(timeout = 1200.0) ?(metrics = false) ~engines (circuit, prop, bound) =
   let arith, boolean =
     Engines.op_counts (Registry.instance ~circuit ~prop ~bound)
   in
   let runs =
     List.map
-      (fun e -> (e, Engines.run_instance ~timeout e (Registry.instance ~circuit ~prop ~bound)))
+      (fun e ->
+         ( e,
+           Engines.run_instance ~timeout ~obs:(run_obs metrics) e
+             (Registry.instance ~circuit ~prop ~bound) ))
       engines
   in
   let t2_type =
@@ -148,9 +159,9 @@ let run_row ?(timeout = 1200.0) ~engines (circuit, prop, bound) =
     t2_runs = runs;
   }
 
-let run_table2 ?timeout ?(engines = Engines.table2_engines) scale =
+let run_table2 ?timeout ?metrics ?(engines = Engines.table2_engines) scale =
   let timeout = match timeout with Some t -> t | None -> default_timeout scale in
-  List.map (run_row ~timeout ~engines) (table2_instances scale)
+  List.map (run_row ~timeout ?metrics ~engines) (table2_instances scale)
 
 let print_table2 fmt rows =
   Format.fprintf fmt
@@ -194,8 +205,9 @@ let extension_instances =
     ("b11", "1", 12); ("b11", "3", 12);
   ]
 
-let run_extension ?(timeout = 20.0) ?(engines = [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Bitblast ]) () =
-  List.map (run_row ~timeout ~engines) extension_instances
+let run_extension ?(timeout = 20.0) ?metrics
+    ?(engines = [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Bitblast ]) () =
+  List.map (run_row ~timeout ?metrics ~engines) extension_instances
 
 let print_table2_csv fmt rows =
   (match rows with

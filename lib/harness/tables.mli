@@ -6,6 +6,9 @@
 
 type scale = [ `Scaled | `Full ]
 
+val scale_name : scale -> string
+(** ["scaled"] / ["full"], as used in JSON reports. *)
+
 type t1_row = {
   t1_label : string;
   t1_type : Engines.verdict;   (** from the HDPLL+P run *)
@@ -18,7 +21,10 @@ type t1_row = {
 val table1_instances : scale -> (string * string * int) list
 (** (circuit, property, bound) triples of Table 1 rows. *)
 
-val run_table1 : ?timeout:float -> scale -> t1_row list
+val run_table1 : ?timeout:float -> ?metrics:bool -> scale -> t1_row list
+(** [metrics] (default false) attaches a fresh observability handle to
+    every run, filling [Engines.run.metrics] for JSON reports. *)
+
 val print_table1 : Format.formatter -> t1_row list -> unit
 
 type t2_row = {
@@ -32,12 +38,13 @@ type t2_row = {
 val table2_instances : scale -> (string * string * int) list
 
 val run_table2 :
-  ?timeout:float -> ?engines:Engines.engine list -> scale -> t2_row list
+  ?timeout:float -> ?metrics:bool -> ?engines:Engines.engine list -> scale -> t2_row list
 
 val print_table2 : Format.formatter -> t2_row list -> unit
 
 val run_row :
   ?timeout:float ->
+  ?metrics:bool ->
   engines:Engines.engine list ->
   string * string * int ->
   t2_row
@@ -47,7 +54,8 @@ val extension_instances : (string * string * int) list
 (** BMC instances over the suite-extension circuits (b03, b06, b07,
     b09, b10, b11) — not part of the paper's tables. *)
 
-val run_extension : ?timeout:float -> ?engines:Engines.engine list -> unit -> t2_row list
+val run_extension :
+  ?timeout:float -> ?metrics:bool -> ?engines:Engines.engine list -> unit -> t2_row list
 
 val print_table2_csv : Format.formatter -> t2_row list -> unit
 (** Machine-readable variant (label, result, ops, one time column per

@@ -1,0 +1,27 @@
+(** Bounded histograms over non-negative integers — fixed bucket
+    limits chosen at creation, O(#buckets) per observation, constant
+    memory.  Used for learned-clause lengths, backjump distances and
+    interval widths after narrowing. *)
+
+type t
+
+val create : int array -> t
+(** [create limits]: bucket [i] counts observations [x <= limits.(i)]
+    (first matching bucket wins); one extra overflow bucket catches
+    the rest.  [limits] must be strictly increasing. *)
+
+val observe : t -> int -> unit
+val count : t -> int
+
+type summary = {
+  n : int;            (** observations *)
+  total : int;        (** sum of observed values *)
+  vmin : int;         (** 0 when empty *)
+  vmax : int;
+  mean : float;       (** 0.0 when empty *)
+  buckets : (string * int) list;
+      (** bucket label (["<=k"] / [">k"]) → count, in bound order *)
+}
+
+val summary : t -> summary
+val summary_json : summary -> Json.t

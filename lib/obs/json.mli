@@ -1,0 +1,39 @@
+(** Minimal JSON: enough for the observability layer's emission and
+    for round-tripping traces in tests.  No external dependency — the
+    container image carries no JSON library, and the subset below
+    (objects, arrays, strings, ints, floats, bools, null) covers every
+    schema this repo produces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats become
+    [null] so the output is always valid JSON. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parser for the emitted subset (plus the usual escapes and
+    [\uXXXX], encoded back to UTF-8).  @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+(** Accessors; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val get_int : t -> int option
+val get_float : t -> float option
+(** Ints promote to floats. *)
+
+val get_string : t -> string option
+val get_list : t -> t list option
+val get_obj : t -> (string * t) list option

@@ -1,0 +1,231 @@
+type phase =
+  | Encode
+  | Static_learn
+  | Bcp
+  | Icp
+  | Conflict_analysis
+  | Justification
+  | Final_check
+  | Fme
+
+let n_phases = 8
+
+let phase_index = function
+  | Encode -> 0
+  | Static_learn -> 1
+  | Bcp -> 2
+  | Icp -> 3
+  | Conflict_analysis -> 4
+  | Justification -> 5
+  | Final_check -> 6
+  | Fme -> 7
+
+let phase_name = function
+  | Encode -> "encode"
+  | Static_learn -> "static_learn"
+  | Bcp -> "bcp"
+  | Icp -> "icp"
+  | Conflict_analysis -> "conflict_analysis"
+  | Justification -> "justification"
+  | Final_check -> "final_check"
+  | Fme -> "fme"
+
+let all_phases =
+  [ Encode; Static_learn; Bcp; Icp; Conflict_analysis; Justification; Final_check; Fme ]
+
+type progress = {
+  p_interval : float;
+  mutable p_last : float;
+  mutable p_decisions : int;
+  mutable p_conflicts : int;
+}
+
+type t = {
+  enabled : bool;
+  self : float array;
+  calls : int array;
+  mutable stack : int list;
+  mutable mark : float;
+  learned_len : Hist.t;
+  backjump : Hist.t;
+  interval_width : Hist.t;
+  counters : (string, int ref) Hashtbl.t;
+  trace : Trace.t option;
+  progress : progress option;
+  t0 : float;
+}
+
+let make ~enabled ~trace ~progress =
+  let now = Unix.gettimeofday () in
+  {
+    enabled;
+    self = Array.make n_phases 0.0;
+    calls = Array.make n_phases 0;
+    stack = [];
+    mark = now;
+    learned_len = Hist.create [| 1; 2; 4; 8; 16; 32; 64; 128 |];
+    backjump = Hist.create [| 1; 2; 4; 8; 16; 32; 64; 128 |];
+    interval_width = Hist.create [| 0; 1; 3; 7; 15; 63; 255; 1023; 65535 |];
+    counters = Hashtbl.create 16;
+    trace;
+    progress;
+    t0 = now;
+  }
+
+let disabled = make ~enabled:false ~trace:None ~progress:None
+
+let create ?trace ?progress_every () =
+  let progress =
+    Option.map
+      (fun iv ->
+         { p_interval = iv; p_last = Unix.gettimeofday (); p_decisions = 0; p_conflicts = 0 })
+      progress_every
+  in
+  make ~enabled:true ~trace ~progress
+
+let tracing t = t.enabled && t.trace <> None
+
+(* ---- spans: self-time accounting over an explicit phase stack ---- *)
+
+let span_enter t ph =
+  if t.enabled then begin
+    let now = Unix.gettimeofday () in
+    (match t.stack with
+     | p :: _ -> t.self.(p) <- t.self.(p) +. (now -. t.mark)
+     | [] -> ());
+    let i = phase_index ph in
+    t.stack <- i :: t.stack;
+    t.calls.(i) <- t.calls.(i) + 1;
+    t.mark <- now
+  end
+
+let span_exit t ph =
+  if t.enabled then begin
+    let i = phase_index ph in
+    match t.stack with
+    | p :: rest when p = i ->
+      let now = Unix.gettimeofday () in
+      t.self.(p) <- t.self.(p) +. (now -. t.mark);
+      t.stack <- rest;
+      t.mark <- now
+    | _ -> () (* unbalanced (exception unwound past an exit): ignore *)
+  end
+
+let span t ph f =
+  if not t.enabled then f ()
+  else begin
+    span_enter t ph;
+    match f () with
+    | v ->
+      span_exit t ph;
+      v
+    | exception e ->
+      (* unwind any nested spans the exception skipped, then exit *)
+      let i = phase_index ph in
+      while (match t.stack with p :: _ -> p <> i | [] -> false) do
+        t.stack <- List.tl t.stack
+      done;
+      span_exit t ph;
+      raise e
+  end
+
+(* ---- counters ---- *)
+
+let incr t name =
+  if t.enabled then
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.replace t.counters name (ref 1)
+
+let add t name k =
+  if t.enabled then
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + k
+    | None -> Hashtbl.replace t.counters name (ref k)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* ---- histograms ---- *)
+
+let observe_learned_len t len = if t.enabled then Hist.observe t.learned_len len
+let observe_backjump t d = if t.enabled then Hist.observe t.backjump d
+
+(* ---- events ---- *)
+
+let event t ev fields =
+  if t.enabled then
+    match t.trace with Some tr -> Trace.emit tr ~ev fields | None -> ()
+
+(* ---- progress ---- *)
+
+let progress_tick t ~decisions ~conflicts ~learned ~depth =
+  if t.enabled then
+    match t.progress with
+    | None -> ()
+    | Some p ->
+      let now = Unix.gettimeofday () in
+      let dt = now -. p.p_last in
+      if dt >= p.p_interval then begin
+        let rate cur last = float_of_int (cur - last) /. dt in
+        Printf.eprintf
+          "[obs] %7.1fs  decisions=%d (%.0f/s)  conflicts=%d (%.0f/s)  learned-db=%d  depth=%d\n%!"
+          (now -. t.t0) decisions
+          (rate decisions p.p_decisions)
+          conflicts
+          (rate conflicts p.p_conflicts)
+          learned depth;
+        p.p_last <- now;
+        p.p_decisions <- decisions;
+        p.p_conflicts <- conflicts
+      end
+
+let close t = match t.trace with Some tr -> Trace.close tr | None -> ()
+
+(* ---- snapshots ---- *)
+
+type snapshot = {
+  wall : float;
+  phases : (string * float * int) list;
+  histograms : (string * Hist.summary) list;
+  counter_values : (string * int) list;
+  trace_events : int;
+}
+
+let snapshot t =
+  {
+    wall = (if t.enabled then Unix.gettimeofday () -. t.t0 else 0.0);
+    phases =
+      List.map
+        (fun ph ->
+           let i = phase_index ph in
+           (phase_name ph, t.self.(i), t.calls.(i)))
+        all_phases;
+    histograms =
+      [
+        ("learned_clause_len", Hist.summary t.learned_len);
+        ("backjump_distance", Hist.summary t.backjump);
+        ("interval_width", Hist.summary t.interval_width);
+      ];
+    counter_values =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    trace_events = (match t.trace with Some tr -> Trace.events tr | None -> 0);
+  }
+
+let snapshot_json s =
+  Json.Obj
+    [
+      ("wall_s", Json.Float s.wall);
+      ( "phases",
+        Json.Obj
+          (List.map
+             (fun (name, self, calls) ->
+                (name, Json.Obj [ ("self_s", Json.Float self); ("calls", Json.Int calls) ]))
+             s.phases) );
+      ( "histograms",
+        Json.Obj (List.map (fun (name, h) -> (name, Hist.summary_json h)) s.histograms) );
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s.counter_values) );
+      ("trace_events", Json.Int s.trace_events);
+    ]

@@ -1,0 +1,119 @@
+(** Solver-wide observability handle: hierarchical wall-clock span
+    timers, named counters, bounded histograms, an optional JSON-lines
+    event sink and optional periodic progress reports.
+
+    One handle is threaded through an entire solve (encode → solve →
+    final check); hot paths guard every instrumentation site with the
+    [enabled] flag, so a disabled handle ({!disabled}) costs one load
+    and one branch per site.  A disabled handle is never mutated —
+    the shared {!disabled} instance is safe to use everywhere
+    concurrently.
+
+    Enabling observability must not change solver behaviour: the
+    instrumentation only reads search state, so results, learned
+    clauses and their order are identical with and without it
+    (checked by [test/test_obs.ml]). *)
+
+(** The hierarchical phases of a solve.  Self-time accounting: while a
+    nested span is open, elapsed time is attributed to the innermost
+    phase only, so phase times sum to (at most) the observed wall
+    clock. *)
+type phase =
+  | Encode             (** unrolling + RTL → constraint encoding *)
+  | Static_learn       (** §3 predicate learning probes *)
+  | Bcp                (** Boolean/hybrid clause propagation *)
+  | Icp                (** interval constraint propagation *)
+  | Conflict_analysis  (** §2.4 hybrid implication-graph analysis *)
+  | Justification      (** §4 structural decision scan *)
+  | Final_check        (** solution-box certification *)
+  | Fme                (** the FME/Omega arithmetic oracle *)
+
+val phase_name : phase -> string
+val all_phases : phase list
+
+type t = {
+  enabled : bool;
+  self : float array;              (** per-phase self seconds *)
+  calls : int array;               (** per-phase span entries *)
+  mutable stack : int list;        (** open phases, innermost first *)
+  mutable mark : float;            (** time of the last span event *)
+  learned_len : Hist.t;            (** learned-clause lengths *)
+  backjump : Hist.t;               (** backjump distances (levels) *)
+  interval_width : Hist.t;         (** word-interval widths after narrowing *)
+  counters : (string, int ref) Hashtbl.t;  (** free-form named counters *)
+  trace : Trace.t option;
+  progress : progress option;
+  t0 : float;                      (** handle creation instant *)
+}
+
+and progress = {
+  p_interval : float;
+  mutable p_last : float;
+  mutable p_decisions : int;
+  mutable p_conflicts : int;
+}
+
+val disabled : t
+(** The shared no-op handle; [enabled = false], never mutated. *)
+
+val create : ?trace:Trace.t -> ?progress_every:float -> unit -> t
+(** A fresh enabled handle.  [progress_every] turns on one-line
+    progress reports on stderr, at most once per that many seconds. *)
+
+val tracing : t -> bool
+(** [enabled] and an event sink is attached. *)
+
+(* ---- spans ---- *)
+
+val span_enter : t -> phase -> unit
+val span_exit : t -> phase -> unit
+(** Unbalanced exits are ignored (the solver can unwind through
+    exceptions); prefer {!span}. *)
+
+val span : t -> phase -> (unit -> 'a) -> 'a
+(** [span t ph f] runs [f] inside phase [ph], exception-safely.
+    Disabled handles run [f] directly. *)
+
+(* ---- counters and histograms ---- *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val counter : t -> string -> int
+(** 0 when never touched. *)
+
+val observe_learned_len : t -> int -> unit
+val observe_backjump : t -> int -> unit
+
+(* ---- events and progress ---- *)
+
+val event : t -> string -> (string * Json.t) list -> unit
+(** No-op unless {!tracing}.  Callers should avoid building the field
+    list when not tracing. *)
+
+val progress_tick :
+  t -> decisions:int -> conflicts:int -> learned:int -> depth:int -> unit
+(** Rate-limited one-line report on stderr (decisions/s, conflicts/s,
+    learned-DB size, current decision depth).  No-op when the handle
+    has no progress configuration. *)
+
+val close : t -> unit
+(** Close the attached trace sink, if any. *)
+
+(* ---- snapshots ---- *)
+
+type snapshot = {
+  wall : float;                            (** seconds since creation *)
+  phases : (string * float * int) list;    (** name, self seconds, entries *)
+  histograms : (string * Hist.summary) list;
+  counter_values : (string * int) list;    (** sorted by name *)
+  trace_events : int;
+}
+
+val snapshot : t -> snapshot
+(** A disabled handle yields an all-zero snapshot (every phase listed,
+    zero everywhere). *)
+
+val snapshot_json : snapshot -> Json.t
+(** Stable schema: [{"wall_s", "phases": {name: {"self_s","calls"}},
+    "histograms": {...}, "counters": {...}, "trace_events"}] with
+    every phase present.  Documented in docs/OBSERVABILITY.md. *)

@@ -1,0 +1,36 @@
+type t = {
+  oc : out_channel;
+  buf : Buffer.t;
+  t0 : float;
+  mutable n_events : int;
+  mutable closed : bool;
+}
+
+let to_file path =
+  {
+    oc = open_out path;
+    buf = Buffer.create 256;
+    t0 = Unix.gettimeofday ();
+    n_events = 0;
+    closed = false;
+  }
+
+let emit t ~ev fields =
+  if not t.closed then begin
+    let rel = Unix.gettimeofday () -. t.t0 in
+    Buffer.clear t.buf;
+    Json.to_buffer t.buf
+      (Json.Obj (("ev", Json.Str ev) :: ("t", Json.Float rel) :: fields));
+    Buffer.add_char t.buf '\n';
+    Buffer.output_buffer t.oc t.buf;
+    t.n_events <- t.n_events + 1
+  end
+
+let events t = t.n_events
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush t.oc;
+    close_out t.oc
+  end

@@ -1,0 +1,17 @@
+(** Structured event sink: one JSON object per line (JSON-lines).
+    Every event carries ["ev"] (the event name) and ["t"] (seconds
+    since the sink was opened); the remaining fields are
+    event-specific — see docs/OBSERVABILITY.md for the schema. *)
+
+type t
+
+val to_file : string -> t
+(** Opens (truncates) [path] for writing. *)
+
+val emit : t -> ev:string -> (string * Json.t) list -> unit
+val events : t -> int
+(** Events emitted so far. *)
+
+val close : t -> unit
+(** Flush and close the underlying channel; further [emit]s are
+    ignored. *)

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Observability smoke test: solve a tiny instance with --stats-json
+# and validate the emitted JSON against the rtlsat.solve/1 schema.
+# `dune runtest` runs the same two steps via the rule in test/dune;
+# this script is the standalone version for CI or by-hand checks.
+set -eu
+
+here=$(dirname "$0")
+root=$(cd "$here/.." && pwd)
+
+dune build --root "$root" bin/rtlsat.exe test/validate_stats.exe
+
+out=$(mktemp /tmp/rtlsat_stats.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+
+"$root/_build/default/bin/rtlsat.exe" solve -c b01 -p 1 -k 5 --stats-json "$out"
+"$root/_build/default/test/validate_stats.exe" "$out"

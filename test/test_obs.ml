@@ -1,0 +1,331 @@
+(* Tests for the observability layer: JSON emission/parsing, bounded
+   histograms, span timers, counters, the JSON-lines trace sink, and —
+   most importantly — that enabling observability does not change what
+   the solver does. *)
+
+module Json = Rtlsat_obs.Json
+module Hist = Rtlsat_obs.Hist
+module Trace = Rtlsat_obs.Trace
+module Obs = Rtlsat_obs.Obs
+module Registry = Rtlsat_itc99.Registry
+module Bmc = Rtlsat_bmc.Bmc
+module Unroll = Rtlsat_bmc.Unroll
+module E = Rtlsat_constr.Encode
+module Solver = Rtlsat_core.Solver
+module Engines = Rtlsat_harness.Engines
+module Report = Rtlsat_harness.Report
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- JSON ---- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("t", Json.Bool true);
+        ("f", Json.Bool false);
+        ("i", Json.Int (-42));
+        ("x", Json.Float 1.5);
+        ("s", Json.Str "a\"b\\c\n\t \xc3\xa9");
+        ("a", Json.Arr [ Json.Int 1; Json.Str "two"; Json.Arr [] ]);
+        ("o", Json.Obj [ ("nested", Json.Obj []) ]);
+      ]
+  in
+  Alcotest.(check bool) "round trip" true (Json.of_string (Json.to_string v) = v)
+
+let test_json_escapes () =
+  check_string "control chars escaped" "\"\\u0001\\n\""
+    (Json.to_string (Json.Str "\x01\n"));
+  (match Json.of_string "\"\\u00e9\"" with
+   | Json.Str s -> check_string "\\u00e9 is UTF-8 e-acute" "\xc3\xa9" s
+   | _ -> Alcotest.fail "expected string");
+  (* surrogate pair: U+1D11E (musical G clef) *)
+  (match Json.of_string "\"\\ud834\\udd1e\"" with
+   | Json.Str s -> check_string "surrogate pair" "\xf0\x9d\x84\x9e" s
+   | _ -> Alcotest.fail "expected string")
+
+let test_json_non_finite () =
+  check_string "nan -> null" "null" (Json.to_string (Json.Float nan));
+  check_string "inf -> null" "null" (Json.to_string (Json.Float infinity))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "trailing garbage" true (bad "1 2");
+  check_bool "unterminated string" true (bad "\"abc");
+  check_bool "bare word" true (bad "tru");
+  check_bool "missing value" true (bad "{\"a\":}");
+  check_bool "trailing comma" true (bad "[1,]")
+
+let test_json_accessors () =
+  let v = Json.of_string "{\"a\": [1, 2.5], \"b\": \"x\"}" in
+  check_bool "member a" true (Json.member "a" v <> None);
+  check_bool "member missing" true (Json.member "z" v = None);
+  (match Json.member "a" v with
+   | Some (Json.Arr [ one; two ]) ->
+     check_bool "int" true (Json.get_int one = Some 1);
+     check_bool "int promotes" true (Json.get_float one = Some 1.0);
+     check_bool "float" true (Json.get_float two = Some 2.5);
+     check_bool "float is not int" true (Json.get_int two = None)
+   | _ -> Alcotest.fail "expected 2-array");
+  check_bool "string" true
+    (Option.bind (Json.member "b" v) Json.get_string = Some "x")
+
+(* ---- histograms ---- *)
+
+let test_hist_buckets () =
+  let h = Hist.create [| 1; 2; 4 |] in
+  List.iter (Hist.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  let s = Hist.summary h in
+  check_int "n" 7 s.Hist.n;
+  check_int "total" 115 s.Hist.total;
+  check_int "vmin" 0 s.Hist.vmin;
+  check_int "vmax" 100 s.Hist.vmax;
+  Alcotest.(check (list (pair string int)))
+    "bucket counts"
+    [ ("<=1", 2); ("<=2", 1); ("<=4", 2); (">4", 2) ]
+    s.Hist.buckets
+
+let test_hist_empty () =
+  let s = Hist.summary (Hist.create [| 8 |]) in
+  check_int "n" 0 s.Hist.n;
+  check_int "vmin" 0 s.Hist.vmin;
+  Alcotest.(check (float 0.0)) "mean" 0.0 s.Hist.mean
+
+let test_hist_bad_limits () =
+  check_bool "non-increasing limits rejected" true
+    (match Hist.create [| 2; 2 |] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* ---- spans, counters, snapshots ---- *)
+
+let test_span_self_time () =
+  let t = Obs.create () in
+  let spin_until dt =
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < dt do () done
+  in
+  Obs.span t Obs.Bcp (fun () ->
+      spin_until 0.01;
+      Obs.span t Obs.Icp (fun () -> spin_until 0.01));
+  let s = Obs.snapshot t in
+  let self name =
+    let _, v, _ = List.find (fun (n, _, _) -> n = name) s.Obs.phases in
+    v
+  in
+  let calls name =
+    let _, _, c = List.find (fun (n, _, _) -> n = name) s.Obs.phases in
+    c
+  in
+  check_int "bcp entered once" 1 (calls "bcp");
+  check_int "icp entered once" 1 (calls "icp");
+  check_bool "icp got its own time" true (self "icp" >= 0.009);
+  check_bool "bcp excludes nested icp" true (self "bcp" < 0.015);
+  check_bool "phases sum within wall" true
+    (List.fold_left (fun acc (_, v, _) -> acc +. v) 0.0 s.Obs.phases
+     <= s.Obs.wall +. 1e-6)
+
+let test_span_exception_safe () =
+  let t = Obs.create () in
+  (match
+     Obs.span t Obs.Bcp (fun () ->
+         Obs.span_enter t Obs.Icp;
+         (* simulate the solver unwinding through a conflict without
+            closing the inner span *)
+         failwith "conflict")
+   with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "expected the exception to propagate");
+  check_bool "stack fully unwound" true (t.Obs.stack = []);
+  (* the handle still works afterwards *)
+  Obs.span t Obs.Fme (fun () -> ());
+  let s = Obs.snapshot t in
+  let calls name =
+    let _, _, c = List.find (fun (n, _, _) -> n = name) s.Obs.phases in
+    c
+  in
+  check_int "fme span after unwind" 1 (calls "fme")
+
+let test_counters () =
+  let t = Obs.create () in
+  check_int "untouched counter" 0 (Obs.counter t "x");
+  Obs.incr t "x";
+  Obs.add t "x" 4;
+  Obs.incr t "y";
+  check_int "x" 5 (Obs.counter t "x");
+  check_int "y" 1 (Obs.counter t "y");
+  let s = Obs.snapshot t in
+  Alcotest.(check (list (pair string int)))
+    "sorted counters" [ ("x", 5); ("y", 1) ] s.Obs.counter_values
+
+let test_disabled_is_inert () =
+  let t = Obs.disabled in
+  Obs.incr t "x";
+  Obs.observe_learned_len t 3;
+  Obs.span t Obs.Bcp (fun () -> ());
+  Obs.event t "decide" [ ("var", Json.Int 1) ];
+  let s = Obs.snapshot t in
+  check_int "no counters" 0 (List.length s.Obs.counter_values);
+  check_bool "no phase time" true
+    (List.for_all (fun (_, v, c) -> v = 0.0 && c = 0) s.Obs.phases);
+  check_int "no trace" 0 s.Obs.trace_events
+
+let test_snapshot_json_schema () =
+  let t = Obs.create () in
+  Obs.span t Obs.Encode (fun () -> ());
+  Obs.incr t "fme.calls";
+  let j = Obs.snapshot_json (Obs.snapshot t) in
+  (* must survive a round trip through text *)
+  let j = Json.of_string (Json.to_string j) in
+  check_bool "wall_s" true
+    (Option.bind (Json.member "wall_s" j) Json.get_float <> None);
+  let phases = Json.member "phases" j in
+  check_bool "all eight phases present" true
+    (List.for_all
+       (fun ph ->
+          Option.bind phases (Json.member (Obs.phase_name ph)) <> None)
+       Obs.all_phases);
+  check_bool "histograms" true (Json.member "histograms" j <> None);
+  check_bool "counters carried" true
+    (Option.bind
+       (Option.bind (Json.member "counters" j) (Json.member "fme.calls"))
+       Json.get_int
+     = Some 1)
+
+(* ---- trace round trip on a tiny instance ---- *)
+
+let solve_instance ?obs ?(collect = false) () =
+  (* b13_1(10): small, UNSAT, but needs real decisions and conflicts *)
+  let inst = Registry.instance ~circuit:"b13" ~prop:"1" ~bound:10 in
+  let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
+  E.assume_bool enc inst.Bmc.violation true;
+  let options =
+    {
+      Solver.hdpll_sp with
+      Solver.collect_learned = collect;
+      Solver.obs = (match obs with Some o -> o | None -> Obs.disabled);
+    }
+  in
+  Solver.solve ~options enc
+
+let test_trace_round_trip () =
+  let path = Filename.temp_file "rtlsat_trace" ".jsonl" in
+  let obs = Obs.create ~trace:(Trace.to_file path) () in
+  let o = solve_instance ~obs () in
+  check_bool "unsat" true (o.Solver.result = Solver.Unsat);
+  Obs.close obs;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  check_bool "trace non-empty" true (lines <> []);
+  let evs =
+    List.map
+      (fun line ->
+         let j = Json.of_string line in
+         check_bool "has t" true
+           (Option.bind (Json.member "t" j) Json.get_float <> None);
+         match Option.bind (Json.member "ev" j) Json.get_string with
+         | Some ev -> ev
+         | None -> Alcotest.fail "event without \"ev\"")
+      lines
+  in
+  check_bool "saw decisions" true (List.mem "decide" evs);
+  check_bool "saw conflicts" true (List.mem "conflict" evs);
+  check_bool "saw learned clauses" true (List.mem "learn" evs);
+  check_string "last event is done" "done" (List.nth evs (List.length evs - 1));
+  check_int "sink counted every line" (List.length lines)
+    (Obs.snapshot obs).Obs.trace_events;
+  Sys.remove path
+
+(* ---- determinism: observability must not change the solve ---- *)
+
+let test_observation_does_not_change_solve () =
+  let plain = solve_instance ~collect:true () in
+  let path = Filename.temp_file "rtlsat_trace" ".jsonl" in
+  let obs = Obs.create ~trace:(Trace.to_file path) () in
+  let observed = solve_instance ~obs ~collect:true () in
+  Obs.close obs;
+  Sys.remove path;
+  check_bool "same result" true (plain.Solver.result = observed.Solver.result);
+  check_int "same decisions" plain.Solver.stats.Solver.decisions
+    observed.Solver.stats.Solver.decisions;
+  check_int "same conflicts" plain.Solver.stats.Solver.conflicts
+    observed.Solver.stats.Solver.conflicts;
+  check_int "same propagations" plain.Solver.stats.Solver.propagations
+    observed.Solver.stats.Solver.propagations;
+  check_bool "same learned clauses, same order" true
+    (plain.Solver.learned_clauses = observed.Solver.learned_clauses)
+
+(* ---- the report serializers ---- *)
+
+let test_solve_json_shape () =
+  let obs = Obs.create () in
+  let inst = Registry.instance ~circuit:"b01" ~prop:"1" ~bound:5 in
+  let r = Engines.run_instance ~timeout:60.0 ~obs Engines.Hdpll_sp inst in
+  let j =
+    Json.of_string
+      (Json.to_string (Report.solve_json ~instance:"b01_1(5)" ~bound:5
+                         Engines.Hdpll_sp r))
+  in
+  check_bool "schema tag" true
+    (Option.bind (Json.member "schema" j) Json.get_string
+     = Some "rtlsat.solve/1");
+  check_bool "verdict" true
+    (Option.bind (Json.member "verdict" j) Json.get_string = Some "unsat");
+  List.iter
+    (fun key ->
+       check_bool (key ^ " in stats") true
+         (Option.bind (Json.member "stats" j) (Json.member key) <> None))
+    [ "decisions"; "conflicts"; "propagations"; "learned"; "jconflicts";
+      "final_checks"; "relations"; "learn_time_s"; "solve_time_s" ];
+  check_bool "metrics attached" true (Json.member "metrics" j <> None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "bad limits" `Quick test_hist_bad_limits;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "span self time" `Quick test_span_self_time;
+          Alcotest.test_case "span exception safety" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "disabled handle is inert" `Quick
+            test_disabled_is_inert;
+          Alcotest.test_case "snapshot json schema" `Quick
+            test_snapshot_json_schema;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "trace round trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "determinism under observation" `Quick
+            test_observation_does_not_change_solve;
+          Alcotest.test_case "solve json shape" `Quick test_solve_json_shape;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+(* Smoke validator for `rtlsat solve --stats-json` output: parses the
+   file given on the command line and checks every key the schema
+   (docs/OBSERVABILITY.md, "rtlsat.solve/1") promises.  Exits non-zero
+   with a message on the first missing or ill-typed key. *)
+
+module Json = Rtlsat_obs.Json
+module Obs = Rtlsat_obs.Obs
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let require name = function Some v -> v | None -> fail "missing %s" name
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> fail "usage: validate_stats FILE"
+  in
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j =
+    match Json.of_string (String.trim text) with
+    | j -> j
+    | exception Json.Parse_error m -> fail "%s is not valid JSON: %s" path m
+  in
+  let str name = require name (Option.bind (Json.member name j) Json.get_string) in
+  if str "schema" <> "rtlsat.solve/1" then
+    fail "unexpected schema %S" (str "schema");
+  ignore (str "instance");
+  ignore (str "engine");
+  ignore (str "verdict");
+  ignore (require "bound" (Option.bind (Json.member "bound" j) Json.get_int));
+  ignore (require "time_s" (Option.bind (Json.member "time_s" j) Json.get_float));
+  (* every §5 counter *)
+  let stats = require "stats" (Json.member "stats" j) in
+  List.iter
+    (fun key ->
+       ignore
+         (require ("stats." ^ key)
+            (Option.bind (Json.member key stats) Json.get_float)))
+    [ "decisions"; "conflicts"; "propagations"; "learned"; "jconflicts";
+      "final_checks"; "relations"; "learn_time_s"; "solve_time_s" ];
+  (* per-phase timings, all eight phases *)
+  let metrics = require "metrics" (Json.member "metrics" j) in
+  ignore
+    (require "metrics.wall_s"
+       (Option.bind (Json.member "wall_s" metrics) Json.get_float));
+  let phases = require "metrics.phases" (Json.member "phases" metrics) in
+  List.iter
+    (fun ph ->
+       let name = Obs.phase_name ph in
+       let p = require ("metrics.phases." ^ name) (Json.member name phases) in
+       ignore
+         (require
+            ("metrics.phases." ^ name ^ ".self_s")
+            (Option.bind (Json.member "self_s" p) Json.get_float));
+       ignore
+         (require
+            ("metrics.phases." ^ name ^ ".calls")
+            (Option.bind (Json.member "calls" p) Json.get_int)))
+    Obs.all_phases;
+  ignore (require "metrics.histograms" (Json.member "histograms" metrics));
+  Printf.printf "OK: %s conforms to rtlsat.solve/1\n" path
