@@ -6,6 +6,7 @@
      solve              decide one BMC instance with a chosen engine
      check              BMC of a property in a textual netlist file
      prove              k-induction on a benchmark property
+     fuzz               differential fuzzing of all engines
      table1 / table2    regenerate the paper's tables *)
 
 open Cmdliner
@@ -18,6 +19,10 @@ module Report = Rtlsat_harness.Report
 module Obs = Rtlsat_obs.Obs
 module Trace = Rtlsat_obs.Trace
 module Json = Rtlsat_obs.Json
+module Fuzz = Rtlsat_fuzz.Fuzz
+module Fuzz_gen = Rtlsat_fuzz.Gen
+module Fuzz_case = Rtlsat_fuzz.Case
+module Oracle = Rtlsat_fuzz.Oracle
 
 let write_json path v =
   let oc = open_out path in
@@ -335,6 +340,113 @@ let export_cmd =
        ~doc:"Export an instance as SMT-LIB 2 / DIMACS, or the circuit as text")
     Term.(const run $ circuit $ prop $ bound $ fmt_arg $ out)
 
+(* ---- fuzz: cross-engine differential fuzzing ---- *)
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N") in
+  let count =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N"
+           ~doc:"Instances to generate and cross-check")
+  in
+  let max_nodes =
+    Arg.(value & opt int Fuzz_gen.default.Fuzz_gen.max_nodes
+         & info [ "max-nodes" ] ~docv:"N"
+             ~doc:"Operator budget per generated circuit")
+  in
+  let max_regs =
+    Arg.(value & opt int Fuzz_gen.default.Fuzz_gen.max_regs
+         & info [ "max-regs" ] ~docv:"N"
+             ~doc:"Register budget per circuit (0 = combinational only)")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Stop starting new instances after this much wall time")
+  in
+  let timeout =
+    Arg.(value & opt float 2.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-engine budget on each instance")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the campaign summary (schema rtlsat.fuzz/1), \
+                 including every shrunk failing circuit")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Write each shrunk failing case as DIR/fuzz_seed<N>.rtl, \
+                 ready for test/corpus/")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"One line per instance on stderr (verdicts + certificate)")
+  in
+  let run seed count max_nodes max_regs deadline timeout json_out out_dir
+      verbose =
+    let obs = Obs.create () in
+    let log =
+      if verbose then
+        Some
+          (fun i _case outcome ->
+             Format.eprintf "[%d] %s@." i (Oracle.describe outcome))
+      else None
+    in
+    let cfg =
+      {
+        Fuzz.default with
+        Fuzz.seed;
+        count;
+        timeout;
+        obs;
+        log;
+        deadline = Option.value deadline ~default:infinity;
+        gen = { Fuzz_gen.default with Fuzz_gen.max_nodes; max_regs };
+      }
+    in
+    let s = Fuzz.run cfg in
+    Format.printf
+      "fuzz: %d instances (seed %d): %d sat, %d unsat, %d timeout, %d \
+       failures in %.1fs%s@."
+      s.Fuzz.instances seed s.Fuzz.sat s.Fuzz.unsat s.Fuzz.timeouts
+      (List.length s.Fuzz.failures)
+      s.Fuzz.wall
+      (if s.Fuzz.stopped_early then " (deadline)" else "");
+    List.iter
+      (fun f ->
+         Format.printf "FAILURE index=%d seed=%d: %s@." f.Fuzz.f_index
+           f.Fuzz.f_seed
+           (Oracle.describe f.Fuzz.f_outcome))
+      s.Fuzz.failures;
+    (match out_dir with
+     | Some dir when s.Fuzz.failures <> [] ->
+       (try Unix.mkdir dir 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+       List.iter
+         (fun f ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "fuzz_seed%d.rtl" f.Fuzz.f_seed)
+            in
+            let oc = open_out path in
+            output_string oc (Fuzz_case.to_string f.Fuzz.f_case);
+            close_out oc;
+            Format.printf "shrunk case written to %s@." path)
+         s.Fuzz.failures
+     | _ -> ());
+    (match json_out with
+     | Some path ->
+       write_json path (Fuzz.summary_json cfg s);
+       Format.printf "summary written to %s@." path
+     | None -> ());
+    Obs.close obs;
+    if s.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random circuits, all engines \
+             cross-checked, failures shrunk")
+    Term.(const run $ seed $ count $ max_nodes $ max_regs $ deadline $ timeout
+          $ json_out $ out_dir $ verbose)
+
 (* ---- tables ---- *)
 
 let scale_term =
@@ -380,5 +492,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; solve_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
+            fuzz_cmd;
             table1_cmd;
             table2_cmd ]))

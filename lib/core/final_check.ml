@@ -71,17 +71,28 @@ let nontrivial_bound_atoms s v =
 let check ?max_nodes s obs =
   let lb = s.State.lb and ub = s.State.ub in
   let fixed v = lb.(v) = ub.(v) in
-  (* substitute fixed variables; keep the fixed vars for explanations *)
+  (* substitute fixed variables; keep the fixed vars for explanations.
+     A substitution whose product or sum would overflow keeps the
+     variable free instead (its point bounds carry the value exactly
+     into the Bigint-based oracle). *)
   let substituted =
     List.map
       (fun (terms, const, guards) ->
-         let free, const =
+         let free, const, fixed_vars =
            List.fold_left
-             (fun (free, const) (c, v) ->
-                if fixed v then (free, const + (c * lb.(v))) else ((c, v) :: free, const))
-             ([], const) terms
+             (fun (free, const, fv) (c, v) ->
+                let substituted_const =
+                  if fixed v then
+                    match Rtlsat_num.Checked.mul c lb.(v) with
+                    | Some p -> Rtlsat_num.Checked.add const p
+                    | None -> None
+                  else None
+                in
+                match substituted_const with
+                | Some const -> (free, const, v :: fv)
+                | None -> ((c, v) :: free, const, fv))
+             ([], const, []) terms
          in
-         let fixed_vars = List.filter_map (fun (_, v) -> if fixed v then Some v else None) terms in
          (free, const, guards, fixed_vars))
       (active_lins s)
   in
@@ -109,6 +120,20 @@ let check ?max_nodes s obs =
   let exception Conflict_found of atom array in
   let exception Out_of_resource in
   try
+    (* exact re-check of the constant rows: ICP skips overflowing
+       evaluations, so the bounds fixpoint no longer guarantees their
+       consistency (their substituted constant is exact by
+       construction — overflowing substitutions stay free) *)
+    List.iter
+      (fun (free, const, guards, fixed_vars) ->
+         if free = [] && const > 0 then begin
+           let atoms = ref guards in
+           List.iter
+             (fun v -> atoms := nontrivial_bound_atoms s v @ !atoms)
+             fixed_vars;
+           raise (Conflict_found (Array.of_list (List.sort_uniq compare !atoms)))
+         end)
+      substituted;
     Hashtbl.iter
       (fun root rows ->
          ignore root;

@@ -76,7 +76,11 @@ let run ?threshold ?(depth = 1) ?(deadline = infinity) s (enc : Encode.t) =
     let outcome =
       try
         List.iter (fun a -> State.assert_atom s a None) atoms;
-        match Propagate.run s with
+        match Propagate.run ~deadline s with
+        | exception Propagate.Propagation_timeout ->
+          (* out of time: no implication learned from this probe; the
+             budget check stops the sweep on the next iteration *)
+          None
         | Some _ -> None
         | None ->
           let implied = ref (bool_atoms_above s base) in
@@ -156,11 +160,12 @@ let run ?threshold ?(depth = 1) ?(deadline = infinity) s (enc : Encode.t) =
                (* no way satisfies the value: it is refuted at the root *)
                match
                  State.assert_atom s (negate_atom trigger) None;
-                 Propagate.run s
+                 Propagate.run ~deadline s
                with
                | Some _ -> root_unsat := true
                | None -> ()
                | exception State.Conflict _ -> root_unsat := true
+               | exception Propagate.Propagation_timeout -> ()
              end
              else begin
                (* infeasible ways admit no solutions at all, so the

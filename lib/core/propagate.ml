@@ -31,17 +31,45 @@ let check_clause s ci =
 
 (* ---- linear constraints ---- *)
 
+(* Overflow-checked arithmetic.  Encoded coefficients reach 2^60 and
+   word bounds 2^61 - 1, so c·bound can exceed the native int range
+   (observed by the differential fuzzer: a dead 61-bit shr wrapped
+   min_value positive and turned a satisfiable instance Unsat).  An
+   evaluation that overflows yields None and the corresponding check
+   or tightening is skipped — sound, since ICP is optional. *)
+
+let mul_opt = Rtlsat_num.Checked.mul
+let add_opt = Rtlsat_num.Checked.add
+let sub_opt = Rtlsat_num.Checked.sub
+let ( let* ) = Option.bind
+
 let min_value s (e : linexpr) =
   List.fold_left
     (fun acc (c, v) ->
-       acc + (if c > 0 then c * s.State.lb.(v) else c * s.State.ub.(v)))
-    e.const e.terms
+       let* m = acc in
+       let* p = mul_opt c (if c > 0 then s.State.lb.(v) else s.State.ub.(v)) in
+       add_opt m p)
+    (Some e.const) e.terms
 
 let max_value s (e : linexpr) =
   List.fold_left
     (fun acc (c, v) ->
-       acc + (if c > 0 then c * s.State.ub.(v) else c * s.State.lb.(v)))
-    e.const e.terms
+       let* m = acc in
+       let* p = mul_opt c (if c > 0 then s.State.ub.(v) else s.State.lb.(v)) in
+       add_opt m p)
+    (Some e.const) e.terms
+
+(* min over every term but [except]; the slow path when the full
+   minimum overflowed but the residual might not *)
+let min_rest s (e : linexpr) ~except =
+  List.fold_left
+    (fun acc (c, v) ->
+       if v = except then acc
+       else
+         let* m = acc in
+         let* p = mul_opt c (if c > 0 then s.State.lb.(v) else s.State.ub.(v)) in
+         add_opt m p)
+    (Some e.const) e.terms
 
 (* non-trivial bound atoms only: atoms already implied by the initial
    domain add noise to explanations (conflict analysis would drop them,
@@ -74,31 +102,43 @@ let max_expl s (e : linexpr) ~except =
 
 (* propagate Σ cᵢvᵢ + const ≤ 0 *)
 let propagate_le s ?(extra = []) (e : linexpr) =
-  let m = min_value s e in
-  if m > 0 then begin
-    let expl = min_expl s e ~except:(-1) @ extra in
-    raise (State.Conflict (Array.of_list expl))
-  end;
+  let m_opt = min_value s e in
+  (match m_opt with
+   | Some m when m > 0 ->
+     let expl = min_expl s e ~except:(-1) @ extra in
+     raise (State.Conflict (Array.of_list expl))
+   | _ -> ());
   List.iter
     (fun (c, v) ->
-       let contribution = if c > 0 then c * s.State.lb.(v) else c * s.State.ub.(v) in
-       let rest = m - contribution in
-       if c > 0 then begin
-         (* c·v ≤ -rest *)
-         let ub' = fdiv (-rest) c in
-         if ub' < s.State.ub.(v) then begin
-           let reason = Array.of_list (min_expl s e ~except:v @ extra) in
-           State.assert_atom s (State.canonical s (Le (v, ub'))) (Some reason)
+       let rest =
+         match m_opt with
+         | Some m ->
+           let* contribution =
+             mul_opt c (if c > 0 then s.State.lb.(v) else s.State.ub.(v))
+           in
+           sub_opt m contribution
+         | None -> min_rest s e ~except:v
+       in
+       match rest with
+       | None -> ()
+       | Some rest when rest = min_int -> ()
+       | Some rest ->
+         if c > 0 then begin
+           (* c·v ≤ -rest *)
+           let ub' = fdiv (-rest) c in
+           if ub' < s.State.ub.(v) then begin
+             let reason = Array.of_list (min_expl s e ~except:v @ extra) in
+             State.assert_atom s (State.canonical s (Le (v, ub'))) (Some reason)
+           end
          end
-       end
-       else begin
-         (* (-c)·v ≥ rest, -c > 0 *)
-         let lb' = cdiv rest (-c) in
-         if lb' > s.State.lb.(v) then begin
-           let reason = Array.of_list (min_expl s e ~except:v @ extra) in
-           State.assert_atom s (State.canonical s (Ge (v, lb'))) (Some reason)
-         end
-       end)
+         else begin
+           (* (-c)·v ≥ rest, -c > 0 *)
+           let lb' = cdiv rest (-c) in
+           if lb' > s.State.lb.(v) then begin
+             let reason = Array.of_list (min_expl s e ~except:v @ extra) in
+             State.assert_atom s (State.canonical s (Ge (v, lb'))) (Some reason)
+           end
+         end)
     e.terms
 
 let negate_le (e : linexpr) =
@@ -117,14 +157,16 @@ let propagate_constr s ci =
      | 1 -> propagate_le s ~extra:[ Pos b ] e
      | 0 -> propagate_le s ~extra:[ Neg b ] (negate_le e)
      | _ ->
-       if max_value s e <= 0 then begin
-         let reason = Array.of_list (max_expl s e ~except:(-1)) in
-         State.assert_atom s (Pos b) (Some reason)
-       end
-       else if min_value s e > 0 then begin
-         let reason = Array.of_list (min_expl s e ~except:(-1)) in
-         State.assert_atom s (Neg b) (Some reason)
-       end)
+       (match max_value s e with
+        | Some mx when mx <= 0 ->
+          let reason = Array.of_list (max_expl s e ~except:(-1)) in
+          State.assert_atom s (Pos b) (Some reason)
+        | _ ->
+          (match min_value s e with
+           | Some m when m > 0 ->
+             let reason = Array.of_list (min_expl s e ~except:(-1)) in
+             State.assert_atom s (Neg b) (Some reason)
+           | _ -> ())))
   | Mux_w { sel; t; e; z } ->
     let lb = s.State.lb and ub = s.State.ub in
     let equality extra x =
@@ -176,8 +218,14 @@ let propagate_constr s ci =
         | Some reason -> State.assert_atom s (Pos sel) (Some reason)
         | None -> ()))
 
-let run ?(full = false) s =
+exception Propagation_timeout
+
+let run ?(full = false) ?(deadline = infinity) s =
   let obs = s.State.obs in
+  (* ICP can tighten a bound by 1 per sweep over a 2^61 domain, so the
+     fixpoint loop must watch the clock itself; check sparsely to keep
+     the hot path free of syscalls *)
+  let fuel = ref 4096 in
   try
     if full then begin
       Obs.span obs Obs.Bcp (fun () ->
@@ -188,6 +236,12 @@ let run ?(full = false) s =
           Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs)
     end;
     while s.State.qhead < Vec.length s.State.trail do
+      decr fuel;
+      if !fuel <= 0 then begin
+        fuel := 4096;
+        if deadline < infinity && Unix.gettimeofday () > deadline then
+          raise Propagation_timeout
+      end;
       let e = Vec.get s.State.trail s.State.qhead in
       s.State.qhead <- s.State.qhead + 1;
       s.State.n_propagations <- s.State.n_propagations + 1;

@@ -206,7 +206,8 @@ let solve_loop opts s enc t0 learn_summary =
     if !steps land 63 = 0 && Unix.gettimeofday () > opts.deadline then
       result := Some Timeout
     else begin
-      match Propagate.run s with
+      match Propagate.run ~deadline:opts.deadline s with
+      | exception Propagate.Propagation_timeout -> result := Some Timeout
       | Some conflict ->
         if State.decision_level s = 0 then result := Some Unsat
         else handle_conflict conflict
@@ -333,14 +334,14 @@ let solve_loop opts s enc t0 learn_summary =
     metrics = Obs.snapshot opts.obs;
   }
 
-let unsat_outcome opts s t0 learn_summary =
+let root_outcome r opts s t0 learn_summary =
   let relations, learn_time =
     match learn_summary with
     | Some (sm : Predicate_learning.summary) -> (sm.relations, sm.learn_time)
     | None -> (0, 0.0)
   in
   {
-    result = Unsat;
+    result = r;
     stats =
       {
         decisions = s.State.n_decisions;
@@ -363,8 +364,9 @@ let solve_common ?(options = default) prob enc =
   let s = State.create prob in
   s.State.obs <- options.obs;
   if options.seed_fanout then seed_activities s enc;
-  match Propagate.run ~full:true s with
-  | Some _ -> unsat_outcome options s t0 None
+  match Propagate.run ~full:true ~deadline:options.deadline s with
+  | exception Propagate.Propagation_timeout -> root_outcome Timeout options s t0 None
+  | Some _ -> root_outcome Unsat options s t0 None
   | None ->
     let learn_summary =
       match (options.predicate_learning, enc) with
@@ -377,7 +379,7 @@ let solve_common ?(options = default) prob enc =
     in
     (match learn_summary with
      | Some sm when sm.Predicate_learning.root_unsat ->
-       unsat_outcome options s t0 learn_summary
+       root_outcome Unsat options s t0 learn_summary
      | _ -> solve_loop options s enc t0 learn_summary)
 
 let solve ?options enc = solve_common ?options enc.Encode.problem (Some enc)

@@ -1,3 +1,8 @@
+module B = Rtlsat_num.Bigint
+module Checked = Rtlsat_num.Checked
+
+let ( let* ) = Option.bind
+
 type lin = { terms : (int * int) list; const : int }
 
 let lin coeffs const =
@@ -21,7 +26,11 @@ let fdiv a b = if a >= 0 then a / b else -((-a + b - 1) / b)
 
 exception Empty_domain
 
-(* narrow one constraint; returns true if some bound changed *)
+(* narrow one constraint; returns true if some bound changed.
+   Products are overflow-checked (coefficients reach 2^60, domains
+   2^61 - 1): an overflowing residual skips that variable's
+   tightening, leaving the split loop and the exact leaf check to
+   decide — sound either way *)
 let narrow bounds l =
   (* minimal value of Σ terms + const, excluding term of var v *)
   let changed = ref false in
@@ -29,34 +38,38 @@ let narrow bounds l =
     List.fold_left
       (fun acc (c, v) ->
          if v = skip then acc
-         else begin
+         else
+           let* acc = acc in
            let lo, hi = bounds.(v) in
-           acc + (if c > 0 then c * lo else c * hi)
-         end)
-      l.const l.terms
+           let* p = Checked.mul c (if c > 0 then lo else hi) in
+           Checked.add acc p)
+      (Some l.const) l.terms
   in
   List.iter
     (fun (c, v) ->
        let lo, hi = bounds.(v) in
-       let rest = min_rest v in
-       (* c·v + rest ≤ 0 must be achievable: c·v ≤ -rest *)
-       if c > 0 then begin
-         let ub = fdiv (-rest) c in
-         if ub < hi then begin
-           if ub < lo then raise Empty_domain;
-           bounds.(v) <- (lo, ub);
-           changed := true
+       match min_rest v with
+       | None -> ()
+       | Some rest when rest = min_int -> ()
+       | Some rest ->
+         (* c·v + rest ≤ 0 must be achievable: c·v ≤ -rest *)
+         if c > 0 then begin
+           let ub = fdiv (-rest) c in
+           if ub < hi then begin
+             if ub < lo then raise Empty_domain;
+             bounds.(v) <- (lo, ub);
+             changed := true
+           end
          end
-       end
-       else begin
-         (* c < 0: v ≥ ceil(rest / -c) = -floor(-rest / -c) *)
-         let lb = -fdiv (-rest) (-c) in
-         if lb > lo then begin
-           if lb > hi then raise Empty_domain;
-           bounds.(v) <- (lb, hi);
-           changed := true
-         end
-       end)
+         else begin
+           (* c < 0: v ≥ ceil(rest / -c) = -floor(-rest / -c) *)
+           let lb = -fdiv (-rest) (-c) in
+           if lb > lo then begin
+             if lb > hi then raise Empty_domain;
+             bounds.(v) <- (lb, hi);
+             changed := true
+           end
+         end)
     l.terms;
   !changed
 
@@ -73,13 +86,17 @@ let propagate_bounds ~bounds lins =
   | () -> Some b
   | exception Empty_domain -> None
 
+(* leaf check at a fully fixed point: evaluate exactly (native
+   products can wrap here too) *)
 let all_satisfied bounds lins =
   List.for_all
     (fun l ->
        let v =
-         List.fold_left (fun acc (c, v) -> acc + (c * fst bounds.(v))) l.const l.terms
+         List.fold_left
+           (fun acc (c, v) -> B.add acc (B.mul_int (B.of_int (fst bounds.(v))) c))
+           (B.of_int l.const) l.terms
        in
-       v <= 0)
+       B.sign v <= 0)
     lins
 
 let solve ?(max_nodes = 1_000_000) ?(deadline = infinity) ~bounds lins =

@@ -121,33 +121,73 @@ let check ?(shadow = `Real) ?(deadline = infinity) ?(max_derived = 200_000) syst
     then raise Budget_exceeded
   in
   let exception Found_core of int list in
-  let constant_check i =
-    if i.terms = [] && B.sign i.const > 0 then raise (Found_core i.origin)
-  in
-  try
-    List.iter constant_check system;
-    let rec eliminate system = function
-      | [] -> ()
-      | vars ->
-        (* greedy: pick the variable minimizing |lower|·|upper| *)
-        let cost v =
-          let ups = List.length (List.filter (fun i -> B.sign (coeff_of v i) > 0) system) in
-          let los = List.length (List.filter (fun i -> B.sign (coeff_of v i) < 0) system) in
-          ups * los
-        in
-        let v = List.fold_left (fun best u -> if cost u < cost best then u else best)
-            (List.hd vars) (List.tl vars)
-        in
-        let ups, rest = List.partition (fun i -> B.sign (coeff_of v i) > 0) system in
-        let los, rest = List.partition (fun i -> B.sign (coeff_of v i) < 0) rest in
-        budget (List.length ups * List.length los);
-        let derived =
-          List.concat_map (fun up -> List.map (fun lo -> combine ~dark v up lo) los) ups
-        in
-        List.iter constant_check derived;
-        let keep = List.filter (fun i -> i.terms <> []) derived in
-        eliminate (keep @ rest) (List.filter (fun u -> u <> v) vars)
+  let run system =
+    let constant_check i =
+      if i.terms = [] && B.sign i.const > 0 then raise (Found_core i.origin)
     in
-    eliminate system (vars_of system);
-    Feasible
-  with Found_core core -> Infeasible core
+    try
+      List.iter constant_check system;
+      let rec eliminate system = function
+        | [] -> ()
+        | vars ->
+          (* greedy: pick the variable minimizing |lower|·|upper| *)
+          let cost v =
+            let ups = List.length (List.filter (fun i -> B.sign (coeff_of v i) > 0) system) in
+            let los = List.length (List.filter (fun i -> B.sign (coeff_of v i) < 0) system) in
+            ups * los
+          in
+          let v = List.fold_left (fun best u -> if cost u < cost best then u else best)
+              (List.hd vars) (List.tl vars)
+          in
+          let ups, rest = List.partition (fun i -> B.sign (coeff_of v i) > 0) system in
+          let los, rest = List.partition (fun i -> B.sign (coeff_of v i) < 0) rest in
+          budget (List.length ups * List.length los);
+          let derived =
+            List.concat_map (fun up -> List.map (fun lo -> combine ~dark v up lo) los) ups
+          in
+          List.iter constant_check derived;
+          let keep = List.filter (fun i -> i.terms <> []) derived in
+          eliminate (keep @ rest) (List.filter (fun u -> u <> v) vars)
+      in
+      eliminate system (vars_of system);
+      Feasible
+    with Found_core core -> Infeasible core
+  in
+  match run system with
+  | Feasible -> Feasible
+  | Infeasible raw ->
+    (* The raw origin set of the contradiction is integer-infeasible
+       (every derivation step is integer-sound), but gcd tightening
+       makes derivations elimination-order dependent: re-running FME on
+       the restricted subsystem alone picks a different greedy order and
+       can fail to re-derive the contradiction, i.e. the reported core
+       would not verify as a core.  Minimize by a drop-loop that
+       re-verifies infeasibility of the remainder before any constraint
+       is discarded; every core we return has been re-checked. *)
+    let all_tags =
+      List.sort_uniq compare (List.concat_map (fun i -> i.origin) system)
+    in
+    let restrict tags =
+      List.filter
+        (fun i -> i.origin = [] || List.exists (fun o -> List.mem o tags) i.origin)
+        system
+    in
+    let verified tags =
+      match run (restrict tags) with Infeasible _ -> true | Feasible -> false
+    in
+    let drop_loop start =
+      List.fold_left
+        (fun kept t ->
+           match List.filter (fun u -> u <> t) kept with
+           | [] -> kept
+           | cand -> if verified cand then cand else kept)
+        start start
+    in
+    (try
+       let start = if raw = all_tags || verified raw then raw else all_tags in
+       Infeasible (drop_loop start)
+     with Budget_exceeded ->
+       (* minimization ran out of budget; fall back to the full origin
+          set, whose restriction is the input system itself and was
+          just proved infeasible *)
+       Infeasible all_tags)

@@ -54,4 +54,13 @@ val check :
 (** Eliminate every variable (greedy fewest-products order) and test
     the residual constants.  Default shadow: [`Real]; [max_derived]
     (default [200_000]) bounds the total number of derived
-    inequalities.  @raise Budget_exceeded on either budget. *)
+    inequalities.  @raise Budget_exceeded on either budget.
+
+    An [Infeasible] core is minimized by a drop-loop that re-runs the
+    elimination on the restricted subsystem before discarding any
+    constraint, so restricting the input to the returned tags and
+    re-running {!check} is guaranteed to report [Infeasible] again
+    (the property checked by [test/test_fme.ml]).  The re-verification
+    shares the derived-inequality and deadline budgets; if they run
+    out mid-minimization the full origin set of the system is returned
+    instead, which trivially re-verifies. *)

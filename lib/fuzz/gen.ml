@@ -1,0 +1,216 @@
+open Rtlsat_rtl
+module R = Random.State
+module Bmc = Rtlsat_bmc.Bmc
+
+type cfg = {
+  max_nodes : int;
+  max_width : int;
+  max_regs : int;
+  max_bound : int;
+}
+
+let default = { max_nodes = 32; max_width = 61; max_regs = 2; max_bound = 4 }
+
+(* the op kinds requested during the coverage phase; every Ir.op
+   constructor except Input/Reg (created up front) appears here *)
+type kind =
+  | KConst | KNot | KAnd | KOr | KXor | KMux | KAddWrap | KAddExt | KSub
+  | KMulc | KCmp | KConcat | KExtract | KZext | KShl | KShr
+  | KBitand | KBitor | KBitxor
+
+let all_kinds =
+  [
+    KConst; KNot; KAnd; KOr; KXor; KMux; KAddWrap; KAddExt; KSub; KMulc;
+    KCmp; KConcat; KExtract; KZext; KShl; KShr; KBitand; KBitor; KBitxor;
+  ]
+
+let max_of_width w = if w >= 61 then (1 lsl 61) - 1 else (1 lsl w) - 1
+
+let circuit ?(cfg = default) ~seed () =
+  let cfg = { cfg with max_width = min 61 (max 1 cfg.max_width) } in
+  let rng = R.make [| 0x6fc5; seed |] in
+  let c = Netlist.create (Printf.sprintf "fuzz%d" seed) in
+  let words = ref [] in
+  let bools = ref [] in
+  let register n =
+    words := n :: !words;
+    if Ir.is_bool n then bools := n :: !bools;
+    n
+  in
+  let pick l = List.nth l (R.int rng (List.length l)) in
+  let pick_value w =
+    (* biased to 0, 1 and the all-ones word *)
+    let maxv = max_of_width w in
+    match R.int rng 4 with
+    | 0 -> 0
+    | 1 -> min 1 maxv
+    | 2 -> maxv
+    | _ -> R.full_int rng (maxv + 1)
+  in
+  let fresh_const w = register (Netlist.const c ~width:w (pick_value w)) in
+  let pick_word () = pick !words in
+  (* a same-width partner for [a]; occasionally a fresh constant to
+     keep the instance from collapsing into pure symmetry *)
+  let partner a =
+    let same = List.filter (fun n -> n.Ir.width = a.Ir.width) !words in
+    if same = [] || R.int rng 4 = 0 then fresh_const a.Ir.width else pick same
+  in
+  let pick_bool () =
+    match !bools with
+    | [] ->
+      let a = pick_word () in
+      register (Netlist.eq c a (fresh_const a.Ir.width))
+    | _ :: _ -> pick !bools
+  in
+  let pick_narrow limit =
+    (* a word no wider than [limit]; the first input guarantees one *)
+    let limit = max 1 limit in
+    match List.filter (fun n -> n.Ir.width <= limit) !words with
+    | [] -> fresh_const (min limit cfg.max_width)
+    | narrow -> pick narrow
+  in
+
+  (* ---- primary inputs: one guaranteed-narrow, then random widths
+     biased to the 1 and 61 edges ---- *)
+  let width_pool = [| 1; 1; 2; 3; 4; 5; 8; 61 |] in
+  let pick_width () = min cfg.max_width width_pool.(R.int rng (Array.length width_pool)) in
+  let n_inputs = 2 + R.int rng 3 in
+  ignore
+    (register (Netlist.input c ~name:"in0" (min cfg.max_width (2 + R.int rng 4))));
+  for i = 1 to n_inputs - 1 do
+    ignore (register (Netlist.input c ~name:(Printf.sprintf "in%d" i) (pick_width ())))
+  done;
+
+  (* ---- registers (sequential circuits for BMC) ---- *)
+  let n_regs = if cfg.max_regs <= 0 then 0 else R.int rng (cfg.max_regs + 1) in
+  let regs =
+    List.init n_regs (fun i ->
+        let w = min cfg.max_width (1 + R.int rng 4) in
+        let r =
+          Netlist.reg c ~name:(Printf.sprintf "r%d" i) ~width:w
+            ~init:(pick_value w) ()
+        in
+        register r)
+  in
+
+  (* ---- operator growth ---- *)
+  let emit kind =
+    match kind with
+    | KConst -> ignore (fresh_const (pick_width ()))
+    | KNot -> ignore (register (Netlist.not_ c (pick_bool ())))
+    | KAnd | KOr ->
+      let ns = List.init (2 + R.int rng 2) (fun _ -> pick_bool ()) in
+      ignore
+        (register (if kind = KAnd then Netlist.and_ c ns else Netlist.or_ c ns))
+    | KXor -> ignore (register (Netlist.xor_ c (pick_bool ()) (pick_bool ())))
+    | KMux ->
+      let t = pick_word () in
+      ignore
+        (register (Netlist.mux c ~sel:(pick_bool ()) ~t ~e:(partner t) ()))
+    | KAddWrap ->
+      let a = pick_word () in
+      ignore (register (Netlist.add c a (partner a)))
+    | KAddExt ->
+      let a = pick_narrow (min 60 (cfg.max_width - 1)) in
+      ignore (register (Netlist.add_ext c a (partner a)))
+    | KSub ->
+      let a = pick_word () in
+      ignore (register (Netlist.sub c a (partner a)))
+    | KMulc ->
+      let a = pick_narrow (min 55 cfg.max_width) in
+      ignore (register (Netlist.mul_const c (2 + R.int rng 4) a))
+    | KCmp ->
+      let a = pick_word () in
+      let op = pick [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ] in
+      ignore (register (Netlist.cmp c op a (partner a)))
+    | KConcat ->
+      let hi = pick_narrow (cfg.max_width - 1) in
+      let lo = pick_narrow (cfg.max_width - hi.Ir.width) in
+      ignore (register (Netlist.concat c ~hi ~lo))
+    | KExtract ->
+      let a = pick_word () in
+      let w = a.Ir.width in
+      let msb, lsb =
+        (* boundary-biased: msb bit, lsb bit, full width, then random *)
+        match R.int rng 5 with
+        | 0 -> (w - 1, w - 1)
+        | 1 -> (0, 0)
+        | 2 -> (w - 1, 0)
+        | 3 -> (w - 1, R.int rng w)
+        | _ ->
+          let lsb = R.int rng w in
+          (lsb + R.int rng (w - lsb), lsb)
+      in
+      ignore (register (Netlist.extract c a ~msb ~lsb))
+    | KZext ->
+      if cfg.max_width >= 2 then begin
+        let a = pick_narrow (cfg.max_width - 1) in
+        let width =
+          if R.int rng 2 = 0 then a.Ir.width + 1
+          else a.Ir.width + 1 + R.int rng (cfg.max_width - a.Ir.width)
+        in
+        ignore (register (Netlist.zext c a ~width))
+      end
+    | KShl ->
+      if cfg.max_width >= 2 then begin
+        let a = pick_narrow (cfg.max_width - 1) in
+        let k = 1 + R.int rng (min 3 (cfg.max_width - a.Ir.width)) in
+        ignore (register (Netlist.shl c a k))
+      end
+    | KShr ->
+      (match List.filter (fun n -> n.Ir.width >= 2) !words with
+       | [] -> ()
+       | wide ->
+         let a = pick wide in
+         ignore (register (Netlist.shr c a (1 + R.int rng (a.Ir.width - 1)))))
+    | KBitand | KBitor | KBitxor ->
+      let a = pick_word () in
+      let b = partner a in
+      let mk =
+        match kind with
+        | KBitand -> Netlist.bitand
+        | KBitor -> Netlist.bitor
+        | _ -> Netlist.bitxor
+      in
+      ignore (register (mk c a b))
+  in
+  (* coverage phase: one of each kind (budget permitting), then random
+     growth up to the node budget *)
+  let budget_left () = c.Ir.ncount < cfg.max_nodes + n_inputs + n_regs in
+  List.iter (fun k -> if budget_left () then emit k) all_kinds;
+  (* some kinds are no-ops under restrictive configs (e.g. zext when
+     max_width = 1), so cap the growth loop as well as the node budget *)
+  let attempts = ref 0 in
+  while budget_left () && !attempts < 16 * cfg.max_nodes do
+    incr attempts;
+    emit (pick all_kinds)
+  done;
+
+  (* ---- close register feedback ---- *)
+  List.iter
+    (fun r ->
+       let same =
+         List.filter (fun n -> n.Ir.width = r.Ir.width && n != r) !words
+       in
+       let next = if same = [] then fresh_const r.Ir.width else pick same in
+       Netlist.connect r next)
+    regs;
+
+  (* ---- property: a Boolean, sometimes a small combination ---- *)
+  let prop =
+    match R.int rng 4 with
+    | 0 -> register (Netlist.and_ c [ pick_bool (); pick_bool () ])
+    | 1 -> register (Netlist.or_ c [ pick_bool (); pick_bool () ])
+    | 2 -> register (Netlist.not_ c (pick_bool ()))
+    | _ -> pick_bool ()
+  in
+  Netlist.output c "prop" prop;
+
+  let bound = 1 + R.int rng cfg.max_bound in
+  let semantics =
+    match R.int rng 5 with
+    | 0 | 1 -> Bmc.Final
+    | 2 | 3 -> Bmc.Any
+    | _ -> Bmc.Never
+  in
+  Case.make c ~prop ~bound ~semantics

@@ -1,0 +1,33 @@
+(** Seeded random generator of well-typed RTL netlists.
+
+    Instances are built through the width-checked {!Rtlsat_rtl.Netlist}
+    builders, so every generated circuit satisfies the IR invariants by
+    construction.  The generator deliberately stresses the corners the
+    engines disagree on first:
+
+    - every {!Rtlsat_rtl.Ir.op} constructor is requested at least once
+      per instance (budget permitting) before random growth;
+    - the width distribution is biased towards the edges 1 and 61;
+    - both wrapping and width-extending adders are emitted;
+    - [Extract] ranges are biased to the msb/lsb boundaries and to
+      full-width extracts;
+    - circuits optionally contain registers (with feedback), making the
+      instance a genuine sequential BMC problem;
+    - the BMC bound and violation semantics ([Final]/[Any]/[Never]) are
+      randomized.
+
+    Generation is deterministic in [seed]: equal seeds produce
+    byte-identical cases (relied on to reproduce fuzz failures). *)
+
+type cfg = {
+  max_nodes : int;  (** operator budget beyond inputs and registers *)
+  max_width : int;  (** widest word to generate, clamped to 61 *)
+  max_regs : int;   (** 0 forces purely combinational circuits *)
+  max_bound : int;  (** BMC frames are drawn from [1..max_bound] *)
+}
+
+val default : cfg
+(** [{ max_nodes = 32; max_width = 61; max_regs = 2; max_bound = 4 }] *)
+
+val circuit : ?cfg:cfg -> seed:int -> unit -> Case.t
+(** Generate the case for [seed]. *)

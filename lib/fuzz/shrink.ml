@@ -1,0 +1,176 @@
+open Rtlsat_rtl
+module N = Netlist
+
+(* a rewrite decision for one original node; candidates perturb exactly
+   one node and keep the rest *)
+type action =
+  | Keep
+  | Subst of Ir.node  (* use this same-width, earlier node instead *)
+  | Cst of int        (* collapse to a constant *)
+  | Narrow            (* inputs only: halve the width, zext back *)
+
+let max_of_width w = if w >= 61 then (1 lsl 61) - 1 else (1 lsl w) - 1
+
+(* the set of node ids live under [decide]: the cone of the property,
+   closed under register feedback *)
+let needed (case : Case.t) decide =
+  let live = Hashtbl.create 64 in
+  let rec visit n =
+    if not (Hashtbl.mem live n.Ir.id) then begin
+      Hashtbl.add live n.Ir.id ();
+      match decide n with
+      | Cst _ -> ()
+      | Subst m -> visit m
+      | Keep | Narrow ->
+        List.iter visit (Ir.fanins n);
+        (match n.Ir.op with
+         | Ir.Reg { next = Some nx; _ } -> visit nx
+         | _ -> ())
+    end
+  in
+  visit case.Case.prop;
+  live
+
+let node_count case = Hashtbl.length (needed case (fun _ -> Keep))
+
+(* rebuild the live cone under [decide]; None when a rewrite violates
+   the width discipline (the candidate is simply skipped) *)
+let rebuild (case : Case.t) decide ~bound =
+  let src = case.Case.circuit in
+  try
+    let live = needed case decide in
+    let nc = N.create src.Ir.cname in
+    let map = Hashtbl.create 64 in
+    let m n = Hashtbl.find map n.Ir.id in
+    let build_keep n =
+      match n.Ir.op with
+      | Ir.Input -> N.input nc ~name:(Ir.node_name n) n.Ir.width
+      | Ir.Const v -> N.const nc ~width:n.Ir.width v
+      | Ir.Not a -> N.not_ nc (m a)
+      | Ir.And ns -> N.and_ nc (List.map m (Array.to_list ns))
+      | Ir.Or ns -> N.or_ nc (List.map m (Array.to_list ns))
+      | Ir.Xor (a, b) -> N.xor_ nc (m a) (m b)
+      | Ir.Mux { sel; t; e } -> N.mux nc ~sel:(m sel) ~t:(m t) ~e:(m e) ()
+      | Ir.Add { a; b; wrap = true } -> N.add nc (m a) (m b)
+      | Ir.Add { a; b; wrap = false } -> N.add_ext nc (m a) (m b)
+      | Ir.Sub { a; b } -> N.sub nc (m a) (m b)
+      | Ir.Mul_const { k; a } -> N.mul_const nc k (m a)
+      | Ir.Cmp { op; a; b } -> N.cmp nc op (m a) (m b)
+      | Ir.Concat { hi; lo } -> N.concat nc ~hi:(m hi) ~lo:(m lo)
+      | Ir.Extract { a; msb; lsb } -> N.extract nc (m a) ~msb ~lsb
+      | Ir.Zext a -> N.zext nc (m a) ~width:n.Ir.width
+      | Ir.Shl { a; k } -> N.shl nc (m a) k
+      | Ir.Shr { a; k } -> N.shr nc (m a) k
+      | Ir.Bitand (a, b) -> N.bitand nc (m a) (m b)
+      | Ir.Bitor (a, b) -> N.bitor nc (m a) (m b)
+      | Ir.Bitxor (a, b) -> N.bitxor nc (m a) (m b)
+      | Ir.Reg { init; _ } ->
+        N.reg nc ~name:(Ir.node_name n) ~width:n.Ir.width ~init ()
+    in
+    List.iter
+      (fun n ->
+         if Hashtbl.mem live n.Ir.id then begin
+           let nn =
+             match decide n with
+             | Cst v -> N.const nc ~width:n.Ir.width (v land max_of_width n.Ir.width)
+             | Subst s -> m s
+             | Narrow ->
+               (match n.Ir.op with
+                | Ir.Input when n.Ir.width >= 2 ->
+                  let w' = (n.Ir.width + 1) / 2 in
+                  N.zext nc (N.input nc ~name:(Ir.node_name n) w') ~width:n.Ir.width
+                | _ -> build_keep n)
+             | Keep -> build_keep n
+           in
+           Hashtbl.replace map n.Ir.id nn
+         end)
+      (Ir.nodes src);
+    List.iter
+      (fun r ->
+         if Hashtbl.mem live r.Ir.id then
+           match (decide r, r.Ir.op) with
+           | Keep, Ir.Reg { next = Some nx; _ } -> N.connect (m r) (m nx)
+           | _ -> ())
+      (Ir.regs src);
+    let prop = m case.Case.prop in
+    if Ir.is_bool prop then
+      Some (Case.make nc ~prop ~bound ~semantics:case.Case.semantics)
+    else None
+  with Invalid_argument _ | Not_found -> None
+
+let prune case =
+  match rebuild case (fun _ -> Keep) ~bound:case.Case.bound with
+  | Some c -> c
+  | None -> case
+
+(* shrink order: lexicographic on (bound, input bits, operator nodes,
+   total nodes) — Narrow adds a zext node but wins on input bits *)
+let measure (case : Case.t) =
+  let c = case.Case.circuit in
+  let ibits = List.fold_left (fun a n -> a + n.Ir.width) 0 (Ir.inputs c) in
+  let ops =
+    List.fold_left
+      (fun a n ->
+         match n.Ir.op with Ir.Input | Ir.Const _ | Ir.Reg _ -> a | _ -> a + 1)
+      0 (Ir.nodes c)
+  in
+  (case.Case.bound, ibits, ops, c.Ir.ncount)
+
+let candidates (case : Case.t) =
+  let bound = case.Case.bound in
+  let keep _ = Keep in
+  let only n act x = if x == n then act else Keep in
+  let bound_cands = if bound > 1 then [ (keep, bound - 1) ] else [] in
+  let node_cands =
+    List.concat_map
+      (fun n ->
+         let with_act acts = List.map (fun a -> (only n a, bound)) acts in
+         match n.Ir.op with
+         | Ir.Const 0 -> []
+         | Ir.Const _ -> with_act [ Cst 0 ]
+         | Ir.Input ->
+           with_act ((if n.Ir.width >= 2 then [ Narrow ] else []) @ [ Cst 0 ])
+         | _ ->
+           let subst =
+             Ir.fanins n
+             |> List.filter (fun f -> f.Ir.width = n.Ir.width)
+             |> List.map (fun f -> (only n (Subst f), bound))
+           in
+           subst @ with_act (if Ir.is_bool n then [ Cst 0; Cst 1 ] else [ Cst 0 ]))
+      (List.rev (Ir.nodes case.Case.circuit))
+  in
+  bound_cands @ node_cands
+
+let shrink ?(max_steps = 256) ~still_failing case =
+  let steps = ref 0 in
+  (* pruning is not semantics-preserving for the *search*: dead logic
+     can be what tickles the failing engine, so verify it *)
+  let start =
+    let p = prune case in
+    if p == case then case
+    else begin
+      incr steps;
+      if still_failing p then p else case
+    end
+  in
+  let best = ref start in
+  let continue_ = ref true in
+  while !continue_ && !steps < max_steps do
+    let cur = !best in
+    let mu = measure cur in
+    let rec try_cands = function
+      | [] -> None
+      | (decide, bound) :: rest ->
+        if !steps >= max_steps then None
+        else (
+          match rebuild cur decide ~bound with
+          | Some c' when measure c' < mu ->
+            incr steps;
+            if still_failing c' then Some c' else try_cands rest
+          | _ -> try_cands rest)
+    in
+    match try_cands (candidates cur) with
+    | Some c' -> best := c'
+    | None -> continue_ := false
+  done;
+  (!best, !steps)

@@ -1,0 +1,35 @@
+(** Greedy minimizer for failing fuzz cases.
+
+    Starting from a case for which [still_failing] holds, repeatedly
+    tries size-reducing rewrites and keeps the first one that still
+    fails, until no rewrite helps or the step budget is exhausted:
+
+    - lower the BMC bound;
+    - replace an operator node by one of its same-width fanins
+      (dropping the node and everything only it needed);
+    - replace a node by a constant (0, or 1 for Booleans);
+    - narrow a primary input to roughly half its width (zero-extended
+      back, so the circuit stays well-typed);
+    - dead logic is pruned after every accepted rewrite.
+
+    The rewrites only need to {e preserve failure}, not semantics, so
+    the shrunk circuit is usually far smaller than the generated one.
+    Every candidate is re-validated by calling [still_failing] (one
+    full differential-oracle run); the returned step count is the
+    number of such validations, mirrored in the fuzz driver's
+    [fuzz.shrink_steps] counter. *)
+
+val node_count : Case.t -> int
+(** Number of live nodes (the cone of the property plus register
+    feedback), i.e. the size being minimized. *)
+
+val prune : Case.t -> Case.t
+(** Rebuild the case keeping only live nodes.  The circuit is copied;
+    the input case is not mutated. *)
+
+val shrink :
+  ?max_steps:int -> still_failing:(Case.t -> bool) -> Case.t -> Case.t * int
+(** [shrink ~still_failing case] is the minimized case and the number
+    of [still_failing] evaluations spent (capped by [max_steps],
+    default 256).  [case] itself is assumed failing and is returned
+    (pruned) if no rewrite preserves the failure. *)

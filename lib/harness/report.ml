@@ -111,3 +111,25 @@ let bench_json ~generated_at ~scale ~sections =
       ("scale", Json.Str scale);
       ("sections", Json.Obj sections);
     ]
+
+let fuzz_json ~seed ~count ~instances ~sat ~unsat ~timeouts ~wall_s ~failures
+    ~metrics =
+  let metrics =
+    match metrics with
+    | Some m -> [ ("metrics", Obs.snapshot_json m) ]
+    | None -> []
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str "rtlsat.fuzz/1");
+       ("seed", Json.Int seed);
+       ("count", Json.Int count);
+       ("instances", Json.Int instances);
+       ("sat", Json.Int sat);
+       ("unsat", Json.Int unsat);
+       ("timeouts", Json.Int timeouts);
+       ("failures", Json.Int (List.length failures));
+       ("failure_cases", Json.Arr failures);
+       ("wall_s", Json.Float wall_s);
+     ]
+     @ metrics)

@@ -39,3 +39,20 @@ val bench_json :
 (** The perf-trajectory artifact (schema ["rtlsat.bench/1"]):
     [sections] maps section names (["table1"], ["table2"], …) to
     their [table*_json] payloads. *)
+
+val fuzz_json :
+  seed:int ->
+  count:int ->
+  instances:int ->
+  sat:int ->
+  unsat:int ->
+  timeouts:int ->
+  wall_s:float ->
+  failures:Json.t list ->
+  metrics:Rtlsat_obs.Obs.snapshot option ->
+  Json.t
+(** Campaign summary of [rtlsat fuzz --json] (schema
+    ["rtlsat.fuzz/1"]).  [failures] are pre-serialized failure objects
+    (the fuzz library builds them — the dependency points that way);
+    the ["failures"] field is their count, the cases live under
+    ["failure_cases"]. *)

@@ -1,0 +1,11 @@
+let mul a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = min_int || b = min_int then None
+  else if abs a <= max_int / abs b then Some (a * b)
+  else None
+
+let add a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then None else Some s
+
+let sub a b = if b = min_int then None else add a (-b)

@@ -1,0 +1,14 @@
+(** Overflow-checked native-int arithmetic.
+
+    The word-level layers (ICP in [Rtlsat_core.Propagate], the box
+    search, the final-check substitution) evaluate Σ cᵢ·xᵢ with
+    coefficients up to 2^60 and word bounds up to 2^61 - 1, so
+    individual products can exceed the native int range.  These
+    helpers return [None] instead of wrapping; callers skip the
+    affected check or tightening, which is always sound for optional
+    propagation and falls back to exact {!Bigint} evaluation where a
+    definite answer is required. *)
+
+val mul : int -> int -> int option
+val add : int -> int -> int option
+val sub : int -> int -> int option

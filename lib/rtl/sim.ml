@@ -9,7 +9,11 @@ let initial_state c =
   List.iter set_init (regs c);
   st
 
-let mask w = if w >= 61 then max_int else (1 lsl w) - 1
+(* 1 lsl 61 fits comfortably in a 63-bit int, so the full-width mask
+   is exact for every supported width; max_int here would leave bit 61
+   alive and silently un-wrap 61-bit arithmetic (caught by corpus case
+   w61_wrap_corner: Sim disagreed with every engine at x = 2^61 - 1) *)
+let mask w = if w >= 62 then max_int else (1 lsl w) - 1
 
 let eval c st ~inputs =
   let vals : values = Hashtbl.create (c.ncount * 2) in

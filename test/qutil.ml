@@ -1,0 +1,36 @@
+(* Shared QCheck → Alcotest adapter.
+
+   qcheck-alcotest's [to_alcotest] self-initializes a *random* seed
+   whenever QCHECK_SEED is not set, which made the property suites
+   non-reproducible in CI: a failure seen once could not be replayed.
+   Every suite now runs with a fixed default seed; QCHECK_SEED still
+   overrides it, and the effective seed is printed when a property
+   fails so the exact run can be reproduced with
+
+     QCHECK_SEED=<seed> ./_build/default/test/test_<suite>.exe *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None ->
+        Printf.eprintf "[qcheck] ignoring malformed QCHECK_SEED=%S\n%!" s;
+        42)
+  | None -> 42
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  let run () =
+    try run ()
+    with e ->
+      Printf.eprintf
+        "[qcheck] property %S failed under seed %d; reproduce with QCHECK_SEED=%d\n%!"
+        name seed seed;
+      raise e
+  in
+  (name, speed, run)
+
+let qsuite name tests = (name, List.map to_alcotest tests)

@@ -183,7 +183,7 @@ let prop_lazy_matches_hdpll =
        | Lazy_cdp.Unsat -> not expected
        | Lazy_cdp.Timeout -> QCheck.assume_fail ())
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "baselines"

@@ -336,7 +336,7 @@ let prop_random_circuit =
        let env = env_from_sim enc vals in
        Result.is_ok (P.check_model enc.problem env))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "constr"

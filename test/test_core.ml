@@ -505,7 +505,7 @@ let prop_solver_matches_sim options name =
        | Solver.Unsat -> not expected
        | Solver.Timeout -> QCheck.assume_fail ())
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "core"

@@ -277,7 +277,7 @@ let prop_core_is_unsat =
          in
          (match F.check sub with F.Infeasible _ -> true | F.Feasible -> false))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "fme"

@@ -120,7 +120,7 @@ let prop_shr_exact =
        I.equal (I.shift_right a k)
          (iv (List.fold_left min max_int img) (List.fold_left max min_int img)))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "interval"

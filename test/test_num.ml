@@ -161,7 +161,7 @@ let prop_rat_field =
        R.equal R.((x + y) - y) x
        && (R.sign y = 0 || R.equal R.(x * y / y) x))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "num"

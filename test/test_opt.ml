@@ -195,7 +195,7 @@ let test_idempotent () =
          (Opt.node_count once) (Opt.node_count twice))
     Registry.circuits
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "opt"

@@ -214,7 +214,7 @@ let prop_assumptions_sound =
        let r2 = is_sat (C.solve s2) in
        r1 = r2)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "sat"

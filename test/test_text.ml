@@ -161,7 +161,7 @@ let prop_roundtrip_random =
        in
        stable && v1 = v2)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite = Qutil.qsuite
 
 let () =
   Alcotest.run "text"
