@@ -220,7 +220,11 @@ let bench_artifact () =
   Json.to_channel oc doc;
   output_char oc '\n';
   close_out oc;
-  Format.printf "@.perf-trajectory artifact written to %s@." path
+  Format.printf "@.perf-trajectory artifact written to %s@." path;
+  Format.printf
+    "compare against a committed baseline with: rtlsat bench-diff \
+     BENCH_<old>.json %s@."
+    path
 
 let () =
   Arg.parse spec anon usage;

@@ -7,6 +7,8 @@
      check              BMC of a property in a textual netlist file
      prove              k-induction on a benchmark property
      fuzz               differential fuzzing of all engines
+     profile            replay a --trace file and diagnose the run
+     bench-diff         compare two BENCH_*.json perf artifacts
      table1 / table2    regenerate the paper's tables *)
 
 open Cmdliner
@@ -18,6 +20,7 @@ module Tables = Rtlsat_harness.Tables
 module Report = Rtlsat_harness.Report
 module Obs = Rtlsat_obs.Obs
 module Trace = Rtlsat_obs.Trace
+module Forensics = Rtlsat_obs.Forensics
 module Json = Rtlsat_obs.Json
 module Fuzz = Rtlsat_fuzz.Fuzz
 module Fuzz_gen = Rtlsat_fuzz.Gen
@@ -89,14 +92,20 @@ let show_cmd =
 (* ---- solve ---- *)
 
 let solve_cmd =
+  let case_file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CASE.rtl"
+           ~doc:"A fuzz-case netlist file (test/corpus format): the circuit, \
+                 the $(b,prop) output port and a $(i,# fuzz-case) directive. \
+                 Replaces --circuit/--property/--bound.")
+  in
   let circuit =
-    Arg.(required & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME")
+    Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME")
   in
   let prop =
-    Arg.(required & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP")
+    Arg.(value & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP")
   in
   let bound =
-    Arg.(required & opt (some int) None & info [ "k"; "bound" ] ~docv:"FRAMES")
+    Arg.(value & opt (some int) None & info [ "k"; "bound" ] ~docv:"FRAMES")
   in
   let engine =
     Arg.(value & opt engine_conv Engines.Hdpll_sp & info [ "e"; "engine" ])
@@ -104,84 +113,133 @@ let solve_cmd =
   let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ] ~docv:"SECONDS") in
   let stats_json =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
-           ~doc:"Write the run's counters, per-phase timings and histograms as JSON")
+           ~doc:"Write the run's counters, per-phase timings, histograms and \
+                 forensics (hot constraints/variables, ICP stalls) as JSON")
   in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a JSON-lines event trace (decisions, conflicts, restarts, \
-                 learned clauses, J-frontier sizes)")
+                 learned clauses, J-frontier sizes, ICP stalls); replay it with \
+                 $(b,rtlsat profile)")
+  in
+  let dump_graph =
+    Arg.(value & opt (some string) None & info [ "dump-graph" ] ~docv:"DIR"
+           ~doc:"Export the hybrid implication graph of the first conflicts \
+                 as GraphViz DOT files DIR/conflict_NNNN.dot (HDPLL engines \
+                 only; the directory is created if missing)")
+  in
+  let dump_graph_max =
+    Arg.(value & opt int 10 & info [ "dump-graph-max" ] ~docv:"N"
+           ~doc:"Cap on exported conflict graphs")
   in
   let progress =
     Arg.(value & flag & info [ "v"; "progress" ]
            ~doc:"Periodic one-line progress reports on stderr (decisions/s, \
                  conflicts/s, learned DB size, depth) and a phase-time summary")
   in
-  let run circuit prop bound engine timeout stats_json trace_out progress =
-    match Registry.instance ~circuit ~prop ~bound with
-    | inst ->
-      (* fail on unwritable output paths before solving, not after *)
-      (match stats_json with
-       | Some path ->
-         (try close_out (open_out path)
-          with Sys_error msg ->
-            Format.eprintf "rtlsat: cannot write stats file: %s@." msg;
-            exit 1)
+  let run case_file circuit prop bound engine timeout stats_json trace_out
+      dump_graph dump_graph_max progress =
+    let inst, label =
+      match (case_file, circuit, prop, bound) with
+      | Some file, None, None, None ->
+        (match Fuzz_case.of_file file with
+         | case ->
+           ( Fuzz_case.instance case,
+             Filename.remove_extension (Filename.basename file) )
+         | exception (Sys_error msg | Failure msg) ->
+           Format.eprintf "rtlsat: cannot load %s: %s@." file msg;
+           exit 1)
+      | Some _, _, _, _ ->
+        Format.eprintf
+          "rtlsat: CASE.rtl and --circuit/--property/--bound are exclusive@.";
+        exit 1
+      | None, Some circuit, Some prop, Some bound ->
+        (match Registry.instance ~circuit ~prop ~bound with
+         | inst -> (inst, Registry.instance_name ~circuit ~prop ~bound)
+         | exception Not_found ->
+           Format.eprintf "unknown instance %s_%s@." circuit prop;
+           exit 1)
+      | None, _, _, _ ->
+        Format.eprintf
+          "rtlsat: give either CASE.rtl or all of --circuit, --property and \
+           --bound@.";
+        exit 1
+    in
+    let bound = inst.Rtlsat_bmc.Bmc.bound in
+    (* fail on unwritable output paths before solving, not after *)
+    (match stats_json with
+     | Some path ->
+       (try close_out (open_out path)
+        with Sys_error msg ->
+          Format.eprintf "rtlsat: cannot write stats file: %s@." msg;
+          exit 1)
+     | None -> ());
+    (match dump_graph with
+     | Some dir ->
+       (try Unix.mkdir dir 0o755
+        with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        | Unix.Unix_error (e, _, _) ->
+          Format.eprintf "rtlsat: cannot create %s: %s@." dir
+            (Unix.error_message e);
+          exit 1)
+     | None -> ());
+    let need_obs = stats_json <> None || trace_out <> None || progress in
+    let obs =
+      if need_obs then
+        Obs.create
+          ?trace:
+            (Option.map
+               (fun path ->
+                  try Trace.to_file path
+                  with Sys_error msg ->
+                    Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
+                    exit 1)
+               trace_out)
+          ?progress_every:(if progress then Some 1.0 else None)
+          ()
+      else Obs.disabled
+    in
+    let r =
+      Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max engine inst
+    in
+    Obs.close obs;
+    Format.printf "%s %s: %s in %.2fs@." label
+      (Engines.engine_name engine)
+      (match r.Engines.verdict with
+       | Engines.Sat -> "SATISFIABLE (witness validated)"
+       | Engines.Unsat -> "UNSATISFIABLE"
+       | Engines.Timeout -> "TIMEOUT"
+       | Engines.Abort msg -> "ABORT: " ^ msg)
+      r.Engines.time;
+    Format.printf "decisions=%d conflicts=%d relations=%d@." r.Engines.decisions
+      r.Engines.conflicts r.Engines.relations;
+    if progress then
+      (match r.Engines.metrics with
+       | Some m ->
+         Format.eprintf "phase self-times:@.";
+         List.iter
+           (fun (name, self, calls) ->
+              if calls > 0 then
+                Format.eprintf "  %-18s %8.3fs  (%d)@." name self calls)
+           m.Obs.phases
        | None -> ());
-      let need_obs = stats_json <> None || trace_out <> None || progress in
-      let obs =
-        if need_obs then
-          Obs.create
-            ?trace:
-              (Option.map
-                 (fun path ->
-                    try Trace.to_file path
-                    with Sys_error msg ->
-                      Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
-                      exit 1)
-                 trace_out)
-            ?progress_every:(if progress then Some 1.0 else None)
-            ()
-        else Obs.disabled
-      in
-      let r = Engines.run_instance ~timeout ~obs engine inst in
-      Obs.close obs;
-      let label = Registry.instance_name ~circuit ~prop ~bound in
-      Format.printf "%s %s: %s in %.2fs@." label
-        (Engines.engine_name engine)
-        (match r.Engines.verdict with
-         | Engines.Sat -> "SATISFIABLE (witness validated)"
-         | Engines.Unsat -> "UNSATISFIABLE"
-         | Engines.Timeout -> "TIMEOUT"
-         | Engines.Abort msg -> "ABORT: " ^ msg)
-        r.Engines.time;
-      Format.printf "decisions=%d conflicts=%d relations=%d@." r.Engines.decisions
-        r.Engines.conflicts r.Engines.relations;
-      if progress then
-        (match r.Engines.metrics with
-         | Some m ->
-           Format.eprintf "phase self-times:@.";
-           List.iter
-             (fun (name, self, calls) ->
-                if calls > 0 then
-                  Format.eprintf "  %-18s %8.3fs  (%d)@." name self calls)
-             m.Obs.phases
-         | None -> ());
-      (match stats_json with
-       | Some path ->
-         write_json path (Report.solve_json ~instance:label ~bound engine r);
-         Format.printf "stats written to %s@." path
-       | None -> ());
-      (match trace_out with
-       | Some path -> Format.printf "trace written to %s@." path
-       | None -> ())
-    | exception Not_found ->
-      Format.eprintf "unknown instance %s_%s@." circuit prop;
-      exit 1
+    (match stats_json with
+     | Some path ->
+       write_json path (Report.solve_json ~instance:label ~bound engine r);
+       Format.printf "stats written to %s@." path
+     | None -> ());
+    (match trace_out with
+     | Some path -> Format.printf "trace written to %s@." path
+     | None -> ());
+    (match dump_graph with
+     | Some dir -> Format.printf "conflict graphs written to %s@." dir
+     | None -> ())
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Decide one BMC instance")
-    Term.(const run $ circuit $ prop $ bound $ engine $ timeout $ stats_json
-          $ trace_out $ progress)
+    (Cmd.info "solve" ~doc:"Decide one BMC instance (benchmark or .rtl case file)")
+    Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
+          $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress)
 
 (* ---- check: external netlist files ---- *)
 
@@ -447,6 +505,77 @@ let fuzz_cmd =
     Term.(const run $ seed $ count $ max_nodes $ max_regs $ deadline $ timeout
           $ json_out $ out_dir $ verbose)
 
+(* ---- profile: the trace-replay profiler ---- *)
+
+let profile_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+           ~doc:"A JSON-lines trace written by $(b,rtlsat solve --trace)")
+  in
+  let run file =
+    match Forensics.profile_file file with
+    | p -> Forensics.print_profile Format.std_formatter p
+    | exception Sys_error msg ->
+      Format.eprintf "rtlsat: %s@." msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Replay a --trace file offline: event statistics, conflict \
+             locality, phase times, ICP-stall forensics and a diagnosis")
+    Term.(const run $ file)
+
+(* ---- bench-diff: perf-trajectory comparison ---- *)
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let threshold =
+    Arg.(value & opt float 0.20 & info [ "threshold" ] ~docv:"FRACTION"
+           ~doc:"Relative slowdown that counts as a regression \
+                 (0.20 = 20 percent)")
+  in
+  let min_time =
+    Arg.(value & opt float 0.05 & info [ "min-time" ] ~docv:"SECONDS"
+           ~doc:"Absolute slowdown floor: jitter below this never flags")
+  in
+  let run old_file new_file threshold min_time =
+    let read path =
+      match
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Json.of_string (String.trim text)
+      with
+      | j -> j
+      | exception Sys_error msg ->
+        Format.eprintf "rtlsat: %s@." msg;
+        exit 2
+      | exception Json.Parse_error msg ->
+        Format.eprintf "rtlsat: %s: malformed JSON: %s@." path msg;
+        exit 2
+    in
+    let old_json = read old_file in
+    let new_json = read new_file in
+    match Report.bench_diff ~threshold ~min_time old_json new_json with
+    | d ->
+      Report.print_bench_diff Format.std_formatter d;
+      if d.Report.bd_regressions > 0 then exit 1
+    | exception Invalid_argument msg ->
+      Format.eprintf "rtlsat: %s@." msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two BENCH_*.json artifacts per instance; exit 1 when \
+             any engine regressed (verdict degraded, or slowed past the \
+             threshold)")
+    Term.(const run $ old_file $ new_file $ threshold $ min_time)
+
 (* ---- tables ---- *)
 
 let scale_term =
@@ -493,5 +622,7 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; solve_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
             fuzz_cmd;
+            profile_cmd;
+            bench_diff_cmd;
             table1_cmd;
             table2_cmd ]))

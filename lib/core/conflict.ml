@@ -8,6 +8,87 @@ type result = {
 
 exception Root_conflict
 
+(* ---- conflict forensics: DOT export of the hybrid implication graph
+   (§2.4) reachable from one conflict.  Boolean literals render as
+   ellipses, interval (bound) literals as boxes, decisions with a
+   double border; the conflict sink is a red octagon labelled with the
+   conflict kind ("conflict" / "jconflict" / "final_check"). ---- *)
+
+let dot_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let dump_dot s ?(kind = "conflict") conflict fmt =
+  let atom_label a =
+    dot_escape (Format.asprintf "%a" (State.pp_atom s) a)
+  in
+  Format.fprintf fmt "digraph conflict {@.";
+  Format.fprintf fmt "  rankdir=LR;@.";
+  Format.fprintf fmt "  node [fontname=\"monospace\", fontsize=10];@.";
+  Format.fprintf fmt
+    "  conflict [label=\"%s\", shape=octagon, style=filled, \
+     fillcolor=\"#e05050\", fontcolor=white];@."
+    (dot_escape kind);
+  (* one node per contributing trail entry; root facts (entailed by
+     the initial domain or level 0) collapse into shared leaf nodes *)
+  let visited = Hashtbl.create 64 in
+  let roots = Hashtbl.create 16 in
+  let node_decl idx (e : State.entry) =
+    let is_bool = match e.State.eatom with Pos _ | Neg _ -> true | _ -> false in
+    Format.fprintf fmt
+      "  n%d [label=\"%s\\nL%d @@%d\", shape=%s%s, style=filled, \
+       fillcolor=\"%s\"];@."
+      idx (atom_label e.State.eatom) e.State.elevel idx
+      (if is_bool then "ellipse" else "box")
+      (match e.State.ereason with None -> ", peripheries=2" | Some _ -> "")
+      (if is_bool then "#cfe2ff" else "#fff3c4")
+  in
+  (* returns the DOT node id of the entry entailing [a] *)
+  let rec node_of a =
+    match State.entailing_entry s a with
+    | None ->
+      let key = atom_label a in
+      (match Hashtbl.find_opt roots key with
+       | Some id -> id
+       | None ->
+         let id = Printf.sprintf "r%d" (Hashtbl.length roots) in
+         Hashtbl.replace roots key id;
+         Format.fprintf fmt
+           "  %s [label=\"%s\\nroot\", shape=box, style=\"filled,dashed\", \
+            fillcolor=\"#e8e8e8\"];@."
+           id key;
+         id)
+    | Some idx ->
+      if not (Hashtbl.mem visited idx) then begin
+        Hashtbl.replace visited idx ();
+        let e = Vec.get s.State.trail idx in
+        node_decl idx e;
+        match e.State.ereason with
+        | None -> ()
+        | Some reason ->
+          Array.iter
+            (fun b ->
+               let src = node_of b in
+               Format.fprintf fmt "  %s -> n%d;@." src idx)
+            reason
+      end;
+      Printf.sprintf "n%d" idx
+  in
+  Array.iter
+    (fun a ->
+       let src = node_of a in
+       Format.fprintf fmt "  %s -> conflict;@." src)
+    conflict;
+  Format.fprintf fmt "}@."
+
 (* direction-aware strength: for two entailed atoms on the same
    (var, direction), the stronger one subsumes the weaker *)
 let stronger a b =

@@ -19,3 +19,12 @@ val analyze : State.t -> atom array -> result
     The [conflict] atoms must all be entailed and jointly
     inconsistent.  Bumps the activity of involved variables.
     @raise Root_conflict when every conflict atom holds at level 0. *)
+
+val dump_dot :
+  State.t -> ?kind:string -> atom array -> Format.formatter -> unit
+(** Export the slice of the hybrid implication graph reaching this
+    conflict as GraphViz DOT, before any backtracking.  Boolean
+    literals are ellipses, interval (bound) literals boxes, decisions
+    double-bordered, root facts dashed; the conflict sink is labelled
+    [kind] ("conflict", "jconflict" or "final_check").  Used by
+    [rtlsat solve --dump-graph DIR]. *)

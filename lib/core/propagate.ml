@@ -220,6 +220,18 @@ let propagate_constr s ci =
 
 exception Propagation_timeout
 
+(* forensics bracketing: wakeup count, per-constraint time, and the
+   attribution target for narrowings.  Only reached from the
+   obs-enabled arm, so the disabled hot path stays closure-free. *)
+let propagate_constr_attr obs s ci =
+  Obs.constr_enter obs ci;
+  (match propagate_constr s ci with
+   | () -> ()
+   | exception e ->
+     Obs.constr_exit obs ci;
+     raise e);
+  Obs.constr_exit obs ci
+
 let run ?(full = false) ?(deadline = infinity) s =
   let obs = s.State.obs in
   (* ICP can tighten a bound by 1 per sweep over a 2^61 domain, so the
@@ -233,7 +245,9 @@ let run ?(full = false) ?(deadline = infinity) s =
             check_clause s ci
           done);
       Obs.span obs Obs.Icp (fun () ->
-          Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs)
+          if obs.Obs.enabled then
+            Array.iteri (fun ci _ -> propagate_constr_attr obs s ci) s.State.constrs
+          else Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs)
     end;
     while s.State.qhead < Vec.length s.State.trail do
       decr fuel;
@@ -251,7 +265,7 @@ let run ?(full = false) ?(deadline = infinity) s =
         Obs.span obs Obs.Bcp (fun () ->
             List.iter (check_clause s) s.State.clause_occs.(v));
         Obs.span obs Obs.Icp (fun () ->
-            List.iter (propagate_constr s) s.State.constr_occs.(v))
+            List.iter (propagate_constr_attr obs s) s.State.constr_occs.(v))
       end
       else begin
         List.iter (check_clause s) s.State.clause_occs.(v);
@@ -259,4 +273,6 @@ let run ?(full = false) ?(deadline = infinity) s =
       end
     done;
     None
-  with State.Conflict c -> Some c
+  with State.Conflict c ->
+    if obs.Obs.enabled then Obs.forensics_reset_cur obs;
+    Some c

@@ -19,6 +19,8 @@ type options = {
   collect_learned : bool;
   reduce_db : int option;
   obs : Obs.t;
+  dump_graph : string option;
+  dump_graph_max : int;
 }
 
 let default =
@@ -35,6 +37,8 @@ let default =
     collect_learned = false;
     reduce_db = Some 20_000;
     obs = Obs.disabled;
+    dump_graph = None;
+    dump_graph_max = 10;
   }
 
 let hdpll = default
@@ -139,8 +143,42 @@ let collected_clauses opts s =
     !out
   end
 
+(* summary trace events + the final [done] line, shared by the main
+   loop and the early-exit (root) paths *)
+let emit_done obs s r =
+  if Obs.tracing obs then begin
+    Obs.emit_summary_events obs;
+    Obs.event obs "done"
+      [
+        ( "result",
+          Json.Str
+            (match r with Sat _ -> "sat" | Unsat -> "unsat" | Timeout -> "timeout") );
+        ("conflicts", Json.Int s.State.n_conflicts);
+        ("decisions", Json.Int s.State.n_decisions);
+      ]
+  end
+
 let solve_loop opts s enc t0 learn_summary =
   let obs = opts.obs in
+  (* conflict forensics: --dump-graph exports the implication graph of
+     the first [dump_graph_max] conflicts as DOT files *)
+  let dumped = ref 0 in
+  let maybe_dump kind conflict =
+    match opts.dump_graph with
+    | Some dir when !dumped < opts.dump_graph_max ->
+      incr dumped;
+      let path =
+        Filename.concat dir (Printf.sprintf "conflict_%04d.dot" !dumped)
+      in
+      (try
+         let oc = open_out path in
+         let fmt = Format.formatter_of_out_channel oc in
+         Conflict.dump_dot s ~kind conflict fmt;
+         Format.pp_print_flush fmt ();
+         close_out oc
+       with Sys_error _ -> ())
+    | _ -> ()
+  in
   let justifier =
     match (opts.structural, enc) with
     | true, Some enc -> Some (Justify.create enc)
@@ -158,7 +196,8 @@ let solve_loop opts s enc t0 learn_summary =
   let conflicts_left = ref (restart_base * luby 0) in
   let steps = ref 0 in
   let result = ref None in
-  let rec handle_conflict conflict =
+  let rec handle_conflict ?(kind = "conflict") conflict =
+    maybe_dump kind conflict;
     s.State.n_conflicts <- s.State.n_conflicts + 1;
     decr conflicts_left;
     let level = State.decision_level s in
@@ -248,7 +287,7 @@ let solve_loop opts s enc t0 learn_summary =
                    None
                  end
                  else begin
-                   handle_conflict atoms;
+                   handle_conflict ~kind:"jconflict" atoms;
                    (* skip deciding this round *)
                    Some (Pos (-1))
                  end)
@@ -299,18 +338,12 @@ let solve_loop opts s enc t0 learn_summary =
                 | Final_check.Resource_out -> result := Some Timeout
                 | Final_check.Conflict_atoms atoms ->
                   if State.decision_level s = 0 then result := Some Unsat
-                  else handle_conflict atoms))
+                  else handle_conflict ~kind:"final_check" atoms))
         end
     end
   done;
   let r = Option.get !result in
-  if Obs.tracing obs then
-    Obs.event obs "done"
-      [ ( "result",
-          Json.Str
-            (match r with Sat _ -> "sat" | Unsat -> "unsat" | Timeout -> "timeout") );
-        ("conflicts", Json.Int s.State.n_conflicts);
-        ("decisions", Json.Int s.State.n_decisions) ];
+  emit_done obs s r;
   let relations, learn_time =
     match learn_summary with
     | Some sm -> (sm.Predicate_learning.relations, sm.Predicate_learning.learn_time)
@@ -335,6 +368,7 @@ let solve_loop opts s enc t0 learn_summary =
   }
 
 let root_outcome r opts s t0 learn_summary =
+  emit_done opts.obs s r;
   let relations, learn_time =
     match learn_summary with
     | Some (sm : Predicate_learning.summary) -> (sm.relations, sm.learn_time)
@@ -363,6 +397,14 @@ let solve_common ?(options = default) prob enc =
   validate_input_clauses prob;
   let s = State.create prob in
   s.State.obs <- options.obs;
+  if options.obs.Obs.enabled then
+    Obs.attach_forensics options.obs ~nvars:(Problem.n_vars prob)
+      ~nconstrs:(Array.length s.State.constrs)
+      ~var_name:(Problem.var_name prob)
+      ~constr_desc:(fun ci ->
+        Format.asprintf "%a"
+          (pp_constr ~name:(Problem.var_name prob) ())
+          s.State.constrs.(ci));
   if options.seed_fanout then seed_activities s enc;
   match Propagate.run ~full:true ~deadline:options.deadline s with
   | exception Propagate.Propagation_timeout -> root_outcome Timeout options s t0 None

@@ -35,6 +35,14 @@ type options = {
                                     which costs one branch per
                                     instrumentation site and never
                                     changes solver behaviour *)
+  dump_graph : string option;   (** conflict forensics: when [Some dir],
+                                    export the hybrid implication graph
+                                    of the first [dump_graph_max]
+                                    conflicts as GraphViz DOT files
+                                    [conflict_NNNN.dot] in [dir], which
+                                    must already exist *)
+  dump_graph_max : int;         (** cap on exported conflict graphs;
+                                    default 10 *)
 }
 
 val default : options

@@ -95,13 +95,17 @@ let assert_atom s a reason =
         raise (Conflict (Array.append expl [| opposing |]))
       end;
       let idx = Vec.length s.trail in
+      let prev = s.lb.(v) in
       Vec.push s.trail
-        { eatom = mk_lo s v k; prev = s.lb.(v); elevel = decision_level s; ereason = reason };
+        { eatom = mk_lo s v k; prev; elevel = decision_level s; ereason = reason };
       s.lb.(v) <- k;
       s.lo_ev.(v) <- (k, idx) :: s.lo_ev.(v);
       if k = 1 && Problem.is_bool_var s.prob v then s.phase.(v) <- true
-      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then
-        Hist.observe s.obs.Obs.interval_width (s.ub.(v) - s.lb.(v))
+      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then begin
+        let width = s.ub.(v) - s.lb.(v) in
+        Hist.observe s.obs.Obs.interval_width width;
+        Obs.note_narrow s.obs ~var:v ~shaved:(k - prev) ~width
+      end
     end
   | `Hi ->
     if k < s.ub.(v) then begin
@@ -111,13 +115,17 @@ let assert_atom s a reason =
         raise (Conflict (Array.append expl [| opposing |]))
       end;
       let idx = Vec.length s.trail in
+      let prev = s.ub.(v) in
       Vec.push s.trail
-        { eatom = mk_hi s v k; prev = s.ub.(v); elevel = decision_level s; ereason = reason };
+        { eatom = mk_hi s v k; prev; elevel = decision_level s; ereason = reason };
       s.ub.(v) <- k;
       s.hi_ev.(v) <- (k, idx) :: s.hi_ev.(v);
       if k = 0 && Problem.is_bool_var s.prob v then s.phase.(v) <- false
-      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then
-        Hist.observe s.obs.Obs.interval_width (s.ub.(v) - s.lb.(v))
+      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then begin
+        let width = s.ub.(v) - s.lb.(v) in
+        Hist.observe s.obs.Obs.interval_width width;
+        Obs.note_narrow s.obs ~var:v ~shaved:(prev - k) ~width
+      end
     end
 
 let new_level s = Vec.push s.lim (Vec.length s.trail)

@@ -38,7 +38,8 @@ let verdict_symbol = function
   | Timeout -> "-to-"
   | Abort _ -> "-A-"
 
-let solver_options engine ?learn_threshold ~deadline ~obs () =
+let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
+    ~deadline ~obs () =
   let base =
     match engine with
     | Hdpll -> Solver.hdpll
@@ -47,10 +48,17 @@ let solver_options engine ?learn_threshold ~deadline ~obs () =
     | Hdpll_p -> Solver.hdpll_p
     | Bitblast | Lazy_cdp -> invalid_arg "solver_options"
   in
-  { base with Solver.deadline; Solver.learn_threshold = learn_threshold; Solver.obs = obs }
+  {
+    base with
+    Solver.deadline;
+    Solver.learn_threshold = learn_threshold;
+    Solver.obs = obs;
+    Solver.dump_graph;
+    Solver.dump_graph_max;
+  }
 
-let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled) engine
-    (inst : Bmc.instance) =
+let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
+    ?dump_graph ?dump_graph_max engine (inst : Bmc.instance) =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. timeout in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -63,7 +71,10 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled) engi
           E.assume_bool enc inst.Bmc.violation true;
           enc)
     in
-    let options = solver_options engine ?learn_threshold ~deadline ~obs () in
+    let options =
+      solver_options engine ?learn_threshold ?dump_graph ?dump_graph_max
+        ~deadline ~obs ()
+    in
     let { Solver.result; stats; _ } = Solver.solve ~options enc in
     let mk verdict =
       {

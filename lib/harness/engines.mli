@@ -44,6 +44,8 @@ val run_instance :
   ?timeout:float ->
   ?learn_threshold:int ->
   ?obs:Rtlsat_obs.Obs.t ->
+  ?dump_graph:string ->
+  ?dump_graph_max:int ->
   engine ->
   Rtlsat_bmc.Bmc.instance ->
   run
@@ -52,7 +54,10 @@ val run_instance :
     Satisfiable results are checked with {!Rtlsat_bmc.Bmc.witness_ok};
     failures become [Abort].  [obs] (default disabled) instruments the
     whole run — encoding included — and fills [run.metrics]; pass a
-    fresh handle per run for per-run snapshots. *)
+    fresh handle per run for per-run snapshots.  [dump_graph] (HDPLL
+    engines only) exports the first [dump_graph_max] (default 10)
+    conflict implication graphs as DOT files into the given directory,
+    which must exist. *)
 
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —

@@ -112,6 +112,206 @@ let bench_json ~generated_at ~scale ~sections =
       ("sections", Json.Obj sections);
     ]
 
+(* ---- bench-diff: per-instance comparison of two rtlsat.bench/1
+   artifacts (the [rtlsat bench-diff] subcommand) ---- *)
+
+type bench_row = {
+  br_section : string;
+  br_instance : string;
+  br_engine : string;
+  br_verdict : string;
+  br_time : float;
+}
+
+let bench_rows j =
+  let member name j = Json.member name j in
+  let str name j = Option.bind (member name j) Json.get_string in
+  let schema = str "schema" j in
+  if schema <> Some "rtlsat.bench/1" then
+    invalid_arg
+      (Printf.sprintf "bench_rows: expected schema rtlsat.bench/1, got %s"
+         (match schema with Some s -> s | None -> "<none>"));
+  let rows = ref [] in
+  (match Option.bind (member "sections" j) Json.get_obj with
+   | None -> ()
+   | Some sections ->
+     List.iter
+       (fun (section, payload) ->
+          match Option.bind (member "rows" payload) Json.get_list with
+          | None -> ()
+          | Some table_rows ->
+            List.iter
+              (fun row ->
+                 match str "instance" row with
+                 | None -> ()
+                 | Some instance ->
+                   (match Option.bind (member "runs" row) Json.get_list with
+                    | None -> ()
+                    | Some runs ->
+                      List.iter
+                        (fun run ->
+                           match
+                             ( str "engine" run,
+                               str "verdict" run,
+                               Option.bind (member "time_s" run) Json.get_float )
+                           with
+                           | Some engine, Some verdict, Some time ->
+                             rows :=
+                               {
+                                 br_section = section;
+                                 br_instance = instance;
+                                 br_engine = engine;
+                                 br_verdict = verdict;
+                                 br_time = time;
+                               }
+                               :: !rows
+                           | _ -> ())
+                        runs))
+              table_rows)
+       sections);
+  List.rev !rows
+
+type diff_status = Regression | Improvement | Unchanged
+
+type diff_entry = {
+  de_section : string;
+  de_instance : string;
+  de_engine : string;
+  de_old_verdict : string;
+  de_new_verdict : string;
+  de_old_time : float;
+  de_new_time : float;
+  de_status : diff_status;
+  de_note : string;
+}
+
+type bench_diff = {
+  bd_entries : diff_entry list;  (** instance order of the new artifact *)
+  bd_only_old : (string * string * string) list;
+  bd_only_new : (string * string * string) list;
+  bd_regressions : int;
+}
+
+let solved = function "sat" | "unsat" -> true | _ -> false
+
+let diff_rows ?(threshold = 0.20) ?(min_time = 0.05) old_rows new_rows =
+  let key r = (r.br_section, r.br_instance, r.br_engine) in
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace old_tbl (key r) r) old_rows;
+  let matched = Hashtbl.create 64 in
+  let entries =
+    List.filter_map
+      (fun n ->
+         match Hashtbl.find_opt old_tbl (key n) with
+         | None -> None
+         | Some o ->
+           Hashtbl.replace matched (key n) ();
+           let status, note =
+             if o.br_verdict <> n.br_verdict then begin
+               if solved o.br_verdict && not (solved n.br_verdict) then
+                 ( Regression,
+                   Printf.sprintf "verdict degraded: %s -> %s" o.br_verdict
+                     n.br_verdict )
+               else if solved o.br_verdict && solved n.br_verdict then
+                 (* sat <-> unsat is a correctness alarm, not a slowdown *)
+                 ( Regression,
+                   Printf.sprintf "VERDICT FLIP: %s -> %s" o.br_verdict
+                     n.br_verdict )
+               else
+                 ( Improvement,
+                   Printf.sprintf "now solved: %s -> %s" o.br_verdict
+                     n.br_verdict )
+             end
+             else begin
+               (* same verdict: a slowdown only counts when it clears
+                  both the relative threshold and the absolute noise
+                  floor [min_time] *)
+               let limit =
+                 max (o.br_time *. (1.0 +. threshold)) (o.br_time +. min_time)
+               in
+               if n.br_time > limit then
+                 ( Regression,
+                   Printf.sprintf "%.3fs -> %.3fs (+%.0f%%)" o.br_time
+                     n.br_time
+                     ((n.br_time -. o.br_time) /. (max o.br_time 1e-9) *. 100.) )
+               else if
+                 o.br_time > n.br_time *. (1.0 +. threshold)
+                 && o.br_time > n.br_time +. min_time
+               then
+                 ( Improvement,
+                   Printf.sprintf "%.3fs -> %.3fs" o.br_time n.br_time )
+               else (Unchanged, "")
+             end
+           in
+           Some
+             {
+               de_section = n.br_section;
+               de_instance = n.br_instance;
+               de_engine = n.br_engine;
+               de_old_verdict = o.br_verdict;
+               de_new_verdict = n.br_verdict;
+               de_old_time = o.br_time;
+               de_new_time = n.br_time;
+               de_status = status;
+               de_note = note;
+             })
+      new_rows
+  in
+  let only_new =
+    List.filter_map
+      (fun n -> if Hashtbl.mem old_tbl (key n) then None else Some (key n))
+      new_rows
+  in
+  let only_old =
+    List.filter_map
+      (fun o -> if Hashtbl.mem matched (key o) then None else Some (key o))
+      old_rows
+  in
+  {
+    bd_entries = entries;
+    bd_only_old = only_old;
+    bd_only_new = only_new;
+    bd_regressions =
+      List.length (List.filter (fun e -> e.de_status = Regression) entries);
+  }
+
+let bench_diff ?threshold ?min_time old_json new_json =
+  diff_rows ?threshold ?min_time (bench_rows old_json) (bench_rows new_json)
+
+let print_bench_diff fmt d =
+  let pp_key fmt (s, i, e) = Format.fprintf fmt "%s/%s [%s]" s i e in
+  let by_status st =
+    List.filter (fun e -> e.de_status = st) d.bd_entries
+  in
+  let section title entries =
+    if entries <> [] then begin
+      Format.fprintf fmt "%s:@." title;
+      List.iter
+        (fun e ->
+           Format.fprintf fmt "  %a  %s@." pp_key
+             (e.de_section, e.de_instance, e.de_engine)
+             e.de_note)
+        entries
+    end
+  in
+  section "REGRESSIONS" (by_status Regression);
+  section "improvements" (by_status Improvement);
+  if d.bd_only_old <> [] then begin
+    Format.fprintf fmt "only in OLD:@.";
+    List.iter (fun k -> Format.fprintf fmt "  %a@." pp_key k) d.bd_only_old
+  end;
+  if d.bd_only_new <> [] then begin
+    Format.fprintf fmt "only in NEW:@.";
+    List.iter (fun k -> Format.fprintf fmt "  %a@." pp_key k) d.bd_only_new
+  end;
+  Format.fprintf fmt
+    "%d instances compared: %d regression%s, %d improvement%s, %d unchanged@."
+    (List.length d.bd_entries) d.bd_regressions
+    (if d.bd_regressions = 1 then "" else "s")
+    (List.length (by_status Improvement))
+    (if List.length (by_status Improvement) = 1 then "" else "s")
+    (List.length (by_status Unchanged))
+
 let fuzz_json ~seed ~count ~instances ~sat ~unsat ~timeouts ~wall_s ~failures
     ~metrics =
   let metrics =

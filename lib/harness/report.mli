@@ -40,6 +40,63 @@ val bench_json :
     [sections] maps section names (["table1"], ["table2"], …) to
     their [table*_json] payloads. *)
 
+(* ---- bench-diff ---- *)
+
+type bench_row = {
+  br_section : string;   (** e.g. ["table2"] *)
+  br_instance : string;
+  br_engine : string;
+  br_verdict : string;
+  br_time : float;
+}
+
+val bench_rows : Json.t -> bench_row list
+(** Flatten a parsed [rtlsat.bench/1] artifact into one row per
+    (section, instance, engine).  @raise Invalid_argument on a wrong
+    or missing schema tag. *)
+
+type diff_status = Regression | Improvement | Unchanged
+
+type diff_entry = {
+  de_section : string;
+  de_instance : string;
+  de_engine : string;
+  de_old_verdict : string;
+  de_new_verdict : string;
+  de_old_time : float;
+  de_new_time : float;
+  de_status : diff_status;
+  de_note : string;  (** human-readable reason; empty when unchanged *)
+}
+
+type bench_diff = {
+  bd_entries : diff_entry list;
+      (** matched keys, in the new artifact's order *)
+  bd_only_old : (string * string * string) list;
+  bd_only_new : (string * string * string) list;
+  bd_regressions : int;
+}
+
+val diff_rows :
+  ?threshold:float ->
+  ?min_time:float ->
+  bench_row list ->
+  bench_row list ->
+  bench_diff
+(** Compare old vs new rows keyed by (section, instance, engine).
+    A matched pair regresses when the verdict degrades (solved →
+    timeout/abort, or a sat/unsat flip) or when, at equal verdicts,
+    [new_time > max (old_time * (1 + threshold)) (old_time +
+    min_time)] — the absolute floor [min_time] (default 0.05 s) keeps
+    micro-instance jitter from flagging.  Default [threshold] 0.20. *)
+
+val bench_diff : ?threshold:float -> ?min_time:float -> Json.t -> Json.t -> bench_diff
+(** [bench_diff old new] over whole parsed artifacts. *)
+
+val print_bench_diff : Format.formatter -> bench_diff -> unit
+(** The [rtlsat bench-diff] report: regressions first, then
+    improvements, unmatched keys, and a one-line summary. *)
+
 val fuzz_json :
   seed:int ->
   count:int ->

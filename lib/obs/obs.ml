@@ -52,6 +52,7 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   trace : Trace.t option;
   progress : progress option;
+  mutable forensics : Forensics.t option;
   t0 : float;
 }
 
@@ -69,6 +70,7 @@ let make ~enabled ~trace ~progress =
     counters = Hashtbl.create 16;
     trace;
     progress;
+    forensics = None;
     t0 = now;
   }
 
@@ -157,6 +159,100 @@ let event t ev fields =
   if t.enabled then
     match t.trace with Some tr -> Trace.emit tr ~ev fields | None -> ()
 
+(* ---- forensics: attribution and stall diagnosis ---- *)
+
+let attach_forensics t ~nvars ~nconstrs ~var_name ~constr_desc =
+  if t.enabled then begin
+    let f = Forensics.create ~nvars ~nconstrs in
+    Forensics.set_names f ~var_name ~constr_desc;
+    t.forensics <- Some f
+  end
+
+let forensics t = if t.enabled then t.forensics else None
+
+let constr_enter t ci =
+  match t.forensics with Some f -> Forensics.constr_enter f ci | None -> ()
+
+let constr_exit t ci =
+  match t.forensics with Some f -> Forensics.constr_exit f ci | None -> ()
+
+let forensics_reset_cur t =
+  match t.forensics with Some f -> Forensics.reset_cur f | None -> ()
+
+let note_narrow t ~var ~shaved ~width =
+  match t.forensics with
+  | None -> ()
+  | Some f ->
+    (match Forensics.note_narrow f ~var ~shaved ~width with
+     | None -> ()
+     | Some st ->
+       (match Hashtbl.find_opt t.counters "icp.stalls" with
+        | Some r -> Stdlib.incr r
+        | None -> Hashtbl.replace t.counters "icp.stalls" (ref 1));
+       (match t.trace with
+        | None -> ()
+        | Some tr ->
+          Trace.emit tr ~ev:"icp_stall"
+            [
+              ("var", Json.Int st.Forensics.st_var);
+              ("name", Json.Str (Forensics.var_name f st.Forensics.st_var));
+              ("constr", Json.Int st.Forensics.st_constr);
+              ("desc", Json.Str (Forensics.constr_desc f st.Forensics.st_constr));
+              ("streak", Json.Int st.Forensics.st_streak);
+              ("shaved", Json.Int st.Forensics.st_shaved);
+              ("width", Json.Int st.Forensics.st_width);
+            ]))
+
+let hot_constr_json (h : Forensics.hot_constr) =
+  Json.Obj
+    [
+      ("constr", Json.Int h.Forensics.hc_id);
+      ("desc", Json.Str h.Forensics.hc_desc);
+      ("wakeups", Json.Int h.Forensics.hc_wakeups);
+      ("narrows", Json.Int h.Forensics.hc_narrows);
+      ("shaved", Json.Int h.Forensics.hc_shaved);
+      ("time_s", Json.Float h.Forensics.hc_time);
+    ]
+
+let hot_var_json (h : Forensics.hot_var) =
+  Json.Obj
+    [
+      ("var", Json.Int h.Forensics.hv_id);
+      ("name", Json.Str h.Forensics.hv_name);
+      ("narrows", Json.Int h.Forensics.hv_narrows);
+      ("shaved", Json.Int h.Forensics.hv_shaved);
+    ]
+
+let top_k = 10
+
+let emit_summary_events t =
+  if t.enabled then
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+      Trace.emit tr ~ev:"phases"
+        [
+          ( "self_s",
+            Json.Obj
+              (List.map
+                 (fun ph -> (phase_name ph, Json.Float t.self.(phase_index ph)))
+                 all_phases) );
+        ];
+      (match t.forensics with
+       | None -> ()
+       | Some f ->
+         Trace.emit tr ~ev:"hot_constraints"
+           [
+             ( "top",
+               Json.Arr
+                 (List.map hot_constr_json (Forensics.top_constraints f ~k:top_k)) );
+           ];
+         Trace.emit tr ~ev:"hot_vars"
+           [
+             ( "top",
+               Json.Arr (List.map hot_var_json (Forensics.top_vars f ~k:top_k)) );
+           ])
+
 (* ---- progress ---- *)
 
 let progress_tick t ~decisions ~conflicts ~learned ~depth =
@@ -190,11 +286,23 @@ type snapshot = {
   histograms : (string * Hist.summary) list;
   counter_values : (string * int) list;
   trace_events : int;
+  stalls : int;
+  hot_constraints : Forensics.hot_constr list;
+  hot_vars : Forensics.hot_var list;
 }
 
 let snapshot t =
   {
     wall = (if t.enabled then Unix.gettimeofday () -. t.t0 else 0.0);
+    stalls = (match t.forensics with Some f -> Forensics.stalls f | None -> 0);
+    hot_constraints =
+      (match t.forensics with
+       | Some f -> Forensics.top_constraints f ~k:top_k
+       | None -> []);
+    hot_vars =
+      (match t.forensics with
+       | Some f -> Forensics.top_vars f ~k:top_k
+       | None -> []);
     phases =
       List.map
         (fun ph ->
@@ -228,4 +336,11 @@ let snapshot_json s =
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s.counter_values) );
       ("trace_events", Json.Int s.trace_events);
+      ( "forensics",
+        Json.Obj
+          [
+            ("stalls", Json.Int s.stalls);
+            ("hot_constraints", Json.Arr (List.map hot_constr_json s.hot_constraints));
+            ("hot_vars", Json.Arr (List.map hot_var_json s.hot_vars));
+          ] );
     ]

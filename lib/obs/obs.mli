@@ -43,6 +43,9 @@ type t = {
   counters : (string, int ref) Hashtbl.t;  (** free-form named counters *)
   trace : Trace.t option;
   progress : progress option;
+  mutable forensics : Forensics.t option;
+      (** per-solve attribution table; attached by the solver via
+          {!attach_forensics} when the handle is enabled *)
   t0 : float;                      (** handle creation instant *)
 }
 
@@ -90,6 +93,45 @@ val event : t -> string -> (string * Json.t) list -> unit
 (** No-op unless {!tracing}.  Callers should avoid building the field
     list when not tracing. *)
 
+(* ---- forensics (per-constraint / per-variable attribution) ---- *)
+
+val attach_forensics :
+  t ->
+  nvars:int ->
+  nconstrs:int ->
+  var_name:(int -> string) ->
+  constr_desc:(int -> string) ->
+  unit
+(** Attach a fresh {!Forensics.t} sized for one solve (replacing any
+    previous one, so attribution totals are always per-solve).  No-op
+    on a disabled handle — {!disabled} is never mutated. *)
+
+val forensics : t -> Forensics.t option
+(** The attached table; [None] when disabled or never attached. *)
+
+val constr_enter : t -> int -> unit
+val constr_exit : t -> int -> unit
+(** Bracket the propagation of one arithmetic constraint: wakeup
+    count, per-constraint time, and the attribution target for
+    {!note_narrow}.  Only call from an [enabled]-guarded arm — the
+    check inside is [forensics <> None], not [enabled]. *)
+
+val forensics_reset_cur : t -> unit
+(** Clear the attribution target after an exception unwound past
+    {!constr_exit}. *)
+
+val note_narrow : t -> var:int -> shaved:int -> width:int -> unit
+(** Record one word-variable narrowing ([shaved] units removed,
+    [width] remaining).  When the narrowing crosses a stall threshold
+    (see {!Forensics.note_narrow}), bumps the [icp.stalls] counter and
+    emits an [icp_stall] trace event naming the variable and the
+    driving constraint. *)
+
+val emit_summary_events : t -> unit
+(** When tracing, emit the end-of-solve summary events: [phases]
+    (per-phase self seconds) and, if forensics is attached,
+    [hot_constraints] / [hot_vars] (top-10 attribution). *)
+
 val progress_tick :
   t -> decisions:int -> conflicts:int -> learned:int -> depth:int -> unit
 (** Rate-limited one-line report on stderr (decisions/s, conflicts/s,
@@ -107,6 +149,11 @@ type snapshot = {
   histograms : (string * Hist.summary) list;
   counter_values : (string * int) list;    (** sorted by name *)
   trace_events : int;
+  stalls : int;                            (** ICP stall reports (forensics) *)
+  hot_constraints : Forensics.hot_constr list;
+      (** top-10 constraints by narrowings/time; empty without forensics *)
+  hot_vars : Forensics.hot_var list;
+      (** top-10 word variables by narrowings; empty without forensics *)
 }
 
 val snapshot : t -> snapshot
@@ -115,5 +162,8 @@ val snapshot : t -> snapshot
 
 val snapshot_json : snapshot -> Json.t
 (** Stable schema: [{"wall_s", "phases": {name: {"self_s","calls"}},
-    "histograms": {...}, "counters": {...}, "trace_events"}] with
-    every phase present.  Documented in docs/OBSERVABILITY.md. *)
+    "histograms": {...}, "counters": {...}, "trace_events",
+    "forensics": {"stalls", "hot_constraints": [...], "hot_vars":
+    [...]}}] with every phase present; the forensics object is always
+    present and empty-armed when forensics was never attached.
+    Documented in docs/OBSERVABILITY.md. *)

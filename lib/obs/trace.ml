@@ -6,14 +6,7 @@ type t = {
   mutable closed : bool;
 }
 
-let to_file path =
-  {
-    oc = open_out path;
-    buf = Buffer.create 256;
-    t0 = Unix.gettimeofday ();
-    n_events = 0;
-    closed = false;
-  }
+let schema = "rtlsat.trace/2"
 
 let emit t ~ev fields =
   if not t.closed then begin
@@ -25,6 +18,21 @@ let emit t ~ev fields =
     Buffer.output_buffer t.oc t.buf;
     t.n_events <- t.n_events + 1
   end
+
+let to_file path =
+  let t =
+    {
+      oc = open_out path;
+      buf = Buffer.create 256;
+      t0 = Unix.gettimeofday ();
+      n_events = 0;
+      closed = false;
+    }
+  in
+  (* schema header — always the first line, so offline tooling can
+     distinguish v2 traces from headerless v1 ones *)
+  emit t ~ev:"header" [ ("schema", Json.Str schema) ];
+  t
 
 let events t = t.n_events
 

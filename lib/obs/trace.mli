@@ -5,8 +5,15 @@
 
 type t
 
+val schema : string
+(** The current trace schema tag, ["rtlsat.trace/2"].  Version 2 adds
+    the leading [header] event and the forensics events ([icp_stall],
+    [hot_constraints], [hot_vars], [phases]); v1 traces have no header
+    line. *)
+
 val to_file : string -> t
-(** Opens (truncates) [path] for writing. *)
+(** Opens (truncates) [path] for writing and emits the [header] event
+    (carrying {!schema}) as the first line. *)
 
 val emit : t -> ev:string -> (string * Json.t) list -> unit
 val events : t -> int

@@ -1,0 +1,57 @@
+(* Trace assertion helper for dune rules:
+
+     check_trace TRACE EV [FIELD...]
+
+   checks that TRACE is a v2 trace (first line a header event carrying
+   schema rtlsat.trace/2) and that at least one event named EV is
+   present with every listed FIELD.  Exits non-zero with a message on
+   the first violation. *)
+
+module Json = Rtlsat_obs.Json
+module Trace = Rtlsat_obs.Trace
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let () =
+  let path, ev, fields =
+    match Array.to_list Sys.argv with
+    | _ :: path :: ev :: fields -> (path, ev, fields)
+    | _ -> fail "usage: check_trace TRACE EV [FIELD...]"
+  in
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  let events =
+    List.map
+      (fun line ->
+         match Json.of_string line with
+         | j -> j
+         | exception Json.Parse_error m -> fail "bad trace line %S: %s" line m)
+      lines
+  in
+  (match events with
+   | [] -> fail "empty trace %s" path
+   | first :: _ ->
+     (match Option.bind (Json.member "ev" first) Json.get_string with
+      | Some "header" -> ()
+      | _ -> fail "first event of %s is not a header" path);
+     (match Option.bind (Json.member "schema" first) Json.get_string with
+      | Some s when s = Trace.schema -> ()
+      | Some s -> fail "schema %S, wanted %S" s Trace.schema
+      | None -> fail "header has no schema field"));
+  let matches j =
+    Option.bind (Json.member "ev" j) Json.get_string = Some ev
+    && List.for_all (fun f -> Json.member f j <> None) fields
+  in
+  if not (List.exists matches events) then
+    fail "no %S event with fields [%s] in %s (%d events)" ev
+      (String.concat "; " fields)
+      path (List.length events);
+  Printf.printf "OK: %s has a %S event%s\n" path ev
+    (if fields = [] then ""
+     else " with " ^ String.concat ", " fields)

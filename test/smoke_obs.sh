@@ -1,17 +1,44 @@
 #!/bin/sh
-# Observability smoke test: solve a tiny instance with --stats-json
-# and validate the emitted JSON against the rtlsat.solve/1 schema.
-# `dune runtest` runs the same two steps via the rule in test/dune;
-# this script is the standalone version for CI or by-hand checks.
+# Observability smoke test, standalone version of the rules in
+# test/dune (for CI or by-hand checks):
+#   1. solve a tiny instance with --stats-json, validate against the
+#      rtlsat.solve/1 schema (forensics section included)
+#   2. force the w61 ICP stall with a short deadline, check the v2
+#      trace carries icp_stall, and profile it — the diagnosis must
+#      name slow ICP convergence
+#   3. bench-diff exit codes: self-diff clean, injected slowdown flagged
 set -eu
 
 here=$(dirname "$0")
 root=$(cd "$here/.." && pwd)
 
-dune build --root "$root" bin/rtlsat.exe test/validate_stats.exe
+dune build --root "$root" bin/rtlsat.exe test/validate_stats.exe test/check_trace.exe
+
+rtlsat="$root/_build/default/bin/rtlsat.exe"
 
 out=$(mktemp /tmp/rtlsat_stats.XXXXXX.json)
-trap 'rm -f "$out"' EXIT
+trace=$(mktemp /tmp/rtlsat_w61.XXXXXX.jsonl)
+profile=$(mktemp /tmp/rtlsat_w61.XXXXXX.profile)
+trap 'rm -f "$out" "$trace" "$profile"' EXIT
 
-"$root/_build/default/bin/rtlsat.exe" solve -c b01 -p 1 -k 5 --stats-json "$out"
+# 1. stats schema
+"$rtlsat" solve -c b01 -p 1 -k 5 --stats-json "$out"
 "$root/_build/default/test/validate_stats.exe" "$out"
+
+# 2. stall forensics + trace-replay profiler
+"$rtlsat" solve "$root/test/corpus/w61_wrap_corner.rtl" -e hdpll \
+  --timeout 2 --trace "$trace"
+"$root/_build/default/test/check_trace.exe" "$trace" icp_stall var name constr
+"$rtlsat" profile "$trace" > "$profile"
+grep -q "slow ICP convergence is the dominant behaviour" "$profile"
+
+# 3. bench-diff exit-code contract
+"$rtlsat" bench-diff "$root/test/fixtures/bench_a.json" \
+  "$root/test/fixtures/bench_a.json"
+if "$rtlsat" bench-diff "$root/test/fixtures/bench_a.json" \
+  "$root/test/fixtures/bench_b.json"; then
+  echo "FAIL: bench-diff did not flag the injected slowdown" >&2
+  exit 1
+fi
+
+echo "smoke_obs: all checks passed"

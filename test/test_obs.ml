@@ -14,6 +14,8 @@ module E = Rtlsat_constr.Encode
 module Solver = Rtlsat_core.Solver
 module Engines = Rtlsat_harness.Engines
 module Report = Rtlsat_harness.Report
+module Forensics = Rtlsat_obs.Forensics
+module Fuzz_case = Rtlsat_fuzz.Case
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -269,6 +271,250 @@ let test_observation_does_not_change_solve () =
   check_bool "same learned clauses, same order" true
     (plain.Solver.learned_clauses = observed.Solver.learned_clauses)
 
+(* ---- forensics: stall detection unit tests ---- *)
+
+let test_stall_detection () =
+  let f = Forensics.create ~nvars:4 ~nconstrs:2 in
+  let wide = Forensics.stall_min_width + 1 in
+  Forensics.constr_enter f 1;
+  (* stall_streak - 1 tiny narrowings: no report yet *)
+  for _ = 1 to Forensics.stall_streak - 1 do
+    match Forensics.note_narrow f ~var:0 ~shaved:1 ~width:wide with
+    | Some _ -> Alcotest.fail "stall reported before the streak threshold"
+    | None -> ()
+  done;
+  (match Forensics.note_narrow f ~var:0 ~shaved:1 ~width:wide with
+   | Some st ->
+     check_int "stalled var" 0 st.Forensics.st_var;
+     check_int "driving constraint" 1 st.Forensics.st_constr;
+     check_int "streak" Forensics.stall_streak st.Forensics.st_streak;
+     check_int "shaved over streak" Forensics.stall_streak
+       st.Forensics.st_shaved
+   | None -> Alcotest.fail "no stall at the streak threshold");
+  (* the next report only fires at 16x the threshold, not immediately *)
+  (match Forensics.note_narrow f ~var:0 ~shaved:1 ~width:wide with
+   | Some _ -> Alcotest.fail "re-reported without backoff"
+   | None -> ());
+  Forensics.constr_exit f 1;
+  check_int "reports so far" 1 (Forensics.stalls f)
+
+let test_stall_needs_wide_domain_and_tiny_shave () =
+  let f = Forensics.create ~nvars:2 ~nconstrs:1 in
+  (* narrow domain: never a stall, no matter how long the streak *)
+  for _ = 1 to 4 * Forensics.stall_streak do
+    match Forensics.note_narrow f ~var:0 ~shaved:1 ~width:1000 with
+    | Some _ -> Alcotest.fail "stall on a narrow domain"
+    | None -> ()
+  done;
+  (* a big shave resets the streak *)
+  let wide = Forensics.stall_min_width + 1 in
+  for _ = 1 to Forensics.stall_streak - 1 do
+    ignore (Forensics.note_narrow f ~var:1 ~shaved:1 ~width:wide)
+  done;
+  ignore
+    (Forensics.note_narrow f ~var:1
+       ~shaved:(Forensics.stall_max_shave + 1)
+       ~width:wide);
+  (match Forensics.note_narrow f ~var:1 ~shaved:1 ~width:wide with
+   | Some _ -> Alcotest.fail "streak survived a big shave"
+   | None -> ());
+  check_int "no reports" 0 (Forensics.stalls f)
+
+let test_forensics_attribution () =
+  let f = Forensics.create ~nvars:3 ~nconstrs:2 in
+  Forensics.set_names f
+    ~var_name:(Printf.sprintf "v%d")
+    ~constr_desc:(Printf.sprintf "c%d");
+  Forensics.constr_enter f 0;
+  ignore (Forensics.note_narrow f ~var:1 ~shaved:5 ~width:100);
+  ignore (Forensics.note_narrow f ~var:2 ~shaved:3 ~width:50);
+  Forensics.constr_exit f 0;
+  Forensics.constr_enter f 1;
+  ignore (Forensics.note_narrow f ~var:1 ~shaved:2 ~width:98);
+  Forensics.constr_exit f 1;
+  (match Forensics.top_constraints f ~k:10 with
+   | [ a; b ] ->
+     check_int "c0 wakeups" 1 a.Forensics.hc_wakeups;
+     check_int "c0 narrows" 2 a.Forensics.hc_narrows;
+     check_int "c0 shaved" 8 a.Forensics.hc_shaved;
+     check_string "c0 desc" "c0" a.Forensics.hc_desc;
+     check_int "c1 narrows" 1 b.Forensics.hc_narrows
+   | l -> Alcotest.failf "expected 2 hot constraints, got %d" (List.length l));
+  (match Forensics.top_vars f ~k:1 with
+   | [ v ] ->
+     check_int "hottest var" 1 v.Forensics.hv_id;
+     check_int "its narrows" 2 v.Forensics.hv_narrows;
+     check_int "its shaved" 7 v.Forensics.hv_shaved
+   | l -> Alcotest.failf "expected 1 hot var, got %d" (List.length l))
+
+(* attribution totals are pure functions of the search, so two
+   instrumented runs of the same instance agree exactly (times aside) *)
+let test_attribution_stable_across_runs () =
+  let run () =
+    let obs = Obs.create () in
+    let o = solve_instance ~obs () in
+    check_bool "unsat" true (o.Solver.result = Solver.Unsat);
+    let f =
+      match Obs.forensics obs with
+      | Some f -> f
+      | None -> Alcotest.fail "forensics not attached"
+    in
+    (* the complete per-constraint / per-variable tallies, normalized
+       by id: the top-K view orders by wall time, which is noisy *)
+    let by_id_c =
+      List.sort compare
+        (List.map
+           (fun (h : Forensics.hot_constr) ->
+              (h.Forensics.hc_id, h.Forensics.hc_wakeups,
+               h.Forensics.hc_narrows, h.Forensics.hc_shaved))
+           (Forensics.top_constraints f ~k:max_int))
+    in
+    let by_id_v =
+      List.sort compare
+        (List.map
+           (fun (h : Forensics.hot_var) ->
+              (h.Forensics.hv_id, h.Forensics.hv_narrows, h.Forensics.hv_shaved))
+           (Forensics.top_vars f ~k:max_int))
+    in
+    (by_id_c, by_id_v, (Obs.snapshot obs).Obs.stalls)
+  in
+  let c1, v1, s1 = run () in
+  let c2, v2, s2 = run () in
+  check_bool "hot constraints non-empty" true (c1 <> []);
+  check_bool "same hot constraints" true (c1 = c2);
+  check_bool "same hot vars" true (v1 = v2);
+  check_int "same stalls" s1 s2
+
+(* ---- forensics end-to-end: the w61 wrap-around pathology ---- *)
+
+let corpus_file name =
+  if Sys.file_exists (Filename.concat "corpus" name) then
+    Filename.concat "corpus" name
+  else
+    Filename.concat
+      (Filename.concat (Filename.dirname Sys.executable_name) "corpus")
+      name
+
+let test_w61_stall_and_profile () =
+  let case = Fuzz_case.of_file (corpus_file "w61_wrap_corner.rtl") in
+  let inst = Fuzz_case.instance case in
+  let path = Filename.temp_file "rtlsat_w61" ".jsonl" in
+  let obs = Obs.create ~trace:(Trace.to_file path) () in
+  let r = Engines.run_instance ~timeout:1.0 ~obs Engines.Hdpll inst in
+  Obs.close obs;
+  check_bool "times out" true (r.Engines.verdict = Engines.Timeout);
+  (match r.Engines.metrics with
+   | Some m ->
+     check_bool "stalls counted" true (m.Obs.stalls > 0);
+     check_bool "icp.stalls counter in snapshot" true
+       (List.assoc_opt "icp.stalls" m.Obs.counter_values = Some m.Obs.stalls)
+   | None -> Alcotest.fail "metrics missing");
+  let p = Forensics.profile_file path in
+  Sys.remove path;
+  check_bool "v2 header recognized" true (p.Forensics.pf_schema <> None);
+  check_bool "saw icp_stall events" true
+    (List.assoc_opt "icp_stall" p.Forensics.pf_events <> None);
+  (match p.Forensics.pf_stalls with
+   | st :: _ ->
+     check_bool "stalled variable named" true (st.Forensics.si_name <> "");
+     check_bool "huge domain" true
+       (st.Forensics.si_last_width >= Forensics.stall_min_width)
+   | [] -> Alcotest.fail "profiler found no stalls");
+  (match p.Forensics.pf_diagnosis with
+   | first :: _ ->
+     check_bool "slow ICP convergence is the dominant diagnosis" true
+       (let needle = "slow ICP convergence" in
+        let len = String.length needle in
+        let rec contains i =
+          i + len <= String.length first
+          && (String.sub first i len = needle || contains (i + 1))
+        in
+        contains 0)
+   | [] -> Alcotest.fail "empty diagnosis")
+
+let test_profile_v1_warning () =
+  (* a headerless (v1) trace still profiles, with a warning *)
+  let p =
+    Forensics.profile_string
+      "{\"ev\":\"decide\",\"t\":0.1,\"kind\":\"activity\",\"lvl\":1,\"var\":3}\n\
+       {\"ev\":\"done\",\"t\":0.2,\"result\":\"sat\",\"conflicts\":0,\"decisions\":1}\n"
+  in
+  check_bool "no schema" true (p.Forensics.pf_schema = None);
+  check_bool "warned" true (p.Forensics.pf_warnings <> []);
+  check_bool "result still parsed" true (p.Forensics.pf_result = Some "sat")
+
+(* ---- bench-diff ---- *)
+
+let row section instance engine verdict time =
+  {
+    Report.br_section = section;
+    br_instance = instance;
+    br_engine = engine;
+    br_verdict = verdict;
+    br_time = time;
+  }
+
+let test_bench_diff_self_clean () =
+  let rows =
+    [ row "table2" "a" "hdpll" "unsat" 1.0; row "table2" "b" "hdpll" "sat" 0.3 ]
+  in
+  let d = Report.diff_rows rows rows in
+  check_int "no regressions" 0 d.Report.bd_regressions;
+  check_int "all matched" 2 (List.length d.Report.bd_entries);
+  check_bool "nothing unmatched" true
+    (d.Report.bd_only_old = [] && d.Report.bd_only_new = [])
+
+let test_bench_diff_flags_slowdown () =
+  let old_rows = [ row "table2" "a" "hdpll" "unsat" 1.0 ] in
+  (* +50% > the 20% threshold and past the absolute floor *)
+  let d = Report.diff_rows old_rows [ row "table2" "a" "hdpll" "unsat" 1.5 ] in
+  check_int "slowdown flagged" 1 d.Report.bd_regressions;
+  (* +10%: within threshold *)
+  let d = Report.diff_rows old_rows [ row "table2" "a" "hdpll" "unsat" 1.1 ] in
+  check_int "within threshold" 0 d.Report.bd_regressions;
+  (* micro-instance jitter below the absolute floor never flags *)
+  let d =
+    Report.diff_rows
+      [ row "table2" "a" "hdpll" "unsat" 0.010 ]
+      [ row "table2" "a" "hdpll" "unsat" 0.045 ]
+  in
+  check_int "jitter below min_time" 0 d.Report.bd_regressions
+
+let test_bench_diff_verdicts () =
+  let d =
+    Report.diff_rows
+      [ row "table2" "a" "hdpll" "unsat" 1.0 ]
+      [ row "table2" "a" "hdpll" "timeout" 5.0 ]
+  in
+  check_int "degradation is a regression" 1 d.Report.bd_regressions;
+  let d =
+    Report.diff_rows
+      [ row "table2" "a" "hdpll" "sat" 1.0 ]
+      [ row "table2" "a" "hdpll" "unsat" 1.0 ]
+  in
+  check_int "sat/unsat flip is a regression" 1 d.Report.bd_regressions;
+  let d =
+    Report.diff_rows
+      [ row "table2" "a" "hdpll" "timeout" 5.0 ]
+      [ row "table2" "a" "hdpll" "unsat" 1.0 ]
+  in
+  check_int "now solved is not a regression" 0 d.Report.bd_regressions;
+  (match d.Report.bd_entries with
+   | [ e ] -> check_bool "but noted" true (e.Report.de_status = Report.Improvement)
+   | _ -> Alcotest.fail "expected one entry")
+
+let test_bench_diff_unmatched () =
+  let d =
+    Report.diff_rows
+      [ row "table2" "gone" "hdpll" "sat" 1.0 ]
+      [ row "table2" "new" "hdpll" "sat" 1.0 ]
+  in
+  check_int "nothing compared" 0 (List.length d.Report.bd_entries);
+  check_bool "old key reported" true
+    (d.Report.bd_only_old = [ ("table2", "gone", "hdpll") ]);
+  check_bool "new key reported" true
+    (d.Report.bd_only_new = [ ("table2", "new", "hdpll") ])
+
 (* ---- the report serializers ---- *)
 
 let test_solve_json_shape () =
@@ -320,6 +566,26 @@ let () =
             test_disabled_is_inert;
           Alcotest.test_case "snapshot json schema" `Quick
             test_snapshot_json_schema;
+        ] );
+      ( "forensics",
+        [
+          Alcotest.test_case "stall detection" `Quick test_stall_detection;
+          Alcotest.test_case "stall preconditions" `Quick
+            test_stall_needs_wide_domain_and_tiny_shave;
+          Alcotest.test_case "attribution" `Quick test_forensics_attribution;
+          Alcotest.test_case "attribution stable across runs" `Quick
+            test_attribution_stable_across_runs;
+          Alcotest.test_case "w61 stall + profile" `Quick
+            test_w61_stall_and_profile;
+          Alcotest.test_case "profile v1 warning" `Quick test_profile_v1_warning;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "self-diff clean" `Quick test_bench_diff_self_clean;
+          Alcotest.test_case "slowdown threshold" `Quick
+            test_bench_diff_flags_slowdown;
+          Alcotest.test_case "verdict changes" `Quick test_bench_diff_verdicts;
+          Alcotest.test_case "unmatched keys" `Quick test_bench_diff_unmatched;
         ] );
       ( "integration",
         [

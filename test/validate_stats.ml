@@ -61,4 +61,37 @@ let () =
             (Option.bind (Json.member "calls" p) Json.get_int)))
     Obs.all_phases;
   ignore (require "metrics.histograms" (Json.member "histograms" metrics));
+  (* forensics: always present, arrays possibly empty *)
+  let forensics = require "metrics.forensics" (Json.member "forensics" metrics) in
+  ignore
+    (require "metrics.forensics.stalls"
+       (Option.bind (Json.member "stalls" forensics) Json.get_int));
+  let hot name =
+    require ("metrics.forensics." ^ name)
+      (Option.bind (Json.member name forensics) Json.get_list)
+  in
+  List.iter
+    (fun hc ->
+       List.iter
+         (fun key ->
+            ignore
+              (require ("hot_constraints." ^ key)
+                 (Option.bind (Json.member key hc) Json.get_float)))
+         [ "constr"; "wakeups"; "narrows"; "shaved"; "time_s" ];
+       ignore
+         (require "hot_constraints.desc"
+            (Option.bind (Json.member "desc" hc) Json.get_string)))
+    (hot "hot_constraints");
+  List.iter
+    (fun hv ->
+       List.iter
+         (fun key ->
+            ignore
+              (require ("hot_vars." ^ key)
+                 (Option.bind (Json.member key hv) Json.get_int)))
+         [ "var"; "narrows"; "shaved" ];
+       ignore
+         (require "hot_vars.name"
+            (Option.bind (Json.member "name" hv) Json.get_string)))
+    (hot "hot_vars");
   Printf.printf "OK: %s conforms to rtlsat.solve/1\n" path
