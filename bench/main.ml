@@ -9,12 +9,13 @@
    Usage: main.exe [--full] [--json [--json-file FILE]] [SUBCOMMAND]
 
    Subcommands:
-     (none) | all      tables 1 and 2 + extension + ablation + micro
+     (none) | all      tables 1 and 2 + extension + wide_wrap + ablation + micro
      table1            Table 1 only
      table2            Table 2 only
      micro             Bechamel micro-benchmarks only
      ablation          decision/learning ablation sweep (see below)
      extension         suite-extension circuits
+     wide_wrap         wrap-around corners over wide words (w61 family)
      sweep             scaling curve (CSV)
 
    --json collects tables 1 and 2 with per-run metrics attached and
@@ -41,7 +42,7 @@ let subcommand = ref "all"
 
 let usage =
   "main.exe [--full] [--json [--json-file FILE]] \
-   [all|table1|table2|micro|ablation|extension|sweep]"
+   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep]"
 
 let spec =
   Arg.align
@@ -56,7 +57,8 @@ let spec =
 
 let anon cmd =
   match cmd with
-  | "all" | "table1" | "table2" | "micro" | "ablation" | "extension" | "sweep" ->
+  | "all" | "table1" | "table2" | "micro" | "ablation" | "extension"
+  | "wide_wrap" | "sweep" ->
     subcommand := cmd
   | _ -> raise (Arg.Bad (Printf.sprintf "unknown subcommand %S" cmd))
 
@@ -182,6 +184,12 @@ let extension () =
   Format.printf "@.Suite extension (beyond the paper's benchmark subset):@.";
   Tables.print_table2 Format.std_formatter (Tables.run_extension ())
 
+let wide_wrap () =
+  Format.printf
+    "@.wide_wrap family (wrap-around corners over wide words; every case Sat \
+     at exactly one corner):@.";
+  Tables.print_table2 Format.std_formatter (Tables.run_wide_wrap ())
+
 (* ---- the perf-trajectory artifact: both tables with per-run
    metrics, one timestamped JSON file per invocation ---- *)
 
@@ -208,12 +216,16 @@ let bench_artifact () =
   Format.printf "@.collecting Table 2 with metrics...@.";
   let t2 = Tables.run_table2 ~metrics:true sc in
   Tables.print_table2 Format.std_formatter t2;
+  Format.printf "@.collecting wide_wrap with metrics...@.";
+  let ww = Tables.run_wide_wrap ~metrics:true () in
+  Tables.print_table2 Format.std_formatter ww;
   let doc =
     Report.bench_json ~generated_at ~scale:scale_str
       ~sections:
         [
           ("table1", Report.table1_json ~scale:scale_str t1);
           ("table2", Report.table2_json ~scale:scale_str t2);
+          ("wide_wrap", Report.table2_json ~scale:scale_str ww);
         ]
   in
   let oc = open_out path in
@@ -240,11 +252,13 @@ let () =
     | "micro" -> micro ()
     | "ablation" -> ablation ()
     | "extension" -> extension ()
+    | "wide_wrap" -> wide_wrap ()
     | "sweep" -> sweep ()
     | _ ->
       table1 ();
       Format.printf "@.";
       table2 ();
       extension ();
+      wide_wrap ();
       ablation ();
       micro ()

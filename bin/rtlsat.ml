@@ -137,8 +137,20 @@ let solve_cmd =
            ~doc:"Periodic one-line progress reports on stderr (decisions/s, \
                  conflicts/s, learned DB size, depth) and a phase-time summary")
   in
+  let split =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "split" ]
+                   ~doc:"Enable stall-triggered interval-split decisions \
+                         (default; HDPLL engines only)" );
+               ( false,
+                 info [ "no-split" ]
+                   ~doc:"Disable interval-split decisions; the kernel behaves \
+                         exactly as before splits existed" ) ])
+  in
   let run case_file circuit prop bound engine timeout stats_json trace_out
-      dump_graph dump_graph_max progress =
+      dump_graph dump_graph_max progress split =
     let inst, label =
       match (case_file, circuit, prop, bound) with
       | Some file, None, None, None ->
@@ -201,7 +213,8 @@ let solve_cmd =
       else Obs.disabled
     in
     let r =
-      Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max engine inst
+      Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max ~split
+        engine inst
     in
     Obs.close obs;
     Format.printf "%s %s: %s in %.2fs@." label
@@ -212,8 +225,12 @@ let solve_cmd =
        | Engines.Timeout -> "TIMEOUT"
        | Engines.Abort msg -> "ABORT: " ^ msg)
       r.Engines.time;
-    Format.printf "decisions=%d conflicts=%d relations=%d@." r.Engines.decisions
-      r.Engines.conflicts r.Engines.relations;
+    Format.printf "decisions=%d conflicts=%d relations=%d%s@."
+      r.Engines.decisions r.Engines.conflicts r.Engines.relations
+      (match r.Engines.stats with
+       | Some st when st.Rtlsat_core.Solver.splits > 0 ->
+         Printf.sprintf " splits=%d" st.Rtlsat_core.Solver.splits
+       | _ -> "");
     if progress then
       (match r.Engines.metrics with
        | Some m ->
@@ -239,7 +256,8 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide one BMC instance (benchmark or .rtl case file)")
     Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
-          $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress)
+          $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress
+          $ split)
 
 (* ---- check: external netlist files ---- *)
 

@@ -11,8 +11,10 @@ exception Root_conflict
 (* ---- conflict forensics: DOT export of the hybrid implication graph
    (§2.4) reachable from one conflict.  Boolean literals render as
    ellipses, interval (bound) literals as boxes, decisions with a
-   double border; the conflict sink is a red octagon labelled with the
-   conflict kind ("conflict" / "jconflict" / "final_check"). ---- *)
+   double border (interval-split decisions additionally tagged
+   "[split]" in orange); the conflict sink is a red octagon labelled
+   with the conflict kind ("conflict" / "jconflict" /
+   "final_check"). ---- *)
 
 let dot_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -43,13 +45,18 @@ let dump_dot s ?(kind = "conflict") conflict fmt =
   let roots = Hashtbl.create 16 in
   let node_decl idx (e : State.entry) =
     let is_bool = match e.State.eatom with Pos _ | Neg _ -> true | _ -> false in
+    (* an interval atom with no reason is a split decision: same double
+       border as a Boolean decision, its own colour + label tag *)
+    let is_split = e.State.ereason = None && not is_bool in
     Format.fprintf fmt
-      "  n%d [label=\"%s\\nL%d @@%d\", shape=%s%s, style=filled, \
+      "  n%d [label=\"%s%s\\nL%d @@%d\", shape=%s%s, style=filled, \
        fillcolor=\"%s\"];@."
-      idx (atom_label e.State.eatom) e.State.elevel idx
+      idx (atom_label e.State.eatom)
+      (if is_split then "\\n[split]" else "")
+      e.State.elevel idx
       (if is_bool then "ellipse" else "box")
       (match e.State.ereason with None -> ", peripheries=2" | Some _ -> "")
-      (if is_bool then "#cfe2ff" else "#fff3c4")
+      (if is_split then "#ffd9a8" else if is_bool then "#cfe2ff" else "#fff3c4")
   in
   (* returns the DOT node id of the entry entailing [a] *)
   let rec node_of a =

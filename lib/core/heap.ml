@@ -69,3 +69,10 @@ let pop h act =
   v
 
 let is_empty h = h.size = 0
+let size h = h.size
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.index.(h.heap.(i)) <- -1
+  done;
+  h.size <- 0

@@ -15,3 +15,7 @@ val pop : t -> float array -> int
 
 val is_empty : t -> bool
 val mem : t -> int -> bool
+val size : t -> int
+
+val clear : t -> unit
+(** Drop every element (the backing storage is kept). *)

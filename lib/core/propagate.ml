@@ -249,7 +249,15 @@ let run ?(full = false) ?(deadline = infinity) s =
             Array.iteri (fun ci _ -> propagate_constr_attr obs s ci) s.State.constrs
           else Array.iteri (fun ci _ -> propagate_constr s ci) s.State.constrs)
     end;
-    while s.State.qhead < Vec.length s.State.trail do
+    (* a split candidate suspends the fixpoint: the solver takes the
+       bisection decision first (the queued consequences stay on the
+       trail and we resume from qhead afterwards).  With splits off the
+       heap is never populated and the loop runs to fixpoint as
+       before. *)
+    let suspended () =
+      s.State.split && not (Heap.is_empty s.State.split_heap)
+    in
+    while s.State.qhead < Vec.length s.State.trail && not (suspended ()) do
       decr fuel;
       if !fuel <= 0 then begin
         fuel := 4096;

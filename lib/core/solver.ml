@@ -14,6 +14,7 @@ type options = {
   deadline : float;
   max_final_nodes : int;
   restarts : bool;
+  split : bool;
   seed_fanout : bool;
   random_seed : int option;
   collect_learned : bool;
@@ -32,6 +33,7 @@ let default =
     deadline = infinity;
     max_final_nodes = 200_000;
     restarts = true;
+    split = true;
     seed_fanout = true;
     random_seed = None;
     collect_learned = false;
@@ -55,6 +57,7 @@ type stats = {
   learned : int;
   jconflicts : int;
   final_checks : int;
+  splits : int;
   relations : int;
   learn_time : float;
   solve_time : float;
@@ -110,6 +113,65 @@ let seed_activities s enc =
           Heap.bumped s.State.heap s.State.activity v
         end)
 
+(* hottest split candidate whose interval is still splittable; stale
+   nominations (variables fixed since they were queued, or queued at a
+   later level and since backtracked) are discarded.  The heap is
+   emptied either way: co-crawling variables nominate together, and
+   acting on each in turn just manufactures trivial conflicts between
+   the halves — one action per nomination batch.  Clearing also
+   guarantees the suspended propagation queue drains before the next
+   decision. *)
+let pick_split s =
+  if (not s.State.split) || Heap.is_empty s.State.split_heap then None
+  else begin
+    let rec pop () =
+      if Heap.is_empty s.State.split_heap then None
+      else begin
+        let v = Heap.pop s.State.split_heap s.State.activity in
+        if s.State.lb.(v) < s.State.ub.(v) then Some v else pop ()
+      end
+    in
+    let r = pop () in
+    Heap.clear s.State.split_heap;
+    r
+  end
+
+(* bisect [v]'s interval as a decision.  The arm keeps chasing the
+   observed crawl: a lower bound creeping up means the interesting
+   values are high, so take the upper half first.  Both arms strictly
+   tighten a non-singleton interval, so the assertion can neither
+   conflict nor no-op; the learned clause that negates the decision
+   yields exactly the other half. *)
+let split_decide obs s v =
+  let lo = s.State.lb.(v) and hi = s.State.ub.(v) in
+  let mid = lo + ((hi - lo) / 2) in
+  let arm =
+    if s.State.split_dir.(v) then State.canonical s (Ge (v, mid + 1))
+    else State.canonical s (Le (v, mid))
+  in
+  s.State.n_decisions <- s.State.n_decisions + 1;
+  s.State.n_splits <- s.State.n_splits + 1;
+  if obs.Obs.enabled then begin
+    Obs.incr obs "icp.splits";
+    Obs.note_split obs ~var:v;
+    if Obs.tracing obs then begin
+      Obs.event obs "decide"
+        [ ("kind", Json.Str "split");
+          ("lvl", Json.Int (State.decision_level s + 1));
+          ("var", Json.Int v) ];
+      Obs.event obs "split"
+        [ ("var", Json.Int v);
+          ("name", Json.Str (Problem.var_name s.State.prob v));
+          ("lo", Json.Int lo);
+          ("hi", Json.Int hi);
+          ("mid", Json.Int mid);
+          ("arm", Json.Str (if s.State.split_dir.(v) then "ge" else "le"));
+          ("pending", Json.Int (Heap.size s.State.split_heap)) ]
+    end
+  end;
+  State.new_level s;
+  State.assert_atom s arm None
+
 (* next unassigned Boolean by activity *)
 let rec pick_activity s =
   if Heap.is_empty s.State.heap then None
@@ -117,6 +179,39 @@ let rec pick_activity s =
     let v = Heap.pop s.State.heap s.State.activity in
     if State.bool_value s v = -1 then Some v else pick_activity s
   end
+
+(* is any Boolean still unassigned?  Free Booleans always remain in
+   the decision heap (deletion is lazy and a popped free variable is
+   immediately decided), so peeking it is a sound emptiness test;
+   re-insert what we popped. *)
+let free_bool s =
+  match pick_activity s with
+  | Some v ->
+    Heap.insert s.State.heap s.State.activity v;
+    true
+  | None -> false
+
+(* A box handed to the certificate oracle mid-suspension is not at
+   propagation fixpoint: a clause falsified by queued-but-unprocessed
+   bound events has not surfaced as a conflict yet, so a claimed model
+   must be re-checked against the clause database before it is
+   trusted.  (The word constraints themselves are enforced by the
+   oracle.) *)
+let model_ok s m =
+  let sat_atom = function
+    | Pos v -> m.(v) >= 1
+    | Neg v -> m.(v) <= 0
+    | Ge (v, k) -> m.(v) >= k
+    | Le (v, k) -> m.(v) <= k
+  in
+  let ok = ref true in
+  let n = Vec.length s.State.clauses in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if not (Array.exists sat_atom (Vec.get s.State.clauses !i)) then ok := false;
+    incr i
+  done;
+  !ok
 
 (* the randomized strategy the paper compares against in §5.1: a
    uniformly random free Boolean variable, random phase *)
@@ -270,6 +365,35 @@ let solve_loop opts s enc t0 learn_summary =
            | _ -> ())
         end
         else begin
+          match pick_split s with
+          | Some v ->
+            (* A shave-streak suspended propagation.  With free
+               Booleans left, bisect the crawling interval so search
+               progresses by halving instead of unit steps.  With the
+               Boolean skeleton complete the stalled box is determined
+               up to word intervals, so hand it straight to the
+               certificate oracle: FME refutes an infeasible box in
+               one call where bisection would still crawl, and a
+               feasible box yields a model immediately.  Bisection
+               remains the fallback when the oracle runs out of
+               budget. *)
+            if free_bool s then split_decide obs s v
+            else begin
+              match Final_check.run ~max_nodes:opts.max_final_nodes s with
+              | Final_check.Model m when model_ok s m -> result := Some (Sat m)
+              | Final_check.Model _ | Final_check.Resource_out ->
+                split_decide obs s v
+              | Final_check.Conflict_atoms atoms ->
+                if State.decision_level s = 0 then result := Some Unsat
+                else handle_conflict ~kind:"final_check" atoms
+            end
+          | None ->
+          if s.State.qhead < Vec.length s.State.trail then
+            (* the split heap drained to stale entries while the
+               propagation queue is still pending: loop back into
+               Propagate to resume the fixpoint before deciding *)
+            ()
+          else begin
           (* Decide(): structural justification first (Algorithm 2),
              then the activity heuristic *)
           let structural_decision =
@@ -339,6 +463,7 @@ let solve_loop opts s enc t0 learn_summary =
                 | Final_check.Conflict_atoms atoms ->
                   if State.decision_level s = 0 then result := Some Unsat
                   else handle_conflict ~kind:"final_check" atoms))
+          end
         end
     end
   done;
@@ -359,6 +484,7 @@ let solve_loop opts s enc t0 learn_summary =
         learned = s.State.n_learned;
         jconflicts = s.State.n_jconflicts;
         final_checks = s.State.n_final_checks;
+        splits = s.State.n_splits;
         relations;
         learn_time;
         solve_time = Unix.gettimeofday () -. t0;
@@ -384,6 +510,7 @@ let root_outcome r opts s t0 learn_summary =
         learned = s.State.n_learned;
         jconflicts = s.State.n_jconflicts;
         final_checks = s.State.n_final_checks;
+        splits = s.State.n_splits;
         relations;
         learn_time;
         solve_time = Unix.gettimeofday () -. t0;
@@ -396,6 +523,7 @@ let solve_common ?(options = default) prob enc =
   let t0 = Unix.gettimeofday () in
   validate_input_clauses prob;
   let s = State.create prob in
+  s.State.split <- options.split;
   s.State.obs <- options.obs;
   if options.obs.Obs.enabled then
     Obs.attach_forensics options.obs ~nvars:(Problem.n_vars prob)
@@ -411,7 +539,12 @@ let solve_common ?(options = default) prob enc =
   | Some _ -> root_outcome Unsat options s t0 None
   | None ->
     let learn_summary =
-      match (options.predicate_learning, enc) with
+      (* a suspended root propagation (pending queue + split
+         candidate) would make every probe inside predicate learning
+         return immediately; skip it and let the main loop split and
+         finish the fixpoint first *)
+      let suspended = s.State.qhead < Vec.length s.State.trail in
+      match (options.predicate_learning && not suspended, enc) with
       | true, Some enc ->
         Some
           (Obs.span options.obs Obs.Static_learn (fun () ->

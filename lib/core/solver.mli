@@ -3,10 +3,17 @@
     ([structural], "+S" in Table 2) and static predicate learning of
     §3 ([predicate_learning], "+P").
 
-    The solver decides Boolean variables only; interval constraint
-    propagation narrows word variables; conflicts are analyzed over
-    the hybrid implication graph; and when all Boolean variables are
-    assigned, the solution box is certified by the FME/Omega oracle.
+    The solver decides Boolean variables and — beyond the paper, which
+    decides Booleans only (§2) — bisects word intervals when interval
+    propagation degenerates into a one-unit-per-sweep crawl ([split]).
+    A shave-streak detected inside {!State.assert_atom} suspends the
+    propagation fixpoint; the solver pushes an interval literal
+    ([v ≥ mid+1] or [v ≤ mid]) as a decision on the hybrid trail, so
+    conflict analysis learns clauses over split literals and backjumps
+    across them exactly as for Boolean decisions.  Conflicts are
+    analyzed over the hybrid implication graph; and when all Boolean
+    variables are assigned and the split queue is empty, the solution
+    box is certified by the FME/Omega oracle.
 
     Restriction: multi-atom clauses of the *input* problem must be
     purely Boolean (the RTL encoder guarantees this; learned hybrid
@@ -21,6 +28,10 @@ type options = {
   deadline : float;             (** absolute wall-clock instant *)
   max_final_nodes : int;        (** box-search budget per final check *)
   restarts : bool;              (** Luby restarts *)
+  split : bool;                 (** interval-split decisions on ICP
+                                    shave-streaks; default on.  Off
+                                    reproduces the paper's
+                                    Boolean-only decision rule *)
   seed_fanout : bool;           (** seed activities with fanout counts *)
   random_seed : int option;     (** randomized decision strategy (the
                                     baseline the paper's §5.1 compares
@@ -71,6 +82,7 @@ type stats = {
   learned : int;
   jconflicts : int;
   final_checks : int;
+  splits : int;         (** interval-split decisions taken *)
   relations : int;      (** static predicate relations learned *)
   learn_time : float;   (** static learning seconds *)
   solve_time : float;   (** total seconds *)

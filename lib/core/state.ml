@@ -44,8 +44,29 @@ type t = {
   mutable n_jconflicts : int;
   mutable n_final_checks : int;
   mutable n_reductions : int;
+  (* interval-split decisions: per-variable shave-streak counters feed
+     a candidate heap the solver bisects from.  The counters are plain
+     ints updated on every word-level narrowing regardless of whether
+     observability is attached, so observing a solve can never change
+     it. *)
+  split_streak : int array;
+  split_dir : bool array;
+  split_heap : Heap.t;
+  mutable split : bool;
+  mutable n_splits : int;
   mutable obs : Obs.t;
 }
+
+(* a narrowing counts toward a variable's streak when it shaves at
+   most [split_max_shave] units off a domain still at least
+   [split_min_width] wide; [split_streak_limit] consecutive such
+   shaves nominate the variable for bisection.  The width floor is
+   deliberately far below Forensics.stall_min_width: splitting must
+   keep chasing the crawl down to small domains, while stall
+   *reporting* only cares about the pathological wide ones. *)
+let split_max_shave = 8
+let split_streak_limit = 512
+let split_min_width = 16
 
 let decision_level s = Vec.length s.lim
 
@@ -84,6 +105,15 @@ let dom s v = Interval.make s.lb.(v) s.ub.(v)
 let mk_lo s v k = canonical s (Ge (v, k))
 let mk_hi s v k = canonical s (Le (v, k))
 
+let note_shave s v ~shaved ~width =
+  if shaved <= split_max_shave && width >= split_min_width then begin
+    let n = s.split_streak.(v) + 1 in
+    s.split_streak.(v) <- n;
+    if n >= split_streak_limit && s.split && not (Heap.mem s.split_heap v) then
+      Heap.insert s.split_heap s.activity v
+  end
+  else s.split_streak.(v) <- 0
+
 let assert_atom s a reason =
   let v, dir, k = bound_of a in
   match dir with
@@ -101,10 +131,14 @@ let assert_atom s a reason =
       s.lb.(v) <- k;
       s.lo_ev.(v) <- (k, idx) :: s.lo_ev.(v);
       if k = 1 && Problem.is_bool_var s.prob v then s.phase.(v) <- true
-      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then begin
+      else if not (Problem.is_bool_var s.prob v) then begin
         let width = s.ub.(v) - s.lb.(v) in
-        Hist.observe s.obs.Obs.interval_width width;
-        Obs.note_narrow s.obs ~var:v ~shaved:(k - prev) ~width
+        s.split_dir.(v) <- true;
+        note_shave s v ~shaved:(k - prev) ~width;
+        if s.obs.Obs.enabled then begin
+          Hist.observe s.obs.Obs.interval_width width;
+          Obs.note_narrow s.obs ~var:v ~shaved:(k - prev) ~width
+        end
       end
     end
   | `Hi ->
@@ -121,10 +155,14 @@ let assert_atom s a reason =
       s.ub.(v) <- k;
       s.hi_ev.(v) <- (k, idx) :: s.hi_ev.(v);
       if k = 0 && Problem.is_bool_var s.prob v then s.phase.(v) <- false
-      else if s.obs.Obs.enabled && not (Problem.is_bool_var s.prob v) then begin
+      else if not (Problem.is_bool_var s.prob v) then begin
         let width = s.ub.(v) - s.lb.(v) in
-        Hist.observe s.obs.Obs.interval_width width;
-        Obs.note_narrow s.obs ~var:v ~shaved:(prev - k) ~width
+        s.split_dir.(v) <- false;
+        note_shave s v ~shaved:(prev - k) ~width;
+        if s.obs.Obs.enabled then begin
+          Hist.observe s.obs.Obs.interval_width width;
+          Obs.note_narrow s.obs ~var:v ~shaved:(prev - k) ~width
+        end
       end
     end
 
@@ -212,7 +250,8 @@ let bump_var s v =
     done;
     s.var_inc <- s.var_inc *. 1e-100
   end;
-  Heap.bumped s.heap s.activity v
+  Heap.bumped s.heap s.activity v;
+  Heap.bumped s.split_heap s.activity v
 
 let decay_activities s = s.var_inc <- s.var_inc /. 0.95
 
@@ -262,6 +301,11 @@ let create prob =
       n_jconflicts = 0;
       n_final_checks = 0;
       n_reductions = 0;
+      split_streak = Array.make nv 0;
+      split_dir = Array.make nv true;
+      split_heap = Heap.create ();
+      split = false;
+      n_splits = 0;
       obs = Obs.disabled;
     }
   in

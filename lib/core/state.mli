@@ -54,12 +54,41 @@ type t = {
   mutable n_jconflicts : int;
   mutable n_final_checks : int;
   mutable n_reductions : int;
+  (* interval-split decisions *)
+  split_streak : int array;
+      (** per-variable count of consecutive tiny shaves; plain ints,
+          maintained on every word narrowing whether or not
+          observability is attached *)
+  split_dir : bool array;
+      (** direction of the variable's last narrowing: [true] when the
+          lower bound crawled up, [false] when the upper bound crawled
+          down; the bisection decides the arm that keeps chasing it *)
+  split_heap : Heap.t;
+      (** activity-ordered candidates whose streak crossed
+          {!split_streak_limit}; only populated when [split] is on *)
+  mutable split : bool;
+      (** master switch, set by the solver from its options; when off
+          the kernel behaves exactly as if splits did not exist *)
+  mutable n_splits : int;
   (* observability *)
   mutable obs : Rtlsat_obs.Obs.t;
       (** instrumentation handle threaded through every kernel client;
           {!Rtlsat_obs.Obs.disabled} (the default) makes every
           instrumentation site a single load-and-branch *)
 }
+
+val split_max_shave : int
+(** A narrowing counts toward the streak when it shaves at most this
+    many units. *)
+
+val split_streak_limit : int
+(** Consecutive tiny shaves before the variable is nominated for
+    bisection. *)
+
+val split_min_width : int
+(** Narrowings of domains below this width never count toward a
+    streak; far below {!Rtlsat_obs.Forensics.stall_min_width} so
+    splitting keeps chasing the crawl into small domains. *)
 
 val create : Rtlsat_constr.Problem.t -> t
 (** Builds the kernel, loads the problem's clauses and constraints and
@@ -102,6 +131,12 @@ val entailing_entry : t -> atom -> int option
 
 val bump_var : t -> var -> unit
 val decay_activities : t -> unit
+
+val note_shave : t -> var -> shaved:int -> width:int -> unit
+(** Feed one word-level narrowing into the split-streak machinery:
+    tiny shaves of wide domains extend the streak (nominating the
+    variable once it crosses {!split_streak_limit}), anything else
+    resets it.  Called from {!assert_atom}; exposed for tests. *)
 
 val pp_atom : t -> Format.formatter -> atom -> unit
 val pp_trail : t -> Format.formatter -> unit -> unit

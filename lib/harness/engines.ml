@@ -39,7 +39,7 @@ let verdict_symbol = function
   | Abort _ -> "-A-"
 
 let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
-    ~deadline ~obs () =
+    ?(split = true) ~deadline ~obs () =
   let base =
     match engine with
     | Hdpll -> Solver.hdpll
@@ -55,10 +55,11 @@ let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
     Solver.obs = obs;
     Solver.dump_graph;
     Solver.dump_graph_max;
+    Solver.split;
   }
 
 let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
-    ?dump_graph ?dump_graph_max engine (inst : Bmc.instance) =
+    ?dump_graph ?dump_graph_max ?split engine (inst : Bmc.instance) =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. timeout in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -73,7 +74,7 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     in
     let options =
       solver_options engine ?learn_threshold ?dump_graph ?dump_graph_max
-        ~deadline ~obs ()
+        ?split ~deadline ~obs ()
     in
     let { Solver.result; stats; _ } = Solver.solve ~options enc in
     let mk verdict =

@@ -46,6 +46,7 @@ val run_instance :
   ?obs:Rtlsat_obs.Obs.t ->
   ?dump_graph:string ->
   ?dump_graph_max:int ->
+  ?split:bool ->
   engine ->
   Rtlsat_bmc.Bmc.instance ->
   run
@@ -57,7 +58,9 @@ val run_instance :
     fresh handle per run for per-run snapshots.  [dump_graph] (HDPLL
     engines only) exports the first [dump_graph_max] (default 10)
     conflict implication graphs as DOT files into the given directory,
-    which must exist. *)
+    which must exist.  [split] (HDPLL engines only, default [true])
+    enables stall-triggered interval-split decisions; pass [false] to
+    reproduce the pre-split kernel behaviour. *)
 
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —

@@ -17,6 +17,7 @@ let stats_json (st : Solver.stats) =
       ("learned", Json.Int st.Solver.learned);
       ("jconflicts", Json.Int st.Solver.jconflicts);
       ("final_checks", Json.Int st.Solver.final_checks);
+      ("splits", Json.Int st.Solver.splits);
       ("relations", Json.Int st.Solver.relations);
       ("learn_time_s", Json.Float st.Solver.learn_time);
       ("solve_time_s", Json.Float st.Solver.solve_time);

@@ -12,7 +12,8 @@ val verdict_string : Engines.verdict -> string
 
 val stats_json : Rtlsat_core.Solver.stats -> Json.t
 (** Every §5 counter: decisions, conflicts, propagations, learned,
-    jconflicts, final_checks, relations, learn_time_s, solve_time_s. *)
+    jconflicts, final_checks, splits, relations, learn_time_s,
+    solve_time_s. *)
 
 val run_json : Engines.engine -> Engines.run -> Json.t
 (** One engine run: engine, verdict, time_s, plus [stats]/[metrics]

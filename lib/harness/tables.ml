@@ -209,6 +209,89 @@ let run_extension ?(timeout = 20.0) ?metrics
     ?(engines = [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Bitblast ]) () =
   List.map (run_row ~timeout ?metrics ~engines) extension_instances
 
+(* ---- wide_wrap family: wrap-around arithmetic corners over wide
+   words.  One-frame BMC with Final semantics; every case is Sat with
+   exactly one witness at a wrap corner, which the interval kernel can
+   only reach through the overflow branch — the workload class behind
+   the w61 slow-convergence pathology. ---- *)
+
+module N = Rtlsat_rtl.Netlist
+module Bmc = Rtlsat_bmc.Bmc
+
+let wide_wrap_widths = [ 32; 48; 61 ]
+let wide_wrap_kinds = [ "add"; "sub"; "mulc" ]
+
+let wide_wrap_cases =
+  List.concat_map
+    (fun kind -> List.map (fun w -> (kind, w)) wide_wrap_widths)
+    wide_wrap_kinds
+
+let wide_wrap_label (kind, width) = Printf.sprintf "wide_%s_w%d" kind width
+
+let wide_wrap_instance (kind, width) =
+  let c = N.create (wide_wrap_label (kind, width)) in
+  let p =
+    match kind with
+    | "add" ->
+      (* x+1 wraps below x only at the all-ones corner *)
+      let x = N.input c ~name:"x" width in
+      N.le c x (N.add c x (N.const c ~width 1))
+    | "sub" ->
+      (* x-1 wraps above x only at zero *)
+      let x = N.input c ~name:"x" width in
+      N.le c (N.sub c x (N.const c ~width 1)) x
+    | "mulc" ->
+      (* 3x drops below x only when the product wraps.  mul_const is
+         exact (the product grows two bits), so the operand lives at
+         width-2 and the product wraps back to it via extract; the
+         family width is the product's.  This also keeps the top case
+         inside the backend's 61-bit word ceiling. *)
+      let ow = width - 2 in
+      let x = N.input c ~name:"x" ow in
+      let z = N.mul_const c 3 x in
+      N.le c x (N.extract c z ~msb:(ow - 1) ~lsb:0)
+    | _ -> invalid_arg "wide_wrap_instance"
+  in
+  N.output c "prop" p;
+  Bmc.make c ~prop:p ~bound:1 ~semantics:Bmc.Final ()
+
+let wide_wrap_engines =
+  [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Hdpll_p ]
+
+let run_wide_wrap ?(timeout = 20.0) ?(metrics = false)
+    ?(engines = wide_wrap_engines) () =
+  List.map
+    (fun case ->
+       let arith, boolean = Engines.op_counts (wide_wrap_instance case) in
+       let runs =
+         List.map
+           (fun e ->
+              ( e,
+                Engines.run_instance ~timeout ~obs:(run_obs metrics) e
+                  (wide_wrap_instance case) ))
+           engines
+       in
+       let t2_type =
+         match
+           List.find_opt
+             (fun (_, r) ->
+                match r.Engines.verdict with
+                | Engines.Sat | Engines.Unsat -> true
+                | _ -> false)
+             runs
+         with
+         | Some (_, r) -> r.Engines.verdict
+         | None -> Engines.Timeout
+       in
+       {
+         t2_label = wide_wrap_label case;
+         t2_type;
+         t2_arith = arith;
+         t2_bool = boolean;
+         t2_runs = runs;
+       })
+    wide_wrap_cases
+
 let print_table2_csv fmt rows =
   (match rows with
    | [] -> ()

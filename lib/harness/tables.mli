@@ -57,6 +57,26 @@ val extension_instances : (string * string * int) list
 val run_extension :
   ?timeout:float -> ?metrics:bool -> ?engines:Engines.engine list -> unit -> t2_row list
 
+val wide_wrap_cases : (string * int) list
+(** (kind, width) pairs of the wide_wrap family: wrap-around add, sub
+    and mul-by-const corners at widths 32, 48 and 61.  Each case is a
+    one-frame Sat instance whose only witness sits at a wrap corner —
+    the workload class behind the w61 slow-ICP pathology. *)
+
+val wide_wrap_label : string * int -> string
+(** e.g. ["wide_add_w61"]. *)
+
+val wide_wrap_instance : string * int -> Rtlsat_bmc.Bmc.instance
+
+val run_wide_wrap :
+  ?timeout:float ->
+  ?metrics:bool ->
+  ?engines:Engines.engine list ->
+  unit ->
+  t2_row list
+(** Run the whole family (default: the four HDPLL configurations,
+    20 s timeout). *)
+
 val print_table2_csv : Format.formatter -> t2_row list -> unit
 (** Machine-readable variant (label, result, ops, one time column per
     engine; timeouts as empty cells). *)

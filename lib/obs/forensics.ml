@@ -14,6 +14,9 @@ type t = {
   v_streak_shaved : int array;
   v_next_report : int array;
   mutable n_stalls : int;
+  (* stall → split attribution: bisection decisions per variable *)
+  v_splits : int array;
+  mutable n_splits : int;
   (* attribution target while a constraint propagates *)
   mutable cur : int;
   mutable mark : float;
@@ -37,6 +40,8 @@ let create ~nvars ~nconstrs =
     v_streak_shaved = Array.make nvars 0;
     v_next_report = Array.make nvars stall_streak;
     n_stalls = 0;
+    v_splits = Array.make nvars 0;
+    n_splits = 0;
     cur = -1;
     mark = 0.0;
     namer = None;
@@ -112,6 +117,14 @@ let note_narrow t ~var ~shaved ~width =
   end
 
 let stalls t = t.n_stalls
+
+let note_split t ~var =
+  if var >= 0 && var < Array.length t.v_splits then begin
+    t.v_splits.(var) <- t.v_splits.(var) + 1;
+    t.n_splits <- t.n_splits + 1
+  end
+
+let splits t = t.n_splits
 
 type hot_constr = {
   hc_id : int;
@@ -192,6 +205,9 @@ type profile = {
   pf_backjump_mean : float;
   pf_local_backjumps : int;
   pf_restarts : int;
+  pf_splits : int;
+  pf_split_vars : int;
+  pf_split_stalled : int;
   pf_stalls : stall_info list;
   pf_hot_constraints : hot_constr list;
   pf_hot_vars : hot_var list;
@@ -232,24 +248,42 @@ let hot_var_of_json j =
   }
 
 let diagnose ~result ~stalls ~phases ~conflicts ~local ~bt_mean ~restarts
-    ~decisions =
+    ~decisions ~splits ~split_vars ~split_stalled =
   let out = ref [] in
   let push s = out := s :: !out in
-  (match stalls with
-   | s :: _ ->
-     push
-       (Printf.sprintf
-          "slow ICP convergence is the dominant behaviour: variable '%s' was \
-           narrowed %d+ consecutive times by tiny steps across a >= 2^32-wide \
-           domain (last observed width %d, driven by %s)%s.  Suggested next \
-           steps: interval splitting / bisection decisions on the stalled \
-           variable, a width-triggered fallback to bitblasting, or widening \
-           the per-sweep tightening for wrap-around constraints."
-          s.si_name s.si_max_streak s.si_last_width s.si_desc
-          (match result with
-           | Some "timeout" -> "; the run timed out"
-           | _ -> ""))
-   | [] -> ());
+  if splits > 0 then
+    push
+      (Printf.sprintf
+         "interval splitting engaged: %d bisection decision(s) over %d \
+          variable(s)%s cut the unit-step crawl into binary search%s."
+         splits split_vars
+         (if split_stalled > 0 then
+            Printf.sprintf
+              " (%d of them also reported as stalled, so the stall detector \
+               and the split heuristic agree on the culprits)"
+              split_stalled
+          else "")
+         (match result with
+          | Some "timeout" ->
+            "; the run still timed out — the residual work is elsewhere"
+          | _ -> ""))
+  else
+    (match stalls with
+     | s :: _ ->
+       push
+         (Printf.sprintf
+            "slow ICP convergence is the dominant behaviour: variable '%s' was \
+             narrowed %d+ consecutive times by tiny steps across a >= 2^32-wide \
+             domain (last observed width %d, driven by %s)%s.  Suggested next \
+             steps: interval splitting / bisection decisions on the stalled \
+             variable (rerun without --no-split), a width-triggered fallback \
+             to bitblasting, or widening the per-sweep tightening for \
+             wrap-around constraints."
+            s.si_name s.si_max_streak s.si_last_width s.si_desc
+            (match result with
+             | Some "timeout" -> "; the run timed out"
+             | _ -> ""))
+     | [] -> ());
   (match phases with
    | [] -> ()
    | phases ->
@@ -304,6 +338,8 @@ let profile_string text =
   let restarts = ref 0 in
   let n_decisions = ref 0 in
   let stall_tbl : (int, stall_info) Hashtbl.t = Hashtbl.create 4 in
+  let n_splits = ref 0 in
+  let split_tbl : (int, int) Hashtbl.t = Hashtbl.create 4 in
   let hot_constraints = ref [] in
   let hot_vars = ref [] in
   let phases = ref [] in
@@ -366,6 +402,11 @@ let profile_string text =
              }
          in
          Hashtbl.replace stall_tbl v info
+       | "split" ->
+         incr n_splits;
+         let v = Option.value (field_int j "var") ~default:(-1) in
+         Hashtbl.replace split_tbl v
+           (1 + Option.value (Hashtbl.find_opt split_tbl v) ~default:0)
        | "hot_constraints" ->
          (match Option.bind (Json.member "top" j) Json.get_list with
           | Some l -> hot_constraints := List.map hot_constr_of_json l
@@ -393,6 +434,11 @@ let profile_string text =
     |> List.sort (fun a b -> compare b.si_max_streak a.si_max_streak)
   in
   let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  let split_stalled =
+    Hashtbl.fold
+      (fun v _ acc -> if Hashtbl.mem stall_tbl v then acc + 1 else acc)
+      split_tbl 0
+  in
   {
     pf_schema = !schema;
     pf_warnings = List.rev !warnings;
@@ -405,6 +451,9 @@ let profile_string text =
     pf_backjump_mean = fdiv !bt_sum !conflicts;
     pf_local_backjumps = !local;
     pf_restarts = !restarts;
+    pf_splits = !n_splits;
+    pf_split_vars = Hashtbl.length split_tbl;
+    pf_split_stalled = split_stalled;
     pf_stalls = stalls;
     pf_hot_constraints = !hot_constraints;
     pf_hot_vars = !hot_vars;
@@ -412,7 +461,8 @@ let profile_string text =
     pf_diagnosis =
       diagnose ~result:!result ~stalls ~phases:!phases ~conflicts:!conflicts
         ~local:!local ~bt_mean:(fdiv !bt_sum !conflicts) ~restarts:!restarts
-        ~decisions:!n_decisions;
+        ~decisions:!n_decisions ~splits:!n_splits
+        ~split_vars:(Hashtbl.length split_tbl) ~split_stalled;
   }
 
 let profile_file path =
@@ -456,6 +506,13 @@ let print_profile fmt p =
     List.iter
       (fun (n, v) -> if v > 0.0 then Format.fprintf fmt "  %-18s %8.3fs@." n v)
       p.pf_phases
+  end;
+  if p.pf_splits > 0 then begin
+    section "split/stall interplay:";
+    Format.fprintf fmt
+      "  %d interval-split decision(s) over %d variable(s); %d split \
+       variable(s) also reported as stalled@."
+      p.pf_splits p.pf_split_vars p.pf_split_stalled
   end;
   if p.pf_stalls <> [] then begin
     section "detected ICP stalls:";

@@ -80,6 +80,13 @@ val note_narrow : t -> var:int -> shaved:int -> width:int -> stall option
 val stalls : t -> int
 (** Stall reports issued so far. *)
 
+val note_split : t -> var:int -> unit
+(** Record one interval-split (bisection) decision on [var], for
+    stall → split attribution. *)
+
+val splits : t -> int
+(** Split decisions recorded so far. *)
+
 type hot_constr = {
   hc_id : int;
   hc_desc : string;
@@ -127,6 +134,9 @@ type profile = {
   pf_backjump_mean : float;
   pf_local_backjumps : int;  (** conflicts backjumping <= 2 levels *)
   pf_restarts : int;
+  pf_splits : int;             (** interval-split decisions ([split] events) *)
+  pf_split_vars : int;         (** distinct variables split *)
+  pf_split_stalled : int;      (** split variables also reported stalled *)
   pf_stalls : stall_info list;
   pf_hot_constraints : hot_constr list;  (** from [hot_constraints] *)
   pf_hot_vars : hot_var list;            (** from [hot_vars] *)

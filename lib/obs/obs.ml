@@ -203,6 +203,9 @@ let note_narrow t ~var ~shaved ~width =
               ("width", Json.Int st.Forensics.st_width);
             ]))
 
+let note_split t ~var =
+  match t.forensics with Some f -> Forensics.note_split f ~var | None -> ()
+
 let hot_constr_json (h : Forensics.hot_constr) =
   Json.Obj
     [
@@ -287,6 +290,7 @@ type snapshot = {
   counter_values : (string * int) list;
   trace_events : int;
   stalls : int;
+  splits : int;
   hot_constraints : Forensics.hot_constr list;
   hot_vars : Forensics.hot_var list;
 }
@@ -295,6 +299,7 @@ let snapshot t =
   {
     wall = (if t.enabled then Unix.gettimeofday () -. t.t0 else 0.0);
     stalls = (match t.forensics with Some f -> Forensics.stalls f | None -> 0);
+    splits = (match t.forensics with Some f -> Forensics.splits f | None -> 0);
     hot_constraints =
       (match t.forensics with
        | Some f -> Forensics.top_constraints f ~k:top_k
@@ -340,6 +345,7 @@ let snapshot_json s =
         Json.Obj
           [
             ("stalls", Json.Int s.stalls);
+            ("splits", Json.Int s.splits);
             ("hot_constraints", Json.Arr (List.map hot_constr_json s.hot_constraints));
             ("hot_vars", Json.Arr (List.map hot_var_json s.hot_vars));
           ] );

@@ -127,6 +127,12 @@ val note_narrow : t -> var:int -> shaved:int -> width:int -> unit
     emits an [icp_stall] trace event naming the variable and the
     driving constraint. *)
 
+val note_split : t -> var:int -> unit
+(** Record one interval-split decision on [var] in the attached
+    forensics table (stall → split attribution); no-op without
+    forensics.  The [icp.splits] counter and the [split] trace event
+    are the solver's responsibility. *)
+
 val emit_summary_events : t -> unit
 (** When tracing, emit the end-of-solve summary events: [phases]
     (per-phase self seconds) and, if forensics is attached,
@@ -150,6 +156,7 @@ type snapshot = {
   counter_values : (string * int) list;    (** sorted by name *)
   trace_events : int;
   stalls : int;                            (** ICP stall reports (forensics) *)
+  splits : int;                            (** interval-split decisions (forensics) *)
   hot_constraints : Forensics.hot_constr list;
       (** top-10 constraints by narrowings/time; empty without forensics *)
   hot_vars : Forensics.hot_var list;
@@ -163,7 +170,7 @@ val snapshot : t -> snapshot
 val snapshot_json : snapshot -> Json.t
 (** Stable schema: [{"wall_s", "phases": {name: {"self_s","calls"}},
     "histograms": {...}, "counters": {...}, "trace_events",
-    "forensics": {"stalls", "hot_constraints": [...], "hot_vars":
-    [...]}}] with every phase present; the forensics object is always
-    present and empty-armed when forensics was never attached.
-    Documented in docs/OBSERVABILITY.md. *)
+    "forensics": {"stalls", "splits", "hot_constraints": [...],
+    "hot_vars": [...]}}] with every phase present; the forensics
+    object is always present and empty-armed when forensics was never
+    attached.  Documented in docs/OBSERVABILITY.md. *)

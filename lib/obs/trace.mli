@@ -6,10 +6,11 @@
 type t
 
 val schema : string
-(** The current trace schema tag, ["rtlsat.trace/2"].  Version 2 adds
+(** The current trace schema tag, ["rtlsat.trace/3"].  Version 2 added
     the leading [header] event and the forensics events ([icp_stall],
     [hot_constraints], [hot_vars], [phases]); v1 traces have no header
-    line. *)
+    line.  Version 3 adds the [split] event (interval-split decisions)
+    and the ["split"] kind of [decide]. *)
 
 val to_file : string -> t
 (** Opens (truncates) [path] for writing and emits the [header] event

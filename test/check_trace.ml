@@ -2,8 +2,8 @@
 
      check_trace TRACE EV [FIELD...]
 
-   checks that TRACE is a v2 trace (first line a header event carrying
-   schema rtlsat.trace/2) and that at least one event named EV is
+   checks that TRACE carries the current schema (first line a header
+   event carrying Trace.schema) and that at least one event named EV is
    present with every listed FIELD.  Exits non-zero with a message on
    the first violation. *)
 

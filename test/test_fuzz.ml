@@ -228,6 +228,36 @@ let corpus_cases () =
   |> List.sort compare
   |> List.map (fun f -> (f, Case.of_file (Filename.concat dir f)))
 
+(* ---- property: interval splitting never changes verdicts ---- *)
+
+(* split-on vs split-off HDPLL vs the bit-blast oracle on random small
+   circuits: every non-timeout verdict must agree, and a Sat answer is
+   only reported after the model replayed through the simulator inside
+   [run_instance] (a rejected witness surfaces as Abort and fails the
+   property) *)
+let split_verdict_agreement =
+  QCheck.Test.make ~count:40 ~name:"split on/off agrees with bit-blast"
+    QCheck.(small_nat)
+    (fun seed ->
+       let case =
+         Gen.circuit ~seed ~cfg:{ Gen.default with Gen.max_nodes = 10 } ()
+       in
+       let inst = Case.instance case in
+       let module E = Oracle.Engines in
+       let run ?split engine =
+         (E.run_instance ~timeout:2.0 ?split engine inst).E.verdict
+       in
+       let vs =
+         [ run ~split:true E.Hdpll; run ~split:false E.Hdpll; run E.Bitblast ]
+       in
+       if List.exists (function E.Abort _ -> true | _ -> false) vs then false
+       else
+         match
+           List.filter (function E.Sat | E.Unsat -> true | _ -> false) vs
+         with
+         | [] -> true (* timeouts never count as disagreement *)
+         | v :: rest -> List.for_all (( = ) v) rest)
+
 let test_corpus_replay () =
   let cases = corpus_cases () in
   if Sys.getenv_opt "CORPUS_ONLY" = None then
@@ -265,5 +295,6 @@ let () =
           Alcotest.test_case "violation check" `Quick test_oracle_violated;
         ] );
       ("driver", [ Alcotest.test_case "small campaign" `Quick test_fuzz_run ]);
+      Qutil.qsuite "split-properties" [ split_verdict_agreement ];
       ("corpus", [ Alcotest.test_case "replay" `Slow test_corpus_replay ]);
     ]

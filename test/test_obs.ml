@@ -16,6 +16,9 @@ module Engines = Rtlsat_harness.Engines
 module Report = Rtlsat_harness.Report
 module Forensics = Rtlsat_obs.Forensics
 module Fuzz_case = Rtlsat_fuzz.Case
+module P = Rtlsat_constr.Problem
+module T = Rtlsat_constr.Types
+module I = Rtlsat_interval.Interval
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -395,12 +398,15 @@ let corpus_file name =
       (Filename.concat (Filename.dirname Sys.executable_name) "corpus")
       name
 
+(* with splits disabled the seed kernel's pathology is preserved: the
+   run times out in an ICP crawl and the forensics pipeline must still
+   diagnose it *)
 let test_w61_stall_and_profile () =
   let case = Fuzz_case.of_file (corpus_file "w61_wrap_corner.rtl") in
   let inst = Fuzz_case.instance case in
   let path = Filename.temp_file "rtlsat_w61" ".jsonl" in
   let obs = Obs.create ~trace:(Trace.to_file path) () in
-  let r = Engines.run_instance ~timeout:1.0 ~obs Engines.Hdpll inst in
+  let r = Engines.run_instance ~timeout:1.0 ~obs ~split:false Engines.Hdpll inst in
   Obs.close obs;
   check_bool "times out" true (r.Engines.verdict = Engines.Timeout);
   (match r.Engines.metrics with
@@ -431,6 +437,106 @@ let test_w61_stall_and_profile () =
         in
         contains 0)
    | [] -> Alcotest.fail "empty diagnosis")
+
+(* hard regression for the cure: with splits enabled (the default)
+   every HDPLL configuration decides the same instance Sat well within
+   the deadline.  [run_instance] only reports Sat after the witness
+   replays through the simulator, so the verdict check covers the
+   certificate too. *)
+let test_w61_split_cures_all_configs () =
+  let case = Fuzz_case.of_file (corpus_file "w61_wrap_corner.rtl") in
+  let inst = Fuzz_case.instance case in
+  List.iter
+    (fun engine ->
+       let r = Engines.run_instance ~timeout:10.0 engine inst in
+       check_string
+         (Engines.engine_name engine ^ " sat with validated witness")
+         "S"
+         (Engines.verdict_symbol r.Engines.verdict);
+       check_bool "well under the deadline" true (r.Engines.time < 5.0);
+       match r.Engines.stats with
+       | Some st ->
+         (* the cure routes the stalled box through the certificate
+            oracle rather than crawling to a timeout *)
+         check_bool "final check ran" true (st.Solver.final_checks > 0)
+       | None -> Alcotest.fail "stats missing")
+    [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Hdpll_p ]
+
+(* a root-level ICP crawl with a free Boolean in the problem: the
+   suspension heuristic must take interval-split decisions (the
+   certificate oracle needs a complete Boolean skeleton), the solver
+   must learn over the split literals and still answer Unsat *)
+let crawl_problem () =
+  let p = P.create () in
+  let u = P.new_bool p ~name:"u" () in
+  ignore u;
+  let x = P.new_word p ~name:"x" (I.make 0 65535) in
+  let y = P.new_word p ~name:"y" (I.make 0 65535) in
+  (* y = x + 1 and y <= x - 1: infeasible, but ICP refutes it one unit
+     per sweep from both ends *)
+  P.add_constr p (T.Lin_eq (T.lin_of_terms [ (1, x); (-1, y) ] 1));
+  P.add_constr p (T.Lin_le (T.lin_of_terms [ (1, y); (-1, x) ] 1));
+  p
+
+let test_split_decisions_unit () =
+  let path = Filename.temp_file "rtlsat_split" ".jsonl" in
+  let obs = Obs.create ~trace:(Trace.to_file path) () in
+  let options = { Solver.hdpll with Solver.obs } in
+  let o = Solver.solve_problem ~options (crawl_problem ()) in
+  Obs.close obs;
+  check_bool "unsat" true (o.Solver.result = Solver.Unsat);
+  check_bool "splits taken" true (o.Solver.stats.Solver.splits > 0);
+  let m = Obs.snapshot obs in
+  check_int "icp.splits counter matches the stat"
+    o.Solver.stats.Solver.splits
+    (Obs.counter obs "icp.splits");
+  check_int "forensics splits match" o.Solver.stats.Solver.splits m.Obs.splits;
+  let p = Forensics.profile_file path in
+  Sys.remove path;
+  check_bool "profiler saw split events" true
+    (p.Forensics.pf_splits = o.Solver.stats.Solver.splits);
+  check_bool "split/stall interplay diagnosed" true
+    (List.exists
+       (fun line ->
+          let needle = "interval splitting engaged" in
+          let len = String.length needle in
+          let rec contains i =
+            i + len <= String.length line
+            && (String.sub line i len = needle || contains (i + 1))
+          in
+          contains 0)
+       p.Forensics.pf_diagnosis)
+
+(* the streak bookkeeping lives outside the observability arm, so an
+   enabled handle must not change which splits are taken; and with
+   splits off the kernel still refutes the crawl (by crawling) *)
+let test_split_determinism_and_off () =
+  let on_plain =
+    Solver.solve_problem ~options:Solver.hdpll (crawl_problem ())
+  in
+  let obs = Obs.create () in
+  let on_observed =
+    Solver.solve_problem
+      ~options:{ Solver.hdpll with Solver.obs }
+      (crawl_problem ())
+  in
+  let off =
+    Solver.solve_problem
+      ~options:{ Solver.hdpll with Solver.split = false }
+      (crawl_problem ())
+  in
+  check_bool "unsat (split on)" true (on_plain.Solver.result = Solver.Unsat);
+  check_bool "unsat (split off)" true (off.Solver.result = Solver.Unsat);
+  check_int "same decisions under observation"
+    on_plain.Solver.stats.Solver.decisions
+    on_observed.Solver.stats.Solver.decisions;
+  check_int "same conflicts under observation"
+    on_plain.Solver.stats.Solver.conflicts
+    on_observed.Solver.stats.Solver.conflicts;
+  check_int "same splits under observation"
+    on_plain.Solver.stats.Solver.splits
+    on_observed.Solver.stats.Solver.splits;
+  check_int "no splits when disabled" 0 off.Solver.stats.Solver.splits
 
 let test_profile_v1_warning () =
   (* a headerless (v1) trace still profiles, with a warning *)
@@ -536,7 +642,7 @@ let test_solve_json_shape () =
        check_bool (key ^ " in stats") true
          (Option.bind (Json.member "stats" j) (Json.member key) <> None))
     [ "decisions"; "conflicts"; "propagations"; "learned"; "jconflicts";
-      "final_checks"; "relations"; "learn_time_s"; "solve_time_s" ];
+      "final_checks"; "splits"; "relations"; "learn_time_s"; "solve_time_s" ];
   check_bool "metrics attached" true (Json.member "metrics" j <> None)
 
 let () =
@@ -575,8 +681,13 @@ let () =
           Alcotest.test_case "attribution" `Quick test_forensics_attribution;
           Alcotest.test_case "attribution stable across runs" `Quick
             test_attribution_stable_across_runs;
-          Alcotest.test_case "w61 stall + profile" `Quick
+          Alcotest.test_case "w61 stall + profile (splits off)" `Quick
             test_w61_stall_and_profile;
+          Alcotest.test_case "w61 cured by splits in all configs" `Quick
+            test_w61_split_cures_all_configs;
+          Alcotest.test_case "split decisions" `Quick test_split_decisions_unit;
+          Alcotest.test_case "split determinism + off-switch" `Quick
+            test_split_determinism_and_off;
           Alcotest.test_case "profile v1 warning" `Quick test_profile_v1_warning;
         ] );
       ( "bench-diff",

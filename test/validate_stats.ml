@@ -40,7 +40,7 @@ let () =
          (require ("stats." ^ key)
             (Option.bind (Json.member key stats) Json.get_float)))
     [ "decisions"; "conflicts"; "propagations"; "learned"; "jconflicts";
-      "final_checks"; "relations"; "learn_time_s"; "solve_time_s" ];
+      "final_checks"; "splits"; "relations"; "learn_time_s"; "solve_time_s" ];
   (* per-phase timings, all eight phases *)
   let metrics = require "metrics" (Json.member "metrics" j) in
   ignore
@@ -66,6 +66,9 @@ let () =
   ignore
     (require "metrics.forensics.stalls"
        (Option.bind (Json.member "stalls" forensics) Json.get_int));
+  ignore
+    (require "metrics.forensics.splits"
+       (Option.bind (Json.member "splits" forensics) Json.get_int));
   let hot name =
     require ("metrics.forensics." ^ name)
       (Option.bind (Json.member name forensics) Json.get_list)
