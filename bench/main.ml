@@ -17,6 +17,7 @@
      extension         suite-extension circuits
      wide_wrap         wrap-around corners over wide words (w61 family)
      sweep             scaling curve (CSV)
+     bmc_sweep         incremental sessions vs from-scratch bound sweeps
 
    --json collects tables 1 and 2 with per-run metrics attached and
    writes a BENCH_<timestamp>.json perf-trajectory artifact (schema
@@ -42,7 +43,7 @@ let subcommand = ref "all"
 
 let usage =
   "main.exe [--full] [--json [--json-file FILE]] \
-   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep]"
+   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep|bmc_sweep]"
 
 let spec =
   Arg.align
@@ -58,7 +59,7 @@ let spec =
 let anon cmd =
   match cmd with
   | "all" | "table1" | "table2" | "micro" | "ablation" | "extension"
-  | "wide_wrap" | "sweep" ->
+  | "wide_wrap" | "sweep" | "bmc_sweep" ->
     subcommand := cmd
   | _ -> raise (Arg.Bad (Printf.sprintf "unknown subcommand %S" cmd))
 
@@ -184,6 +185,12 @@ let extension () =
   Format.printf "@.Suite extension (beyond the paper's benchmark subset):@.";
   Tables.print_table2 Format.std_formatter (Tables.run_extension ())
 
+let bmc_sweep () =
+  Format.printf
+    "@.bmc_sweep family (one solver session per design and engine; each bound \
+     posed as an assumption, vs from-scratch re-solves):@.";
+  Tables.print_bmc_sweep Format.std_formatter (Tables.run_bmc_sweep (scale ()))
+
 let wide_wrap () =
   Format.printf
     "@.wide_wrap family (wrap-around corners over wide words; every case Sat \
@@ -219,6 +226,9 @@ let bench_artifact () =
   Format.printf "@.collecting wide_wrap with metrics...@.";
   let ww = Tables.run_wide_wrap ~metrics:true () in
   Tables.print_table2 Format.std_formatter ww;
+  Format.printf "@.collecting bmc_sweep with metrics...@.";
+  let sw = Tables.run_bmc_sweep ~metrics:true sc in
+  Tables.print_bmc_sweep Format.std_formatter sw;
   let doc =
     Report.bench_json ~generated_at ~scale:scale_str
       ~sections:
@@ -226,6 +236,7 @@ let bench_artifact () =
           ("table1", Report.table1_json ~scale:scale_str t1);
           ("table2", Report.table2_json ~scale:scale_str t2);
           ("wide_wrap", Report.table2_json ~scale:scale_str ww);
+          ("bmc_sweep", Report.bmc_sweep_json ~scale:scale_str sw);
         ]
   in
   let oc = open_out path in
@@ -254,11 +265,13 @@ let () =
     | "extension" -> extension ()
     | "wide_wrap" -> wide_wrap ()
     | "sweep" -> sweep ()
+    | "bmc_sweep" -> bmc_sweep ()
     | _ ->
       table1 ();
       Format.printf "@.";
       table2 ();
       extension ();
       wide_wrap ();
+      bmc_sweep ();
       ablation ();
       micro ()

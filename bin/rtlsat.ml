@@ -4,6 +4,7 @@
      list               benchmark circuits and properties
      show               netlist statistics (and optionally the netlist)
      solve              decide one BMC instance with a chosen engine
+     sweep              bound sweep through one incremental solver session
      check              BMC of a property in a textual netlist file
      prove              k-induction on a benchmark property
      fuzz               differential fuzzing of all engines
@@ -323,6 +324,108 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Bounded model checking of a textual netlist file")
     Term.(const run $ file $ port $ bound $ any $ vcd_out $ timeout)
 
+(* ---- sweep: bound sweep through one incremental solver session ---- *)
+
+let sweep_cmd =
+  let circuit =
+    Arg.(required & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME")
+  in
+  let prop =
+    Arg.(required & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP")
+  in
+  let bounds =
+    Arg.(value & opt (list int) [ 10; 20; 30 ]
+         & info [ "bounds" ] ~docv:"K1,K2,.."
+             ~doc:"Comma-separated bounds to sweep, in order")
+  in
+  let engine =
+    Arg.(value & opt engine_conv Engines.Hdpll_sp & info [ "e"; "engine" ])
+  in
+  let timeout =
+    Arg.(value & opt float 1200.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-bound budget")
+  in
+  let scratch =
+    Arg.(value & flag & info [ "compare-scratch" ]
+           ~doc:"Also re-solve every bound from scratch and print both times")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSON-lines event trace, including the session \
+                 lifecycle events (session.create, solve.begin with carried \
+                 counters)")
+  in
+  let run circuit prop bounds engine timeout scratch trace_out =
+    let source, p =
+      match Registry.build circuit with
+      | c, props ->
+        (match List.assoc_opt prop props with
+         | Some p -> (c, p)
+         | None ->
+           Format.eprintf "unknown property %s_%s@." circuit prop;
+           exit 1)
+      | exception Not_found ->
+        Format.eprintf "unknown circuit %s@." circuit;
+        exit 1
+    in
+    let obs =
+      match trace_out with
+      | Some path ->
+        (try Obs.create ~trace:(Trace.to_file path) ()
+         with Sys_error msg ->
+           Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
+           exit 1)
+      | None -> Obs.disabled
+    in
+    let steps = Engines.run_sweep ~timeout ~obs engine source ~prop:p ~bounds in
+    Obs.close obs;
+    Format.printf "%s_%s sweep, engine %s: one session, bounds as assumptions@."
+      circuit prop (Engines.engine_name engine);
+    Format.printf "%5s %-4s %8s%s %12s %12s@." "bound" "rslt" "incr"
+      (if scratch then "  scratch" else "")
+      "carried-cls" "carried-rels";
+    let pp_run fmt (r : Engines.run) =
+      match r.Engines.verdict with
+      | Engines.Timeout -> Format.fprintf fmt "%8s" "-to-"
+      | Engines.Abort _ -> Format.fprintf fmt "%8s" "-A-"
+      | _ -> Format.fprintf fmt "%8.2f" r.Engines.time
+    in
+    let incr_total = ref 0.0 and scratch_total = ref 0.0 in
+    List.iter
+      (fun (step : Engines.sweep_step) ->
+         incr_total := !incr_total +. step.Engines.sw_run.Engines.time;
+         let scratch_cell =
+           if scratch then begin
+             let r =
+               Engines.run_instance ~timeout engine
+                 (Registry.instance ~circuit ~prop ~bound:step.Engines.sw_bound)
+             in
+             scratch_total := !scratch_total +. r.Engines.time;
+             Format.asprintf " %a" pp_run r
+           end
+           else ""
+         in
+         Format.printf "%5d %-4s %a%s %12d %12d@." step.Engines.sw_bound
+           (Engines.verdict_symbol step.Engines.sw_run.Engines.verdict)
+           pp_run step.Engines.sw_run scratch_cell
+           step.Engines.sw_carried_clauses step.Engines.sw_carried_relations)
+      steps;
+    if scratch then
+      Format.printf "total: incremental %.2fs, from-scratch %.2fs@." !incr_total
+        !scratch_total
+    else Format.printf "total: incremental %.2fs@." !incr_total;
+    (match trace_out with
+     | Some path -> Format.printf "trace written to %s@." path
+     | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep a list of BMC bounds through one incremental solver \
+             session: learned clauses, predicate relations and heuristic \
+             state carry from bound to bound")
+    Term.(const run $ circuit $ prop $ bounds $ engine $ timeout $ scratch
+          $ trace_out)
+
 (* ---- prove: k-induction ---- *)
 
 let prove_cmd =
@@ -638,7 +741,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; solve_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
+          [ list_cmd; show_cmd; solve_cmd; sweep_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
             fuzz_cmd;
             profile_cmd;
             bench_diff_cmd;

@@ -5,7 +5,7 @@ module Interval = Rtlsat_interval.Interval
 type t = {
   sat : C.t;
   circuit : Ir.circuit;
-  bits : C.lit array array; (* node id -> literals, LSB first *)
+  mutable bits : C.lit array array; (* node id -> literals, LSB first *)
   ltrue : C.lit;
 }
 
@@ -99,19 +99,15 @@ let mk_eq_vec t av bv =
 let const_bits t value w =
   Array.init w (fun i -> if (value lsr i) land 1 = 1 then t.ltrue else lfalse t)
 
-let encode circuit =
+let check_combinational nodes =
   List.iter
     (fun n ->
        match n.Ir.op with
        | Ir.Reg _ -> invalid_arg "Bitblast.encode: sequential circuit (unroll first)"
        | _ -> ())
-    (Ir.nodes circuit);
-  let sat = C.create () in
-  let tvar = C.new_var sat in
-  C.add_clause sat [ C.pos tvar ];
-  let t =
-    { sat; circuit; bits = Array.make circuit.Ir.ncount [||]; ltrue = C.pos tvar }
-  in
+    nodes
+
+let encode_nodes t nodes =
   let bit n = t.bits.(n.Ir.id).(0) in
   let bits n = t.bits.(n.Ir.id) in
   let encode_node n =
@@ -184,8 +180,36 @@ let encode circuit =
     assert (Array.length out = w);
     t.bits.(n.Ir.id) <- out
   in
-  List.iter encode_node (Ir.nodes circuit);
+  List.iter encode_node nodes
+
+let encode circuit =
+  check_combinational (Ir.nodes circuit);
+  let sat = C.create () in
+  let tvar = C.new_var sat in
+  C.add_clause sat [ C.pos tvar ];
+  let t =
+    { sat; circuit; bits = Array.make circuit.Ir.ncount [||]; ltrue = C.pos tvar }
+  in
+  encode_nodes t (Ir.nodes circuit);
   t
+
+(* incremental path mirroring [Encode.extend]: blast only the nodes
+   appended to the circuit since the last encode/extend, keeping the
+   CDCL solver — and its learned clauses — intact *)
+let extend t =
+  let c = t.circuit in
+  if c.Ir.ncount > Array.length t.bits then begin
+    let nb = Array.make c.Ir.ncount [||] in
+    Array.blit t.bits 0 nb 0 (Array.length t.bits);
+    t.bits <- nb
+  end;
+  let fresh = List.filter (fun n -> Array.length t.bits.(n.Ir.id) = 0) (Ir.nodes c) in
+  check_combinational fresh;
+  encode_nodes t fresh
+
+let bool_lit t n =
+  if not (Ir.is_bool n) then invalid_arg "Bitblast.bool_lit: word node";
+  t.bits.(n.Ir.id).(0)
 
 let assume_bool t n value =
   if not (Ir.is_bool n) then invalid_arg "Bitblast.assume_bool: word node";
@@ -203,8 +227,8 @@ let assume_interval t n iv =
 
 type result = Sat | Unsat | Timeout
 
-let solve ?deadline t =
-  match C.solve ?deadline t.sat with
+let solve ?deadline ?assumptions t =
+  match C.solve ?deadline ?assumptions t.sat with
   | C.Sat -> Sat
   | C.Unsat -> Unsat
   | C.Timeout -> Timeout

@@ -15,7 +15,18 @@ type t
 val encode : Ir.circuit -> t
 (** @raise Invalid_argument on a sequential circuit. *)
 
+val extend : t -> unit
+(** Incremental re-blast after the circuit grew: encodes exactly the
+    appended nodes into the same CDCL solver, whose learned clauses
+    survive.  Mirrors [Encode.extend] so the eager baseline supports
+    the same session interface as the hybrid engines. *)
+
 val solver : t -> Rtlsat_sat.Cdcl.t
+
+val bool_lit : t -> Ir.node -> Rtlsat_sat.Cdcl.lit
+(** The CNF literal of a Boolean node — e.g. to pass a violation
+    selector as an assumption.
+    @raise Invalid_argument on a word node. *)
 
 val assume_bool : t -> Ir.node -> bool -> unit
 
@@ -27,7 +38,9 @@ type result =
   | Unsat
   | Timeout
 
-val solve : ?deadline:float -> t -> result
+val solve : ?deadline:float -> ?assumptions:Rtlsat_sat.Cdcl.lit list -> t -> result
+(** [assumptions] are decided before the free search (MiniSat-style);
+    [Unsat] then means unsat under them and the solver stays usable. *)
 
 val to_dimacs : t -> string
 (** The current CNF (including assumptions added so far) in DIMACS

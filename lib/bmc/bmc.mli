@@ -27,7 +27,43 @@ type instance = {
 
 val make : Ir.circuit -> prop:Ir.node -> bound:int -> ?semantics:semantics -> unit -> instance
 (** Unrolls the circuit and builds the violation objective.  Default
+    semantics: [Final].
+
+    Repeated calls on the {e same physical} circuit and property share
+    one unroll, extended frame-incrementally — an ascending bound
+    ladder no longer re-unrolls frames 0..k-1 at every bound.  Sharing
+    is deliberately scoped: a different property, or a bound below the
+    shared unroll's depth, gets a private exact-depth unroll, so an
+    instance never encodes frames or violation logic it does not own
+    and a batch run solves the same problem a solo run would.
+    Repeated identical calls return the {e same} violation node rather
+    than appending a fresh copy. *)
+
+(** {2 Bound sweeps}
+
+    One frame-incrementally extended unroll per (circuit, property),
+    with a distinct violation selector node per bound.  A session-based
+    solver poses each bound as the assumption literal of its selector,
+    carrying learned clauses across the whole sweep. *)
+
+type sweep
+
+val sweep : Ir.circuit -> prop:Ir.node -> ?semantics:semantics -> unit -> sweep
+(** Start a sweep (initially one frame is unrolled).  Default
     semantics: [Final]. *)
+
+val sweep_unrolled : sweep -> Unroll.t
+(** The shared unroll; grows as bounds are requested. *)
+
+val sweep_violation : sweep -> bound:int -> Ir.node
+(** The violation selector for [bound]: extends the unroll to [bound]
+    frames if needed and memoizes the selector node (registered as
+    output ["violation@<bound>"]).  @raise Invalid_argument if
+    [bound < 1]. *)
+
+val sweep_instance : sweep -> bound:int -> instance
+(** A per-bound [instance] view over the shared unroll — e.g. to
+    replay a witness through {!witness_ok}. *)
 
 val witness_ok : instance -> (Ir.node -> int) -> bool
 (** [witness_ok inst value] replays a model of the *unrolled* circuit

@@ -18,6 +18,13 @@ val unroll : ?free_init:bool -> Ir.circuit -> frames:int -> t
     step.  @raise Invalid_argument if [frames < 1] or a register is
     unconnected. *)
 
+val extend : t -> frames:int -> unit
+(** Frame-incremental unrolling: grow to [frames] time frames, reusing
+    frames [0..frames u - 1] untouched and appending only the new
+    copies to the same combinational circuit.  The new last frame's
+    outputs are registered as ["name@frame"].  No-op when [frames] is
+    not larger than the current count. *)
+
 val combo : t -> Ir.circuit
 (** The unrolled, purely combinational circuit. *)
 

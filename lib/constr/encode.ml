@@ -5,7 +5,8 @@ module Interval = Rtlsat_interval.Interval
 type t = {
   problem : Problem.t;
   circuit : Ir.circuit;
-  var_of : var array;
+  mutable var_of : var array;
+  bits_cache : (int, var array) Hashtbl.t;
 }
 
 let term c v = (c, v)
@@ -69,17 +70,17 @@ let encode_cmp p op ~z ~av ~bv ~name =
        Problem.add_clause p [| Neg z; Neg p1; Neg p2 |]
      | _ -> assert false)
 
-let encode circuit =
+let check_combinational nodes =
   List.iter
     (fun n -> match n.Ir.op with
        | Ir.Reg _ -> invalid_arg "Encode.encode: sequential circuit (unroll first)"
        | _ -> ())
-    (Ir.nodes circuit);
-  let p = Problem.create () in
-  let var_of = Array.make circuit.Ir.ncount (-1) in
-  (* per-bit Boolean splitting cache for bitwise word operators *)
-  let bits_cache : (int, var array) Hashtbl.t = Hashtbl.create 7 in
-  let v n = var_of.(n.Ir.id) in
+    nodes
+
+let encode_nodes t nodes =
+  let p = t.problem in
+  let bits_cache = t.bits_cache in
+  let v n = t.var_of.(n.Ir.id) in
   let new_node_var n =
     let name = Ir.node_name n in
     if Ir.is_bool n then Problem.new_bool p ~name ()
@@ -118,7 +119,7 @@ let encode circuit =
   let xor_bit ~z ~a ~b = clauses_xor p ~z ~a ~b in
   let encode_node n =
     let zv = new_node_var n in
-    var_of.(n.Ir.id) <- zv;
+    t.var_of.(n.Ir.id) <- zv;
     match n.Ir.op with
     | Ir.Input -> ()
     | Ir.Reg _ -> assert false
@@ -192,8 +193,37 @@ let encode circuit =
     | Ir.Bitor (a, b) -> encode_bitwise n a b or_bit
     | Ir.Bitxor (a, b) -> encode_bitwise n a b xor_bit
   in
-  List.iter encode_node (Ir.nodes circuit);
-  { problem = p; circuit; var_of }
+  List.iter encode_node nodes
+
+let encode circuit =
+  check_combinational (Ir.nodes circuit);
+  let t =
+    {
+      problem = Problem.create ();
+      circuit;
+      var_of = Array.make circuit.Ir.ncount (-1);
+      (* per-bit Boolean splitting cache for bitwise word operators;
+         persistent so incremental extension reuses channelings *)
+      bits_cache = Hashtbl.create 7;
+    }
+  in
+  encode_nodes t (Ir.nodes circuit);
+  t
+
+(* incremental path: the circuit grew (e.g. more unrolled frames);
+   encode only the nodes that have no variable yet.  Node ids are
+   append-only, so existing variables — and the problem's numbering —
+   are untouched. *)
+let extend t =
+  let c = t.circuit in
+  if c.Ir.ncount > Array.length t.var_of then begin
+    let nv = Array.make c.Ir.ncount (-1) in
+    Array.blit t.var_of 0 nv 0 (Array.length t.var_of);
+    t.var_of <- nv
+  end;
+  let fresh = List.filter (fun n -> t.var_of.(n.Ir.id) = -1) (Ir.nodes c) in
+  check_combinational fresh;
+  encode_nodes t fresh
 
 let var t n = t.var_of.(n.Rtlsat_rtl.Ir.id)
 

@@ -17,12 +17,23 @@ open Types
 type t = {
   problem : Problem.t;
   circuit : Rtlsat_rtl.Ir.circuit;
-  var_of : var array;  (** node id → solver variable *)
+  mutable var_of : var array;  (** node id → solver variable *)
+  bits_cache : (int, var array) Hashtbl.t;
+      (** per-bit channeling Booleans of word nodes, persistent across
+          {!extend} calls *)
 }
 
 val encode : Rtlsat_rtl.Ir.circuit -> t
 (** @raise Invalid_argument if the circuit contains registers (unroll
     sequential circuits with [Rtlsat_bmc.Unroll] first). *)
+
+val extend : t -> unit
+(** Incremental re-encode after the circuit grew (e.g.
+    [Rtlsat_bmc.Unroll.extend] appended frames): encodes exactly the
+    nodes without a variable yet, appending to the same problem.
+    Existing variable numbering is untouched, so a solver session can
+    keep its learned clauses.
+    @raise Invalid_argument if a fresh node is a register. *)
 
 val var : t -> Rtlsat_rtl.Ir.node -> var
 

@@ -47,6 +47,8 @@ let clauses p = Vec.to_list p.cls
 let constrs p = Array.of_list (Vec.to_list p.cns)
 let n_clauses p = Vec.length p.cls
 let n_constrs p = Vec.length p.cns
+let clause_at p i = Vec.get p.cls i
+let constr_at p i = Vec.get p.cns i
 
 let iter_clauses f p = Vec.iter f p.cls
 let iter_constrs f p = Vec.iteri f p.cns

@@ -30,6 +30,12 @@ val constrs : t -> constr array
 val n_clauses : t -> int
 val n_constrs : t -> int
 
+val clause_at : t -> int -> clause
+(** i-th clause in insertion order — numbering is stable under
+    appends, so an incremental consumer can sync by index. *)
+
+val constr_at : t -> int -> constr
+
 val iter_clauses : (clause -> unit) -> t -> unit
 val iter_constrs : (int -> constr -> unit) -> t -> unit
 

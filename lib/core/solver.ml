@@ -84,20 +84,20 @@ let luby x =
   done;
   1 lsl !seq
 
+let validate_clause prob cl =
+  if Array.length cl > 1 then
+    Array.iter
+      (fun a ->
+         match a with
+         | Ge _ | Le _ ->
+           if not (Problem.is_bool_var prob (atom_var a)) then
+             invalid_arg
+               "Solver: multi-atom input clauses must be purely Boolean"
+         | Pos _ | Neg _ -> ())
+      cl
+
 let validate_input_clauses prob =
-  Problem.iter_clauses
-    (fun cl ->
-       if Array.length cl > 1 then
-         Array.iter
-           (fun a ->
-              match a with
-              | Ge _ | Le _ ->
-                if not (Problem.is_bool_var prob (atom_var a)) then
-                  invalid_arg
-                    "Solver: multi-atom input clauses must be purely Boolean"
-              | Pos _ | Neg _ -> ())
-           cl)
-    prob
+  Problem.iter_clauses (fun cl -> validate_clause prob cl) prob
 
 let seed_activities s enc =
   match enc with
@@ -232,8 +232,9 @@ let collected_clauses opts s =
   if not opts.collect_learned then []
   else begin
     let out = ref [] in
-    for i = Vec.length s.State.clauses - 1 downto s.State.n_root_clauses do
-      out := Vec.get s.State.clauses i :: !out
+    for i = Vec.length s.State.clauses - 1 downto 0 do
+      if not (State.is_root_clause s i) then
+        out := Vec.get s.State.clauses i :: !out
     done;
     !out
   end
@@ -253,8 +254,9 @@ let emit_done obs s r =
       ]
   end
 
-let solve_loop opts s enc t0 learn_summary =
+let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
   let obs = opts.obs in
+  let assumptions = Array.map (State.canonical s) assumptions in
   (* conflict forensics: --dump-graph exports the implication graph of
      the first [dump_graph_max] conflicts as DOT files *)
   let dumped = ref 0 in
@@ -282,7 +284,13 @@ let solve_loop opts s enc t0 learn_summary =
   let mux_pref =
     match learn_summary with
     | Some (sm : Predicate_learning.summary) ->
-      Some (fun v -> (sm.Predicate_learning.pos_score.(v), sm.Predicate_learning.neg_score.(v)))
+      (* in a session the problem can grow after learning ran; score
+         arrays keep their learning-time size, new variables score 0 *)
+      Some
+        (fun v ->
+           if v < Array.length sm.Predicate_learning.pos_score then
+             (sm.Predicate_learning.pos_score.(v), sm.Predicate_learning.neg_score.(v))
+           else (0, 0))
     | None -> None
   in
   let rng = Option.map (fun seed -> Random.State.make [| seed |]) opts.random_seed in
@@ -363,6 +371,30 @@ let solve_loop opts s enc t0 learn_summary =
                  [ ( "learned_db",
                      Json.Int (Vec.length s.State.clauses - s.State.n_root_clauses) ) ]
            | _ -> ())
+        end
+        else if State.decision_level s < Array.length assumptions then begin
+          (* MiniSat-style assumption push: the next assumption becomes
+             this level's decision.  An already-entailed assumption
+             still opens a (dummy) level so levels 1..k stay in
+             bijection with assumption indices across backjumps and
+             restarts; a falsified one means unsat under the current
+             assumptions (learned clauses remain globally valid either
+             way — analysis resolves only through reasons, so
+             assumption decisions appear negated in the clause, never
+             resolved away). *)
+          let a = assumptions.(State.decision_level s) in
+          if State.falsified s a then result := Some Unsat
+          else if State.entailed s a then State.new_level s
+          else begin
+            s.State.n_decisions <- s.State.n_decisions + 1;
+            if Obs.tracing obs then
+              Obs.event obs "decide"
+                [ ("kind", Json.Str "assumption");
+                  ("lvl", Json.Int (State.decision_level s + 1));
+                  ("var", Json.Int (atom_var a)) ];
+            State.new_level s;
+            State.assert_atom s a None
+          end
         end
         else begin
           match pick_split s with
@@ -519,7 +551,7 @@ let root_outcome r opts s t0 learn_summary =
     metrics = Obs.snapshot opts.obs;
   }
 
-let solve_common ?(options = default) prob enc =
+let solve_common ?(options = default) ?assumptions prob enc =
   let t0 = Unix.gettimeofday () in
   validate_input_clauses prob;
   let s = State.create prob in
@@ -555,7 +587,220 @@ let solve_common ?(options = default) prob enc =
     (match learn_summary with
      | Some sm when sm.Predicate_learning.root_unsat ->
        root_outcome Unsat options s t0 learn_summary
-     | _ -> solve_loop options s enc t0 learn_summary)
+     | _ -> solve_loop ?assumptions options s enc t0 learn_summary)
 
-let solve ?options enc = solve_common ?options enc.Encode.problem (Some enc)
-let solve_problem ?options prob = solve_common ?options prob None
+let solve ?options ?assumptions enc =
+  solve_common ?options ?assumptions enc.Encode.problem (Some enc)
+
+let solve_problem ?options ?assumptions prob =
+  solve_common ?options ?assumptions prob None
+
+(* ---- persistent solver sessions (incremental interface) ----
+
+   One [State.t] lives across many [solve] calls: learned clauses,
+   predicate relations, VSIDS activities, phase saving and split
+   nominations all carry over.  Constraints are append-only
+   ([add_clause]/[add_atom], or appending to the underlying problem /
+   encoder directly); each call syncs the kernel via [State.grow],
+   which is sound because variable numbering is append-only on both
+   sides.  Per-call queries are posed as assumptions — decided on
+   levels 1..k of the search and popped afterwards.  Every learned
+   clause is retained: conflict analysis resolves only through reasons
+   (never through decisions), so assumption decisions show up negated
+   in learned clauses ("guarded") and each lemma is implied by the
+   clause database and the theory alone. *)
+module Session = struct
+  type session = {
+    opts : options;
+    prob : Problem.t;
+    enc : Encode.t option;
+    s : State.t;
+    mutable learn_summary : Predicate_learning.summary option;
+    mutable learn_pending : bool;
+    mutable validated : int;  (* problem clauses validated so far *)
+    mutable seeded : int;     (* circuit nodes activity-seeded so far *)
+    mutable n_solves : int;
+    mutable prev_stats : stats;
+    mutable total_time : float;
+  }
+
+  type solve_result = {
+    outcome : outcome;
+    cumulative : stats;
+    carried_clauses : int;
+    carried_relations : int;
+    n_solves : int;
+  }
+
+  let zero_stats =
+    {
+      decisions = 0;
+      conflicts = 0;
+      propagations = 0;
+      learned = 0;
+      jconflicts = 0;
+      final_checks = 0;
+      splits = 0;
+      relations = 0;
+      learn_time = 0.0;
+      solve_time = 0.0;
+    }
+
+  let make ?(options = default) prob enc =
+    validate_input_clauses prob;
+    let s = State.create prob in
+    s.State.split <- options.split;
+    s.State.obs <- options.obs;
+    if options.obs.Obs.enabled then begin
+      Obs.attach_forensics options.obs ~nvars:(Problem.n_vars prob)
+        ~nconstrs:(Array.length s.State.constrs)
+        ~var_name:(Problem.var_name prob)
+        ~constr_desc:(fun ci ->
+          Format.asprintf "%a"
+            (pp_constr ~name:(Problem.var_name prob) ())
+            s.State.constrs.(ci));
+      Obs.incr options.obs "session.creates";
+      if Obs.tracing options.obs then
+        Obs.event options.obs "session.create"
+          [ ("vars", Json.Int (Problem.n_vars prob));
+            ("clauses", Json.Int (Problem.n_clauses prob));
+            ("constrs", Json.Int (Problem.n_constrs prob)) ]
+    end;
+    {
+      opts = options;
+      prob;
+      enc;
+      s;
+      learn_summary = None;
+      learn_pending = options.predicate_learning && Option.is_some enc;
+      validated = Problem.n_clauses prob;
+      seeded = 0;
+      n_solves = 0;
+      prev_stats = zero_stats;
+      total_time = 0.0;
+    }
+
+  let create ?options (enc : Encode.t) = make ?options enc.Encode.problem (Some enc)
+  let of_problem ?options prob = make ?options prob None
+
+  let add_clause t cl = Problem.add_clause t.prob cl
+  let add_atom t a = Problem.add_clause t.prob [| a |]
+  let problem t = t.prob
+  let state t = t.s
+
+  (* activity seeding restricted to circuit nodes added since the last
+     call, so VSIDS bumps earned by the old variables are preserved *)
+  let seed_new t =
+    match t.enc with
+    | Some enc when t.opts.seed_fanout ->
+      let c = enc.Encode.circuit in
+      if c.Rtlsat_rtl.Ir.ncount > t.seeded then begin
+        let fo = Structure.fanout_counts c in
+        Rtlsat_rtl.Ir.nodes c
+        |> List.iter (fun n ->
+            if n.Rtlsat_rtl.Ir.id >= t.seeded then begin
+              let v = enc.Encode.var_of.(n.Rtlsat_rtl.Ir.id) in
+              if v >= 0 && Problem.is_bool_var t.s.State.prob v then begin
+                t.s.State.activity.(v) <-
+                  t.s.State.activity.(v)
+                  +. float_of_int fo.(n.Rtlsat_rtl.Ir.id);
+                Heap.bumped t.s.State.heap t.s.State.activity v
+              end
+            end);
+        t.seeded <- c.Rtlsat_rtl.Ir.ncount
+      end
+    | _ -> ()
+
+  let solve ?(assumptions = [||]) ?deadline t =
+    let t0 = Unix.gettimeofday () in
+    let opts =
+      match deadline with
+      | Some d -> { t.opts with deadline = d }
+      | None -> t.opts
+    in
+    let obs = opts.obs in
+    State.backtrack_to t.s 0;
+    let ncl = Problem.n_clauses t.prob in
+    for i = t.validated to ncl - 1 do
+      validate_clause t.prob (Problem.clause_at t.prob i)
+    done;
+    t.validated <- ncl;
+    State.grow t.s;
+    seed_new t;
+    let carried_clauses =
+      Vec.length t.s.State.clauses - t.s.State.n_root_clauses
+    in
+    let carried_relations =
+      match t.learn_summary with
+      | Some sm -> sm.Predicate_learning.relations
+      | None -> 0
+    in
+    t.n_solves <- t.n_solves + 1;
+    if obs.Obs.enabled then begin
+      Obs.incr obs "session.solves";
+      if Obs.tracing obs then
+        Obs.event obs "solve.begin"
+          [ ("call", Json.Int t.n_solves);
+            ("assumptions", Json.Int (Array.length assumptions));
+            ("carried_clauses", Json.Int carried_clauses);
+            ("carried_relations", Json.Int carried_relations);
+            ("vars", Json.Int (Problem.n_vars t.prob)) ]
+    end;
+    let raw =
+      match Propagate.run ~full:true ~deadline:opts.deadline t.s with
+      | exception Propagate.Propagation_timeout ->
+        root_outcome Timeout opts t.s t0 t.learn_summary
+      | Some _ -> root_outcome Unsat opts t.s t0 t.learn_summary
+      | None ->
+        if t.learn_pending then begin
+          (* same suspension rule as the one-shot path: a pending split
+             nomination would make every learning probe return
+             immediately, so retry on the next call instead *)
+          let suspended = t.s.State.qhead < Vec.length t.s.State.trail in
+          if not suspended then begin
+            (match t.enc with
+             | Some enc ->
+               t.learn_summary <-
+                 Some
+                   (Obs.span obs Obs.Static_learn (fun () ->
+                        Predicate_learning.run ?threshold:opts.learn_threshold
+                          ~depth:opts.learn_depth ~deadline:opts.deadline t.s
+                          enc))
+             | None -> ());
+            t.learn_pending <- false
+          end
+        end;
+        (match t.learn_summary with
+         | Some sm when sm.Predicate_learning.root_unsat ->
+           root_outcome Unsat opts t.s t0 t.learn_summary
+         | _ -> solve_loop ~assumptions opts t.s t.enc t0 t.learn_summary)
+    in
+    State.backtrack_to t.s 0;
+    (* kernel counters are cumulative across the session; report the
+       per-call delta in [outcome] and the running totals alongside *)
+    let cum = raw.stats in
+    let prev = t.prev_stats in
+    t.total_time <- t.total_time +. cum.solve_time;
+    let per_call =
+      {
+        decisions = cum.decisions - prev.decisions;
+        conflicts = cum.conflicts - prev.conflicts;
+        propagations = cum.propagations - prev.propagations;
+        learned = cum.learned - prev.learned;
+        jconflicts = cum.jconflicts - prev.jconflicts;
+        final_checks = cum.final_checks - prev.final_checks;
+        splits = cum.splits - prev.splits;
+        relations = cum.relations - prev.relations;
+        learn_time = cum.learn_time -. prev.learn_time;
+        solve_time = cum.solve_time;
+      }
+    in
+    t.prev_stats <- cum;
+    {
+      outcome = { raw with stats = per_call };
+      cumulative = { cum with solve_time = t.total_time };
+      carried_clauses;
+      carried_relations;
+      n_solves = t.n_solves;
+    }
+end

@@ -100,10 +100,84 @@ type outcome = {
           [stats] record above is unchanged — [metrics] extends it. *)
 }
 
-val solve : ?options:options -> Rtlsat_constr.Encode.t -> outcome
-(** Decide the encoded RTL problem. *)
+val solve :
+  ?options:options ->
+  ?assumptions:Rtlsat_constr.Types.atom array ->
+  Rtlsat_constr.Encode.t ->
+  outcome
+(** Decide the encoded RTL problem.  [assumptions] are hybrid literals
+    (Boolean or word-interval atoms) decided on levels 1..k before the
+    free search; [Unsat] then means unsat {e under the assumptions}. *)
 
-val solve_problem : ?options:options -> Rtlsat_constr.Problem.t -> outcome
+val solve_problem :
+  ?options:options ->
+  ?assumptions:Rtlsat_constr.Types.atom array ->
+  Rtlsat_constr.Problem.t ->
+  outcome
 (** Decide a bare constraint problem (no netlist): the structural
     strategy and predicate learning are unavailable and silently
     disabled. *)
+
+(** Persistent solver sessions: one kernel across many [solve] calls.
+
+    Learned clauses, predicate relations, VSIDS activities, saved
+    phases and split nominations survive between calls.  Constraints
+    are append-only — push them with {!Session.add_clause} /
+    {!Session.add_atom} or by appending to the underlying problem or
+    encoder; the next [solve] syncs the kernel ({!State.grow}), which
+    is sound because variable numbering is append-only.  Per-call
+    queries go in as [assumptions], decided at levels 1..k of the
+    search and popped when the call returns.
+
+    Lemma retention: {e every} learned clause carries over.  Conflict
+    analysis resolves only through reasons, never through decisions,
+    so an assumption contributing to a conflict appears {e negated} in
+    the learned clause (it is "guarded" in the ISSUE's sense); each
+    lemma is therefore implied by the clause database and the theory
+    alone and stays valid for every later call. *)
+module Session : sig
+  type session
+
+  type solve_result = {
+    outcome : outcome;
+        (** result + {e per-call} stats (deltas of the kernel's
+            cumulative counters; [solve_time] is this call's) *)
+    cumulative : stats;  (** running totals across the session *)
+    carried_clauses : int;
+        (** learned clauses already in the database when the call
+            started *)
+    carried_relations : int;
+        (** predicate relations learned by an earlier call *)
+    n_solves : int;  (** 1-based index of this call *)
+  }
+
+  val create : ?options:options -> Rtlsat_constr.Encode.t -> session
+  (** The encoder's problem and circuit stay owned by the caller and
+      may keep growing (e.g. [Encode.extend] after unrolling more
+      frames); each [solve] picks up whatever has been appended. *)
+
+  val of_problem : ?options:options -> Rtlsat_constr.Problem.t -> session
+  (** Bare-problem session: structural strategy and predicate learning
+      silently disabled, as in {!solve_problem}. *)
+
+  val add_clause : session -> Rtlsat_constr.Types.clause -> unit
+  (** Append a clause to the underlying problem (multi-atom clauses
+      must be purely Boolean, as for input problems). *)
+
+  val add_atom : session -> Rtlsat_constr.Types.atom -> unit
+  (** Append a unit clause. *)
+
+  val problem : session -> Rtlsat_constr.Problem.t
+  val state : session -> State.t
+
+  val solve :
+    ?assumptions:Rtlsat_constr.Types.atom array ->
+    ?deadline:float ->
+    session ->
+    solve_result
+  (** Sync appended constraints into the kernel, then decide under
+      [assumptions].  [Unsat] with a nonempty [assumptions] means
+      unsat under those assumptions; the session stays usable either
+      way.  [deadline] overrides the session options' deadline for
+      this call only. *)
+end

@@ -18,25 +18,27 @@ exception Conflict of atom array
 
 type t = {
   prob : Problem.t;
-  nv : int;
-  lb : int array;
-  ub : int array;
-  init_lb : int array;
-  init_ub : int array;
+  mutable nv : int;
+  mutable lb : int array;
+  mutable ub : int array;
+  mutable init_lb : int array;
+  mutable init_ub : int array;
   trail : entry Vec.t;
   lim : int Vec.t;
-  lo_ev : (int * int) list array;
-  hi_ev : (int * int) list array;
+  mutable lo_ev : (int * int) list array;
+  mutable hi_ev : (int * int) list array;
   clauses : clause Vec.t;
-  clause_occs : int list array;
+  root_flags : bool Vec.t;
+  mutable clause_occs : int list array;
   mutable n_root_clauses : int;
-  constrs : constr array;
-  constr_occs : int list array;
+  mutable n_prob_clauses : int;
+  mutable constrs : constr array;
+  mutable constr_occs : int list array;
   mutable qhead : int;
-  activity : float array;
+  mutable activity : float array;
   mutable var_inc : float;
   heap : Heap.t;
-  phase : bool array;
+  mutable phase : bool array;
   mutable n_decisions : int;
   mutable n_conflicts : int;
   mutable n_propagations : int;
@@ -49,8 +51,8 @@ type t = {
      ints updated on every word-level narrowing regardless of whether
      observability is attached, so observing a solve can never change
      it. *)
-  split_streak : int array;
-  split_dir : bool array;
+  mutable split_streak : int array;
+  mutable split_dir : bool array;
   split_heap : Heap.t;
   mutable split : bool;
   mutable n_splits : int;
@@ -212,9 +214,11 @@ let entailing_entry s a =
       find None s.hi_ev.(v)
     end
 
-let add_clause s cl =
+let add_clause s ?(root = false) cl =
   let ci = Vec.length s.clauses in
   Vec.push s.clauses cl;
+  Vec.push s.root_flags root;
+  if root then s.n_root_clauses <- s.n_root_clauses + 1;
   let seen = Hashtbl.create 4 in
   Array.iter
     (fun a ->
@@ -225,20 +229,26 @@ let add_clause s cl =
        end)
     cl
 
+let is_root_clause s ci = Vec.get s.root_flags ci
+
+(* in a session, root (problem) clauses may arrive after learned ones,
+   so "root" is a per-clause flag rather than a prefix of the database *)
 let reduce_clauses s ~keep_recent =
   let total = Vec.length s.clauses in
-  let first_learned = s.n_root_clauses in
-  if total - first_learned > keep_recent then begin
+  if total - s.n_root_clauses > keep_recent then begin
     let cutoff = total - keep_recent in
     let kept = ref [] in
     for ci = total - 1 downto 0 do
       let cl = Vec.get s.clauses ci in
-      if ci < first_learned || ci >= cutoff || Array.length cl <= 4 then
-        kept := cl :: !kept
+      let root = Vec.get s.root_flags ci in
+      if root || ci >= cutoff || Array.length cl <= 4 then
+        kept := (cl, root) :: !kept
     done;
     Vec.clear s.clauses;
+    Vec.clear s.root_flags;
+    s.n_root_clauses <- 0;
     Array.fill s.clause_occs 0 s.nv [];
-    List.iter (fun cl -> add_clause s cl) !kept;
+    List.iter (fun (cl, root) -> add_clause s ~root cl) !kept;
     s.n_reductions <- s.n_reductions + 1
   end
 
@@ -285,8 +295,10 @@ let create prob =
       lo_ev = Array.make nv [];
       hi_ev = Array.make nv [];
       clauses = Vec.create ~dummy:[||] ();
+      root_flags = Vec.create ~dummy:false ();
       clause_occs = Array.make nv [];
       n_root_clauses = 0;
+      n_prob_clauses = 0;
       constrs = Problem.constrs prob;
       constr_occs = Array.make nv [];
       qhead = 0;
@@ -310,8 +322,8 @@ let create prob =
     }
   in
   (* clause and constraint occurrence lists *)
-  List.iter (fun cl -> add_clause s cl) (Problem.clauses prob);
-  s.n_root_clauses <- Vec.length s.clauses;
+  List.iter (fun cl -> add_clause s ~root:true cl) (Problem.clauses prob);
+  s.n_prob_clauses <- Problem.n_clauses prob;
   Array.iteri
     (fun ci c ->
        List.iter (fun v -> s.constr_occs.(v) <- ci :: s.constr_occs.(v)) (constr_vars c))
@@ -321,3 +333,58 @@ let create prob =
     if Problem.is_bool_var prob v then Heap.insert s.heap s.activity v
   done;
   s
+
+(* session support: absorb everything appended to the problem since
+   the last sync.  Variable numbering is append-only on both sides, so
+   existing indices — and every learned clause and activity referring
+   to them — stay valid; only the per-variable arrays reallocate.
+   Must run at decision level 0 (bounds arrays hold root values). *)
+let grow s =
+  if decision_level s <> 0 then invalid_arg "State.grow: not at level 0";
+  let nv = Problem.n_vars s.prob in
+  if nv > s.nv then begin
+    let old = s.nv in
+    let grown a fill =
+      let b = Array.make nv fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    s.lb <- grown s.lb 0;
+    s.ub <- grown s.ub 0;
+    for v = old to nv - 1 do
+      let d = Problem.initial_domain s.prob v in
+      s.lb.(v) <- Interval.lo d;
+      s.ub.(v) <- Interval.hi d
+    done;
+    s.init_lb <- grown s.init_lb 0;
+    s.init_ub <- grown s.init_ub 0;
+    Array.blit s.lb old s.init_lb old (nv - old);
+    Array.blit s.ub old s.init_ub old (nv - old);
+    s.lo_ev <- grown s.lo_ev [];
+    s.hi_ev <- grown s.hi_ev [];
+    s.clause_occs <- grown s.clause_occs [];
+    s.constr_occs <- grown s.constr_occs [];
+    s.activity <- grown s.activity 0.0;
+    s.phase <- grown s.phase false;
+    s.split_streak <- grown s.split_streak 0;
+    s.split_dir <- grown s.split_dir true;
+    s.nv <- nv;
+    for v = old to nv - 1 do
+      if Problem.is_bool_var s.prob v then Heap.insert s.heap s.activity v
+    done
+  end;
+  let old_cn = Array.length s.constrs in
+  let ncn = Problem.n_constrs s.prob in
+  if ncn > old_cn then begin
+    s.constrs <- Problem.constrs s.prob;
+    for ci = old_cn to ncn - 1 do
+      List.iter
+        (fun v -> s.constr_occs.(v) <- ci :: s.constr_occs.(v))
+        (constr_vars s.constrs.(ci))
+    done
+  end;
+  let ncl = Problem.n_clauses s.prob in
+  for i = s.n_prob_clauses to ncl - 1 do
+    add_clause s ~root:true (Problem.clause_at s.prob i)
+  done;
+  s.n_prob_clauses <- ncl

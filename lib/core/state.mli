@@ -27,25 +27,32 @@ exception Conflict of atom array
 
 type t = {
   prob : Rtlsat_constr.Problem.t;
-  nv : int;
-  lb : int array;
-  ub : int array;
-  init_lb : int array;
-  init_ub : int array;
+  mutable nv : int;
+  mutable lb : int array;
+  mutable ub : int array;
+  mutable init_lb : int array;
+  mutable init_ub : int array;
   trail : entry Rtlsat_constr.Vec.t;
   lim : int Rtlsat_constr.Vec.t;            (** decision-level boundaries *)
-  lo_ev : (int * int) list array;           (** var → (new lb, trail idx), newest first *)
-  hi_ev : (int * int) list array;           (** var → (new ub, trail idx), newest first *)
+  mutable lo_ev : (int * int) list array;   (** var → (new lb, trail idx), newest first *)
+  mutable hi_ev : (int * int) list array;   (** var → (new ub, trail idx), newest first *)
   clauses : clause Rtlsat_constr.Vec.t;
-  clause_occs : int list array;             (** var → clause indices *)
-  mutable n_root_clauses : int;
-  constrs : constr array;
-  constr_occs : int list array;             (** var → constraint indices *)
+  root_flags : bool Rtlsat_constr.Vec.t;
+      (** parallel to [clauses]: [true] for problem ("root") clauses.
+          A per-clause flag, not a prefix — in a session, appended
+          problem clauses land after learned ones *)
+  mutable clause_occs : int list array;     (** var → clause indices *)
+  mutable n_root_clauses : int;             (** count of root-flagged clauses *)
+  mutable n_prob_clauses : int;
+      (** how many of the problem's clauses have been loaded; the sync
+          cursor for {!grow} *)
+  mutable constrs : constr array;
+  mutable constr_occs : int list array;     (** var → constraint indices *)
   mutable qhead : int;
-  activity : float array;
+  mutable activity : float array;
   mutable var_inc : float;
   heap : Heap.t;
-  phase : bool array;
+  mutable phase : bool array;
   (* statistics *)
   mutable n_decisions : int;
   mutable n_conflicts : int;
@@ -55,11 +62,11 @@ type t = {
   mutable n_final_checks : int;
   mutable n_reductions : int;
   (* interval-split decisions *)
-  split_streak : int array;
+  mutable split_streak : int array;
       (** per-variable count of consecutive tiny shaves; plain ints,
           maintained on every word narrowing whether or not
           observability is attached *)
-  split_dir : bool array;
+  mutable split_dir : bool array;
       (** direction of the variable's last narrowing: [true] when the
           lower bound crawled up, [false] when the upper bound crawled
           down; the bisection decides the arm that keeps chasing it *)
@@ -95,6 +102,15 @@ val create : Rtlsat_constr.Problem.t -> t
     registers occurrence lists.  Unit clauses are asserted at level 0
     ({!propagate-time} conflicts there surface as {!Conflict}). *)
 
+val grow : t -> unit
+(** Absorb variables, clauses and constraints appended to the problem
+    since [create] (or the previous [grow]).  Variable numbering is
+    append-only, so existing indices, learned clauses and activities
+    stay valid; the per-variable arrays reallocate in place.  New
+    problem clauses are registered as root.  Must be called at
+    decision level 0.
+    @raise Invalid_argument above level 0. *)
+
 val decision_level : t -> int
 val new_level : t -> unit
 val backtrack_to : t -> int -> unit
@@ -114,9 +130,14 @@ val assert_atom : t -> atom -> reason -> unit
 val canonical : t -> atom -> atom
 (** Bound atoms over Boolean variables become [Pos]/[Neg]. *)
 
-val add_clause : t -> clause -> unit
-(** Register a clause (original or learned) with occurrence lists; the
-    caller is responsible for any immediate propagation. *)
+val add_clause : t -> ?root:bool -> clause -> unit
+(** Register a clause (learned by default; [~root:true] for problem
+    clauses, which database reduction never drops) with occurrence
+    lists; the caller is responsible for any immediate propagation. *)
+
+val is_root_clause : t -> int -> bool
+(** Whether the clause at this database index is root (problem-level)
+    as opposed to learned. *)
 
 val reduce_clauses : t -> keep_recent:int -> unit
 (** Learned-clause database reduction: drop long, old learned clauses,

@@ -147,5 +147,155 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
       metrics = snap ();
     }
 
+(* ---- session-based bound sweeps ---- *)
+
+type sweep_step = {
+  sw_bound : int;
+  sw_run : run;
+  sw_carried_clauses : int;
+  sw_carried_relations : int;
+}
+
+let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
+    ?split ?semantics engine source ~prop ~bounds =
+  let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
+  match engine with
+  | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
+    let sw = Bmc.sweep source ~prop ?semantics () in
+    let enc =
+      Obs.span obs Obs.Encode (fun () ->
+          E.encode (Unroll.combo (Bmc.sweep_unrolled sw)))
+    in
+    (* the per-call deadline is passed to [Session.solve]; the options
+       deadline is a never-fires placeholder *)
+    let options =
+      solver_options engine ?learn_threshold ?split ~deadline:infinity ~obs ()
+    in
+    let sess = Solver.Session.create ~options enc in
+    List.map
+      (fun bound ->
+         let t0 = Unix.gettimeofday () in
+         let vnode = Bmc.sweep_violation sw ~bound in
+         Obs.span obs Obs.Encode (fun () -> E.extend enc);
+         let r =
+           Solver.Session.solve
+             ~assumptions:[| Rtlsat_constr.Types.Pos (E.var enc vnode) |]
+             ~deadline:(t0 +. timeout) sess
+         in
+         let stats = r.Solver.Session.outcome.Solver.stats in
+         let mk verdict =
+           {
+             verdict;
+             time = Unix.gettimeofday () -. t0;
+             relations = stats.Solver.relations;
+             learn_time = stats.Solver.learn_time;
+             decisions = stats.Solver.decisions;
+             conflicts = stats.Solver.conflicts;
+             stats = Some stats;
+             metrics = snap ();
+           }
+         in
+         let sw_run =
+           match r.Solver.Session.outcome.Solver.result with
+           | Solver.Unsat -> mk Unsat
+           | Solver.Timeout -> mk Timeout
+           | Solver.Sat m ->
+             let inst = Bmc.sweep_instance sw ~bound in
+             if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then mk Sat
+             else mk (Abort "witness failed replay")
+         in
+         {
+           sw_bound = bound;
+           sw_run;
+           sw_carried_clauses = r.Solver.Session.carried_clauses;
+           sw_carried_relations = r.Solver.Session.carried_relations;
+         })
+      bounds
+  | Bitblast ->
+    let sw = Bmc.sweep source ~prop ?semantics () in
+    let bb =
+      Obs.span obs Obs.Encode (fun () ->
+          Bitblast.encode (Unroll.combo (Bmc.sweep_unrolled sw)))
+    in
+    let sat = Bitblast.solver bb in
+    List.map
+      (fun bound ->
+         let t0 = Unix.gettimeofday () in
+         let vnode = Bmc.sweep_violation sw ~bound in
+         Obs.span obs Obs.Encode (fun () -> Bitblast.extend bb);
+         (* CDCL keeps no learned-clause counter distinct from its
+            clause database, so conflicts-so-far stands in for the
+            lemmas carried into this call *)
+         let carried = Rtlsat_sat.Cdcl.n_conflicts sat in
+         let verdict =
+           match
+             Bitblast.solve ~deadline:(t0 +. timeout)
+               ~assumptions:[ Bitblast.bool_lit bb vnode ] bb
+           with
+           | Bitblast.Unsat -> Unsat
+           | Bitblast.Timeout -> Timeout
+           | Bitblast.Sat ->
+             let inst = Bmc.sweep_instance sw ~bound in
+             if Bmc.witness_ok inst (Bitblast.node_value bb) then Sat
+             else Abort "witness failed replay"
+         in
+         let sw_run =
+           {
+             verdict;
+             time = Unix.gettimeofday () -. t0;
+             relations = 0;
+             learn_time = 0.0;
+             decisions = 0;
+             conflicts = Rtlsat_sat.Cdcl.n_conflicts sat - carried;
+             stats = None;
+             metrics = snap ();
+           }
+         in
+         {
+           sw_bound = bound;
+           sw_run;
+           sw_carried_clauses = carried;
+           sw_carried_relations = 0;
+         })
+      bounds
+  | Lazy_cdp ->
+    (* no incremental interface: each bound is an honest fresh solve
+       over the shared unroll, for a uniform six-engine oracle *)
+    let sw = Bmc.sweep source ~prop ?semantics () in
+    List.map
+      (fun bound ->
+         let t0 = Unix.gettimeofday () in
+         let vnode = Bmc.sweep_violation sw ~bound in
+         let enc =
+           Obs.span obs Obs.Encode (fun () ->
+               let enc = E.encode (Unroll.combo (Bmc.sweep_unrolled sw)) in
+               E.assume_bool enc vnode true;
+               enc)
+         in
+         let result, st = Lazy_cdp.solve ~deadline:(t0 +. timeout) enc.E.problem in
+         let verdict =
+           match result with
+           | Lazy_cdp.Unsat -> Unsat
+           | Lazy_cdp.Timeout -> Timeout
+           | Lazy_cdp.Sat m ->
+             let inst = Bmc.sweep_instance sw ~bound in
+             if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then Sat
+             else Abort "witness failed replay"
+         in
+         let sw_run =
+           {
+             verdict;
+             time = Unix.gettimeofday () -. t0;
+             relations = 0;
+             learn_time = 0.0;
+             decisions = st.Lazy_cdp.theory_calls;
+             conflicts = st.Lazy_cdp.blocking_clauses;
+             stats = None;
+             metrics = snap ();
+           }
+         in
+         { sw_bound = bound; sw_run; sw_carried_clauses = 0; sw_carried_relations = 0 })
+      bounds
+
 let op_counts (inst : Bmc.instance) =
   Structure.op_counts (Unroll.combo inst.Bmc.unrolled)

@@ -62,6 +62,39 @@ val run_instance :
     enables stall-triggered interval-split decisions; pass [false] to
     reproduce the pre-split kernel behaviour. *)
 
+type sweep_step = {
+  sw_bound : int;
+  sw_run : run;
+  sw_carried_clauses : int;
+      (** learned clauses already in the solver when this bound's call
+          began (HDPLL: session counter; bitblast: conflicts-so-far as
+          a stand-in; lazy CDP: always 0) *)
+  sw_carried_relations : int;
+      (** predicate relations carried from earlier bounds (HDPLL+P) *)
+}
+
+val run_sweep :
+  ?timeout:float ->
+  ?learn_threshold:int ->
+  ?obs:Rtlsat_obs.Obs.t ->
+  ?split:bool ->
+  ?semantics:Rtlsat_bmc.Bmc.semantics ->
+  engine ->
+  Rtlsat_rtl.Ir.circuit ->
+  prop:Rtlsat_rtl.Ir.node ->
+  bounds:int list ->
+  sweep_step list
+(** Sweep a list of bounds through {e one} solver session per engine:
+    the circuit is unrolled frame-incrementally, each bound's violation
+    selector is posed as an assumption literal, and learned clauses,
+    predicate relations and heuristic state survive from bound to
+    bound.  HDPLL engines use {!Rtlsat_core.Solver.Session}; the
+    bit-blast baseline rides the CDCL solver's native assumptions; the
+    lazy CDP has no incremental interface and re-solves each bound from
+    scratch (uniform API, zero carried counters).  [timeout] is a
+    per-bound budget in seconds; Sat witnesses are replayed through the
+    simulator exactly as in {!run_instance}. *)
+
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —
     columns 3–4 of Table 2. *)

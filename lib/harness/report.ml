@@ -23,10 +23,10 @@ let stats_json (st : Solver.stats) =
       ("solve_time_s", Json.Float st.Solver.solve_time);
     ]
 
-let run_json engine (r : Engines.run) =
+let run_json_named name (r : Engines.run) =
   let base =
     [
-      ("engine", Json.Str (Engines.engine_name engine));
+      ("engine", Json.Str name);
       ("verdict", Json.Str (verdict_string r.Engines.verdict));
       ("time_s", Json.Float r.Engines.time);
       ("decisions", Json.Int r.Engines.decisions);
@@ -51,6 +51,8 @@ let run_json engine (r : Engines.run) =
     | None -> []
   in
   Json.Obj (base @ abort @ stats @ metrics)
+
+let run_json engine r = run_json_named (Engines.engine_name engine) r
 
 let solve_json ~instance ~bound engine r =
   match run_json engine r with
@@ -102,6 +104,45 @@ let table2_json ~scale rows =
       ("schema", Json.Str "rtlsat.table2/1");
       ("scale", Json.Str scale);
       ("rows", Json.Arr (List.map t2_row_json rows));
+    ]
+
+(* bmc_sweep rows: one JSON row per bound, with the incremental and
+   from-scratch runs side by side under "engine/incr" / "engine/scratch"
+   labels so [bench_rows] diffs them as distinct engines *)
+let sweep_row_json (row : Tables.sweep_row) =
+  let name suffix = Engines.engine_name row.Tables.sr_engine ^ suffix in
+  List.map
+    (fun ((step : Engines.sweep_step), scratch) ->
+       let incr_json =
+         match run_json_named (name "/incr") step.Engines.sw_run with
+         | Json.Obj fields ->
+           Json.Obj
+             (fields
+              @ [
+                  ("carried_clauses", Json.Int step.Engines.sw_carried_clauses);
+                  ( "carried_relations",
+                    Json.Int step.Engines.sw_carried_relations );
+                ])
+         | v -> v
+       in
+       Json.Obj
+         [
+           ( "instance",
+             Json.Str
+               (Printf.sprintf "%s(%d)" row.Tables.sr_label
+                  step.Engines.sw_bound) );
+           ("bound", Json.Int step.Engines.sw_bound);
+           ( "runs",
+             Json.Arr [ incr_json; run_json_named (name "/scratch") scratch ] );
+         ])
+    row.Tables.sr_steps
+
+let bmc_sweep_json ~scale rows =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.bmc_sweep/1");
+      ("scale", Json.Str scale);
+      ("rows", Json.Arr (List.concat_map sweep_row_json rows));
     ]
 
 let bench_json ~generated_at ~scale ~sections =

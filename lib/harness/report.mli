@@ -15,6 +15,10 @@ val stats_json : Rtlsat_core.Solver.stats -> Json.t
     jconflicts, final_checks, splits, relations, learn_time_s,
     solve_time_s. *)
 
+val run_json_named : string -> Engines.run -> Json.t
+(** Like {!run_json} with an explicit engine label — e.g.
+    ["hdpll+s+p/incr"] vs ["hdpll+s+p/scratch"] in bmc_sweep rows. *)
+
 val run_json : Engines.engine -> Engines.run -> Json.t
 (** One engine run: engine, verdict, time_s, plus [stats]/[metrics]
     objects when present. *)
@@ -31,6 +35,15 @@ val table1_json : scale:string -> Tables.t1_row list -> Json.t
 
 val table2_json : scale:string -> Tables.t2_row list -> Json.t
 (** Schema ["rtlsat.table2/1"]. *)
+
+val sweep_row_json : Tables.sweep_row -> Json.t list
+(** One JSON row per bound; each row's ["runs"] pairs the incremental
+    session run (["<engine>/incr"], with carried-clause / relation
+    counters) with its from-scratch twin (["<engine>/scratch"]). *)
+
+val bmc_sweep_json : scale:string -> Tables.sweep_row list -> Json.t
+(** The ["rtlsat.bmc_sweep/1"] section — shaped so {!bench_rows} picks
+    the per-bound runs up for {!bench_diff}. *)
 
 val bench_json :
   generated_at:string ->

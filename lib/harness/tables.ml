@@ -292,6 +292,90 @@ let run_wide_wrap ?(timeout = 20.0) ?(metrics = false)
        })
     wide_wrap_cases
 
+(* ---- bmc_sweep family: incremental sessions vs from-scratch ----
+
+   Each case sweeps a list of bounds for one (circuit, property)
+   through a single solver session per engine — the unroll grows
+   frame-incrementally and every bound is posed as an assumption
+   literal — and, for comparison, re-solves each bound from scratch
+   with [run_instance].  The carried-clause / carried-relation
+   counters make the session reuse visible. *)
+
+type sweep_row = {
+  sr_label : string;
+  sr_engine : Engines.engine;
+  sr_steps : (Engines.sweep_step * Engines.run) list;
+      (** per bound: the incremental step and its from-scratch twin *)
+}
+
+let bmc_sweep_cases = function
+  | `Full ->
+    [
+      ("b01", "1", [ 10; 20; 30; 40; 50 ]);
+      ("b02", "1", [ 10; 20; 30; 40; 50 ]);
+      ("b04", "1", [ 10; 20; 30; 40 ]);
+      ("b13", "5", [ 10; 20; 30; 40; 50 ]);
+    ]
+  | `Scaled ->
+    [
+      ("b01", "1", [ 4; 8; 12; 16 ]);
+      ("b02", "1", [ 4; 8; 12; 16 ]);
+      ("b13", "5", [ 4; 8; 12 ]);
+    ]
+
+let bmc_sweep_engines = [ Engines.Hdpll; Engines.Hdpll_sp; Engines.Bitblast ]
+
+let run_bmc_sweep ?timeout ?(metrics = false) ?(engines = bmc_sweep_engines)
+    scale =
+  let timeout = match timeout with Some t -> t | None -> default_timeout scale in
+  List.concat_map
+    (fun (circuit, prop, bounds) ->
+       let source, props = Registry.build circuit in
+       let p = List.assoc prop props in
+       List.map
+         (fun e ->
+            let incr =
+              Engines.run_sweep ~timeout ~obs:(run_obs metrics) e source
+                ~prop:p ~bounds
+            in
+            let steps =
+              List.map
+                (fun (step : Engines.sweep_step) ->
+                   let scratch =
+                     Engines.run_instance ~timeout ~obs:(run_obs metrics) e
+                       (Registry.instance ~circuit ~prop
+                          ~bound:step.Engines.sw_bound)
+                   in
+                   (step, scratch))
+                incr
+            in
+            {
+              sr_label = Printf.sprintf "%s_%s" circuit prop;
+              sr_engine = e;
+              sr_steps = steps;
+            })
+         engines)
+    (bmc_sweep_cases scale)
+
+let print_bmc_sweep fmt rows =
+  Format.fprintf fmt
+    "bmc_sweep: one solver session per (design, engine); bounds as assumptions (times in seconds)@.";
+  Format.fprintf fmt "%-10s %-10s %5s %-4s %8s %8s %12s %12s@." "design"
+    "engine" "bound" "rslt" "incr" "scratch" "carried-cls" "carried-rels";
+  List.iter
+    (fun row ->
+       List.iter
+         (fun ((step : Engines.sweep_step), scratch) ->
+            Format.fprintf fmt "%-10s %-10s %5d %-4s %a %a %12d %12d@."
+              row.sr_label
+              (Engines.engine_name row.sr_engine)
+              step.Engines.sw_bound
+              (Engines.verdict_symbol step.Engines.sw_run.Engines.verdict)
+              pp_time step.Engines.sw_run pp_time scratch
+              step.Engines.sw_carried_clauses step.Engines.sw_carried_relations)
+         row.sr_steps)
+    rows
+
 let print_table2_csv fmt rows =
   (match rows with
    | [] -> ()

@@ -77,6 +77,32 @@ val run_wide_wrap :
 (** Run the whole family (default: the four HDPLL configurations,
     20 s timeout). *)
 
+type sweep_row = {
+  sr_label : string;           (** e.g. ["b13_5"] *)
+  sr_engine : Engines.engine;
+  sr_steps : (Engines.sweep_step * Engines.run) list;
+      (** per bound: the incremental step and its from-scratch twin *)
+}
+
+val bmc_sweep_cases : scale -> (string * string * int list) list
+(** (circuit, property, bounds) of the bmc_sweep bench family. *)
+
+val bmc_sweep_engines : Engines.engine list
+(** Default engines of the family: HDPLL, HDPLL+S+P and the eager
+    bit-blast baseline. *)
+
+val run_bmc_sweep :
+  ?timeout:float ->
+  ?metrics:bool ->
+  ?engines:Engines.engine list ->
+  scale ->
+  sweep_row list
+(** Sweep every case's bounds through one solver session per engine
+    ({!Engines.run_sweep}) and re-solve each bound from scratch for
+    comparison.  [timeout] is a per-bound budget. *)
+
+val print_bmc_sweep : Format.formatter -> sweep_row list -> unit
+
 val print_table2_csv : Format.formatter -> t2_row list -> unit
 (** Machine-readable variant (label, result, ops, one time column per
     engine; timeouts as empty cells). *)

@@ -19,8 +19,24 @@ let build = function
 
 let properties name = List.map fst (snd (build name))
 
+(* [instance] keeps one built circuit per name so that every bound and
+   engine sees the same physical source and Bmc's unroll-prefix cache
+   can hit across them.  Private to [instance]: [build] still hands
+   out fresh circuits, since some callers register extra outputs on
+   what they get back. *)
+let instance_circuits :
+  (string, Rtlsat_rtl.Ir.circuit * (string * Rtlsat_rtl.Ir.node) list) Hashtbl.t =
+  Hashtbl.create 12
+
 let instance ~circuit ~prop ~bound =
-  let c, props = build circuit in
+  let c, props =
+    match Hashtbl.find_opt instance_circuits circuit with
+    | Some r -> r
+    | None ->
+      let r = build circuit in
+      Hashtbl.add instance_circuits circuit r;
+      r
+  in
   let p = List.assoc prop props in
   Rtlsat_bmc.Bmc.make c ~prop:p ~bound ()
 

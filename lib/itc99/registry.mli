@@ -17,7 +17,10 @@ val properties : string -> string list
 
 val instance : circuit:string -> prop:string -> bound:int -> Rtlsat_bmc.Bmc.instance
 (** [instance ~circuit:"b13" ~prop:"5" ~bound:50] is the paper's
-    [b13_5(50)].  @raise Not_found for unknown names. *)
+    [b13_5(50)].  Unlike [build], the underlying circuit is memoized
+    per name so repeated instances (across bounds and engines) share
+    one unroll prefix via [Bmc.make]'s cache.
+    @raise Not_found for unknown names. *)
 
 val instance_name : circuit:string -> prop:string -> bound:int -> string
 (** Pretty row label, e.g. ["b13_5(50)"]. *)

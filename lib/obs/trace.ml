@@ -6,7 +6,7 @@ type t = {
   mutable closed : bool;
 }
 
-let schema = "rtlsat.trace/3"
+let schema = "rtlsat.trace/4"
 
 let emit t ~ev fields =
   if not t.closed then begin

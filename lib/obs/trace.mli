@@ -6,11 +6,14 @@
 type t
 
 val schema : string
-(** The current trace schema tag, ["rtlsat.trace/3"].  Version 2 added
+(** The current trace schema tag, ["rtlsat.trace/4"].  Version 2 added
     the leading [header] event and the forensics events ([icp_stall],
     [hot_constraints], [hot_vars], [phases]); v1 traces have no header
     line.  Version 3 adds the [split] event (interval-split decisions)
-    and the ["split"] kind of [decide]. *)
+    and the ["split"] kind of [decide].  Version 4 adds the session
+    lifecycle events ([session.create], [solve.begin] with assumption
+    count and carried-clause/relation counters) and the ["assumption"]
+    kind of [decide]. *)
 
 val to_file : string -> t
 (** Opens (truncates) [path] for writing and emits the [header] event
