@@ -9,8 +9,15 @@
      prove              k-induction on a benchmark property
      fuzz               differential fuzzing of all engines
      profile            replay a --trace file and diagnose the run
+     top                live (or post-hoc) monitor over a heartbeat trace
+     metrics            OpenMetrics text exposition of a stats/metrics JSON
      bench-diff         compare two BENCH_*.json perf artifacts
-     table1 / table2    regenerate the paper's tables *)
+     bench-history      perf trajectory across a directory of artifacts
+     table1 / table2    regenerate the paper's tables
+
+   Exit codes (shared across subcommands): 0 success; 1 negative
+   finding (timeout/abort verdict, fuzz failures, bench-diff
+   regressions); 2 unreadable or invalid input. *)
 
 open Cmdliner
 module Ir = Rtlsat_rtl.Ir
@@ -22,6 +29,9 @@ module Report = Rtlsat_harness.Report
 module Obs = Rtlsat_obs.Obs
 module Trace = Rtlsat_obs.Trace
 module Forensics = Rtlsat_obs.Forensics
+module Recorder = Rtlsat_obs.Recorder
+module Heartbeat = Rtlsat_obs.Heartbeat
+module Openmetrics = Rtlsat_obs.Openmetrics
 module Json = Rtlsat_obs.Json
 module Fuzz = Rtlsat_fuzz.Fuzz
 module Fuzz_gen = Rtlsat_fuzz.Gen
@@ -33,6 +43,38 @@ let write_json path v =
   Json.to_channel oc v;
   output_char oc '\n';
   close_out oc
+
+(* Exit-code convention, shared by every subcommand that can fail:
+   0 success, 1 negative finding, 2 unreadable/invalid input. *)
+let std_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:
+        "on a negative finding: a timeout or abort verdict, fuzz failures, \
+         or bench-diff regressions.";
+    Cmd.Exit.info 2
+      ~doc:
+        "on unreadable or invalid input: unknown circuit/property, \
+         malformed file, unsupported trace schema, unwritable output.";
+  ]
+  @ Cmd.Exit.defaults
+
+(* read a whole JSON file; exit 2 on I/O or parse failure *)
+let read_json_file path =
+  match
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Json.of_string (String.trim text)
+  with
+  | j -> j
+  | exception Sys_error msg ->
+    Format.eprintf "rtlsat: %s@." msg;
+    exit 2
+  | exception Json.Parse_error msg ->
+    Format.eprintf "rtlsat: %s: malformed JSON: %s@." path msg;
+    exit 2
 
 let engine_conv =
   let all =
@@ -85,9 +127,9 @@ let show_cmd =
       if dump then Format.printf "@.%a" Ir.pp_circuit c
     | exception Not_found ->
       Format.eprintf "unknown circuit %s@." circuit;
-      exit 1
+      exit 2
   in
-  Cmd.v (Cmd.info "show" ~doc:"Show circuit statistics")
+  Cmd.v (Cmd.info "show" ~exits:std_exits ~doc:"Show circuit statistics")
     Term.(const run $ circuit $ dump)
 
 (* ---- solve ---- *)
@@ -138,6 +180,37 @@ let solve_cmd =
            ~doc:"Periodic one-line progress reports on stderr (decisions/s, \
                  conflicts/s, learned DB size, depth) and a phase-time summary")
   in
+  let flight =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "flight-recorder-on" ]
+                   ~doc:"Keep the flight recorder armed (default): a bounded \
+                         in-memory ring of the last trace events, dumped for \
+                         $(b,rtlsat profile) when the solve times out, \
+                         aborts, dies, or receives SIGUSR1" );
+               ( false,
+                 info [ "no-flight-recorder" ]
+                   ~doc:"Disarm the flight recorder (and, with no other \
+                         observability flag, run fully uninstrumented)" ) ])
+  in
+  let flight_out =
+    Arg.(value & opt string "rtlsat.flight.jsonl"
+         & info [ "flight-recorder" ] ~docv:"FILE"
+             ~doc:"Where a flight-recorder dump lands; nothing is written \
+                   when the solve ends normally")
+  in
+  let heartbeat =
+    Arg.(value & opt float 1.0 & info [ "heartbeat" ] ~docv:"SECONDS"
+           ~doc:"Interval between heartbeat trace events (progress totals \
+                 and per-second rates, consumed by $(b,rtlsat top)); 0 \
+                 disables them")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the run's metrics in OpenMetrics text exposition \
+                 format (see also $(b,rtlsat metrics))")
+  in
   let split =
     Arg.(value
          & vflag true
@@ -151,7 +224,8 @@ let solve_cmd =
                          exactly as before splits existed" ) ])
   in
   let run case_file circuit prop bound engine timeout stats_json trace_out
-      dump_graph dump_graph_max progress split =
+      dump_graph dump_graph_max progress split flight flight_out heartbeat
+      metrics_out =
     let inst, label =
       match (case_file, circuit, prop, bound) with
       | Some file, None, None, None ->
@@ -161,22 +235,22 @@ let solve_cmd =
              Filename.remove_extension (Filename.basename file) )
          | exception (Sys_error msg | Failure msg) ->
            Format.eprintf "rtlsat: cannot load %s: %s@." file msg;
-           exit 1)
+           exit 2)
       | Some _, _, _, _ ->
         Format.eprintf
           "rtlsat: CASE.rtl and --circuit/--property/--bound are exclusive@.";
-        exit 1
+        exit 2
       | None, Some circuit, Some prop, Some bound ->
         (match Registry.instance ~circuit ~prop ~bound with
          | inst -> (inst, Registry.instance_name ~circuit ~prop ~bound)
          | exception Not_found ->
            Format.eprintf "unknown instance %s_%s@." circuit prop;
-           exit 1)
+           exit 2)
       | None, _, _, _ ->
         Format.eprintf
           "rtlsat: give either CASE.rtl or all of --circuit, --property and \
            --bound@.";
-        exit 1
+        exit 2
     in
     let bound = inst.Rtlsat_bmc.Bmc.bound in
     (* fail on unwritable output paths before solving, not after *)
@@ -185,7 +259,7 @@ let solve_cmd =
        (try close_out (open_out path)
         with Sys_error msg ->
           Format.eprintf "rtlsat: cannot write stats file: %s@." msg;
-          exit 1)
+          exit 2)
      | None -> ());
     (match dump_graph with
      | Some dir ->
@@ -195,9 +269,12 @@ let solve_cmd =
         | Unix.Unix_error (e, _, _) ->
           Format.eprintf "rtlsat: cannot create %s: %s@." dir
             (Unix.error_message e);
-          exit 1)
+          exit 2)
      | None -> ());
-    let need_obs = stats_json <> None || trace_out <> None || progress in
+    let need_obs =
+      stats_json <> None || trace_out <> None || progress || flight
+      || metrics_out <> None
+    in
     let obs =
       if need_obs then
         Obs.create
@@ -207,15 +284,39 @@ let solve_cmd =
                   try Trace.to_file path
                   with Sys_error msg ->
                     Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
-                    exit 1)
+                    exit 2)
                trace_out)
+          ?recorder:(if flight then Some (Recorder.create ()) else None)
+          ?heartbeat_every:(if heartbeat > 0.0 then Some heartbeat else None)
           ?progress_every:(if progress then Some 1.0 else None)
           ()
       else Obs.disabled
     in
+    let dump_flight () =
+      match Obs.flight_dump obs flight_out with
+      | true ->
+        Format.eprintf
+          "flight recorder dumped to %s; replay with: rtlsat profile %s@."
+          flight_out flight_out;
+        true
+      | false -> false
+      | exception Sys_error msg ->
+        Format.eprintf "rtlsat: cannot dump flight recorder: %s@." msg;
+        false
+    in
+    if flight then
+      (try
+         Sys.set_signal Sys.sigusr1
+           (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
+       with Invalid_argument _ | Sys_error _ -> ());
     let r =
-      Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max ~split
-        engine inst
+      try
+        Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max ~split
+          engine inst
+      with e ->
+        (* post-mortem for crashes, not just timeouts *)
+        ignore (dump_flight ());
+        raise e
     in
     Obs.close obs;
     Format.printf "%s %s: %s in %.2fs@." label
@@ -252,13 +353,32 @@ let solve_cmd =
      | None -> ());
     (match dump_graph with
      | Some dir -> Format.printf "conflict graphs written to %s@." dir
-     | None -> ())
+     | None -> ());
+    (match metrics_out with
+     | Some path ->
+       (try
+          let oc = open_out path in
+          output_string oc
+            (Openmetrics.of_json
+               (Report.solve_json ~instance:label ~bound engine r));
+          close_out oc;
+          Format.printf "metrics written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "rtlsat: cannot write metrics file: %s@." msg;
+          exit 2)
+     | None -> ());
+    match r.Engines.verdict with
+    | Engines.Timeout | Engines.Abort _ ->
+      ignore (dump_flight ());
+      exit 1
+    | Engines.Sat | Engines.Unsat -> ()
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Decide one BMC instance (benchmark or .rtl case file)")
+    (Cmd.info "solve" ~exits:std_exits
+       ~doc:"Decide one BMC instance (benchmark or .rtl case file)")
     Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
           $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress
-          $ split)
+          $ split $ flight $ flight_out $ heartbeat $ metrics_out)
 
 (* ---- check: external netlist files ---- *)
 
@@ -276,13 +396,18 @@ let check_cmd =
   in
   let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ]) in
   let run file port bound any vcd_out timeout =
-    let circuit = Rtlsat_rtl.Text.parse_file file in
+    let circuit =
+      try Rtlsat_rtl.Text.parse_file file
+      with Sys_error msg | Failure msg ->
+        Format.eprintf "rtlsat: cannot load %s: %s@." file msg;
+        exit 2
+    in
     let prop =
       match Rtlsat_rtl.Netlist.find_output circuit port with
       | p -> p
       | exception Not_found ->
         Format.eprintf "no output port %s@." port;
-        exit 1
+        exit 2
     in
     let semantics = if any then Rtlsat_bmc.Bmc.Any else Rtlsat_bmc.Bmc.Final in
     let inst = Rtlsat_bmc.Bmc.make circuit ~prop ~bound ~semantics () in
@@ -293,7 +418,9 @@ let check_cmd =
     let options = { Solver.hdpll_sp with Solver.deadline = Unix.gettimeofday () +. timeout } in
     (match (Solver.solve ~options enc).Solver.result with
      | Solver.Unsat -> Format.printf "%s holds within %d frames (UNSAT)@." port bound
-     | Solver.Timeout -> Format.printf "TIMEOUT@."
+     | Solver.Timeout ->
+       Format.printf "TIMEOUT@.";
+       exit 1
      | Solver.Sat m ->
        let value n = m.(Rtlsat_constr.Encode.var enc n) in
        assert (Rtlsat_bmc.Bmc.witness_ok inst value);
@@ -321,7 +448,8 @@ let check_cmd =
             (List.init bound inputs_at)))
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Bounded model checking of a textual netlist file")
+    (Cmd.info "check" ~exits:std_exits
+       ~doc:"Bounded model checking of a textual netlist file")
     Term.(const run $ file $ port $ bound $ any $ vcd_out $ timeout)
 
 (* ---- sweep: bound sweep through one incremental solver session ---- *)
@@ -353,9 +481,21 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a JSON-lines event trace, including the session \
                  lifecycle events (session.create, solve.begin with carried \
-                 counters)")
+                 counters) and the per-bound sweep.bound / sweep.result \
+                 progress events; follow it live with $(b,rtlsat top)")
   in
-  let run circuit prop bounds engine timeout scratch trace_out =
+  let heartbeat =
+    Arg.(value & opt float 1.0 & info [ "heartbeat" ] ~docv:"SECONDS"
+           ~doc:"Interval between heartbeat trace events (each tagged with \
+                 the bound being solved); 0 disables them")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the sweep's cumulative metrics in OpenMetrics text \
+                 exposition format")
+  in
+  let run circuit prop bounds engine timeout scratch trace_out heartbeat
+      metrics_out =
     let source, p =
       match Registry.build circuit with
       | c, props ->
@@ -363,21 +503,38 @@ let sweep_cmd =
          | Some p -> (c, p)
          | None ->
            Format.eprintf "unknown property %s_%s@." circuit prop;
-           exit 1)
+           exit 2)
       | exception Not_found ->
         Format.eprintf "unknown circuit %s@." circuit;
-        exit 1
+        exit 2
     in
     let obs =
-      match trace_out with
-      | Some path ->
-        (try Obs.create ~trace:(Trace.to_file path) ()
-         with Sys_error msg ->
-           Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
-           exit 1)
-      | None -> Obs.disabled
+      if trace_out <> None || metrics_out <> None then
+        Obs.create
+          ?trace:
+            (Option.map
+               (fun path ->
+                  try Trace.to_file path
+                  with Sys_error msg ->
+                    Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
+                    exit 2)
+               trace_out)
+          ?heartbeat_every:(if heartbeat > 0.0 then Some heartbeat else None)
+          ()
+      else Obs.disabled
     in
     let steps = Engines.run_sweep ~timeout ~obs engine source ~prop:p ~bounds in
+    (match metrics_out with
+     | Some path ->
+       (try
+          let oc = open_out path in
+          output_string oc (Openmetrics.of_snapshot (Obs.snapshot obs));
+          close_out oc;
+          Format.printf "metrics written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "rtlsat: cannot write metrics file: %s@." msg;
+          exit 2)
+     | None -> ());
     Obs.close obs;
     Format.printf "%s_%s sweep, engine %s: one session, bounds as assumptions@."
       circuit prop (Engines.engine_name engine);
@@ -416,15 +573,23 @@ let sweep_cmd =
     else Format.printf "total: incremental %.2fs@." !incr_total;
     (match trace_out with
      | Some path -> Format.printf "trace written to %s@." path
-     | None -> ())
+     | None -> ());
+    if
+      List.exists
+        (fun (step : Engines.sweep_step) ->
+           match step.Engines.sw_run.Engines.verdict with
+           | Engines.Timeout | Engines.Abort _ -> true
+           | Engines.Sat | Engines.Unsat -> false)
+        steps
+    then exit 1
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "sweep" ~exits:std_exits
        ~doc:"Sweep a list of BMC bounds through one incremental solver \
              session: learned clauses, predicate relations and heuristic \
              state carry from bound to bound")
     Term.(const run $ circuit $ prop $ bounds $ engine $ timeout $ scratch
-          $ trace_out)
+          $ trace_out $ heartbeat $ metrics_out)
 
 (* ---- prove: k-induction ---- *)
 
@@ -442,7 +607,7 @@ let prove_cmd =
       (match List.assoc_opt prop props with
        | None ->
          Format.eprintf "unknown property %s_%s@." circuit prop;
-         exit 1
+         exit 2
        | Some p ->
          (match Rtlsat_harness.Induction.prove ~max_k c ~prop:p with
           | Rtlsat_harness.Induction.Proved k ->
@@ -456,10 +621,10 @@ let prove_cmd =
               max_k))
     | exception Not_found ->
       Format.eprintf "unknown circuit %s@." circuit;
-      exit 1
+      exit 2
   in
   Cmd.v
-    (Cmd.info "prove" ~doc:"Unbounded proof by k-induction")
+    (Cmd.info "prove" ~exits:std_exits ~doc:"Unbounded proof by k-induction")
     Term.(const run $ circuit $ prop $ max_k)
 
 (* ---- sat: standalone DIMACS solving ---- *)
@@ -559,9 +724,25 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ]
            ~doc:"One line per instance on stderr (verdicts + certificate)")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSON-lines campaign trace (rate-limited \
+                 fuzz.progress events with instance/verdict/failure totals)")
+  in
   let run seed count max_nodes max_regs deadline timeout json_out out_dir
-      verbose =
-    let obs = Obs.create () in
+      verbose trace_out =
+    let obs =
+      Obs.create
+        ?trace:
+          (Option.map
+             (fun path ->
+                try Trace.to_file path
+                with Sys_error msg ->
+                  Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
+                  exit 2)
+             trace_out)
+        ()
+    in
     let log =
       if verbose then
         Some
@@ -617,14 +798,17 @@ let fuzz_cmd =
        Format.printf "summary written to %s@." path
      | None -> ());
     Obs.close obs;
+    (match trace_out with
+     | Some path -> Format.printf "trace written to %s@." path
+     | None -> ());
     if s.Fuzz.failures <> [] then exit 1
   in
   Cmd.v
-    (Cmd.info "fuzz"
+    (Cmd.info "fuzz" ~exits:std_exits
        ~doc:"Differential fuzzing: random circuits, all engines \
              cross-checked, failures shrunk")
     Term.(const run $ seed $ count $ max_nodes $ max_regs $ deadline $ timeout
-          $ json_out $ out_dir $ verbose)
+          $ json_out $ out_dir $ verbose $ trace_out)
 
 (* ---- profile: the trace-replay profiler ---- *)
 
@@ -639,12 +823,185 @@ let profile_cmd =
     | exception Sys_error msg ->
       Format.eprintf "rtlsat: %s@." msg;
       exit 2
+    | exception Forensics.Unsupported_schema msg ->
+      Format.eprintf "rtlsat: %s@." msg;
+      exit 2
   in
   Cmd.v
-    (Cmd.info "profile"
-       ~doc:"Replay a --trace file offline: event statistics, conflict \
-             locality, phase times, ICP-stall forensics and a diagnosis")
+    (Cmd.info "profile" ~exits:std_exits
+       ~doc:
+         (Printf.sprintf
+            "Replay a --trace file or flight-recorder dump offline: event \
+             statistics, conflict locality, phase times, ICP-stall \
+             forensics and a diagnosis.  Reads every trace schema from \
+             rtlsat.trace/1 through rtlsat.trace/%d"
+            Forensics.max_trace_version))
     Term.(const run $ file)
+
+(* ---- top: heartbeat monitor ---- *)
+
+let top_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+           ~doc:"A JSON-lines trace carrying heartbeat events (written by \
+                 $(b,rtlsat solve --trace) / $(b,rtlsat sweep --trace))")
+  in
+  let follow =
+    Arg.(value & flag & info [ "f"; "follow" ]
+           ~doc:"Keep tailing the trace and re-render until the run's \
+                 $(b,done) event arrives")
+  in
+  let interval =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period in follow mode")
+  in
+  let render fmt (v : Heartbeat.view) =
+    Format.fprintf fmt "rtlsat top — %s  (%d events, t=%.1fs)@."
+      (match v.Heartbeat.v_schema with
+       | Some s -> s
+       | None -> "headerless trace")
+      v.Heartbeat.v_events v.Heartbeat.v_t;
+    (match (v.Heartbeat.v_bound, v.Heartbeat.v_bound_index,
+            v.Heartbeat.v_bounds_total)
+     with
+     | Some b, Some i, Some n ->
+       Format.fprintf fmt "sweep: bound %d (%d of %d)@." b (i + 1) n
+     | Some b, _, _ -> Format.fprintf fmt "sweep: bound %d@." b
+     | None, _, _ -> ());
+    Format.fprintf fmt "  decisions    %12d  %10.0f/s@." v.Heartbeat.v_decisions
+      v.Heartbeat.v_dps;
+    Format.fprintf fmt "  conflicts    %12d  %10.0f/s@." v.Heartbeat.v_conflicts
+      v.Heartbeat.v_cps;
+    Format.fprintf fmt "  propagations %12d  %10.0f/s@."
+      v.Heartbeat.v_propagations v.Heartbeat.v_pps;
+    Format.fprintf fmt "  splits %d, stalls %d, width shaved %d, level %d@."
+      v.Heartbeat.v_splits v.Heartbeat.v_stalls v.Heartbeat.v_shaved
+      v.Heartbeat.v_lvl;
+    (match v.Heartbeat.v_last_stall with
+     | Some name ->
+       Format.fprintf fmt "  last ICP stall: %s (%d report%s)@." name
+         v.Heartbeat.v_stall_events
+         (if v.Heartbeat.v_stall_events = 1 then "" else "s")
+     | None -> ());
+    (match List.rev v.Heartbeat.v_bound_results with
+     | [] -> ()
+     | results ->
+       Format.fprintf fmt "bounds done:@.";
+       List.iter
+         (fun (r : Heartbeat.bound_result) ->
+            Format.fprintf fmt "  %5d  %-8s %8.2fs@." r.Heartbeat.b_bound
+              r.Heartbeat.b_verdict r.Heartbeat.b_time)
+         results);
+    match v.Heartbeat.v_result with
+    | Some r -> Format.fprintf fmt "result: %s@." r
+    | None -> Format.fprintf fmt "running…@."
+  in
+  let run file follow interval =
+    let ic =
+      try open_in_bin file
+      with Sys_error msg ->
+        Format.eprintf "rtlsat: %s@." msg;
+        exit 2
+    in
+    let v = Heartbeat.view () in
+    let pending = Buffer.create 1024 in
+    let pos = ref 0 in
+    let feed_line line =
+      if String.trim line <> "" then
+        match Json.of_string line with
+        | j -> Heartbeat.view_update v j
+        | exception Json.Parse_error _ -> ()
+    in
+    (* byte-offset tailing: only complete lines are parsed, so a
+       half-written event at the live end never corrupts the view *)
+    let pump () =
+      let len = in_channel_length ic in
+      if len > !pos then begin
+        seek_in ic !pos;
+        let chunk = really_input_string ic (len - !pos) in
+        pos := len;
+        Buffer.add_string pending chunk;
+        let s = Buffer.contents pending in
+        Buffer.clear pending;
+        let n = String.length s in
+        let start = ref 0 in
+        for i = 0 to n - 1 do
+          if s.[i] = '\n' then begin
+            feed_line (String.sub s !start (i - !start));
+            start := i + 1
+          end
+        done;
+        if !start < n then
+          Buffer.add_string pending (String.sub s !start (n - !start))
+      end
+    in
+    pump ();
+    if not follow then render Format.std_formatter v
+    else begin
+      let running = ref true in
+      while !running do
+        print_string "\027[2J\027[H";
+        render Format.std_formatter v;
+        Format.print_flush ();
+        if v.Heartbeat.v_result <> None then running := false
+        else begin
+          Unix.sleepf (Float.max interval 0.05);
+          pump ()
+        end
+      done
+    end;
+    close_in ic
+  in
+  Cmd.v
+    (Cmd.info "top" ~exits:std_exits
+       ~doc:"Monitor a solve or sweep through its heartbeat trace: latest \
+             rates, stall/split activity, per-bound sweep progress; with \
+             --follow, a live-updating display over a growing trace")
+    Term.(const run $ file $ follow $ interval)
+
+(* ---- metrics: OpenMetrics exposition ---- *)
+
+let metrics_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STATS.json"
+           ~doc:"A $(b,rtlsat solve --stats-json) report (rtlsat.solve/1) or \
+                 a bare Obs snapshot object")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the exposition to FILE instead of stdout")
+  in
+  let run file out =
+    let j = read_json_file file in
+    let recognizable =
+      match Json.member "schema" j with
+      | Some s -> Json.get_string s = Some "rtlsat.solve/1"
+      | None -> Json.member "wall_s" j <> None
+    in
+    if not recognizable then begin
+      Format.eprintf
+        "rtlsat: %s: neither a rtlsat.solve/1 report nor an Obs snapshot@."
+        file;
+      exit 2
+    end;
+    let text = Openmetrics.of_json j in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      (try
+         let oc = open_out path in
+         output_string oc text;
+         close_out oc;
+         Format.printf "metrics written to %s@." path
+       with Sys_error msg ->
+         Format.eprintf "rtlsat: %s@." msg;
+         exit 2)
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~exits:std_exits
+       ~doc:"Convert a stats/metrics JSON report into the OpenMetrics text \
+             exposition format (Prometheus-compatible, trailing # EOF)")
+    Term.(const run $ file $ out)
 
 (* ---- bench-diff: perf-trajectory comparison ---- *)
 
@@ -665,23 +1022,8 @@ let bench_diff_cmd =
            ~doc:"Absolute slowdown floor: jitter below this never flags")
   in
   let run old_file new_file threshold min_time =
-    let read path =
-      match
-        let ic = open_in_bin path in
-        let text = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        Json.of_string (String.trim text)
-      with
-      | j -> j
-      | exception Sys_error msg ->
-        Format.eprintf "rtlsat: %s@." msg;
-        exit 2
-      | exception Json.Parse_error msg ->
-        Format.eprintf "rtlsat: %s: malformed JSON: %s@." path msg;
-        exit 2
-    in
-    let old_json = read old_file in
-    let new_json = read new_file in
+    let old_json = read_json_file old_file in
+    let new_json = read_json_file new_file in
     match Report.bench_diff ~threshold ~min_time old_json new_json with
     | d ->
       Report.print_bench_diff Format.std_formatter d;
@@ -691,11 +1033,75 @@ let bench_diff_cmd =
       exit 2
   in
   Cmd.v
-    (Cmd.info "bench-diff"
+    (Cmd.info "bench-diff" ~exits:std_exits
        ~doc:"Compare two BENCH_*.json artifacts per instance; exit 1 when \
              any engine regressed (verdict degraded, or slowed past the \
              threshold)")
     Term.(const run $ old_file $ new_file $ threshold $ min_time)
+
+(* ---- bench-history: perf trajectory across artifacts ---- *)
+
+let bench_history_cmd =
+  let dir =
+    Arg.(value & pos 0 string "bench/baselines" & info [] ~docv:"DIR"
+           ~doc:"Directory holding BENCH_*.json artifacts")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the trajectory as JSON (schema rtlsat.bench_history/1) \
+                 instead of the text table")
+  in
+  let run dir json =
+    let files =
+      match Sys.readdir dir with
+      | entries ->
+        Array.to_list entries
+        |> List.filter (fun f ->
+            String.length f > 6
+            && String.sub f 0 6 = "BENCH_"
+            && Filename.check_suffix f ".json")
+      | exception Sys_error msg ->
+        Format.eprintf "rtlsat: %s@." msg;
+        exit 2
+    in
+    if files = [] then begin
+      Format.eprintf "rtlsat: no BENCH_*.json artifacts in %s@." dir;
+      exit 2
+    end;
+    let artifacts =
+      List.map
+        (fun f ->
+           ( Filename.remove_extension f,
+             read_json_file (Filename.concat dir f) ))
+        files
+    in
+    (* chronological: generated_at first, filename as tie-break *)
+    let key (label, j) =
+      ( (match Option.bind (Json.member "generated_at" j) Json.get_string with
+         | Some s -> s
+         | None -> ""),
+        label )
+    in
+    let artifacts =
+      List.sort (fun a b -> compare (key a) (key b)) artifacts
+    in
+    match Report.bench_history artifacts with
+    | points ->
+      if json then begin
+        Json.to_channel stdout (Report.bench_history_json points);
+        print_newline ()
+      end
+      else Report.print_bench_history Format.std_formatter points
+    | exception Invalid_argument msg ->
+      Format.eprintf "rtlsat: %s@." msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "bench-history" ~exits:std_exits
+       ~doc:"Aggregate a directory of BENCH_*.json artifacts into a \
+             per-section performance trajectory: runs, solved/timeout/abort \
+             counts and total time per artifact, oldest first")
+    Term.(const run $ dir $ json)
 
 (* ---- tables ---- *)
 
@@ -744,6 +1150,9 @@ let () =
           [ list_cmd; show_cmd; solve_cmd; sweep_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
             fuzz_cmd;
             profile_cmd;
+            top_cmd;
+            metrics_cmd;
             bench_diff_cmd;
+            bench_history_cmd;
             table1_cmd;
             table2_cmd ]))

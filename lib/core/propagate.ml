@@ -261,6 +261,13 @@ let run ?(full = false) ?(deadline = infinity) s =
       decr fuel;
       if !fuel <= 0 then begin
         fuel := 4096;
+        (* the w61 crawl spins here without ever returning to the
+           solve loop, so heartbeats must also fire from this gate *)
+        if obs.Obs.enabled then
+          Obs.heartbeat_tick obs ~decisions:s.State.n_decisions
+            ~conflicts:s.State.n_conflicts
+            ~propagations:s.State.n_propagations ~splits:s.State.n_splits
+            ~lvl:(State.decision_level s);
         if deadline < infinity && Unix.gettimeofday () > deadline then
           raise Propagation_timeout
       end;

@@ -340,11 +340,15 @@ let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
   in
   while !result = None do
     incr steps;
-    if obs.Obs.enabled && !steps land 255 = 0 then
+    if obs.Obs.enabled && !steps land 255 = 0 then begin
       Obs.progress_tick obs ~decisions:s.State.n_decisions
         ~conflicts:s.State.n_conflicts
         ~learned:(Vec.length s.State.clauses - s.State.n_root_clauses)
         ~depth:(State.decision_level s);
+      Obs.heartbeat_tick obs ~decisions:s.State.n_decisions
+        ~conflicts:s.State.n_conflicts ~propagations:s.State.n_propagations
+        ~splits:s.State.n_splits ~lvl:(State.decision_level s)
+    end;
     if !steps land 63 = 0 && Unix.gettimeofday () > opts.deadline then
       result := Some Timeout
     else begin

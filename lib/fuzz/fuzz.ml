@@ -58,6 +58,26 @@ let run cfg =
   let failures = ref [] in
   let stopped = ref false in
   let i = ref 0 in
+  (* rate-limited campaign telemetry, so a long campaign's trace shows
+     where the time went even before the summary *)
+  let last_progress = ref 0.0 in
+  let progress () =
+    if Obs.tracing cfg.obs then begin
+      let now = elapsed () in
+      if now -. !last_progress >= 0.5 then begin
+        last_progress := now;
+        Obs.event cfg.obs "fuzz.progress"
+          [
+            ("instances", Json.Int !instances);
+            ("sat", Json.Int !sat);
+            ("unsat", Json.Int !unsat);
+            ("timeouts", Json.Int !timeouts);
+            ("failures", Json.Int (List.length !failures));
+            ("rate", Json.Float (float_of_int !instances /. max now 1e-9));
+          ]
+      end
+    end
+  in
   while !i < cfg.count && not !stopped do
     if elapsed () > cfg.deadline then stopped := true
     else begin
@@ -91,6 +111,7 @@ let run cfg =
            { f_index = !i; f_seed = iseed; f_case = small; f_outcome;
              f_steps = steps }
            :: !failures);
+      progress ();
       incr i
     end
   done;

@@ -6,6 +6,7 @@ module Bitblast = Rtlsat_baselines.Bitblast
 module Lazy_cdp = Rtlsat_baselines.Lazy_cdp
 module Structure = Rtlsat_rtl.Structure
 module Obs = Rtlsat_obs.Obs
+module Json = Rtlsat_obs.Json
 
 type engine = Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p | Bitblast | Lazy_cdp
 
@@ -156,9 +157,52 @@ type sweep_step = {
   sw_carried_relations : int;
 }
 
+(* Per-bound sweep telemetry: point the heartbeat context at the
+   current bound and bracket the solve with sweep.bound/sweep.result
+   trace events, so a live monitor can tell which bound a long sweep
+   is stuck on. *)
+let sweep_with_obs obs ~total ~index ~bound f =
+  if obs.Obs.enabled then begin
+    Obs.set_context obs
+      [
+        ("bound", Json.Int bound);
+        ("bound_index", Json.Int index);
+        ("bounds_total", Json.Int total);
+      ];
+    if Obs.tracing obs then
+      Obs.event obs "sweep.bound"
+        [
+          ("bound", Json.Int bound);
+          ("index", Json.Int index);
+          ("total", Json.Int total);
+        ]
+  end;
+  let step = f () in
+  if obs.Obs.enabled then begin
+    if Obs.tracing obs then begin
+      let verdict =
+        match step.sw_run.verdict with
+        | Sat -> "sat"
+        | Unsat -> "unsat"
+        | Timeout -> "timeout"
+        | Abort _ -> "abort"
+      in
+      Obs.event obs "sweep.result"
+        [
+          ("bound", Json.Int bound);
+          ("verdict", Json.Str verdict);
+          ("time_s", Json.Float step.sw_run.time);
+          ("carried_clauses", Json.Int step.sw_carried_clauses);
+        ]
+    end;
+    if index = total - 1 then Obs.set_context obs []
+  end;
+  step
+
 let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     ?split ?semantics engine source ~prop ~bounds =
   let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
+  let nbounds = List.length bounds in
   match engine with
   | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
     let sw = Bmc.sweep source ~prop ?semantics () in
@@ -172,8 +216,9 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
       solver_options engine ?learn_threshold ?split ~deadline:infinity ~obs ()
     in
     let sess = Solver.Session.create ~options enc in
-    List.map
-      (fun bound ->
+    List.mapi
+      (fun index bound ->
+         sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
          let t0 = Unix.gettimeofday () in
          let vnode = Bmc.sweep_violation sw ~bound in
          Obs.span obs Obs.Encode (fun () -> E.extend enc);
@@ -218,8 +263,9 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
           Bitblast.encode (Unroll.combo (Bmc.sweep_unrolled sw)))
     in
     let sat = Bitblast.solver bb in
-    List.map
-      (fun bound ->
+    List.mapi
+      (fun index bound ->
+         sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
          let t0 = Unix.gettimeofday () in
          let vnode = Bmc.sweep_violation sw ~bound in
          Obs.span obs Obs.Encode (fun () -> Bitblast.extend bb);
@@ -262,8 +308,9 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     (* no incremental interface: each bound is an honest fresh solve
        over the shared unroll, for a uniform six-engine oracle *)
     let sw = Bmc.sweep source ~prop ?semantics () in
-    List.map
-      (fun bound ->
+    List.mapi
+      (fun index bound ->
+         sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
          let t0 = Unix.gettimeofday () in
          let vnode = Bmc.sweep_violation sw ~bound in
          let enc =

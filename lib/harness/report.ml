@@ -354,6 +354,111 @@ let print_bench_diff fmt d =
     (if List.length (by_status Improvement) = 1 then "" else "s")
     (List.length (by_status Unchanged))
 
+(* ---- bench-history ---- *)
+
+type history_point = {
+  hp_label : string;
+  hp_generated_at : string;
+  hp_section : string;
+  hp_runs : int;
+  hp_solved : int;
+  hp_timeouts : int;
+  hp_aborts : int;
+  hp_total_time : float;
+}
+
+let bench_history artifacts =
+  List.concat_map
+    (fun (label, j) ->
+       let generated_at =
+         match Option.bind (Json.member "generated_at" j) Json.get_string with
+         | Some s -> s
+         | None -> ""
+       in
+       let rows = bench_rows j in
+       let sections =
+         List.fold_left
+           (fun acc r ->
+              if List.mem r.br_section acc then acc else r.br_section :: acc)
+           [] rows
+         |> List.rev
+       in
+       List.map
+         (fun section ->
+            let rs = List.filter (fun r -> r.br_section = section) rows in
+            let count p = List.length (List.filter p rs) in
+            {
+              hp_label = label;
+              hp_generated_at = generated_at;
+              hp_section = section;
+              hp_runs = List.length rs;
+              hp_solved = count (fun r -> solved r.br_verdict);
+              hp_timeouts = count (fun r -> r.br_verdict = "timeout");
+              hp_aborts =
+                count (fun r ->
+                    (not (solved r.br_verdict)) && r.br_verdict <> "timeout");
+              hp_total_time =
+                List.fold_left (fun t r -> t +. r.br_time) 0.0 rs;
+            })
+         sections)
+    artifacts
+
+let history_point_json p =
+  Json.Obj
+    [
+      ("label", Json.Str p.hp_label);
+      ("generated_at", Json.Str p.hp_generated_at);
+      ("runs", Json.Int p.hp_runs);
+      ("solved", Json.Int p.hp_solved);
+      ("timeouts", Json.Int p.hp_timeouts);
+      ("aborts", Json.Int p.hp_aborts);
+      ("total_time_s", Json.Float p.hp_total_time);
+    ]
+
+let history_sections points =
+  List.fold_left
+    (fun acc p ->
+       if List.mem p.hp_section acc then acc else p.hp_section :: acc)
+    [] points
+  |> List.rev
+
+let bench_history_json points =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.bench_history/1");
+      ( "sections",
+        Json.Obj
+          (List.map
+             (fun section ->
+                ( section,
+                  Json.Arr
+                    (List.filter_map
+                       (fun p ->
+                          if p.hp_section = section then
+                            Some (history_point_json p)
+                          else None)
+                       points) ))
+             (history_sections points)) );
+    ]
+
+let print_bench_history fmt points =
+  let width =
+    List.fold_left (fun w p -> max w (String.length p.hp_label)) 8 points
+  in
+  List.iter
+    (fun section ->
+       let ps = List.filter (fun p -> p.hp_section = section) points in
+       Format.fprintf fmt "%s:@." section;
+       Format.fprintf fmt "  %-*s  %5s  %6s  %7s  %6s  %9s@." width "artifact"
+         "runs" "solved" "timeout" "abort" "total_s";
+       List.iter
+         (fun p ->
+            Format.fprintf fmt "  %-*s  %5d  %6d  %7d  %6d  %9.3f@." width
+              p.hp_label p.hp_runs p.hp_solved p.hp_timeouts p.hp_aborts
+              p.hp_total_time)
+         ps)
+    (history_sections points)
+
 let fuzz_json ~seed ~count ~instances ~sat ~unsat ~timeouts ~wall_s ~failures
     ~metrics =
   let metrics =

@@ -111,6 +111,35 @@ val print_bench_diff : Format.formatter -> bench_diff -> unit
 (** The [rtlsat bench-diff] report: regressions first, then
     improvements, unmatched keys, and a one-line summary. *)
 
+(* ---- bench-history ---- *)
+
+(** One (artifact, section) aggregate in a perf trajectory: how many
+    (instance, engine) runs the section carried and how they went. *)
+type history_point = {
+  hp_label : string;         (** artifact label, e.g. the file basename *)
+  hp_generated_at : string;  (** empty when the artifact carries none *)
+  hp_section : string;
+  hp_runs : int;
+  hp_solved : int;           (** sat or unsat verdicts *)
+  hp_timeouts : int;
+  hp_aborts : int;           (** anything neither solved nor timeout *)
+  hp_total_time : float;
+}
+
+val bench_history : (string * Json.t) list -> history_point list
+(** Aggregate labelled [rtlsat.bench/1] artifacts (oldest first) into
+    one point per (artifact, section), preserving artifact order so
+    each section reads as a time series.  @raise Invalid_argument when
+    an artifact has a wrong or missing schema tag. *)
+
+val bench_history_json : history_point list -> Json.t
+(** Schema ["rtlsat.bench_history/1"]: [{"sections": {name: [point,
+    …]}}] with points in artifact order. *)
+
+val print_bench_history : Format.formatter -> history_point list -> unit
+(** The [rtlsat bench-history] table: per section, one row per
+    artifact with runs/solved/timeout/abort counts and total time. *)
+
 val fuzz_json :
   seed:int ->
   count:int ->

@@ -9,6 +9,7 @@ type t = {
   (* per-word-variable *)
   v_narrows : int array;
   v_shaved : int array;
+  mutable total_shaved : int;
   (* stall detection: consecutive small narrowings per variable *)
   v_streak : int array;
   v_streak_shaved : int array;
@@ -36,6 +37,7 @@ let create ~nvars ~nconstrs =
     c_time = Array.make nconstrs 0.0;
     v_narrows = Array.make nvars 0;
     v_shaved = Array.make nvars 0;
+    total_shaved = 0;
     v_streak = Array.make nvars 0;
     v_streak_shaved = Array.make nvars 0;
     v_next_report = Array.make nvars stall_streak;
@@ -86,6 +88,7 @@ let note_narrow t ~var ~shaved ~width =
   else begin
     t.v_narrows.(var) <- t.v_narrows.(var) + 1;
     t.v_shaved.(var) <- t.v_shaved.(var) + shaved;
+    t.total_shaved <- t.total_shaved + shaved;
     if t.cur >= 0 then begin
       t.c_narrows.(t.cur) <- t.c_narrows.(t.cur) + 1;
       t.c_shaved.(t.cur) <- t.c_shaved.(t.cur) + shaved
@@ -117,6 +120,7 @@ let note_narrow t ~var ~shaved ~width =
   end
 
 let stalls t = t.n_stalls
+let total_shaved t = t.total_shaved
 
 let note_split t ~var =
   if var >= 0 && var < Array.length t.v_splits then begin
@@ -184,6 +188,46 @@ let top_vars t ~k =
 
 (* ---- offline analysis ---- *)
 
+(* The profiler reads every trace version this repo has ever written;
+   the dispatch table is the single place a new version is declared.
+   An unknown future version is a hard, explicit error — silently
+   misreading a v9 trace as v5 would fabricate diagnoses. *)
+let trace_versions =
+  [
+    (1, "headerless: decide/conflict/learn/restart/done");
+    (2, "header + forensics events (icp_stall, hot_constraints, hot_vars, \
+         phases)");
+    (3, "+ split events and the \"split\" decide kind");
+    (4, "+ session lifecycle (session.create, solve.begin, \"assumption\" \
+         decides)");
+    (5, "+ live telemetry (heartbeat, recorder, sweep.bound/sweep.result)");
+  ]
+
+let max_trace_version =
+  List.fold_left (fun acc (v, _) -> max acc v) 0 trace_versions
+
+exception Unsupported_schema of string
+
+let schema_version tag =
+  let prefix = "rtlsat.trace/" in
+  let plen = String.length prefix in
+  if String.length tag > plen && String.sub tag 0 plen = prefix then
+    int_of_string_opt (String.sub tag plen (String.length tag - plen))
+  else None
+
+(* [Some v] for a known version, raises for a recognizably
+   versioned-but-unknown tag or a foreign schema string *)
+let check_schema tag =
+  match schema_version tag with
+  | Some v when List.mem_assoc v trace_versions -> v
+  | _ ->
+    raise
+      (Unsupported_schema
+         (Printf.sprintf
+            "unsupported trace schema %S: this build reads rtlsat.trace/1 \
+             through rtlsat.trace/%d"
+            tag max_trace_version))
+
 type stall_info = {
   si_var : int;
   si_name : string;
@@ -195,6 +239,7 @@ type stall_info = {
 
 type profile = {
   pf_schema : string option;
+  pf_version : int;
   pf_warnings : string list;
   pf_events : (string * int) list;
   pf_wall : float;
@@ -208,6 +253,7 @@ type profile = {
   pf_splits : int;
   pf_split_vars : int;
   pf_split_stalled : int;
+  pf_heartbeats : int;
   pf_stalls : stall_info list;
   pf_hot_constraints : hot_constr list;
   pf_hot_vars : hot_var list;
@@ -329,6 +375,8 @@ let profile_string text =
   let events = Hashtbl.create 16 in
   let decisions = Hashtbl.create 4 in
   let schema = ref None in
+  let version = ref 1 in
+  let heartbeats = ref 0 in
   let wall = ref 0.0 in
   let result = ref None in
   let conflicts = ref 0 in
@@ -355,7 +403,14 @@ let profile_string text =
       if !first then begin
         first := false;
         match ev with
-        | "header" -> schema := field_str j "schema"
+        | "header" ->
+          (match field_str j "schema" with
+           | Some tag ->
+             version := check_schema tag;
+             schema := Some tag
+           | None ->
+             warn "trace header carries no schema tag; assuming the current \
+                   version")
         | _ ->
           warn
             "no trace header: treating this as a v1 (rtlsat.trace/1) trace — \
@@ -376,6 +431,16 @@ let profile_string text =
           | _ -> ())
        | "restart" -> incr restarts
        | "done" -> result := field_str j "result"
+       | "heartbeat" -> incr heartbeats
+       | "recorder" ->
+         (match field_int j "dropped" with
+          | Some d when d > 0 ->
+            warn
+              "flight-recorder dump: %d event(s) dropped (ring capacity %d) — \
+               the earliest part of the run is missing"
+              d
+              (Option.value (field_int j "cap") ~default:0)
+          | _ -> ())
        | "icp_stall" ->
          let v = Option.value (field_int j "var") ~default:(-1) in
          let info =
@@ -441,6 +506,7 @@ let profile_string text =
   in
   {
     pf_schema = !schema;
+    pf_version = !version;
     pf_warnings = List.rev !warnings;
     pf_events = sorted_counts events;
     pf_wall = !wall;
@@ -454,6 +520,7 @@ let profile_string text =
     pf_splits = !n_splits;
     pf_split_vars = Hashtbl.length split_tbl;
     pf_split_stalled = split_stalled;
+    pf_heartbeats = !heartbeats;
     pf_stalls = stalls;
     pf_hot_constraints = !hot_constraints;
     pf_hot_vars = !hot_vars;
@@ -480,6 +547,9 @@ let print_profile fmt p =
   List.iter (fun w -> Format.fprintf fmt "warning: %s@." w) p.pf_warnings;
   Format.fprintf fmt "wall clock covered: %.3fs   result: %s@." p.pf_wall
     (Option.value p.pf_result ~default:"(no done event)");
+  if p.pf_heartbeats > 0 then
+    Format.fprintf fmt "telemetry: %d heartbeat(s) over %.3fs@."
+      p.pf_heartbeats p.pf_wall;
   section "events:";
   List.iter
     (fun (ev, n) -> Format.fprintf fmt "  %-18s %8d@." ev n)

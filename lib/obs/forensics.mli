@@ -80,6 +80,10 @@ val note_narrow : t -> var:int -> shaved:int -> width:int -> stall option
 val stalls : t -> int
 (** Stall reports issued so far. *)
 
+val total_shaved : t -> int
+(** Total interval width removed across every narrowing this solve —
+    the progress number heartbeats report for ICP-bound runs. *)
+
 val note_split : t -> var:int -> unit
 (** Record one interval-split (bisection) decision on [var], for
     stall → split attribution. *)
@@ -113,6 +117,22 @@ val top_vars : t -> k:int -> hot_var list
 
 (* ---- offline analysis: the trace-replay profiler ---- *)
 
+val trace_versions : (int * string) list
+(** Every trace schema version this build reads, with a one-line
+    description of what each added — the profiler's dispatch table. *)
+
+val max_trace_version : int
+
+exception Unsupported_schema of string
+(** Raised by {!profile_string} / {!profile_file} when the trace
+    header carries a schema tag this build does not know (a future
+    [rtlsat.trace/N] or a foreign format); the message names the
+    supported range. *)
+
+val schema_version : string -> int option
+(** Parse ["rtlsat.trace/N"] into [Some N]; [None] for anything
+    else. *)
+
 type stall_info = {
   si_var : int;
   si_name : string;
@@ -124,6 +144,7 @@ type stall_info = {
 
 type profile = {
   pf_schema : string option;  (** [None]: headerless (v1) trace *)
+  pf_version : int;           (** dispatched schema version; 1 when headerless *)
   pf_warnings : string list;
   pf_events : (string * int) list;  (** event name -> count, by count *)
   pf_wall : float;                  (** t of the last event *)
@@ -137,6 +158,7 @@ type profile = {
   pf_splits : int;             (** interval-split decisions ([split] events) *)
   pf_split_vars : int;         (** distinct variables split *)
   pf_split_stalled : int;      (** split variables also reported stalled *)
+  pf_heartbeats : int;         (** [heartbeat] telemetry events (v5) *)
   pf_stalls : stall_info list;
   pf_hot_constraints : hot_constr list;  (** from [hot_constraints] *)
   pf_hot_vars : hot_var list;            (** from [hot_vars] *)
@@ -147,10 +169,12 @@ type profile = {
 
 val profile_string : string -> profile
 (** Analyze a whole trace given as one string (JSON object per line).
-    Never raises on malformed events — they become warnings. *)
+    Never raises on malformed events — they become warnings.
+    @raise Unsupported_schema on an unknown header schema tag. *)
 
 val profile_file : string -> profile
-(** @raise Sys_error when the file cannot be read. *)
+(** @raise Sys_error when the file cannot be read.
+    @raise Unsupported_schema on an unknown header schema tag. *)
 
 val print_profile : Format.formatter -> profile -> unit
 (** The [rtlsat profile] report. *)

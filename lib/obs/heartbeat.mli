@@ -1,0 +1,74 @@
+(** Periodic in-flight progress telemetry.
+
+    {b Emitting} — a rate-limiter plus delta tracker owned by an
+    enabled {!Obs.t}.  The solver's existing step-count gates ask
+    {!due} (one clock read); at most once per interval {!beat}
+    produces the field list of one [heartbeat] trace event: running
+    totals (decisions, conflicts, propagations, splits, stalls, total
+    interval width shaved, current decision level) and per-second
+    rates over the previous beat ([dps]/[cps]/[pps]).
+
+    {b Consuming} — a {!view} folds parsed trace events (live tail or
+    completed file) into the latest rates, stall/split activity and
+    per-bound sweep progress; [rtlsat top] renders it. *)
+
+type t
+
+val create : every:float -> t
+(** A heartbeat due immediately, then at most once per [every]
+    seconds.  @raise Invalid_argument when [every <= 0]. *)
+
+val due : t -> float -> bool
+(** [due t now]: has the interval elapsed? *)
+
+val beat :
+  t ->
+  now:float ->
+  now_rel:float ->
+  decisions:int ->
+  conflicts:int ->
+  propagations:int ->
+  splits:int ->
+  stalls:int ->
+  shaved:int ->
+  lvl:int ->
+  (string * Json.t) list
+(** Advance the state machine and return the [heartbeat] event fields
+    ([seq], totals, rates, [lvl]).  [now] is absolute (for the next
+    deadline), [now_rel] is seconds since the owning handle's t0 (for
+    rate deltas, matching the trace timestamps). *)
+
+(* ---- the monitor view (rtlsat top) ---- *)
+
+type bound_result = { b_bound : int; b_verdict : string; b_time : float }
+
+type view = {
+  mutable v_schema : string option;
+  mutable v_events : int;
+  mutable v_t : float;
+  mutable v_seq : int;
+  mutable v_decisions : int;
+  mutable v_conflicts : int;
+  mutable v_propagations : int;
+  mutable v_splits : int;
+  mutable v_stalls : int;
+  mutable v_shaved : int;
+  mutable v_lvl : int;
+  mutable v_dps : float;
+  mutable v_cps : float;
+  mutable v_pps : float;
+  mutable v_bound : int option;
+  mutable v_bound_index : int option;
+  mutable v_bounds_total : int option;
+  mutable v_stall_events : int;
+  mutable v_last_stall : string option;
+  mutable v_bound_results : bound_result list;  (** newest first *)
+  mutable v_result : string option;
+}
+
+val view : unit -> view
+(** A fresh all-zero view. *)
+
+val view_update : view -> Json.t -> unit
+(** Fold one parsed trace event into the view.  Unknown events only
+    bump the event count — a view over any trace version is safe. *)

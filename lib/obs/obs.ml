@@ -51,12 +51,15 @@ type t = {
   interval_width : Hist.t;
   counters : (string, int ref) Hashtbl.t;
   trace : Trace.t option;
+  recorder : Recorder.t option;
+  heartbeat : Heartbeat.t option;
+  mutable hb_context : (string * Json.t) list;
   progress : progress option;
   mutable forensics : Forensics.t option;
   t0 : float;
 }
 
-let make ~enabled ~trace ~progress =
+let make ~enabled ~trace ~recorder ~heartbeat ~progress =
   let now = Unix.gettimeofday () in
   {
     enabled;
@@ -69,23 +72,30 @@ let make ~enabled ~trace ~progress =
     interval_width = Hist.create [| 0; 1; 3; 7; 15; 63; 255; 1023; 65535 |];
     counters = Hashtbl.create 16;
     trace;
+    recorder;
+    heartbeat;
+    hb_context = [];
     progress;
     forensics = None;
     t0 = now;
   }
 
-let disabled = make ~enabled:false ~trace:None ~progress:None
+let disabled =
+  make ~enabled:false ~trace:None ~recorder:None ~heartbeat:None ~progress:None
 
-let create ?trace ?progress_every () =
+let create ?trace ?recorder ?heartbeat_every ?progress_every () =
   let progress =
     Option.map
       (fun iv ->
          { p_interval = iv; p_last = Unix.gettimeofday (); p_decisions = 0; p_conflicts = 0 })
       progress_every
   in
-  make ~enabled:true ~trace ~progress
+  let heartbeat = Option.map (fun iv -> Heartbeat.create ~every:iv) heartbeat_every in
+  make ~enabled:true ~trace ~recorder ~heartbeat ~progress
 
-let tracing t = t.enabled && t.trace <> None
+(* the flight recorder is an event sink exactly like the trace file:
+   either one makes event construction worthwhile *)
+let tracing t = t.enabled && (t.trace <> None || t.recorder <> None)
 
 (* ---- spans: self-time accounting over an explicit phase stack ---- *)
 
@@ -155,9 +165,15 @@ let observe_backjump t d = if t.enabled then Hist.observe t.backjump d
 
 (* ---- events ---- *)
 
-let event t ev fields =
-  if t.enabled then
-    match t.trace with Some tr -> Trace.emit tr ~ev fields | None -> ()
+(* every event goes to both attached sinks: the trace file (if any)
+   and the flight-recorder ring (if any) *)
+let emit_to_sinks t ev fields =
+  (match t.trace with Some tr -> Trace.emit tr ~ev fields | None -> ());
+  match t.recorder with
+  | Some r -> Recorder.record r ~t_rel:(Unix.gettimeofday () -. t.t0) ~ev fields
+  | None -> ()
+
+let event t ev fields = if t.enabled then emit_to_sinks t ev fields
 
 (* ---- forensics: attribution and stall diagnosis ---- *)
 
@@ -189,19 +205,17 @@ let note_narrow t ~var ~shaved ~width =
        (match Hashtbl.find_opt t.counters "icp.stalls" with
         | Some r -> Stdlib.incr r
         | None -> Hashtbl.replace t.counters "icp.stalls" (ref 1));
-       (match t.trace with
-        | None -> ()
-        | Some tr ->
-          Trace.emit tr ~ev:"icp_stall"
-            [
-              ("var", Json.Int st.Forensics.st_var);
-              ("name", Json.Str (Forensics.var_name f st.Forensics.st_var));
-              ("constr", Json.Int st.Forensics.st_constr);
-              ("desc", Json.Str (Forensics.constr_desc f st.Forensics.st_constr));
-              ("streak", Json.Int st.Forensics.st_streak);
-              ("shaved", Json.Int st.Forensics.st_shaved);
-              ("width", Json.Int st.Forensics.st_width);
-            ]))
+       if tracing t then
+         emit_to_sinks t "icp_stall"
+           [
+             ("var", Json.Int st.Forensics.st_var);
+             ("name", Json.Str (Forensics.var_name f st.Forensics.st_var));
+             ("constr", Json.Int st.Forensics.st_constr);
+             ("desc", Json.Str (Forensics.constr_desc f st.Forensics.st_constr));
+             ("streak", Json.Int st.Forensics.st_streak);
+             ("shaved", Json.Int st.Forensics.st_shaved);
+             ("width", Json.Int st.Forensics.st_width);
+           ])
 
 let note_split t ~var =
   match t.forensics with Some f -> Forensics.note_split f ~var | None -> ()
@@ -229,32 +243,30 @@ let hot_var_json (h : Forensics.hot_var) =
 let top_k = 10
 
 let emit_summary_events t =
-  if t.enabled then
-    match t.trace with
+  if tracing t then begin
+    emit_to_sinks t "phases"
+      [
+        ( "self_s",
+          Json.Obj
+            (List.map
+               (fun ph -> (phase_name ph, Json.Float t.self.(phase_index ph)))
+               all_phases) );
+      ];
+    match t.forensics with
     | None -> ()
-    | Some tr ->
-      Trace.emit tr ~ev:"phases"
+    | Some f ->
+      emit_to_sinks t "hot_constraints"
         [
-          ( "self_s",
-            Json.Obj
-              (List.map
-                 (fun ph -> (phase_name ph, Json.Float t.self.(phase_index ph)))
-                 all_phases) );
+          ( "top",
+            Json.Arr
+              (List.map hot_constr_json (Forensics.top_constraints f ~k:top_k)) );
         ];
-      (match t.forensics with
-       | None -> ()
-       | Some f ->
-         Trace.emit tr ~ev:"hot_constraints"
-           [
-             ( "top",
-               Json.Arr
-                 (List.map hot_constr_json (Forensics.top_constraints f ~k:top_k)) );
-           ];
-         Trace.emit tr ~ev:"hot_vars"
-           [
-             ( "top",
-               Json.Arr (List.map hot_var_json (Forensics.top_vars f ~k:top_k)) );
-           ])
+      emit_to_sinks t "hot_vars"
+        [
+          ( "top",
+            Json.Arr (List.map hot_var_json (Forensics.top_vars f ~k:top_k)) );
+        ]
+  end
 
 (* ---- progress ---- *)
 
@@ -278,6 +290,38 @@ let progress_tick t ~decisions ~conflicts ~learned ~depth =
         p.p_decisions <- decisions;
         p.p_conflicts <- conflicts
       end
+
+(* ---- heartbeats ---- *)
+
+let set_context t fields = if t.enabled then t.hb_context <- fields
+
+let heartbeat_tick t ~decisions ~conflicts ~propagations ~splits ~lvl =
+  if t.enabled then
+    match t.heartbeat with
+    | None -> ()
+    | Some hb ->
+      let now = Unix.gettimeofday () in
+      if Heartbeat.due hb now then begin
+        let stalls, shaved =
+          match t.forensics with
+          | Some f -> (Forensics.stalls f, Forensics.total_shaved f)
+          | None -> (0, 0)
+        in
+        let fields =
+          Heartbeat.beat hb ~now ~now_rel:(now -. t.t0) ~decisions ~conflicts
+            ~propagations ~splits ~stalls ~shaved ~lvl
+        in
+        emit_to_sinks t "heartbeat" (fields @ t.hb_context)
+      end
+
+(* ---- flight recorder ---- *)
+
+let flight_dump t path =
+  match t.recorder with
+  | Some r when not (Recorder.is_empty r) ->
+    Recorder.dump r path;
+    true
+  | _ -> false
 
 let close t = match t.trace with Some tr -> Trace.close tr | None -> ()
 

@@ -42,6 +42,13 @@ type t = {
   interval_width : Hist.t;         (** word-interval widths after narrowing *)
   counters : (string, int ref) Hashtbl.t;  (** free-form named counters *)
   trace : Trace.t option;
+  recorder : Recorder.t option;
+      (** flight recorder; an event sink like [trace], but bounded and
+          in-memory — dumped post-mortem via {!flight_dump} *)
+  heartbeat : Heartbeat.t option;
+  mutable hb_context : (string * Json.t) list;
+      (** extra fields appended to every heartbeat (e.g. the sweep
+          bound); set with {!set_context} *)
   progress : progress option;
   mutable forensics : Forensics.t option;
       (** per-solve attribution table; attached by the solver via
@@ -59,12 +66,21 @@ and progress = {
 val disabled : t
 (** The shared no-op handle; [enabled = false], never mutated. *)
 
-val create : ?trace:Trace.t -> ?progress_every:float -> unit -> t
-(** A fresh enabled handle.  [progress_every] turns on one-line
-    progress reports on stderr, at most once per that many seconds. *)
+val create :
+  ?trace:Trace.t ->
+  ?recorder:Recorder.t ->
+  ?heartbeat_every:float ->
+  ?progress_every:float ->
+  unit ->
+  t
+(** A fresh enabled handle.  [recorder] attaches a flight-recorder
+    ring that receives every trace event even with no [trace] sink;
+    [heartbeat_every] turns on periodic [heartbeat] trace events (at
+    most once per that many seconds); [progress_every] turns on
+    one-line progress reports on stderr. *)
 
 val tracing : t -> bool
-(** [enabled] and an event sink is attached. *)
+(** [enabled] and an event sink ([trace] or [recorder]) is attached. *)
 
 (* ---- spans ---- *)
 
@@ -90,8 +106,34 @@ val observe_backjump : t -> int -> unit
 (* ---- events and progress ---- *)
 
 val event : t -> string -> (string * Json.t) list -> unit
-(** No-op unless {!tracing}.  Callers should avoid building the field
+(** Emit to every attached sink (trace file and flight recorder).
+    No-op unless {!tracing}.  Callers should avoid building the field
     list when not tracing. *)
+
+val set_context : t -> (string * Json.t) list -> unit
+(** Fields appended to every subsequent heartbeat — e.g.
+    [("bound", Int k)] during a sweep.  Pass [[]] to clear. *)
+
+val heartbeat_tick :
+  t ->
+  decisions:int ->
+  conflicts:int ->
+  propagations:int ->
+  splits:int ->
+  lvl:int ->
+  unit
+(** Rate-limited: at most one [heartbeat] event per configured
+    interval, carrying the given totals, their per-second rates since
+    the previous beat, stall/shaved totals from the attached
+    forensics, the decision level and the {!set_context} fields.
+    Cheap when not due (one clock read); no-op without a heartbeat
+    configuration.  Call from existing step-count gates only. *)
+
+val flight_dump : t -> string -> bool
+(** Dump the flight-recorder ring to a file ([rtlsat profile] reads
+    it).  Returns [false] (and writes nothing) when no recorder is
+    attached or nothing was recorded.  @raise Sys_error when the file
+    cannot be written. *)
 
 (* ---- forensics (per-constraint / per-variable attribution) ---- *)
 

@@ -1,0 +1,234 @@
+(* OpenMetrics text exposition over an Obs snapshot (or a
+   rtlsat.solve/1 report wrapping one).  Hand-rolled like Json: the
+   format is line-oriented and tiny, and the container image carries
+   no metrics library. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+(* "fme.calls" -> "fme_calls"; anything outside the metric-name
+   alphabet collapses to '_'. *)
+let sanitize s =
+  String.map (fun c -> if is_name_char c then c else '_') s
+
+let escape_label v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '"' -> Buffer.add_string b "\\\""
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let escape_help v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let labels_string = function
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) ls)
+    ^ "}"
+
+let family b ~name ~typ ~help =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+  Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (escape_help help))
+
+let sample b ~name ?(labels = []) v =
+  Buffer.add_string b
+    (Printf.sprintf "%s%s %s\n" name (labels_string labels) (render_value v))
+
+let gauge b ~name ~help ?labels v =
+  family b ~name ~typ:"gauge" ~help;
+  sample b ~name ?labels v
+
+(* Counter families expose their one sample under <name>_total. *)
+let counter b ~name ~help ?labels v =
+  family b ~name ~typ:"counter" ~help;
+  sample b ~name:(name ^ "_total") ?labels v
+
+(* ---- JSON helpers ---- *)
+
+let num j = match Json.get_float j with Some f -> f | None -> 0.0
+
+let obj_member name j = Json.member name j
+
+let obj_fields j = match Json.get_obj j with Some fs -> fs | None -> []
+
+(* ---- snapshot sections ---- *)
+
+let phases b j =
+  match obj_member "phases" j with
+  | None -> ()
+  | Some ph ->
+    let fields = obj_fields ph in
+    family b ~name:"rtlsat_phase_self_seconds" ~typ:"gauge"
+      ~help:"Per-phase self wall-clock seconds (innermost attribution)";
+    List.iter
+      (fun (name, v) ->
+         match obj_member "self_s" v with
+         | Some s ->
+           sample b ~name:"rtlsat_phase_self_seconds"
+             ~labels:[ ("phase", name) ] (num s)
+         | None -> ())
+      fields;
+    family b ~name:"rtlsat_phase_calls" ~typ:"counter"
+      ~help:"Per-phase span entries";
+    List.iter
+      (fun (name, v) ->
+         match obj_member "calls" v with
+         | Some c ->
+           sample b ~name:"rtlsat_phase_calls_total"
+             ~labels:[ ("phase", name) ] (num c)
+         | None -> ())
+      fields
+
+let counters b j =
+  match obj_member "counters" j with
+  | None -> ()
+  | Some cs ->
+    List.iter
+      (fun (name, v) ->
+         counter b
+           ~name:("rtlsat_" ^ sanitize name)
+           ~help:(Printf.sprintf "Solver counter %s" name)
+           (num v))
+      (obj_fields cs)
+
+(* Bucket labels arrive as "<=K" / ">K"; OpenMetrics wants cumulative
+   counts keyed by le="K", closing with le="+Inf". *)
+let bucket_le label =
+  if String.length label > 2 && String.sub label 0 2 = "<=" then
+    Some (String.sub label 2 (String.length label - 2))
+  else None
+
+let histogram b ~name j =
+  let metric = "rtlsat_" ^ sanitize name in
+  let n = match obj_member "n" j with Some v -> num v | None -> 0.0 in
+  let total = match obj_member "total" j with Some v -> num v | None -> 0.0 in
+  let buckets =
+    match obj_member "buckets" j with Some bs -> obj_fields bs | None -> []
+  in
+  family b ~name:metric ~typ:"histogram"
+    ~help:(Printf.sprintf "Distribution of %s" name);
+  let cum = ref 0.0 in
+  List.iter
+    (fun (label, v) ->
+       match bucket_le label with
+       | Some le ->
+         cum := !cum +. num v;
+         sample b ~name:(metric ^ "_bucket") ~labels:[ ("le", le) ] !cum
+       | None ->
+         (* the overflow (">K") bucket folds into +Inf below *)
+         ())
+    buckets;
+  sample b ~name:(metric ^ "_bucket") ~labels:[ ("le", "+Inf") ] n;
+  sample b ~name:(metric ^ "_sum") total;
+  sample b ~name:(metric ^ "_count") n
+
+let histograms b j =
+  match obj_member "histograms" j with
+  | None -> ()
+  | Some hs -> List.iter (fun (name, v) -> histogram b ~name v) (obj_fields hs)
+
+let forensics b j =
+  match obj_member "forensics" j with
+  | None -> ()
+  | Some f ->
+    (match obj_member "stalls" f with
+     | Some v ->
+       gauge b ~name:"rtlsat_forensics_stalls"
+         ~help:"ICP stall reports this solve" (num v)
+     | None -> ());
+    (match obj_member "splits" f with
+     | Some v ->
+       gauge b ~name:"rtlsat_forensics_splits"
+         ~help:"Interval-split decisions this solve" (num v)
+     | None -> ())
+
+let snapshot_body b j =
+  (match obj_member "wall_s" j with
+   | Some w ->
+     gauge b ~name:"rtlsat_wall_seconds"
+       ~help:"Wall-clock seconds since the observability handle was created"
+       (num w)
+   | None -> ());
+  phases b j;
+  histograms b j;
+  counters b j;
+  (match obj_member "trace_events" j with
+   | Some v ->
+     counter b ~name:"rtlsat_trace_events"
+       ~help:"Events written to the trace sink" (num v)
+   | None -> ());
+  forensics b j
+
+(* ---- solve-report wrapper ---- *)
+
+let solve_body b j =
+  let str name =
+    match obj_member name j with
+    | Some v -> ( match Json.get_string v with Some s -> s | None -> "")
+    | None -> ""
+  in
+  gauge b ~name:"rtlsat_solve_info"
+    ~help:"Solve metadata; the value is always 1"
+    ~labels:
+      [
+        ("instance", str "instance");
+        ("engine", str "engine");
+        ("verdict", str "verdict");
+      ]
+    1.0;
+  (match obj_member "time_s" j with
+   | Some v ->
+     gauge b ~name:"rtlsat_solve_seconds" ~help:"End-to-end solve seconds"
+       (num v)
+   | None -> ());
+  (match obj_member "decisions" j with
+   | Some v ->
+     counter b ~name:"rtlsat_solver_decisions" ~help:"Solver decisions" (num v)
+   | None -> ());
+  (match obj_member "conflicts" j with
+   | Some v ->
+     counter b ~name:"rtlsat_solver_conflicts" ~help:"Solver conflicts" (num v)
+   | None -> ());
+  match obj_member "metrics" j with
+  | Some m -> snapshot_body b m
+  | None -> ()
+
+let of_json j =
+  let b = Buffer.create 2048 in
+  (match obj_member "schema" j with
+   | Some s when Json.get_string s = Some "rtlsat.solve/1" -> solve_body b j
+   | _ -> snapshot_body b j);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let of_snapshot s = of_json (Obs.snapshot_json s)
+
+let to_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_json j))

@@ -1,0 +1,37 @@
+(** OpenMetrics text exposition of solver metrics.
+
+    Serializes an {!Obs.snapshot} — or a [rtlsat.solve/1] report
+    carrying one under its ["metrics"] member — into the OpenMetrics
+    text format (the Prometheus exposition format plus a trailing
+    [# EOF]), so a scrape target or a file-based collector can ingest
+    rtlsat runs without a JSON sidecar.
+
+    Name mapping (documented in docs/OBSERVABILITY.md):
+    - ["wall_s"] → [rtlsat_wall_seconds] (gauge)
+    - phases → [rtlsat_phase_self_seconds{phase="icp"}] (gauge) and
+      [rtlsat_phase_calls_total{phase="icp"}] (counter)
+    - counters → [rtlsat_<name>_total] with dots mapped to
+      underscores ([fme.calls] → [rtlsat_fme_calls_total])
+    - histograms → [rtlsat_<name>] histogram families with cumulative
+      [_bucket{le="K"}] samples derived from the ["<=K"] bucket
+      labels, plus [_sum] / [_count]
+    - forensics → [rtlsat_forensics_stalls] / [rtlsat_forensics_splits]
+      (gauges)
+    - a solve report adds [rtlsat_solve_info{instance=,engine=,verdict=}],
+      [rtlsat_solve_seconds], [rtlsat_solver_decisions_total] and
+      [rtlsat_solver_conflicts_total]. *)
+
+val sanitize : string -> string
+(** Map a free-form counter name into the metric-name alphabet
+    ([a-zA-Z0-9_:]); every other byte becomes ['_']. *)
+
+val of_json : Json.t -> string
+(** Render a snapshot JSON (from {!Obs.snapshot_json}) or a
+    [rtlsat.solve/1] object (detected by its ["schema"] member) as an
+    OpenMetrics text exposition ending in [# EOF].  Unknown members
+    are ignored, so the function is total on well-formed JSON. *)
+
+val of_snapshot : Obs.snapshot -> string
+
+val to_file : string -> Json.t -> unit
+(** @raise Sys_error when the file cannot be written. *)

@@ -1,0 +1,68 @@
+(* Flight recorder: a bounded ring buffer of trace events that is
+   always on (even with --trace off) and cheap enough to leave
+   attached to every CLI solve.  Events are stored unrendered — the
+   JSON text is only produced at dump time, so the per-event cost is
+   one array store and the field list the caller already built. *)
+
+type entry = {
+  e_t : float;  (* seconds since the owning handle's t0 *)
+  e_ev : string;
+  e_fields : (string * Json.t) list;
+}
+
+type t = {
+  cap : int;
+  ring : entry array;
+  mutable total : int;  (* events ever recorded *)
+}
+
+let default_cap = 4096
+
+let dummy = { e_t = 0.0; e_ev = ""; e_fields = [] }
+
+let create ?(cap = default_cap) () =
+  if cap <= 0 then invalid_arg "Recorder.create: cap must be positive";
+  { cap; ring = Array.make cap dummy; total = 0 }
+
+let record t ~t_rel ~ev fields =
+  t.ring.(t.total mod t.cap) <- { e_t = t_rel; e_ev = ev; e_fields = fields };
+  t.total <- t.total + 1
+
+let recorded t = min t.total t.cap
+let dropped t = max 0 (t.total - t.cap)
+let is_empty t = t.total = 0
+
+let iter t f =
+  let n = recorded t in
+  let first = t.total - n in
+  for i = first to t.total - 1 do
+    f t.ring.(i mod t.cap)
+  done
+
+let dump t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       let buf = Buffer.create 256 in
+       let line ev t fields =
+         Buffer.clear buf;
+         Json.to_buffer buf
+           (Json.Obj (("ev", Json.Str ev) :: ("t", Json.Float t) :: fields));
+         Buffer.add_char buf '\n';
+         Buffer.output_buffer oc buf
+       in
+       (* the synthetic header makes the dump a well-formed trace that
+          [rtlsat profile] reads with no special casing *)
+       line "header" 0.0 [ ("schema", Json.Str Trace.schema) ];
+       let last_t =
+         if t.total = 0 then 0.0
+         else t.ring.((t.total - 1) mod t.cap).e_t
+       in
+       line "recorder" last_t
+         [
+           ("recorded", Json.Int (recorded t));
+           ("dropped", Json.Int (dropped t));
+           ("cap", Json.Int t.cap);
+         ];
+       iter t (fun e -> line e.e_ev e.e_t e.e_fields))

@@ -6,14 +6,19 @@
 type t
 
 val schema : string
-(** The current trace schema tag, ["rtlsat.trace/4"].  Version 2 added
+(** The current trace schema tag, ["rtlsat.trace/5"].  Version 2 added
     the leading [header] event and the forensics events ([icp_stall],
     [hot_constraints], [hot_vars], [phases]); v1 traces have no header
     line.  Version 3 adds the [split] event (interval-split decisions)
     and the ["split"] kind of [decide].  Version 4 adds the session
     lifecycle events ([session.create], [solve.begin] with assumption
     count and carried-clause/relation counters) and the ["assumption"]
-    kind of [decide]. *)
+    kind of [decide].  Version 5 adds the live-telemetry events:
+    periodic [heartbeat] progress (totals, per-second rates, decision
+    level, sweep context), the [recorder] marker at the head of a
+    flight-recorder dump, and the sweep progress events [sweep.bound]
+    / [sweep.result].  {!Forensics.trace_versions} is the dispatch
+    table offline tooling reads. *)
 
 val to_file : string -> t
 (** Opens (truncates) [path] for writing and emits the [header] event

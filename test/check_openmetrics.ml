@@ -1,0 +1,125 @@
+(* OpenMetrics exposition checker for dune rules:
+
+     check_openmetrics FILE
+
+   validates the line grammar of an OpenMetrics text exposition:
+   - comment lines are only "# TYPE <name> <type>" / "# HELP <name> <text>"
+     / the final "# EOF"
+   - sample lines are "<name>[{labels}] <value>" with a well-formed
+     metric name, balanced quoted label values and a numeric value
+   - every sample belongs to a family declared by a preceding TYPE
+     (modulo the _total/_bucket/_sum/_count suffixes)
+   - the last line is exactly "# EOF" and nothing follows it
+
+   Exits non-zero with a message on the first violation. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let is_name s =
+  s <> ""
+  && (let c = s.[0] in not (c >= '0' && c <= '9'))
+  && String.for_all is_name_char s
+
+let valid_types = [ "counter"; "gauge"; "histogram"; "summary"; "info" ]
+
+(* strip a sample-name suffix back to its family name *)
+let family_of name =
+  let strip suffix =
+    let n = String.length name and k = String.length suffix in
+    if n > k && String.sub name (n - k) k = suffix then
+      Some (String.sub name 0 (n - k))
+    else None
+  in
+  match List.filter_map strip [ "_total"; "_bucket"; "_sum"; "_count" ] with
+  | base :: _ -> base
+  | [] -> name
+
+(* split "name{l="v",..} 1.5" into (name, rest-after-labels); label
+   values may contain escaped quotes *)
+let parse_sample lineno line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then fail "line %d: no metric name: %S" lineno line;
+  let name = String.sub line 0 !i in
+  if not (is_name name) then fail "line %d: bad metric name %S" lineno name;
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let in_quotes = ref false and escaped = ref false and closed = ref false in
+    while !i < n && not !closed do
+      (let c = line.[!i] in
+       if !escaped then escaped := false
+       else if c = '\\' then escaped := true
+       else if c = '"' then in_quotes := not !in_quotes
+       else if c = '}' && not !in_quotes then closed := true);
+      incr i
+    done;
+    if not !closed then fail "line %d: unterminated label set: %S" lineno line
+  end;
+  if !i >= n || line.[!i] <> ' ' then
+    fail "line %d: no space before value: %S" lineno line;
+  let value = String.sub line (!i + 1) (n - !i - 1) in
+  (match float_of_string_opt value with
+   | Some _ -> ()
+   | None ->
+     if value <> "+Inf" && value <> "-Inf" && value <> "NaN" then
+       fail "line %d: non-numeric value %S" lineno value);
+  name
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_openmetrics FILE"
+  in
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  if lines = [] then fail "empty exposition %s" path;
+  let declared = Hashtbl.create 16 in
+  let eof_seen = ref false in
+  let samples = ref 0 in
+  List.iteri
+    (fun idx line ->
+       let lineno = idx + 1 in
+       if !eof_seen then fail "line %d: content after # EOF" lineno;
+       if line = "# EOF" then eof_seen := true
+       else if String.length line > 0 && line.[0] = '#' then begin
+         match String.split_on_char ' ' line with
+         | "#" :: "TYPE" :: name :: [ typ ] ->
+           if not (is_name name) then
+             fail "line %d: bad family name %S" lineno name;
+           if not (List.mem typ valid_types) then
+             fail "line %d: unknown metric type %S" lineno typ;
+           Hashtbl.replace declared name ()
+         | "#" :: "HELP" :: name :: _ ->
+           if not (is_name name) then
+             fail "line %d: bad family name %S" lineno name
+         | _ -> fail "line %d: malformed comment %S" lineno line
+       end
+       else if String.trim line = "" then
+         fail "line %d: blank line in exposition" lineno
+       else begin
+         let name = parse_sample lineno line in
+         let fam = family_of name in
+         if not (Hashtbl.mem declared fam || Hashtbl.mem declared name) then
+           fail "line %d: sample %S has no preceding # TYPE for %S" lineno
+             name fam;
+         incr samples
+       end)
+    lines;
+  if not !eof_seen then fail "%s does not end with # EOF" path;
+  if !samples = 0 then fail "%s has no samples" path;
+  Printf.printf "OK: %s is a well-formed OpenMetrics exposition (%d samples)\n"
+    path !samples

@@ -3,23 +3,29 @@
 # test/dune (for CI or by-hand checks):
 #   1. solve a tiny instance with --stats-json, validate against the
 #      rtlsat.solve/1 schema (forensics section included)
-#   2. force the w61 ICP stall with a short deadline, check the v2
-#      trace carries icp_stall, and profile it — the diagnosis must
-#      name slow ICP convergence
+#   2. force the w61 ICP stall with a short deadline, check the trace
+#      carries icp_stall + heartbeat, and profile it — the diagnosis
+#      must name slow ICP convergence
 #   3. bench-diff exit codes: self-diff clean, injected slowdown flagged
+#   4. rtlsat metrics: OpenMetrics exposition from a solve report
+#   5. flight-recorder round trip: a --no-split timeout with no --trace
+#      must still leave a dump that rtlsat profile diagnoses
 set -eu
 
 here=$(dirname "$0")
 root=$(cd "$here/.." && pwd)
 
-dune build --root "$root" bin/rtlsat.exe test/validate_stats.exe test/check_trace.exe
+dune build --root "$root" bin/rtlsat.exe test/validate_stats.exe \
+  test/check_trace.exe test/check_openmetrics.exe
 
 rtlsat="$root/_build/default/bin/rtlsat.exe"
 
 out=$(mktemp /tmp/rtlsat_stats.XXXXXX.json)
 trace=$(mktemp /tmp/rtlsat_w61.XXXXXX.jsonl)
 profile=$(mktemp /tmp/rtlsat_w61.XXXXXX.profile)
-trap 'rm -f "$out" "$trace" "$profile"' EXIT
+om=$(mktemp /tmp/rtlsat_metrics.XXXXXX.om)
+flight=$(mktemp /tmp/rtlsat_w61.XXXXXX.flight)
+trap 'rm -f "$out" "$trace" "$profile" "$om" "$flight"' EXIT
 
 # 1. stats schema
 "$rtlsat" solve -c b01 -p 1 -k 5 --stats-json "$out"
@@ -40,5 +46,28 @@ if "$rtlsat" bench-diff "$root/test/fixtures/bench_a.json" \
   echo "FAIL: bench-diff did not flag the injected slowdown" >&2
   exit 1
 fi
+
+# 4. OpenMetrics exposition (rtlsat metrics on the step-1 report, and
+#    --metrics-out straight from a solve); both must satisfy the
+#    line-format checker
+"$rtlsat" metrics "$out" -o "$om"
+"$root/_build/default/test/check_openmetrics.exe" "$om"
+"$rtlsat" solve -c b01 -p 1 -k 5 --metrics-out "$om" > /dev/null
+"$root/_build/default/test/check_openmetrics.exe" "$om"
+
+# 5. flight-recorder round trip: trace OFF, timeout -> exit 1 plus a
+#    dump the profiler can read; icp_stall and heartbeat events must
+#    survive the ring, and the diagnosis must still fire
+if "$rtlsat" solve "$root/test/corpus/w61_wrap_corner.rtl" -e hdpll \
+  --no-split --timeout 2 --flight-recorder "$flight" > /dev/null; then
+  echo "FAIL: w61 --no-split did not time out (expected exit 1)" >&2
+  exit 1
+fi
+"$root/_build/default/test/check_trace.exe" "$flight" icp_stall var name constr
+"$root/_build/default/test/check_trace.exe" "$flight" heartbeat seq decisions pps
+"$root/_build/default/test/check_trace.exe" "$flight" recorder recorded dropped cap
+"$rtlsat" profile "$flight" > "$profile"
+grep -q "slow ICP convergence is the dominant behaviour" "$profile"
+grep -q "heartbeat" "$profile"
 
 echo "smoke_obs: all checks passed"

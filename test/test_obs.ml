@@ -15,6 +15,9 @@ module Solver = Rtlsat_core.Solver
 module Engines = Rtlsat_harness.Engines
 module Report = Rtlsat_harness.Report
 module Forensics = Rtlsat_obs.Forensics
+module Recorder = Rtlsat_obs.Recorder
+module Heartbeat = Rtlsat_obs.Heartbeat
+module Openmetrics = Rtlsat_obs.Openmetrics
 module Fuzz_case = Rtlsat_fuzz.Case
 module P = Rtlsat_constr.Problem
 module T = Rtlsat_constr.Types
@@ -645,6 +648,312 @@ let test_solve_json_shape () =
       "final_checks"; "splits"; "relations"; "learn_time_s"; "solve_time_s" ];
   check_bool "metrics attached" true (Json.member "metrics" j <> None)
 
+(* ---- telemetry: heartbeats, flight recorder, OpenMetrics ---- *)
+
+let fixture_file name =
+  if Sys.file_exists (Filename.concat "fixtures" name) then
+    Filename.concat "fixtures" name
+  else
+    Filename.concat
+      (Filename.concat (Filename.dirname Sys.executable_name) "fixtures")
+      name
+
+let test_heartbeat_rates () =
+  let hb = Heartbeat.create ~every:1.0 in
+  check_bool "due immediately" true (Heartbeat.due hb 0.0);
+  let fields =
+    Heartbeat.beat hb ~now:100.0 ~now_rel:2.0 ~decisions:200 ~conflicts:20
+      ~propagations:10000 ~splits:3 ~stalls:1 ~shaved:42 ~lvl:7
+  in
+  let geti name = Option.bind (List.assoc_opt name fields) Json.get_int in
+  let getf name = Option.bind (List.assoc_opt name fields) Json.get_float in
+  check_bool "seq" true (geti "seq" = Some 1);
+  check_bool "decisions total" true (geti "decisions" = Some 200);
+  (* first beat: deltas over now_rel - 0 = 2s *)
+  check_bool "dps" true (getf "dps" = Some 100.0);
+  check_bool "pps" true (getf "pps" = Some 5000.0);
+  check_bool "lvl" true (geti "lvl" = Some 7);
+  check_bool "not due after beat" false (Heartbeat.due hb 100.5);
+  check_bool "due after interval" true (Heartbeat.due hb 101.0);
+  let fields2 =
+    Heartbeat.beat hb ~now:101.0 ~now_rel:3.0 ~decisions:250 ~conflicts:20
+      ~propagations:11000 ~splits:3 ~stalls:1 ~shaved:50 ~lvl:2
+  in
+  let getf2 name = Option.bind (List.assoc_opt name fields2) Json.get_float in
+  check_bool "dps delta" true (getf2 "dps" = Some 50.0);
+  check_bool "cps zero delta" true (getf2 "cps" = Some 0.0);
+  (match Heartbeat.create ~every:0.0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "zero interval accepted")
+
+let test_heartbeat_view () =
+  let v = Heartbeat.view () in
+  let feed line = Heartbeat.view_update v (Json.of_string line) in
+  let ic = open_in (fixture_file "trace_v5.jsonl") in
+  (try
+     while true do
+       feed (input_line ic)
+     done
+   with End_of_file -> close_in ic);
+  check_bool "schema" true (v.Heartbeat.v_schema = Some "rtlsat.trace/5");
+  check_int "decisions" 100 v.Heartbeat.v_decisions;
+  check_bool "dps" true (v.Heartbeat.v_dps = 200.0);
+  check_bool "bound from heartbeat" true (v.Heartbeat.v_bound = Some 10);
+  check_bool "bounds total" true (v.Heartbeat.v_bounds_total = Some 2);
+  (match v.Heartbeat.v_bound_results with
+   | [ r ] ->
+     check_int "result bound" 10 r.Heartbeat.b_bound;
+     check_string "result verdict" "unsat" r.Heartbeat.b_verdict
+   | l -> Alcotest.fail (Printf.sprintf "%d bound results" (List.length l)));
+  check_bool "done" true (v.Heartbeat.v_result = Some "unsat");
+  check_int "events" 5 v.Heartbeat.v_events
+
+let test_recorder_ring () =
+  let r = Recorder.create ~cap:4 () in
+  check_bool "fresh is empty" true (Recorder.is_empty r);
+  for i = 1 to 6 do
+    Recorder.record r ~t_rel:(float_of_int i)
+      ~ev:"decide" [ ("var", Json.Int i) ]
+  done;
+  check_int "recorded caps at capacity" 4 (Recorder.recorded r);
+  check_int "dropped counts overflow" 2 (Recorder.dropped r);
+  let seen = ref [] in
+  Recorder.iter r (fun e ->
+      match List.assoc_opt "var" e.Recorder.e_fields with
+      | Some (Json.Int v) -> seen := v :: !seen
+      | _ -> ());
+  (* oldest first: 3,4,5,6 survive a cap of 4 *)
+  check_bool "oldest-first order" true (List.rev !seen = [ 3; 4; 5; 6 ])
+
+let test_recorder_dump_roundtrip () =
+  let r = Recorder.create ~cap:3 () in
+  for i = 1 to 5 do
+    Recorder.record r ~t_rel:(0.1 *. float_of_int i)
+      ~ev:"decide"
+      [ ("kind", Json.Str "activity"); ("lvl", Json.Int 1); ("var", Json.Int i) ]
+  done;
+  let path = Filename.temp_file "rtlsat_rec" ".jsonl" in
+  Recorder.dump r path;
+  let p = Forensics.profile_file path in
+  Sys.remove path;
+  check_bool "dump replays at the current version" true
+    (p.Forensics.pf_version = Forensics.max_trace_version);
+  check_bool "decide events survive" true
+    (List.assoc_opt "decide" p.Forensics.pf_events = Some 3);
+  (* 2 of 5 events fell off the ring: the profiler must say so *)
+  check_bool "drop warning" true
+    (List.exists
+       (fun w ->
+          List.exists
+            (fun part ->
+               String.length w >= String.length part
+               &&
+               let rec find i =
+                 i + String.length part <= String.length w
+                 && (String.sub w i (String.length part) = part || find (i + 1))
+               in
+               find 0)
+            [ "dropped" ])
+       p.Forensics.pf_warnings)
+
+let test_flight_dump_through_obs () =
+  let obs = Obs.create ~recorder:(Recorder.create ()) () in
+  let _ = solve_instance ~obs () in
+  let path = Filename.temp_file "rtlsat_flight" ".jsonl" in
+  check_bool "dump written" true (Obs.flight_dump obs path);
+  let p = Forensics.profile_file path in
+  Sys.remove path;
+  check_bool "dump carries the run's result" true
+    (p.Forensics.pf_result = Some "unsat");
+  check_bool "recorder marker seen" true
+    (List.mem_assoc "recorder" p.Forensics.pf_events);
+  (* no recorder attached -> nothing to dump *)
+  let bare = Obs.create () in
+  check_bool "no recorder, no dump" false (Obs.flight_dump bare "/nonexistent/x")
+
+let test_overhead_guard () =
+  (* Telemetry must not blow up solve time.  Best-of-3 on both arms
+     to shed scheduler noise; the bar is deliberately generous (2x +
+     0.25s) — it catches an accidentally hot heartbeat gate, not
+     micro-regressions. *)
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let off = best_of (fun () -> solve_instance ()) in
+  let on_ =
+    best_of (fun () ->
+        let obs =
+          Obs.create ~recorder:(Recorder.create ()) ~heartbeat_every:0.05 ()
+        in
+        solve_instance ~obs ())
+  in
+  check_bool
+    (Printf.sprintf "telemetry overhead (off %.3fs, on %.3fs)" off on_)
+    true
+    (on_ <= (off *. 2.0) +. 0.25)
+
+let test_openmetrics_exposition () =
+  let obs = Obs.create () in
+  Obs.span obs Obs.Icp (fun () -> ());
+  Obs.incr obs "fme.calls";
+  Obs.observe_learned_len obs 3;
+  let text = Openmetrics.of_snapshot (Obs.snapshot obs) in
+  let contains part =
+    let n = String.length text and k = String.length part in
+    let rec find i = i + k <= n && (String.sub text i k = part || find (i + 1)) in
+    find 0
+  in
+  check_bool "wall gauge" true (contains "# TYPE rtlsat_wall_seconds gauge");
+  check_bool "counter sanitized + _total" true
+    (contains "rtlsat_fme_calls_total 1");
+  check_bool "phase label" true
+    (contains "rtlsat_phase_self_seconds{phase=\"icp\"}");
+  check_bool "histogram +Inf bucket" true
+    (contains "rtlsat_learned_clause_len_bucket{le=\"+Inf\"} 1");
+  check_bool "histogram sum" true (contains "rtlsat_learned_clause_len_sum 3");
+  check_bool "ends with EOF" true
+    (String.length text >= 6
+     && String.sub text (String.length text - 6) 6 = "# EOF\n")
+
+let test_openmetrics_solve_report () =
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.Str "rtlsat.solve/1");
+        ("instance", Json.Str "b01_1(5)\"quoted\\");
+        ("engine", Json.Str "hdpll");
+        ("verdict", Json.Str "unsat");
+        ("time_s", Json.Float 0.25);
+        ("decisions", Json.Int 12);
+        ("conflicts", Json.Int 3);
+      ]
+  in
+  let text = Openmetrics.of_json j in
+  let contains part =
+    let n = String.length text and k = String.length part in
+    let rec find i = i + k <= n && (String.sub text i k = part || find (i + 1)) in
+    find 0
+  in
+  check_bool "info metric with escaped labels" true
+    (contains "instance=\"b01_1(5)\\\"quoted\\\\\"");
+  check_bool "verdict label" true (contains "verdict=\"unsat\"");
+  check_bool "decisions counter" true
+    (contains "rtlsat_solver_decisions_total 12");
+  check_string "sanitize" "fme_calls_2" (Openmetrics.sanitize "fme.calls-2")
+
+(* ---- trace version dispatch ---- *)
+
+let test_trace_version_table () =
+  check_int "max version" 5 Forensics.max_trace_version;
+  List.iter
+    (fun v ->
+       check_bool
+         (Printf.sprintf "version %d in table" v)
+         true
+         (List.mem_assoc v Forensics.trace_versions))
+    [ 1; 2; 3; 4; 5 ];
+  check_bool "current schema parses" true
+    (Forensics.schema_version Trace.schema = Some Forensics.max_trace_version);
+  check_bool "foreign tag rejected" true
+    (Forensics.schema_version "somebody.else/3" = None)
+
+let test_profile_every_version () =
+  List.iter
+    (fun v ->
+       let p =
+         Forensics.profile_file
+           (fixture_file (Printf.sprintf "trace_v%d.jsonl" v))
+       in
+       check_int (Printf.sprintf "v%d dispatched" v) v p.Forensics.pf_version;
+       check_bool
+         (Printf.sprintf "v%d result parsed" v)
+         true
+         (p.Forensics.pf_result <> None))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_profile_unsupported_version () =
+  match Forensics.profile_file (fixture_file "trace_v9_unsupported.jsonl") with
+  | _ -> Alcotest.fail "future schema accepted"
+  | exception Forensics.Unsupported_schema msg ->
+    check_bool "message names the supported range" true
+      (let part =
+         Printf.sprintf "rtlsat.trace/%d" Forensics.max_trace_version
+       in
+       let n = String.length msg and k = String.length part in
+       let rec find i = i + k <= n && (String.sub msg i k = part || find (i + 1)) in
+       find 0)
+
+(* ---- bench-history ---- *)
+
+let mk_bench_artifact ~generated_at rows =
+  let run (engine, verdict, time) =
+    Json.Obj
+      [
+        ("engine", Json.Str engine);
+        ("verdict", Json.Str verdict);
+        ("time_s", Json.Float time);
+      ]
+  in
+  let row (instance, runs) =
+    Json.Obj
+      [
+        ("instance", Json.Str instance);
+        ("runs", Json.Arr (List.map run runs));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.bench/1");
+      ("generated_at", Json.Str generated_at);
+      ( "sections",
+        Json.Obj
+          [ ("table2", Json.Obj [ ("rows", Json.Arr (List.map row rows)) ]) ]
+      );
+    ]
+
+let test_bench_history_aggregation () =
+  let a =
+    mk_bench_artifact ~generated_at:"2026-08-01T00:00:00Z"
+      [
+        ("i1", [ ("hdpll", "unsat", 1.0); ("bitblast", "timeout", 5.0) ]);
+        ("i2", [ ("hdpll", "sat", 0.5) ]);
+      ]
+  in
+  let b =
+    mk_bench_artifact ~generated_at:"2026-08-02T00:00:00Z"
+      [
+        ("i1", [ ("hdpll", "unsat", 0.8); ("bitblast", "abort", 0.1) ]);
+        ("i2", [ ("hdpll", "sat", 0.4) ]);
+      ]
+  in
+  let points = Report.bench_history [ ("old", a); ("new", b) ] in
+  (match points with
+   | [ p1; p2 ] ->
+     check_string "order preserved" "old" p1.Report.hp_label;
+     check_int "runs" 3 p1.Report.hp_runs;
+     check_int "solved" 2 p1.Report.hp_solved;
+     check_int "timeouts" 1 p1.Report.hp_timeouts;
+     check_int "aborts" 0 p1.Report.hp_aborts;
+     check_bool "total time" true (abs_float (p1.Report.hp_total_time -. 6.5) < 1e-9);
+     check_int "new aborts" 1 p2.Report.hp_aborts;
+     check_int "new timeouts" 0 p2.Report.hp_timeouts
+   | l -> Alcotest.fail (Printf.sprintf "%d points" (List.length l)));
+  match Report.bench_history_json points with
+  | Json.Obj fields ->
+    check_bool "schema" true
+      (List.assoc_opt "schema" fields
+       = Some (Json.Str "rtlsat.bench_history/1"));
+    (match Option.bind (List.assoc_opt "sections" fields) Json.get_obj with
+     | Some [ ("table2", Json.Arr pts) ] -> check_int "points in json" 2 (List.length pts)
+     | _ -> Alcotest.fail "sections shape")
+  | _ -> Alcotest.fail "not an object"
+
 let () =
   Alcotest.run "obs"
     [
@@ -704,5 +1013,32 @@ let () =
           Alcotest.test_case "determinism under observation" `Quick
             test_observation_does_not_change_solve;
           Alcotest.test_case "solve json shape" `Quick test_solve_json_shape;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "heartbeat rates" `Quick test_heartbeat_rates;
+          Alcotest.test_case "monitor view fold" `Quick test_heartbeat_view;
+          Alcotest.test_case "recorder ring" `Quick test_recorder_ring;
+          Alcotest.test_case "recorder dump round trip" `Quick
+            test_recorder_dump_roundtrip;
+          Alcotest.test_case "flight dump through obs" `Quick
+            test_flight_dump_through_obs;
+          Alcotest.test_case "overhead guard" `Slow test_overhead_guard;
+          Alcotest.test_case "openmetrics exposition" `Quick
+            test_openmetrics_exposition;
+          Alcotest.test_case "openmetrics solve report" `Quick
+            test_openmetrics_solve_report;
+        ] );
+      ( "trace-versions",
+        [
+          Alcotest.test_case "dispatch table" `Quick test_trace_version_table;
+          Alcotest.test_case "profile v1..v5 fixtures" `Quick
+            test_profile_every_version;
+          Alcotest.test_case "unsupported version rejected" `Quick
+            test_profile_unsupported_version;
+        ] );
+      ( "bench-history",
+        [
+          Alcotest.test_case "aggregation" `Quick test_bench_history_aggregation;
         ] );
     ]
