@@ -18,6 +18,7 @@
      wide_wrap         wrap-around corners over wide words (w61 family)
      sweep             scaling curve (CSV)
      bmc_sweep         incremental sessions vs from-scratch bound sweeps
+     simplify          pre/inprocessing on vs off, per clause database
 
    --json collects tables 1 and 2 with per-run metrics attached and
    writes a BENCH_<timestamp>.json perf-trajectory artifact (schema
@@ -43,7 +44,7 @@ let subcommand = ref "all"
 
 let usage =
   "main.exe [--full] [--json [--json-file FILE]] \
-   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep|bmc_sweep]"
+   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep|bmc_sweep|simplify]"
 
 let spec =
   Arg.align
@@ -59,7 +60,7 @@ let spec =
 let anon cmd =
   match cmd with
   | "all" | "table1" | "table2" | "micro" | "ablation" | "extension"
-  | "wide_wrap" | "sweep" | "bmc_sweep" ->
+  | "wide_wrap" | "sweep" | "bmc_sweep" | "simplify" ->
     subcommand := cmd
   | _ -> raise (Arg.Bad (Printf.sprintf "unknown subcommand %S" cmd))
 
@@ -191,6 +192,12 @@ let bmc_sweep () =
      posed as an assumption, vs from-scratch re-solves):@.";
   Tables.print_bmc_sweep Format.std_formatter (Tables.run_bmc_sweep (scale ()))
 
+let simplify () =
+  Format.printf
+    "@.simplify family (pre/inprocessing on vs off over both clause \
+     databases; the on arm's counters show the reduction):@.";
+  Tables.print_simplify Format.std_formatter (Tables.run_simplify (scale ()))
+
 let wide_wrap () =
   Format.printf
     "@.wide_wrap family (wrap-around corners over wide words; every case Sat \
@@ -229,6 +236,9 @@ let bench_artifact () =
   Format.printf "@.collecting bmc_sweep with metrics...@.";
   let sw = Tables.run_bmc_sweep ~metrics:true sc in
   Tables.print_bmc_sweep Format.std_formatter sw;
+  Format.printf "@.collecting simplify with metrics...@.";
+  let sy = Tables.run_simplify ~metrics:true sc in
+  Tables.print_simplify Format.std_formatter sy;
   let doc =
     Report.bench_json ~generated_at ~scale:scale_str
       ~sections:
@@ -237,6 +247,7 @@ let bench_artifact () =
           ("table2", Report.table2_json ~scale:scale_str t2);
           ("wide_wrap", Report.table2_json ~scale:scale_str ww);
           ("bmc_sweep", Report.bmc_sweep_json ~scale:scale_str sw);
+          ("simplify", Report.simplify_json ~scale:scale_str sy);
         ]
   in
   let oc = open_out path in
@@ -266,6 +277,7 @@ let () =
     | "wide_wrap" -> wide_wrap ()
     | "sweep" -> sweep ()
     | "bmc_sweep" -> bmc_sweep ()
+    | "simplify" -> simplify ()
     | _ ->
       table1 ();
       Format.printf "@.";
@@ -273,5 +285,6 @@ let () =
       extension ();
       wide_wrap ();
       bmc_sweep ();
+      simplify ();
       ablation ();
       micro ()

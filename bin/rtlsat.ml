@@ -223,9 +223,29 @@ let solve_cmd =
                    ~doc:"Disable interval-split decisions; the kernel behaves \
                          exactly as before splits existed" ) ])
   in
+  let simplify =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "simplify" ]
+                   ~doc:"Preprocess the clause database before the search \
+                         (default): subsumption, self-subsuming \
+                         strengthening and — for the bit-blast engine's \
+                         one-shot CNF — variable elimination, failed-literal \
+                         probing and equivalent-literal substitution" );
+               ( false,
+                 info [ "no-simplify" ]
+                   ~doc:"Skip pre/inprocessing; the solver behaves exactly \
+                         as before the simplifier existed" ) ])
+  in
+  let inprocess =
+    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
+           ~doc:"Re-simplify the clause database at the first restart after \
+                 every $(docv) conflicts; 0 (default) disables inprocessing")
+  in
   let run case_file circuit prop bound engine timeout stats_json trace_out
-      dump_graph dump_graph_max progress split flight flight_out heartbeat
-      metrics_out =
+      dump_graph dump_graph_max progress split simplify inprocess flight
+      flight_out heartbeat metrics_out =
     let inst, label =
       match (case_file, circuit, prop, bound) with
       | Some file, None, None, None ->
@@ -312,7 +332,7 @@ let solve_cmd =
     let r =
       try
         Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max ~split
-          engine inst
+          ~simplify ~inprocess engine inst
       with e ->
         (* post-mortem for crashes, not just timeouts *)
         ignore (dump_flight ());
@@ -378,7 +398,8 @@ let solve_cmd =
        ~doc:"Decide one BMC instance (benchmark or .rtl case file)")
     Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
           $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress
-          $ split $ flight $ flight_out $ heartbeat $ metrics_out)
+          $ split $ simplify $ inprocess $ flight $ flight_out $ heartbeat
+          $ metrics_out)
 
 (* ---- check: external netlist files ---- *)
 
@@ -494,8 +515,27 @@ let sweep_cmd =
            ~doc:"Write the sweep's cumulative metrics in OpenMetrics text \
                  exposition format")
   in
+  let simplify =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "simplify" ]
+                   ~doc:"Preprocess the clause database before every \
+                         per-bound call (default); the incremental engines \
+                         keep variable elimination off, so sessions and \
+                         assumptions stay sound" );
+               ( false,
+                 info [ "no-simplify" ]
+                   ~doc:"Skip pre/inprocessing; the session behaves exactly \
+                         as before the simplifier existed" ) ])
+  in
+  let inprocess =
+    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
+           ~doc:"Re-simplify the clause database at the first restart after \
+                 every $(docv) conflicts; 0 (default) disables inprocessing")
+  in
   let run circuit prop bounds engine timeout scratch trace_out heartbeat
-      metrics_out =
+      metrics_out simplify inprocess =
     let source, p =
       match Registry.build circuit with
       | c, props ->
@@ -523,7 +563,10 @@ let sweep_cmd =
           ()
       else Obs.disabled
     in
-    let steps = Engines.run_sweep ~timeout ~obs engine source ~prop:p ~bounds in
+    let steps =
+      Engines.run_sweep ~timeout ~obs ~simplify ~inprocess engine source
+        ~prop:p ~bounds
+    in
     (match metrics_out with
      | Some path ->
        (try
@@ -589,7 +632,7 @@ let sweep_cmd =
              session: learned clauses, predicate relations and heuristic \
              state carry from bound to bound")
     Term.(const run $ circuit $ prop $ bounds $ engine $ timeout $ scratch
-          $ trace_out $ heartbeat $ metrics_out)
+          $ trace_out $ heartbeat $ metrics_out $ simplify $ inprocess)
 
 (* ---- prove: k-induction ---- *)
 
@@ -632,16 +675,77 @@ let prove_cmd =
 let sat_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF") in
   let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ]) in
-  let run file timeout =
+  let simplify =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "simplify" ]
+                   ~doc:"Full preprocessing before the search (default): \
+                         subsumption, self-subsuming resolution, bounded \
+                         variable elimination, failed-literal probing and \
+                         binary-implication equivalent-literal substitution" );
+               ( false,
+                 info [ "no-simplify" ]
+                   ~doc:"Skip preprocessing; the CDCL engine runs on the \
+                         formula exactly as parsed" ) ])
+  in
+  let inprocess =
+    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
+           ~doc:"Re-simplify (without variable elimination) at the first \
+                 restart after every $(docv) conflicts; 0 (default) disables \
+                 inprocessing")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the simplification pass counters (subsumed, \
+                 strengthened, eliminated, probed, equivalences, rounds) and \
+                 final clause/variable counts as JSON")
+  in
+  let run file timeout simplify inprocess stats_json =
     let ic = open_in_bin file in
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
     let deadline = Unix.gettimeofday () +. timeout in
-    Rtlsat_sat.Dimacs.print_result Format.std_formatter
-      (Rtlsat_sat.Dimacs.solve_text ~deadline text)
+    let solver_out = ref None in
+    let result =
+      Rtlsat_sat.Dimacs.solve_text ~deadline ~simplify ~inprocess ~solver_out
+        text
+    in
+    Rtlsat_sat.Dimacs.print_result Format.std_formatter result;
+    (match (stats_json, !solver_out) with
+     | Some path, Some solver ->
+       let st = Rtlsat_sat.Cdcl.simp_stats solver in
+       let open Rtlsat_simplify.Simp in
+       write_json path
+         (Json.Obj
+            [ ("schema", Json.Str "rtlsat.sat/1");
+              ("file", Json.Str (Filename.basename file));
+              ( "result",
+                Json.Str
+                  (match result with
+                   | `Sat _ -> "sat"
+                   | `Unsat -> "unsat"
+                   | `Timeout -> "timeout") );
+              ( "simplify",
+                Json.Obj
+                  [ ("enabled", Json.Bool simplify);
+                    ("subsumed", Json.Int st.subsumed);
+                    ("strengthened", Json.Int st.strengthened);
+                    ("eliminated", Json.Int st.eliminated);
+                    ("probed", Json.Int st.probed);
+                    ("equivs", Json.Int st.equivs);
+                    ("rounds", Json.Int st.rounds) ] );
+              ("vars", Json.Int (Rtlsat_sat.Cdcl.n_vars solver));
+              ("clauses", Json.Int (Rtlsat_sat.Cdcl.n_clauses solver));
+              ("conflicts", Json.Int (Rtlsat_sat.Cdcl.n_conflicts solver)) ]);
+       Format.printf "stats written to %s@." path
+     | _ -> ());
+    match result with `Timeout -> exit 1 | `Sat _ | `Unsat -> ()
   in
-  Cmd.v (Cmd.info "sat" ~doc:"Solve a DIMACS CNF file with the CDCL engine")
-    Term.(const run $ file $ timeout)
+  Cmd.v
+    (Cmd.info "sat" ~exits:std_exits
+       ~doc:"Solve a DIMACS CNF file with the CDCL engine")
+    Term.(const run $ file $ timeout $ simplify $ inprocess $ stats_json)
 
 (* ---- export ---- *)
 
@@ -729,8 +833,26 @@ let fuzz_cmd =
            ~doc:"Write a JSON-lines campaign trace (rate-limited \
                  fuzz.progress events with instance/verdict/failure totals)")
   in
+  let simplify =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "simplify" ]
+                   ~doc:"Cross-check the engines with pre/inprocessing \
+                         enabled (default), exercising the simplifier \
+                         inside every engine run" );
+               ( false,
+                 info [ "no-simplify" ]
+                   ~doc:"Cross-check the engines with pre/inprocessing \
+                         disabled" ) ])
+  in
+  let inprocess =
+    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
+           ~doc:"Forwarded to every engine run: re-simplify after every \
+                 $(docv) conflicts (0 disables)")
+  in
   let run seed count max_nodes max_regs deadline timeout json_out out_dir
-      verbose trace_out =
+      verbose trace_out simplify inprocess =
     let obs =
       Obs.create
         ?trace:
@@ -756,6 +878,8 @@ let fuzz_cmd =
         Fuzz.seed;
         count;
         timeout;
+        simplify;
+        inprocess;
         obs;
         log;
         deadline = Option.value deadline ~default:infinity;
@@ -808,7 +932,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random circuits, all engines \
              cross-checked, failures shrunk")
     Term.(const run $ seed $ count $ max_nodes $ max_regs $ deadline $ timeout
-          $ json_out $ out_dir $ verbose $ trace_out)
+          $ json_out $ out_dir $ verbose $ trace_out $ simplify $ inprocess)
 
 (* ---- profile: the trace-replay profiler ---- *)
 

@@ -227,8 +227,17 @@ let assume_interval t n iv =
 
 type result = Sat | Unsat | Timeout
 
-let solve ?deadline ?assumptions t =
-  match C.solve ?deadline ?assumptions t.sat with
+(* Pre/inprocess the underlying CNF.  [elim] (variable elimination) is
+   only sound for one-shot use: it must stay off when the encoding
+   will grow ([extend]) or literals will be assumed later, because
+   eliminated variables may no longer be mentioned.  Model readback
+   ([node_value]) is unaffected either way — the CDCL engine extends
+   Sat models back over substituted and eliminated variables. *)
+let simplify ?(elim = false) t = C.simplify ~elim t.sat
+let simp_stats t = C.simp_stats t.sat
+
+let solve ?deadline ?assumptions ?inprocess t =
+  match C.solve ?deadline ?assumptions ?inprocess t.sat with
   | C.Sat -> Sat
   | C.Unsat -> Unsat
   | C.Timeout -> Timeout
@@ -253,10 +262,18 @@ let to_dimacs t =
     if C.lit_sign l then v else -v
   in
   let units = C.root_units t.sat in
-  let n_clauses = C.n_clauses t.sat + List.length units in
+  (* a clause whose literals were all root-false is discarded by
+     Cdcl.add_clause after flagging the root conflict, so the stored
+     clauses alone under-constrain the formula: emit an explicit empty
+     clause to keep the export equisatisfiable *)
+  let root_conflict = C.root_conflict t.sat in
+  let n_clauses =
+    C.n_clauses t.sat + List.length units + (if root_conflict then 1 else 0)
+  in
   Buffer.add_string buf
     (Printf.sprintf "c rtlsat bit-blast of %s\np cnf %d %d\n" t.circuit.Ir.cname
        (C.n_vars t.sat) n_clauses);
+  if root_conflict then Buffer.add_string buf "0\n";
   List.iter
     (fun l -> Buffer.add_string buf (Printf.sprintf "%d 0\n" (dimacs_lit l)))
     units;

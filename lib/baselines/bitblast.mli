@@ -38,9 +38,27 @@ type result =
   | Unsat
   | Timeout
 
-val solve : ?deadline:float -> ?assumptions:Rtlsat_sat.Cdcl.lit list -> t -> result
+val simplify : ?elim:bool -> t -> unit
+(** Pre/inprocess the CNF with {!Rtlsat_sat.Cdcl.simplify}.
+    [elim:true] (bounded variable elimination) is only sound for
+    one-shot solving — keep it off (the default) when the encoding
+    will later {!extend} or assume literals.  [node_value] keeps
+    working either way: Sat models are extended back over substituted
+    and eliminated variables. *)
+
+val simp_stats : t -> Rtlsat_simplify.Simp.stats
+(** Cumulative simplification counters of the underlying solver. *)
+
+val solve :
+  ?deadline:float ->
+  ?assumptions:Rtlsat_sat.Cdcl.lit list ->
+  ?inprocess:int ->
+  t ->
+  result
 (** [assumptions] are decided before the free search (MiniSat-style);
-    [Unsat] then means unsat under them and the solver stays usable. *)
+    [Unsat] then means unsat under them and the solver stays usable.
+    [inprocess] > 0 re-simplifies the clause database (without
+    elimination) every that many conflicts. *)
 
 val to_dimacs : t -> string
 (** The current CNF (including assumptions added so far) in DIMACS

@@ -15,6 +15,8 @@ type options = {
   max_final_nodes : int;
   restarts : bool;
   split : bool;
+  simplify : bool;
+  inprocess : int;
   seed_fanout : bool;
   random_seed : int option;
   collect_learned : bool;
@@ -34,6 +36,8 @@ let default =
     max_final_nodes = 200_000;
     restarts = true;
     split = true;
+    simplify = true;
+    inprocess = 0;
     seed_fanout = true;
     random_seed = None;
     collect_learned = false;
@@ -239,6 +243,27 @@ let collected_clauses opts s =
     !out
   end
 
+(* one pre/inprocessing pass over the hybrid clause database
+   (subsumption by interval inclusion + self-subsuming strengthening,
+   see Hsimp); runs at decision level 0 from both the pre-search hook
+   and the restart-time inprocessing hook *)
+let simplify_db opts s =
+  let obs = opts.obs in
+  Obs.span obs Obs.Simplify (fun () ->
+      let before = Vec.length s.State.clauses in
+      let st = Hsimp.run s in
+      if obs.Obs.enabled then begin
+        Obs.add obs "simplify.subsumed" st.Hsimp.subsumed;
+        Obs.add obs "simplify.strengthened" st.Hsimp.strengthened;
+        if Obs.tracing obs then
+          Obs.event obs "simplify.pass"
+            [ ("engine", Json.Str "hybrid");
+              ("subsumed", Json.Int st.Hsimp.subsumed);
+              ("strengthened", Json.Int st.Hsimp.strengthened);
+              ("clauses_before", Json.Int before);
+              ("clauses_after", Json.Int (Vec.length s.State.clauses)) ]
+      end)
+
 (* summary trace events + the final [done] line, shared by the main
    loop and the early-exit (root) paths *)
 let emit_done obs s r =
@@ -297,6 +322,7 @@ let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
   let restart_base = 100 in
   let restart_num = ref 0 in
   let conflicts_left = ref (restart_base * luby 0) in
+  let last_inproc = ref s.State.n_conflicts in
   let steps = ref 0 in
   let result = ref None in
   let rec handle_conflict ?(kind = "conflict") conflict =
@@ -374,7 +400,17 @@ let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
                Obs.event obs "reduce_db"
                  [ ( "learned_db",
                      Json.Int (Vec.length s.State.clauses - s.State.n_root_clauses) ) ]
-           | _ -> ())
+           | _ -> ());
+          (* inprocessing: re-simplify the clause database at the
+             first restart after every [inprocess] conflicts — the
+             solver is back at level 0 here, the precondition of the
+             pass *)
+          if opts.inprocess > 0
+             && s.State.n_conflicts - !last_inproc >= opts.inprocess
+          then begin
+            last_inproc := s.State.n_conflicts;
+            simplify_db opts s
+          end
         end
         else if State.decision_level s < Array.length assumptions then begin
           (* MiniSat-style assumption push: the next assumption becomes
@@ -591,7 +627,11 @@ let solve_common ?(options = default) ?assumptions prob enc =
     (match learn_summary with
      | Some sm when sm.Predicate_learning.root_unsat ->
        root_outcome Unsat options s t0 learn_summary
-     | _ -> solve_loop ?assumptions options s enc t0 learn_summary)
+     | _ ->
+       (* preprocessing after predicate learning so the learned
+          relations participate in subsumption/strengthening *)
+       if options.simplify then simplify_db options s;
+       solve_loop ?assumptions options s enc t0 learn_summary)
 
 let solve ?options ?assumptions enc =
   solve_common ?options ?assumptions enc.Encode.problem (Some enc)
@@ -777,7 +817,13 @@ module Session = struct
         (match t.learn_summary with
          | Some sm when sm.Predicate_learning.root_unsat ->
            root_outcome Unsat opts t.s t0 t.learn_summary
-         | _ -> solve_loop ~assumptions opts t.s t.enc t0 t.learn_summary)
+         | _ ->
+           (* per-call preprocessing: clauses learned by earlier calls
+              and grown problem clauses get subsumed/strengthened
+              before the new query runs; only non-root clauses are
+              touched, so session growth stays sound *)
+           if opts.simplify then simplify_db opts t.s;
+           solve_loop ~assumptions opts t.s t.enc t0 t.learn_summary)
     in
     State.backtrack_to t.s 0;
     (* kernel counters are cumulative across the session; report the

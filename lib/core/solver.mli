@@ -32,6 +32,16 @@ type options = {
                                     shave-streaks; default on.  Off
                                     reproduces the paper's
                                     Boolean-only decision rule *)
+  simplify : bool;              (** pre-search {!Hsimp} pass over the
+                                    clause database (subsumption by
+                                    interval inclusion, self-subsuming
+                                    strengthening); default on.  Runs
+                                    after predicate learning so the
+                                    learned relations participate, and
+                                    before every session call *)
+  inprocess : int;              (** > 0: re-run the {!Hsimp} pass at
+                                    the first restart after every this
+                                    many conflicts; default 0 (off) *)
   seed_fanout : bool;           (** seed activities with fanout counts *)
   random_seed : int option;     (** randomized decision strategy (the
                                     baseline the paper's §5.1 compares

@@ -12,6 +12,8 @@ type config = {
   deadline : float;
   cert_budget : int;
   shrink_steps : int;
+  simplify : bool;
+  inprocess : int;
   obs : Obs.t;
   log : (int -> Case.t -> Oracle.outcome -> unit) option;
 }
@@ -26,6 +28,8 @@ let default =
     deadline = infinity;
     cert_budget = 4096;
     shrink_steps = 128;
+    simplify = true;
+    inprocess = 0;
     obs = Obs.disabled;
     log = None;
   }
@@ -85,7 +89,8 @@ let run cfg =
       let case = Gen.circuit ~cfg:cfg.gen ~seed:iseed () in
       let oracle c =
         Oracle.check ~engines:cfg.engines ~timeout:cfg.timeout
-          ~cert_budget:cfg.cert_budget ~seed:iseed c
+          ~cert_budget:cfg.cert_budget ~seed:iseed ~simplify:cfg.simplify
+          ~inprocess:cfg.inprocess c
       in
       let outcome = oracle case in
       incr instances;

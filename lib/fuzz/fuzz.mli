@@ -23,6 +23,10 @@ type config = {
   deadline : float;             (** campaign wall-clock budget, seconds *)
   cert_budget : int;            (** Unsat certificate matrices, see {!Oracle.check} *)
   shrink_steps : int;           (** oracle evaluations per shrink *)
+  simplify : bool;              (** pre/inprocess inside every engine run
+                                    (default on), see {!Oracle.check} *)
+  inprocess : int;              (** conflicts between inprocessing passes;
+                                    0 disables *)
   obs : Obs.t;
   log : (int -> Case.t -> Oracle.outcome -> unit) option;
       (** per-instance progress callback (index, case, outcome) *)

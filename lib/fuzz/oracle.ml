@@ -84,11 +84,14 @@ let refute ~budget ~seed (inst : Bmc.instance) =
   end
 
 let check ?(engines = default_engines) ?(timeout = 10.0) ?(cert_budget = 4096)
-    ?(seed = 0) (case : Case.t) =
+    ?(seed = 0) ?(simplify = true) ?(inprocess = 0) (case : Case.t) =
   let inst = Case.instance case in
   let verdicts =
     List.map
-      (fun e -> (e, (Engines.run_instance ~timeout e inst).Engines.verdict))
+      (fun e ->
+         ( e,
+           (Engines.run_instance ~timeout ~simplify ~inprocess e inst)
+             .Engines.verdict ))
       engines
   in
   let aborted =

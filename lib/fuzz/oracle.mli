@@ -56,13 +56,18 @@ val check :
   ?timeout:float ->
   ?cert_budget:int ->
   ?seed:int ->
+  ?simplify:bool ->
+  ?inprocess:int ->
   Case.t ->
   outcome
 (** Decide the case with every engine and cross-check.  [timeout]
     (default 10s) bounds each engine run; [cert_budget] (default 4096)
     is the number of simulated input matrices — exhaustive when the
     whole space fits, sampled otherwise; [seed] (default 0)
-    determinizes the sampling. *)
+    determinizes the sampling.  [simplify] (default [true]) and
+    [inprocess] are forwarded to every engine run
+    ({!Engines.run_instance}), so the campaign cross-checks the
+    engines {e with} pre/inprocessing unless told otherwise. *)
 
 val describe : outcome -> string
 (** One-line human summary, e.g.

@@ -40,7 +40,7 @@ let verdict_symbol = function
   | Abort _ -> "-A-"
 
 let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
-    ?(split = true) ~deadline ~obs () =
+    ?(split = true) ?(simplify = true) ?(inprocess = 0) ~deadline ~obs () =
   let base =
     match engine with
     | Hdpll -> Solver.hdpll
@@ -57,10 +57,13 @@ let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
     Solver.dump_graph;
     Solver.dump_graph_max;
     Solver.split;
+    Solver.simplify;
+    Solver.inprocess;
   }
 
 let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
-    ?dump_graph ?dump_graph_max ?split engine (inst : Bmc.instance) =
+    ?dump_graph ?dump_graph_max ?split ?(simplify = true) ?(inprocess = 0)
+    engine (inst : Bmc.instance) =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. timeout in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -75,7 +78,7 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     in
     let options =
       solver_options engine ?learn_threshold ?dump_graph ?dump_graph_max
-        ?split ~deadline ~obs ()
+        ?split ~simplify ~inprocess ~deadline ~obs ()
     in
     let { Solver.result; stats; _ } = Solver.solve ~options enc in
     let mk verdict =
@@ -103,8 +106,30 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
           Bitblast.assume_bool bb inst.Bmc.violation true;
           bb)
     in
+    (* one-shot solve: the violation selector was added as a unit
+       clause above, not an assumption, and the encoding never grows —
+       so full preprocessing including variable elimination is sound *)
+    if simplify then
+      Obs.span obs Obs.Simplify (fun () ->
+          Bitblast.simplify ~elim:true bb;
+          if obs.Obs.enabled then begin
+            let st = Bitblast.simp_stats bb in
+            let open Rtlsat_simplify.Simp in
+            Obs.add obs "simplify.subsumed" st.subsumed;
+            Obs.add obs "simplify.strengthened" st.strengthened;
+            Obs.add obs "simplify.eliminated" st.eliminated;
+            Obs.add obs "simplify.probed" st.probed;
+            if Obs.tracing obs then
+              Obs.event obs "simplify.pass"
+                [ ("engine", Json.Str "cdcl");
+                  ("subsumed", Json.Int st.subsumed);
+                  ("strengthened", Json.Int st.strengthened);
+                  ("eliminated", Json.Int st.eliminated);
+                  ("probed", Json.Int st.probed);
+                  ("equivs", Json.Int st.equivs) ]
+          end);
     let verdict =
-      match Bitblast.solve ~deadline bb with
+      match Bitblast.solve ~deadline ~inprocess bb with
       | Bitblast.Unsat -> Unsat
       | Bitblast.Timeout -> Timeout
       | Bitblast.Sat ->
@@ -200,7 +225,8 @@ let sweep_with_obs obs ~total ~index ~bound f =
   step
 
 let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
-    ?split ?semantics engine source ~prop ~bounds =
+    ?split ?(simplify = true) ?(inprocess = 0) ?semantics engine source ~prop
+    ~bounds =
   let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
   let nbounds = List.length bounds in
   match engine with
@@ -213,7 +239,8 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     (* the per-call deadline is passed to [Session.solve]; the options
        deadline is a never-fires placeholder *)
     let options =
-      solver_options engine ?learn_threshold ?split ~deadline:infinity ~obs ()
+      solver_options engine ?learn_threshold ?split ~simplify ~inprocess
+        ~deadline:infinity ~obs ()
     in
     let sess = Solver.Session.create ~options enc in
     List.mapi
@@ -273,9 +300,16 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
             clause database, so conflicts-so-far stands in for the
             lemmas carried into this call *)
          let carried = Rtlsat_sat.Cdcl.n_conflicts sat in
+         (* incremental sweep: the encoding keeps growing and literals
+            are assumed per bound, so variable elimination stays off —
+            subsumption, probing and equivalent-literal substitution
+            remain sound (assumptions and later clauses are rewritten
+            through the substitution) *)
+         if simplify then
+           Obs.span obs Obs.Simplify (fun () -> Bitblast.simplify bb);
          let verdict =
            match
-             Bitblast.solve ~deadline:(t0 +. timeout)
+             Bitblast.solve ~deadline:(t0 +. timeout) ~inprocess
                ~assumptions:[ Bitblast.bool_lit bb vnode ] bb
            with
            | Bitblast.Unsat -> Unsat

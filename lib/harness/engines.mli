@@ -47,6 +47,8 @@ val run_instance :
   ?dump_graph:string ->
   ?dump_graph_max:int ->
   ?split:bool ->
+  ?simplify:bool ->
+  ?inprocess:int ->
   engine ->
   Rtlsat_bmc.Bmc.instance ->
   run
@@ -60,7 +62,13 @@ val run_instance :
     conflict implication graphs as DOT files into the given directory,
     which must exist.  [split] (HDPLL engines only, default [true])
     enables stall-triggered interval-split decisions; pass [false] to
-    reproduce the pre-split kernel behaviour. *)
+    reproduce the pre-split kernel behaviour.  [simplify] (default
+    [true]) preprocesses the engine's clause database before the
+    search — the hybrid pass ({!Rtlsat_core.Hsimp}) for the HDPLL
+    engines, the CNF pipeline ({!Rtlsat_simplify.Simp}, with variable
+    elimination: one-shot solving makes it sound) for the bit-blast
+    baseline; the lazy CDP ignores it.  [inprocess] > 0 re-simplifies
+    every that many conflicts. *)
 
 type sweep_step = {
   sw_bound : int;
@@ -78,6 +86,8 @@ val run_sweep :
   ?learn_threshold:int ->
   ?obs:Rtlsat_obs.Obs.t ->
   ?split:bool ->
+  ?simplify:bool ->
+  ?inprocess:int ->
   ?semantics:Rtlsat_bmc.Bmc.semantics ->
   engine ->
   Rtlsat_rtl.Ir.circuit ->
@@ -93,7 +103,10 @@ val run_sweep :
     lazy CDP has no incremental interface and re-solves each bound from
     scratch (uniform API, zero carried counters).  [timeout] is a
     per-bound budget in seconds; Sat witnesses are replayed through the
-    simulator exactly as in {!run_instance}. *)
+    simulator exactly as in {!run_instance}.  [simplify]/[inprocess]
+    are as in {!run_instance}, except that the bit-blast baseline keeps
+    variable elimination {e off}: the encoding grows and literals are
+    assumed per bound, which elimination does not survive. *)
 
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —

@@ -145,6 +145,32 @@ let bmc_sweep_json ~scale rows =
       ("rows", Json.Arr (List.concat_map sweep_row_json rows));
     ]
 
+(* simplify rows: one JSON row per (instance, engine), with the
+   simplify-on and simplify-off runs side by side under "engine/simp"
+   / "engine/nosimp" labels so [bench_rows] diffs them as distinct
+   engines — a verdict flip between the arms then shows up as a
+   verdict change on one of them across baselines *)
+let simp_row_json (row : Tables.simp_row) =
+  let name suffix = Engines.engine_name row.Tables.sy_engine ^ suffix in
+  Json.Obj
+    [
+      ("instance", Json.Str row.Tables.sy_label);
+      ( "runs",
+        Json.Arr
+          [
+            run_json_named (name "/simp") row.Tables.sy_on;
+            run_json_named (name "/nosimp") row.Tables.sy_off;
+          ] );
+    ]
+
+let simplify_json ~scale rows =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.simplify/1");
+      ("scale", Json.Str scale);
+      ("rows", Json.Arr (List.map simp_row_json rows));
+    ]
+
 let bench_json ~generated_at ~scale ~sections =
   Json.Obj
     [

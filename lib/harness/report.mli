@@ -45,6 +45,12 @@ val bmc_sweep_json : scale:string -> Tables.sweep_row list -> Json.t
 (** The ["rtlsat.bmc_sweep/1"] section — shaped so {!bench_rows} picks
     the per-bound runs up for {!bench_diff}. *)
 
+val simplify_json : scale:string -> Tables.simp_row list -> Json.t
+(** The ["rtlsat.simplify/1"] section: one row per (instance, engine),
+    its ["runs"] pairing the simplify-on arm (["<engine>/simp"]) with
+    the simplify-off arm (["<engine>/nosimp"]) so {!bench_diff} flags
+    a verdict flip or slowdown on either configuration. *)
+
 val bench_json :
   generated_at:string ->
   scale:string ->

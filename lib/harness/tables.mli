@@ -103,6 +103,34 @@ val run_bmc_sweep :
 
 val print_bmc_sweep : Format.formatter -> sweep_row list -> unit
 
+type simp_row = {
+  sy_label : string;           (** e.g. ["b13_1(10)"] *)
+  sy_engine : Engines.engine;
+  sy_on : Engines.run;   (** simplify on (the default configuration) *)
+  sy_off : Engines.run;  (** simplify off (the seed solver's behaviour) *)
+}
+
+val simplify_cases : scale -> (string * string * int) list
+(** (circuit, property, bound) of the simplify bench family. *)
+
+val simplify_engines : Engines.engine list
+(** Default engines of the family: the hybrid HDPLL+S+P configuration
+    and the eager bit-blast baseline — one arm per clause database the
+    pre/inprocessing pipeline touches. *)
+
+val run_simplify :
+  ?timeout:float ->
+  ?metrics:bool ->
+  ?engines:Engines.engine list ->
+  scale ->
+  simp_row list
+(** Solve every case twice per engine, simplification on and off.
+    [metrics] defaults to [true] (unlike the other families) so the
+    simplify.* counters always land in the artifact — the family's
+    whole point is pinning the database reduction. *)
+
+val print_simplify : Format.formatter -> simp_row list -> unit
+
 val print_table2_csv : Format.formatter -> t2_row list -> unit
 (** Machine-readable variant (label, result, ops, one time column per
     engine; timeouts as empty cells). *)

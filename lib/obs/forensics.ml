@@ -201,6 +201,7 @@ let trace_versions =
     (4, "+ session lifecycle (session.create, solve.begin, \"assumption\" \
          decides)");
     (5, "+ live telemetry (heartbeat, recorder, sweep.bound/sweep.result)");
+    (6, "+ simplify.pass (pre/inprocessing over the clause databases)");
   ]
 
 let max_trace_version =

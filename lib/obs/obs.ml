@@ -1,6 +1,7 @@
 type phase =
   | Encode
   | Static_learn
+  | Simplify
   | Bcp
   | Icp
   | Conflict_analysis
@@ -8,21 +9,23 @@ type phase =
   | Final_check
   | Fme
 
-let n_phases = 8
+let n_phases = 9
 
 let phase_index = function
   | Encode -> 0
   | Static_learn -> 1
-  | Bcp -> 2
-  | Icp -> 3
-  | Conflict_analysis -> 4
-  | Justification -> 5
-  | Final_check -> 6
-  | Fme -> 7
+  | Simplify -> 2
+  | Bcp -> 3
+  | Icp -> 4
+  | Conflict_analysis -> 5
+  | Justification -> 6
+  | Final_check -> 7
+  | Fme -> 8
 
 let phase_name = function
   | Encode -> "encode"
   | Static_learn -> "static_learn"
+  | Simplify -> "simplify"
   | Bcp -> "bcp"
   | Icp -> "icp"
   | Conflict_analysis -> "conflict_analysis"
@@ -31,7 +34,8 @@ let phase_name = function
   | Fme -> "fme"
 
 let all_phases =
-  [ Encode; Static_learn; Bcp; Icp; Conflict_analysis; Justification; Final_check; Fme ]
+  [ Encode; Static_learn; Simplify; Bcp; Icp; Conflict_analysis; Justification;
+    Final_check; Fme ]
 
 type progress = {
   p_interval : float;

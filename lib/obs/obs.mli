@@ -21,6 +21,7 @@
 type phase =
   | Encode             (** unrolling + RTL → constraint encoding *)
   | Static_learn       (** §3 predicate learning probes *)
+  | Simplify           (** pre/inprocessing over the clause database *)
   | Bcp                (** Boolean/hybrid clause propagation *)
   | Icp                (** interval constraint propagation *)
   | Conflict_analysis  (** §2.4 hybrid implication-graph analysis *)

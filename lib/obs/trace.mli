@@ -6,7 +6,7 @@
 type t
 
 val schema : string
-(** The current trace schema tag, ["rtlsat.trace/5"].  Version 2 added
+(** The current trace schema tag, ["rtlsat.trace/6"].  Version 2 added
     the leading [header] event and the forensics events ([icp_stall],
     [hot_constraints], [hot_vars], [phases]); v1 traces have no header
     line.  Version 3 adds the [split] event (interval-split decisions)
@@ -17,8 +17,11 @@ val schema : string
     periodic [heartbeat] progress (totals, per-second rates, decision
     level, sweep context), the [recorder] marker at the head of a
     flight-recorder dump, and the sweep progress events [sweep.bound]
-    / [sweep.result].  {!Forensics.trace_versions} is the dispatch
-    table offline tooling reads. *)
+    / [sweep.result].  Version 6 adds [simplify.pass] (per-pass
+    pre/inprocessing summary: engine, clauses subsumed / strengthened
+    / eliminated, probe results, database size before/after).
+    {!Forensics.trace_versions} is the dispatch table offline tooling
+    reads. *)
 
 val to_file : string -> t
 (** Opens (truncates) [path] for writing and emits the [header] event

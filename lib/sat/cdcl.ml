@@ -82,6 +82,8 @@ module Heap = struct
   let is_empty h = h.size = 0
 end
 
+module Simp = Rtlsat_simplify.Simp
+
 type t = {
   mutable nvars : int;
   mutable assign : int array;       (* var -> -1 unassigned / 0 false / 1 true *)
@@ -101,6 +103,11 @@ type t = {
   mutable unsat_root : bool;
   heap : Heap.t;
   mutable seen : bool array;
+  (* --- simplifier bookkeeping --- *)
+  mutable repr_l : int array;       (* var -> representative literal, pos v if untouched *)
+  mutable elim_v : bool array;      (* var eliminated by BVE *)
+  mutable elim_stack : (int * int array list) list; (* most recent first *)
+  simp : Simp.stats;                (* cumulative across simplify calls *)
 }
 
 let var_decay = 1.0 /. 0.95
@@ -125,6 +132,10 @@ let create () =
     unsat_root = false;
     heap = Heap.create ();
     seen = Array.make 16 false;
+    repr_l = Array.make 16 0;
+    elim_v = Array.make 16 false;
+    elim_stack = [];
+    simp = Simp.empty_stats ();
   }
 
 let grow_array a n dummy =
@@ -146,14 +157,26 @@ let new_var t =
   t.seen <- grow_array t.seen t.nvars false;
   t.watches <- grow_array t.watches (2 * t.nvars) [];
   t.trail <- grow_array t.trail t.nvars 0;
+  t.repr_l <- grow_array t.repr_l t.nvars 0;
+  t.elim_v <- grow_array t.elim_v t.nvars false;
   t.assign.(v) <- -1;
   t.reason.(v) <- -1;
+  t.repr_l.(v) <- pos v;
+  t.elim_v.(v) <- false;
   Heap.insert t.heap t.activity v;
   v
 
 let n_vars t = t.nvars
 let n_clauses t = t.nclauses
 let n_conflicts t = t.conflicts
+
+(* rewrite a literal through the equivalent-literal substitution left
+   behind by simplify; identity while no simplification has run *)
+let rep_lit t l =
+  let r = t.repr_l.(lit_var l) in
+  if lit_sign l then r else lit_not r
+
+let simp_stats t = t.simp
 
 let lit_value t l =
   let a = t.assign.(lit_var l) in
@@ -209,6 +232,12 @@ let add_clause_arr t c =
 let add_clause t lits =
   (* adding clauses invalidates any model from a previous solve *)
   if decision_level t > 0 then backtrack t 0;
+  let lits = List.map (rep_lit t) lits in
+  List.iter
+    (fun l ->
+       if t.elim_v.(lit_var l) then
+         invalid_arg "Cdcl.add_clause: eliminated variable")
+    lits;
   let lits = List.sort_uniq compare lits in
   let tauto = List.exists (fun l -> List.mem (lit_not l) lits) lits in
   if not tauto && not (List.exists (fun l -> lit_value t l = 1) lits) then begin
@@ -232,6 +261,8 @@ let root_units t =
     match List.rev t.trail_lim with [] -> t.trail_len | b :: _ -> b
   in
   List.init stop (fun i -> t.trail.(i))
+
+let root_conflict t = t.unsat_root
 
 (* propagate; returns conflicting clause index or -1 *)
 let propagate t =
@@ -287,6 +318,87 @@ let propagate t =
     go ws
   done;
   !conflict
+
+(* Run the Simp pipeline over the whole clause database (problem and
+   learned clauses alike, both are implied) and rebuild the solver from
+   the result.  VSIDS activities and saved phases survive; the trail,
+   watches and clause store are rebuilt.  [elim] enables bounded
+   variable elimination — only sound while no later [add_clause] or
+   assumption mentions an eliminated variable, so it defaults to off;
+   [frozen] additionally protects known assumption variables. *)
+let simplify ?(elim = false) ?(frozen = []) t =
+  backtrack t 0;
+  if (not t.unsat_root) && propagate t >= 0 then t.unsat_root <- true;
+  if not t.unsat_root then begin
+    let units = root_units t in
+    let clauses = fold_clauses (fun acc c -> Array.copy c :: acc) [] t in
+    let frozen_a = Array.make (max t.nvars 1) false in
+    List.iter (fun v -> if v < t.nvars then frozen_a.(v) <- true) frozen;
+    let r =
+      Simp.run ~elim ~frozen:(fun v -> frozen_a.(v)) ~nvars:t.nvars ~units
+        ~clauses ()
+    in
+    Simp.add_stats t.simp r.Simp.r_stats;
+    if r.Simp.r_unsat then t.unsat_root <- true
+    else begin
+      (* compose the substitution and record eliminations *)
+      for v = 0 to t.nvars - 1 do
+        t.repr_l.(v) <- Simp.map_lit r.Simp.r_repr t.repr_l.(v)
+      done;
+      t.elim_stack <- r.Simp.r_elim @ t.elim_stack;
+      List.iter (fun (v, _) -> t.elim_v.(v) <- true) r.Simp.r_elim;
+      (* rebuild: clear trail and watches, re-enqueue the simplified
+         units, re-attach the surviving clauses *)
+      for i = t.trail_len - 1 downto 0 do
+        let v = lit_var t.trail.(i) in
+        t.assign.(v) <- -1;
+        t.reason.(v) <- -1;
+        Heap.insert t.heap t.activity v
+      done;
+      t.trail_len <- 0;
+      t.trail_lim <- [];
+      t.qhead <- 0;
+      Array.fill t.watches 0 (Array.length t.watches) [];
+      t.nclauses <- 0;
+      List.iter
+        (fun l ->
+           match lit_value t l with
+           | 1 -> ()
+           | 0 -> t.unsat_root <- true
+           | _ -> enqueue t l (-1))
+        r.Simp.r_units;
+      if not t.unsat_root then
+        List.iter (fun c -> ignore (add_clause_arr t c)) r.Simp.r_clauses;
+      if (not t.unsat_root) && propagate t >= 0 then t.unsat_root <- true
+    end
+  end
+
+(* After Sat: extend the model over representative variables to the
+   substituted and eliminated ones.  Eliminated variables are rebuilt
+   most-recent-first from their saved clauses (true iff some saved
+   positive clause has every other literal false), so each saved
+   clause only mentions variables already valued. *)
+let reconstruct t =
+  let lit_true l =
+    let l = rep_lit t l in
+    let av = t.assign.(lit_var l) = 1 in
+    if lit_sign l then av else not av
+  in
+  List.iter
+    (fun (v, saved) ->
+       let forced =
+         List.exists
+           (fun c ->
+              Array.exists (fun l -> l = pos v) c
+              && Array.for_all (fun l -> lit_var l = v || not (lit_true l)) c)
+           saved
+       in
+       t.assign.(v) <- (if forced then 1 else 0))
+    t.elim_stack;
+  for v = 0 to t.nvars - 1 do
+    if t.repr_l.(v) <> pos v then
+      t.assign.(v) <- (if lit_true (pos v) then 1 else 0)
+  done
 
 let bump_var t v =
   t.activity.(v) <- t.activity.(v) +. t.var_inc;
@@ -381,8 +493,17 @@ let luby x =
 
 type outcome = Sat | Unsat | Timeout
 
-let solve ?(deadline = infinity) ?(assumptions = []) t =
+let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
   let result = ref None in
+  let assumptions =
+    ref
+      (List.map
+         (fun l ->
+            if t.elim_v.(lit_var l) then
+              invalid_arg "Cdcl.solve: assumption on eliminated variable";
+            rep_lit t l)
+         assumptions)
+  in
   if t.unsat_root then result := Some Unsat
   else if propagate t >= 0 then begin
     t.unsat_root <- true;
@@ -391,6 +512,7 @@ let solve ?(deadline = infinity) ?(assumptions = []) t =
   let restart_base = 100 in
   let restart_num = ref 0 in
   let conflicts_left = ref (restart_base * luby 0) in
+  let last_simp = ref t.conflicts in
   let steps = ref 0 in
   while !result = None do
     incr steps;
@@ -429,12 +551,23 @@ let solve ?(deadline = infinity) ?(assumptions = []) t =
       else if !conflicts_left <= 0 then begin
         incr restart_num;
         conflicts_left := restart_base * luby !restart_num;
-        backtrack t 0
+        backtrack t 0;
+        (* inprocessing at restart boundaries: the trail is back at
+           level 0, so the whole database can be rewritten; variable
+           elimination stays off because assumptions and learned units
+           must keep their variables addressable *)
+        if inprocess > 0 && t.conflicts - !last_simp >= inprocess then begin
+          last_simp := t.conflicts;
+          simplify ~elim:false t;
+          if t.unsat_root then result := Some Unsat
+          else assumptions := List.map (rep_lit t) !assumptions
+        end
       end
       else begin
         let lvl = decision_level t in
         let next_assumption =
-          if lvl < List.length assumptions then Some (List.nth assumptions lvl)
+          if lvl < List.length !assumptions then
+            Some (List.nth !assumptions lvl)
           else None
         in
         match next_assumption with
@@ -450,7 +583,9 @@ let solve ?(deadline = infinity) ?(assumptions = []) t =
             if Heap.is_empty t.heap then None
             else begin
               let v = Heap.pop t.heap t.activity in
-              if t.assign.(v) < 0 then Some v else pick ()
+              if t.assign.(v) < 0 && (not t.elim_v.(v)) && t.repr_l.(v) = pos v
+              then Some v
+              else pick ()
             end
           in
           (match pick () with
@@ -461,7 +596,12 @@ let solve ?(deadline = infinity) ?(assumptions = []) t =
       end
     end
   done;
-  match !result with Some r -> r | None -> assert false
+  match !result with
+  | Some Sat ->
+    reconstruct t;
+    Sat
+  | Some r -> r
+  | None -> assert false
 
 let value t v = t.assign.(v) = 1
 

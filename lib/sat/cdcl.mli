@@ -34,7 +34,33 @@ val n_conflicts : t -> int
 val add_clause : t -> lit list -> unit
 (** May be called only at decision level 0 (before or between
     [solve] calls).  An empty clause makes the instance trivially
-    unsatisfiable. *)
+    unsatisfiable.  Literals are rewritten through any equivalent-
+    literal substitution left by {!simplify}; mentioning a variable
+    removed by variable elimination raises [Invalid_argument]. *)
+
+val simplify : ?elim:bool -> ?frozen:int list -> t -> unit
+(** Run the pre/inprocessing pipeline ({!Rtlsat_simplify.Simp}) over
+    the whole clause database — subsumption, self-subsuming
+    resolution, failed-literal probing, binary-implication SCC
+    collapsing and (with [elim:true]) bounded variable elimination —
+    then rebuild the solver from the simplified formula.  VSIDS
+    activities and saved phases survive.
+
+    [elim] defaults to [false]: eliminating a variable is only sound
+    while no later [add_clause] or [solve ~assumptions] mentions it,
+    so callers opt in for one-shot solving.  [frozen] lists variables
+    that must never be eliminated (e.g. future assumption variables).
+    Models returned by later [solve] calls are automatically extended
+    over substituted and eliminated variables, so {!value} and
+    {!model} are unaffected. *)
+
+val simp_stats : t -> Rtlsat_simplify.Simp.stats
+(** Cumulative pass counters over every {!simplify} call on this
+    solver (including inprocessing runs from inside {!solve}). *)
+
+val rep_lit : t -> lit -> lit
+(** Rewrite a literal through the current equivalent-literal
+    substitution; the identity before any {!simplify}. *)
 
 val fold_clauses : ('a -> lit array -> 'a) -> 'a -> t -> 'a
 (** Fold over the stored clauses (original and learned), in insertion
@@ -44,15 +70,29 @@ val root_units : t -> lit list
 (** Literals asserted at decision level 0 (unit input clauses and
     learned units), in assignment order. *)
 
+val root_conflict : t -> bool
+(** The clause database is already unsatisfiable at decision level 0.
+    This can hold without any stored clause recording the
+    contradiction: {!add_clause} discards a clause whose literals are
+    all root-false after setting this flag.  Exporters must check it —
+    {!root_units} + {!fold_clauses} alone under-constrain the
+    formula. *)
+
 type outcome =
   | Sat
   | Unsat
   | Timeout
 
-val solve : ?deadline:float -> ?assumptions:lit list -> t -> outcome
+val solve :
+  ?deadline:float -> ?assumptions:lit list -> ?inprocess:int -> t -> outcome
 (** [deadline] is an absolute [Unix.gettimeofday]-style instant;
     the solver polls it and returns [Timeout] when exceeded.
-    With [assumptions], [Unsat] means unsatisfiable under them. *)
+    With [assumptions], [Unsat] means unsatisfiable under them
+    (assumption literals are rewritten through the substitution; an
+    assumption on an eliminated variable raises [Invalid_argument]).
+    [inprocess] > 0 re-runs {!simplify} (without elimination) at the
+    first restart after every [inprocess] conflicts; 0 (the default)
+    disables inprocessing. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after [solve] returned [Sat]. *)

@@ -12,9 +12,20 @@ val load : Cdcl.t -> string -> int array
     (DIMACS variable [i] is solver variable [map.(i - 1)]).  Missing
     variables are created. *)
 
-val solve_text : ?deadline:float -> string -> [ `Sat of bool array | `Unsat | `Timeout ]
+val solve_text :
+  ?deadline:float ->
+  ?simplify:bool ->
+  ?inprocess:int ->
+  ?solver_out:Cdcl.t option ref ->
+  string ->
+  [ `Sat of bool array | `Unsat | `Timeout ]
 (** One-shot: parse, solve, and return the model indexed by DIMACS
-    variable - 1. *)
+    variable - 1.  [simplify] (default [true]) runs full preprocessing
+    — including variable elimination, sound here because solving is
+    one-shot — before the search; [inprocess] > 0 re-simplifies every
+    that many conflicts.  [solver_out], when given, receives the
+    underlying solver so callers can read {!Cdcl.simp_stats} and
+    clause counts afterwards. *)
 
 val print_result :
   Format.formatter -> [ `Sat of bool array | `Unsat | `Timeout ] -> unit

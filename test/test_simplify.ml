@@ -1,0 +1,358 @@
+(* Tests for the pre/inprocessing pipeline: the pure CNF passes
+   (subsumption, self-subsuming resolution, bounded variable
+   elimination with model reconstruction, failed-literal probing,
+   binary-implication SCC collapsing), the hybrid clause-database pass,
+   the DIMACS round trip, and — the lock-in — simplify-on vs
+   simplify-off verdict agreement across every engine. *)
+
+module Simp = Rtlsat_simplify.Simp
+module Cdcl = Rtlsat_sat.Cdcl
+module Dimacs = Rtlsat_sat.Dimacs
+module Bitblast = Rtlsat_baselines.Bitblast
+module Solver = Rtlsat_core.Solver
+module Engines = Rtlsat_harness.Engines
+module Registry = Rtlsat_itc99.Registry
+module Bmc = Rtlsat_bmc.Bmc
+module Unroll = Rtlsat_bmc.Unroll
+module Obs = Rtlsat_obs.Obs
+module Case = Rtlsat_fuzz.Case
+module Gen = Rtlsat_fuzz.Gen
+module P = Rtlsat_constr.Problem
+module T = Rtlsat_constr.Types
+module I = Rtlsat_interval.Interval
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* DIMACS-style literal over 0-based solver encoding: [l 1] is
+   variable 0 positive, [l (-1)] its negation *)
+let l n = if n > 0 then 2 * (n - 1) else (2 * (-n - 1)) + 1
+
+let clause lits = Array.of_list (List.map l lits)
+
+let run ?elim ?max_rounds ~nvars cls =
+  Simp.run ?elim ?max_rounds ~nvars ~units:[]
+    ~clauses:(List.map clause cls) ()
+
+(* a clause list is satisfied under a model indexed by variable *)
+let sat_under model cls =
+  List.for_all
+    (fun c ->
+       List.exists
+         (fun n -> if n > 0 then model.(n - 1) else not model.(-n - 1))
+         c)
+    cls
+
+(* ---- the individual passes ---- *)
+
+let test_subsumption () =
+  let cls = [ [ 1; 2 ]; [ 1; 2; 3 ]; [ -1; 3 ] ] in
+  let r = run ~elim:false ~nvars:3 cls in
+  check_int "one clause subsumed" 1 r.Simp.r_stats.Simp.subsumed;
+  check_bool "not unsat" false r.Simp.r_unsat;
+  check_bool "superset clause gone" true
+    (not (List.exists (fun c -> Array.length c = 3) r.Simp.r_clauses))
+
+let test_self_subsumption () =
+  (* (1 2) with (-1 2 3): the resolvent on 1 strengthens the second
+     clause to (2 3) *)
+  let r = run ~elim:false ~nvars:3 [ [ 1; 2 ]; [ -1; 2; 3 ] ] in
+  check_int "one literal removed" 1 r.Simp.r_stats.Simp.strengthened;
+  check_bool "strengthened clause present" true
+    (List.exists
+       (fun c -> List.sort compare (Array.to_list c) = [ l 2; l 3 ])
+       r.Simp.r_clauses)
+
+let test_variable_elimination_and_reconstruction () =
+  (* resolving out 1 from (1 2 3) and (-1 2 4) leaves (2 3 4); a model
+     of the residue must extend to the eliminated variable *)
+  let cls = [ [ 1; 2; 3 ]; [ -1; 2; 4 ] ] in
+  let r = run ~nvars:4 cls in
+  check_bool "variables eliminated" true (r.Simp.r_stats.Simp.eliminated >= 1);
+  check_bool "sat residue" false r.Simp.r_unsat;
+  (* everything is eliminable here, so the residue must be empty *)
+  check_int "no clauses left" 0 (List.length r.Simp.r_clauses);
+  let model = Array.make 4 false in
+  List.iter (fun u -> model.(u lsr 1) <- u land 1 = 0) r.Simp.r_units;
+  Simp.extend_model r model;
+  check_bool "reconstructed model satisfies the original" true
+    (sat_under model cls)
+
+let test_failed_literal () =
+  (* assuming -1 propagates 2 and 3 into the conflict (-2 -3), so 1 is
+     a top-level unit *)
+  let r =
+    run ~elim:false ~nvars:3 [ [ 1; 2 ]; [ 1; 3 ]; [ -2; -3 ] ]
+  in
+  check_int "one failed literal" 1 r.Simp.r_stats.Simp.probed;
+  check_bool "1 derived as a unit" true (List.mem (l 1) r.Simp.r_units)
+
+let test_scc_equivalence () =
+  (* (-1 2)(1 -2) make 1 and 2 equivalent; 2 is substituted by 1 *)
+  let r = run ~elim:false ~nvars:3 [ [ -1; 2 ]; [ 1; -2 ]; [ 1; 3 ] ] in
+  check_int "one equivalence" 1 r.Simp.r_stats.Simp.equivs;
+  check_int "2 maps onto 1" (l 1) (Simp.map_lit r.Simp.r_repr (l 2));
+  check_int "-2 maps onto -1" (l (-1)) (Simp.map_lit r.Simp.r_repr (l (-2)))
+
+let test_scc_detects_unsat () =
+  (* 1 -> 2 -> -1 and -1 -> 1: a literal in the same component as its
+     negation *)
+  let r =
+    run ~elim:false ~nvars:2 [ [ -1; 2 ]; [ -2; -1 ]; [ 1; 2 ]; [ 1; -2 ] ]
+  in
+  check_bool "unsat" true r.Simp.r_unsat
+
+let test_frozen_never_eliminated () =
+  let cls = [ [ 1; 2; 3 ]; [ -1; 2; 4 ] ] in
+  let r =
+    Simp.run ~frozen:(fun v -> v = 0) ~nvars:4 ~units:[]
+      ~clauses:(List.map clause cls) ()
+  in
+  check_bool "frozen variable survives" true
+    (not (List.mem_assoc 0 r.Simp.r_elim))
+
+(* ---- CDCL end-to-end: on/off equivalence with model checking ---- *)
+
+(* deterministic random k-CNF text; small enough that both arms always
+   decide *)
+let random_cnf ~seed ~nvars ~nclauses =
+  let rng = Random.State.make [| 0x51a9; seed |] in
+  let b = Buffer.create 256 in
+  Printf.bprintf b "p cnf %d %d\n" nvars nclauses;
+  for _ = 1 to nclauses do
+    let len = 1 + Random.State.int rng 3 in
+    for _ = 1 to len do
+      let v = 1 + Random.State.int rng nvars in
+      Printf.bprintf b "%d "
+        (if Random.State.bool rng then v else -v)
+    done;
+    Buffer.add_string b "0\n"
+  done;
+  Buffer.contents b
+
+let test_solve_text_on_off_agree () =
+  for seed = 0 to 39 do
+    let text = random_cnf ~seed ~nvars:12 ~nclauses:(20 + seed) in
+    let _, cls = Dimacs.parse text in
+    let verdict = function
+      | `Sat _ -> "sat" | `Unsat -> "unsat" | `Timeout -> "timeout"
+    in
+    let on = Dimacs.solve_text ~simplify:true text in
+    let off = Dimacs.solve_text ~simplify:false text in
+    check_string
+      (Printf.sprintf "seed %d verdicts agree" seed)
+      (verdict off) (verdict on);
+    (* a Sat model from the simplified solve must check out against
+       the *original* clauses: this exercises SCC substitution and
+       variable-elimination reconstruction end to end *)
+    (match on with
+     | `Sat model ->
+       check_bool
+         (Printf.sprintf "seed %d reconstructed model satisfies input" seed)
+         true (sat_under model cls)
+     | _ -> ());
+    match Dimacs.solve_text ~simplify:true ~inprocess:16 text with
+    | `Timeout -> Alcotest.fail "inprocessing timed out a tiny CNF"
+    | v ->
+      check_string
+        (Printf.sprintf "seed %d inprocessing verdict" seed)
+        (verdict off) (verdict v)
+  done
+
+(* ---- DIMACS round trip ---- *)
+
+let bitblast_instance inst =
+  let bb = Bitblast.encode (Unroll.combo inst.Bmc.unrolled) in
+  Bitblast.assume_bool bb inst.Bmc.violation true;
+  bb
+
+let test_dimacs_roundtrip () =
+  (* the exported CNF of a bit-blasted instance must parse back and
+     solve to the same verdict as the in-memory clause database *)
+  List.iter
+    (fun (circuit, prop, bound) ->
+       let inst = Registry.instance ~circuit ~prop ~bound in
+       let bb = bitblast_instance inst in
+       let text = Bitblast.to_dimacs bb in
+       let nvars, cls = Dimacs.parse text in
+       check_bool "variables declared" true (nvars > 0);
+       check_bool "clauses exported" true (List.length cls > 0);
+       let direct =
+         match Bitblast.solve bb with
+         | Bitblast.Sat -> "sat"
+         | Bitblast.Unsat -> "unsat"
+         | Bitblast.Timeout -> "timeout"
+       in
+       let roundtrip =
+         match Dimacs.solve_text text with
+         | `Sat _ -> "sat" | `Unsat -> "unsat" | `Timeout -> "timeout"
+       in
+       check_string
+         (Printf.sprintf "%s_%s(%d) round trip" circuit prop bound)
+         direct roundtrip)
+    [ ("b01", "1", 4); ("b02", "1", 4); ("b13", "5", 3) ]
+
+let expect_parse_error ~line ~needle text =
+  match Dimacs.parse text with
+  | _ -> Alcotest.failf "parse accepted malformed input (%s)" needle
+  | exception Failure msg ->
+    let prefix = Printf.sprintf "line %d:" line in
+    let has s =
+      let n = String.length msg and k = String.length s in
+      let rec at i = i + k <= n && (String.sub msg i k = s || at (i + 1)) in
+      at 0
+    in
+    check_bool (Printf.sprintf "%S carries %S" msg prefix) true (has prefix);
+    check_bool (Printf.sprintf "%S mentions %S" msg needle) true (has needle)
+
+let test_dimacs_errors () =
+  expect_parse_error ~line:1 ~needle:"bad problem line" "p cnf x\n1 0\n";
+  expect_parse_error ~line:2 ~needle:"bad variable count" "c ok\np cnf -1 2\n";
+  expect_parse_error ~line:1 ~needle:"clause before the problem line" "1 2 0\n";
+  expect_parse_error ~line:2 ~needle:"bad literal" "p cnf 2 1\n1 two 0\n";
+  expect_parse_error ~line:3 ~needle:"exceeds declared variables"
+    "p cnf 2 2\n1 2 0\n3 0\n";
+  expect_parse_error ~line:1 ~needle:"missing problem line" "c nothing else\n"
+
+(* ---- hybrid clause database ---- *)
+
+(* a problem with redundant bound atoms: x <= 5 subsumes x <= 9 at the
+   clause level once both appear, and the solve must agree with the
+   un-simplified one *)
+let hybrid_problem () =
+  let p = P.create () in
+  let a = P.new_bool p ~name:"a" () in
+  let x = P.new_word p ~name:"x" (I.make 0 100) in
+  let y = P.new_word p ~name:"y" (I.make 0 100) in
+  P.add_constr p (T.Lin_le (T.lin_of_terms [ (1, x); (1, y) ] 90));
+  P.add_constr p (T.Lin_le (T.lin_of_terms [ (1, y); (-1, x) ] 10));
+  ignore a;
+  p
+
+let test_hybrid_on_off_same_result () =
+  let on =
+    Solver.solve_problem
+      ~options:{ Solver.hdpll_sp with Solver.simplify = true }
+      (hybrid_problem ())
+  in
+  let off =
+    Solver.solve_problem
+      ~options:{ Solver.hdpll_sp with Solver.simplify = false }
+      (hybrid_problem ())
+  in
+  check_bool "same verdict" true
+    ((match on.Solver.result with Solver.Sat _ -> "sat" | Solver.Unsat -> "unsat" | _ -> "to")
+     = (match off.Solver.result with Solver.Sat _ -> "sat" | Solver.Unsat -> "unsat" | _ -> "to"))
+
+let test_hybrid_phase_instrumented () =
+  (* the simplify phase must be entered and its counters surfaced when
+     an obs handle is attached.  bound 10 (not 5): b13_1(5) is decided
+     at the root by predicate learning, which short-circuits before the
+     pre-search simplification hook — the phase is only entered on
+     instances that actually reach the search loop *)
+  let obs = Obs.create () in
+  let inst = Registry.instance ~circuit:"b13" ~prop:"1" ~bound:10 in
+  let r = Engines.run_instance ~timeout:20.0 ~obs Engines.Hdpll_sp inst in
+  check_bool "decided" true
+    (match r.Engines.verdict with
+     | Engines.Sat | Engines.Unsat -> true
+     | _ -> false);
+  let s = Obs.snapshot obs in
+  let _, _, calls =
+    List.find (fun (n, _, _) -> n = "simplify") s.Obs.phases
+  in
+  check_bool "simplify phase entered" true (calls >= 1)
+
+let test_engine_simplify_off_matches_seed_behaviour () =
+  (* --no-simplify must reproduce the prior solver exactly: same
+     verdict, same decision/conflict counts with and without the new
+     code path for a deterministic instance *)
+  let inst () = Registry.instance ~circuit:"b13" ~prop:"1" ~bound:10 in
+  let off = Engines.run_instance ~timeout:60.0 ~simplify:false Engines.Hdpll_sp (inst ()) in
+  let on = Engines.run_instance ~timeout:60.0 Engines.Hdpll_sp (inst ()) in
+  check_string "verdicts equal"
+    (Engines.verdict_symbol off.Engines.verdict)
+    (Engines.verdict_symbol on.Engines.verdict);
+  check_bool "off arm decided" true (off.Engines.verdict = Engines.Unsat)
+
+(* ---- the lock-in property: simplify on/off verdict agreement ---- *)
+
+(* every engine, simplify on vs off (plus the bit-blast export through
+   the DIMACS front end, on and off): all non-timeout verdicts on a
+   random circuit must agree.  Sat answers are only reported after the
+   witness replayed through the simulator inside [run_instance], so an
+   unsound reconstruction surfaces as Abort and fails the property. *)
+let simplify_verdict_agreement =
+  QCheck.Test.make ~count:30 ~name:"simplify on/off verdicts agree"
+    QCheck.(small_nat)
+    (fun seed ->
+       let case =
+         Gen.circuit ~seed ~cfg:{ Gen.default with Gen.max_nodes = 10 } ()
+       in
+       let inst = Case.instance case in
+       let module E = Engines in
+       let run simplify engine =
+         (E.run_instance ~timeout:2.0 ~simplify engine inst).E.verdict
+       in
+       let engine_vs =
+         List.concat_map
+           (fun e -> [ run true e; run false e ])
+           [ E.Hdpll; E.Hdpll_s; E.Hdpll_p; E.Hdpll_sp; E.Bitblast ]
+       in
+       let dimacs_vs =
+         let text = Bitblast.to_dimacs (bitblast_instance inst) in
+         List.map
+           (fun simplify ->
+              match Dimacs.solve_text ~deadline:(Unix.gettimeofday () +. 2.0)
+                      ~simplify text with
+              | `Sat _ -> E.Sat
+              | `Unsat -> E.Unsat
+              | `Timeout -> E.Timeout)
+           [ true; false ]
+       in
+       let vs = engine_vs @ dimacs_vs in
+       if List.exists (function E.Abort _ -> true | _ -> false) vs then false
+       else
+         match
+           List.filter (function E.Sat | E.Unsat -> true | _ -> false) vs
+         with
+         | [] -> true (* timeouts never count as disagreement *)
+         | v :: rest -> List.for_all (( = ) v) rest)
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "self-subsumption" `Quick test_self_subsumption;
+          Alcotest.test_case "variable elimination + reconstruction" `Quick
+            test_variable_elimination_and_reconstruction;
+          Alcotest.test_case "failed literal" `Quick test_failed_literal;
+          Alcotest.test_case "scc equivalence" `Quick test_scc_equivalence;
+          Alcotest.test_case "scc unsat" `Quick test_scc_detects_unsat;
+          Alcotest.test_case "frozen variables" `Quick
+            test_frozen_never_eliminated;
+        ] );
+      ( "cdcl",
+        [
+          Alcotest.test_case "on/off + models on random CNF" `Quick
+            test_solve_text_on_off_agree;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "round trip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "malformed input errors" `Quick test_dimacs_errors;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "on/off same result" `Quick
+            test_hybrid_on_off_same_result;
+          Alcotest.test_case "phase instrumented" `Quick
+            test_hybrid_phase_instrumented;
+          Alcotest.test_case "off reproduces seed behaviour" `Quick
+            test_engine_simplify_off_matches_seed_behaviour;
+        ] );
+      Qutil.qsuite "equivalence" [ simplify_verdict_agreement ];
+    ]
