@@ -28,6 +28,7 @@ module Engines = Rtlsat_harness.Engines
 module Tables = Rtlsat_harness.Tables
 module Report = Rtlsat_harness.Report
 module Json = Rtlsat_obs.Json
+module Ledger = Rtlsat_obs.Ledger
 module Registry = Rtlsat_itc99.Registry
 module Bmc = Rtlsat_bmc.Bmc
 module Unroll = Rtlsat_bmc.Unroll
@@ -40,6 +41,8 @@ module Solver = Rtlsat_core.Solver
 let opt_full = ref (Sys.getenv_opt "RTLSAT_FULL" = Some "1")
 let opt_json = ref false
 let opt_json_file = ref ""
+let opt_ledger = ref ""
+let opt_no_ledger = ref false
 let subcommand = ref "all"
 
 let usage =
@@ -55,6 +58,11 @@ let spec =
        " Write a BENCH_<timestamp>.json perf-trajectory artifact");
       ("--json-file", Arg.Set_string opt_json_file,
        "FILE Override the artifact path (default BENCH_<timestamp>.json)");
+      ("--ledger", Arg.Set_string opt_ledger,
+       "FILE Append the run record to this ledger \
+        (default $RTLSAT_LEDGER or .rtlsat/ledger.jsonl)");
+      ("--no-ledger", Arg.Set opt_no_ledger,
+       " Do not append a rtlsat.run/1 record to the cross-run ledger");
     ]
 
 let anon cmd =
@@ -258,7 +266,31 @@ let bench_artifact () =
   Format.printf
     "compare against a committed baseline with: rtlsat bench-diff \
      BENCH_<old>.json %s@."
-    path
+    path;
+  path
+
+(* one rtlsat.run/1 record per invocation, same ledger the rtlsat
+   subcommands append to — so `rtlsat runs` sees bench runs too *)
+let ledger_append ~wall_s ~artifact =
+  if not !opt_no_ledger then begin
+    let path =
+      if !opt_ledger <> "" then !opt_ledger else Ledger.default_path ()
+    in
+    let options =
+      Printf.sprintf "scale=%s,json=%b" (Tables.scale_name (scale ())) !opt_json
+    in
+    let record =
+      Ledger.make ~subcommand:"bench" ~argv:(Array.to_list Sys.argv)
+        ~instance:!subcommand ~engine:"all" ~options ~verdict:"ok" ~wall_s
+        ~counters:[]
+        ~artifacts:(match artifact with None -> [] | Some a -> [ ("bench", a) ])
+        ()
+    in
+    try Ledger.append ~path record with
+    | Sys_error msg -> Format.eprintf "bench: ledger: %s@." msg
+    | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "bench: ledger: %s@." (Unix.error_message e)
+  end
 
 let () =
   Arg.parse spec anon usage;
@@ -266,25 +298,31 @@ let () =
     "rtlsat benchmark harness — reproduction of DAC'05 \"Structural Search@.\
      for RTL with Predicate Learning\" (%s)@.@."
     (if !opt_full then "FULL matrix" else "scaled bounds; --full or RTLSAT_FULL=1 for the paper's");
-  if !opt_json then bench_artifact ()
-  else
-    match !subcommand with
-    | "table1" -> table1 ()
-    | "table2" -> table2 ()
-    | "micro" -> micro ()
-    | "ablation" -> ablation ()
-    | "extension" -> extension ()
-    | "wide_wrap" -> wide_wrap ()
-    | "sweep" -> sweep ()
-    | "bmc_sweep" -> bmc_sweep ()
-    | "simplify" -> simplify ()
-    | _ ->
-      table1 ();
-      Format.printf "@.";
-      table2 ();
-      extension ();
-      wide_wrap ();
-      bmc_sweep ();
-      simplify ();
-      ablation ();
-      micro ()
+  let t0 = Unix.gettimeofday () in
+  let artifact =
+    if !opt_json then Some (bench_artifact ())
+    else begin
+      (match !subcommand with
+       | "table1" -> table1 ()
+       | "table2" -> table2 ()
+       | "micro" -> micro ()
+       | "ablation" -> ablation ()
+       | "extension" -> extension ()
+       | "wide_wrap" -> wide_wrap ()
+       | "sweep" -> sweep ()
+       | "bmc_sweep" -> bmc_sweep ()
+       | "simplify" -> simplify ()
+       | _ ->
+         table1 ();
+         Format.printf "@.";
+         table2 ();
+         extension ();
+         wide_wrap ();
+         bmc_sweep ();
+         simplify ();
+         ablation ();
+         micro ());
+      None
+    end
+  in
+  ledger_append ~wall_s:(Unix.gettimeofday () -. t0) ~artifact

@@ -11,6 +11,8 @@
      profile            replay a --trace file and diagnose the run
      top                live (or post-hoc) monitor over a heartbeat trace
      metrics            OpenMetrics text exposition of a stats/metrics JSON
+     runs               list and filter the cross-run ledger
+     trace-diff         first divergence between two traces of one instance
      bench-diff         compare two BENCH_*.json perf artifacts
      bench-history      perf trajectory across a directory of artifacts
      table1 / table2    regenerate the paper's tables
@@ -33,6 +35,8 @@ module Recorder = Rtlsat_obs.Recorder
 module Heartbeat = Rtlsat_obs.Heartbeat
 module Openmetrics = Rtlsat_obs.Openmetrics
 module Json = Rtlsat_obs.Json
+module Ledger = Rtlsat_obs.Ledger
+module Trace_diff = Rtlsat_obs.Trace_diff
 module Fuzz = Rtlsat_fuzz.Fuzz
 module Fuzz_gen = Rtlsat_fuzz.Gen
 module Fuzz_case = Rtlsat_fuzz.Case
@@ -75,6 +79,43 @@ let read_json_file path =
   | exception Json.Parse_error msg ->
     Format.eprintf "rtlsat: %s: malformed JSON: %s@." path msg;
     exit 2
+
+(* ---- the cross-run ledger (solve / sweep / sat / fuzz append;
+   [rtlsat runs] reads) ---- *)
+
+(* [Some path] = append there; [None] = --no-ledger *)
+let ledger_term =
+  let path =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Append this run's rtlsat.run/1 record to $(docv) instead of \
+                 the default ledger (\\$RTLSAT_LEDGER, or \
+                 .rtlsat/ledger.jsonl); list it with $(b,rtlsat runs)")
+  in
+  let off =
+    Arg.(value & flag & info [ "no-ledger" ]
+           ~doc:"Do not append a run record to the ledger")
+  in
+  Term.(
+    const (fun path off ->
+        if off then None
+        else
+          Some (match path with Some p -> p | None -> Ledger.default_path ()))
+    $ path $ off)
+
+(* bookkeeping must never fail the run: warn and continue *)
+let ledger_append ledger ~subcommand ~instance ~engine ~options ~verdict
+    ~wall_s ~counters ~artifacts =
+  match ledger with
+  | None -> ()
+  | Some path ->
+    let record =
+      Ledger.make ~subcommand ~argv:(Array.to_list Sys.argv) ~instance ~engine
+        ~options ~verdict ~wall_s ~counters ~artifacts ()
+    in
+    (try Ledger.append ~path record with
+     | Sys_error msg -> Format.eprintf "rtlsat: ledger: %s@." msg
+     | Unix.Unix_error (e, _, _) ->
+       Format.eprintf "rtlsat: ledger: %s: %s@." path (Unix.error_message e))
 
 let engine_conv =
   let all =
@@ -245,7 +286,7 @@ let solve_cmd =
   in
   let run case_file circuit prop bound engine timeout stats_json trace_out
       dump_graph dump_graph_max progress split simplify inprocess flight
-      flight_out heartbeat metrics_out =
+      flight_out heartbeat metrics_out ledger =
     let inst, label =
       match (case_file, circuit, prop, bound) with
       | Some file, None, None, None ->
@@ -387,10 +428,38 @@ let solve_cmd =
           Format.eprintf "rtlsat: cannot write metrics file: %s@." msg;
           exit 2)
      | None -> ());
+    let dumped =
+      match r.Engines.verdict with
+      | Engines.Timeout | Engines.Abort _ -> dump_flight ()
+      | Engines.Sat | Engines.Unsat -> false
+    in
+    ledger_append ledger ~subcommand:"solve" ~instance:label
+      ~engine:(Engines.engine_name engine)
+      ~options:
+        (Printf.sprintf "bound=%d,split=%b,simplify=%b,inprocess=%d" bound
+           split simplify inprocess)
+      ~verdict:(Report.verdict_string r.Engines.verdict)
+      ~wall_s:r.Engines.time
+      ~counters:
+        ([
+           ("decisions", r.Engines.decisions);
+           ("conflicts", r.Engines.conflicts);
+           ("relations", r.Engines.relations);
+         ]
+         @
+         match r.Engines.stats with
+         | Some st -> [ ("splits", st.Rtlsat_core.Solver.splits) ]
+         | None -> [])
+      ~artifacts:
+        (List.concat
+           [
+             (match trace_out with Some p -> [ ("trace", p) ] | None -> []);
+             (match stats_json with Some p -> [ ("stats", p) ] | None -> []);
+             (match metrics_out with Some p -> [ ("metrics", p) ] | None -> []);
+             (if dumped then [ ("flight", flight_out) ] else []);
+           ]);
     match r.Engines.verdict with
-    | Engines.Timeout | Engines.Abort _ ->
-      ignore (dump_flight ());
-      exit 1
+    | Engines.Timeout | Engines.Abort _ -> exit 1
     | Engines.Sat | Engines.Unsat -> ()
   in
   Cmd.v
@@ -399,7 +468,7 @@ let solve_cmd =
     Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
           $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress
           $ split $ simplify $ inprocess $ flight $ flight_out $ heartbeat
-          $ metrics_out)
+          $ metrics_out $ ledger_term)
 
 (* ---- check: external netlist files ---- *)
 
@@ -515,6 +584,26 @@ let sweep_cmd =
            ~doc:"Write the sweep's cumulative metrics in OpenMetrics text \
                  exposition format")
   in
+  let flight =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "flight-recorder-on" ]
+                   ~doc:"Keep the flight recorder armed (default): a bounded \
+                         in-memory ring of the last trace events, dumped for \
+                         $(b,rtlsat profile) when any bound times out, the \
+                         sweep dies, or it receives SIGUSR1" );
+               ( false,
+                 info [ "no-flight-recorder" ]
+                   ~doc:"Disarm the flight recorder (and, with no other \
+                         observability flag, run fully uninstrumented)" ) ])
+  in
+  let flight_out =
+    Arg.(value & opt string "rtlsat.flight.jsonl"
+         & info [ "flight-recorder" ] ~docv:"FILE"
+             ~doc:"Where a flight-recorder dump lands; nothing is written \
+                   when every bound ends normally")
+  in
   let simplify =
     Arg.(value
          & vflag true
@@ -535,7 +624,7 @@ let sweep_cmd =
                  every $(docv) conflicts; 0 (default) disables inprocessing")
   in
   let run circuit prop bounds engine timeout scratch trace_out heartbeat
-      metrics_out simplify inprocess =
+      metrics_out flight flight_out simplify inprocess ledger =
     let source, p =
       match Registry.build circuit with
       | c, props ->
@@ -549,7 +638,7 @@ let sweep_cmd =
         exit 2
     in
     let obs =
-      if trace_out <> None || metrics_out <> None then
+      if trace_out <> None || metrics_out <> None || flight then
         Obs.create
           ?trace:
             (Option.map
@@ -559,13 +648,36 @@ let sweep_cmd =
                     Format.eprintf "rtlsat: cannot write trace file: %s@." msg;
                     exit 2)
                trace_out)
+          ?recorder:(if flight then Some (Recorder.create ()) else None)
           ?heartbeat_every:(if heartbeat > 0.0 then Some heartbeat else None)
           ()
       else Obs.disabled
     in
+    let dump_flight () =
+      match Obs.flight_dump obs flight_out with
+      | true ->
+        Format.eprintf
+          "flight recorder dumped to %s; replay with: rtlsat profile %s@."
+          flight_out flight_out;
+        true
+      | false -> false
+      | exception Sys_error msg ->
+        Format.eprintf "rtlsat: cannot dump flight recorder: %s@." msg;
+        false
+    in
+    if flight then
+      (try
+         Sys.set_signal Sys.sigusr1
+           (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
+       with Invalid_argument _ | Sys_error _ -> ());
     let steps =
-      Engines.run_sweep ~timeout ~obs ~simplify ~inprocess engine source
-        ~prop:p ~bounds
+      try
+        Engines.run_sweep ~timeout ~obs ~simplify ~inprocess engine source
+          ~prop:p ~bounds
+      with e ->
+        (* post-mortem for crashes, matching solve *)
+        ignore (dump_flight ());
+        raise e
     in
     (match metrics_out with
      | Some path ->
@@ -617,14 +729,58 @@ let sweep_cmd =
     (match trace_out with
      | Some path -> Format.printf "trace written to %s@." path
      | None -> ());
-    if
+    let bad =
       List.exists
         (fun (step : Engines.sweep_step) ->
            match step.Engines.sw_run.Engines.verdict with
            | Engines.Timeout | Engines.Abort _ -> true
            | Engines.Sat | Engines.Unsat -> false)
         steps
-    then exit 1
+    in
+    let dumped = if bad then dump_flight () else false in
+    let sweep_verdict =
+      let has v =
+        List.exists
+          (fun (s : Engines.sweep_step) ->
+             match (s.Engines.sw_run.Engines.verdict, v) with
+             | Engines.Timeout, `T | Engines.Abort _, `A -> true
+             | _ -> false)
+          steps
+      in
+      if has `T then "timeout"
+      else if has `A then "abort"
+      else
+        match List.rev steps with
+        | last :: _ -> Report.verdict_string last.Engines.sw_run.Engines.verdict
+        | [] -> "abort"
+    in
+    let total c =
+      List.fold_left
+        (fun acc (s : Engines.sweep_step) -> acc + c s.Engines.sw_run)
+        0 steps
+    in
+    ledger_append ledger ~subcommand:"sweep"
+      ~instance:(Printf.sprintf "%s_%s" circuit prop)
+      ~engine:(Engines.engine_name engine)
+      ~options:
+        (Printf.sprintf "bounds=%s,simplify=%b,inprocess=%d"
+           (String.concat ";" (List.map string_of_int bounds))
+           simplify inprocess)
+      ~verdict:sweep_verdict ~wall_s:!incr_total
+      ~counters:
+        [
+          ("bounds", List.length steps);
+          ("decisions", total (fun r -> r.Engines.decisions));
+          ("conflicts", total (fun r -> r.Engines.conflicts));
+        ]
+      ~artifacts:
+        (List.concat
+           [
+             (match trace_out with Some p -> [ ("trace", p) ] | None -> []);
+             (match metrics_out with Some p -> [ ("metrics", p) ] | None -> []);
+             (if dumped then [ ("flight", flight_out) ] else []);
+           ]);
+    if bad then exit 1
   in
   Cmd.v
     (Cmd.info "sweep" ~exits:std_exits
@@ -632,7 +788,8 @@ let sweep_cmd =
              session: learned clauses, predicate relations and heuristic \
              state carry from bound to bound")
     Term.(const run $ circuit $ prop $ bounds $ engine $ timeout $ scratch
-          $ trace_out $ heartbeat $ metrics_out $ simplify $ inprocess)
+          $ trace_out $ heartbeat $ metrics_out $ flight $ flight_out
+          $ simplify $ inprocess $ ledger_term)
 
 (* ---- prove: k-induction ---- *)
 
@@ -701,16 +858,63 @@ let sat_cmd =
                  strengthened, eliminated, probed, equivalences, rounds) and \
                  final clause/variable counts as JSON")
   in
-  let run file timeout simplify inprocess stats_json =
+  let flight =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "flight-recorder-on" ]
+                   ~doc:"Keep the flight recorder armed (default): a bounded \
+                         in-memory ring of the last CDCL trace events \
+                         (decisions, conflicts, restarts, heartbeats), dumped \
+                         for $(b,rtlsat profile) when the solve times out, \
+                         dies, or receives SIGUSR1" );
+               ( false,
+                 info [ "no-flight-recorder" ]
+                   ~doc:"Disarm the flight recorder and run uninstrumented" ) ])
+  in
+  let flight_out =
+    Arg.(value & opt string "rtlsat.flight.jsonl"
+         & info [ "flight-recorder" ] ~docv:"FILE"
+             ~doc:"Where a flight-recorder dump lands; nothing is written \
+                   when the solve ends normally")
+  in
+  let run file timeout simplify inprocess stats_json flight flight_out ledger =
     let ic = open_in_bin file in
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    let deadline = Unix.gettimeofday () +. timeout in
+    let obs =
+      if flight then Obs.create ~recorder:(Recorder.create ()) ~heartbeat_every:1.0 ()
+      else Obs.disabled
+    in
+    let dump_flight () =
+      match Obs.flight_dump obs flight_out with
+      | true ->
+        Format.eprintf
+          "flight recorder dumped to %s; replay with: rtlsat profile %s@."
+          flight_out flight_out;
+        true
+      | false -> false
+      | exception Sys_error msg ->
+        Format.eprintf "rtlsat: cannot dump flight recorder: %s@." msg;
+        false
+    in
+    if flight then
+      (try
+         Sys.set_signal Sys.sigusr1
+           (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
+       with Invalid_argument _ | Sys_error _ -> ());
+    let t_start = Unix.gettimeofday () in
+    let deadline = t_start +. timeout in
     let solver_out = ref None in
     let result =
-      Rtlsat_sat.Dimacs.solve_text ~deadline ~simplify ~inprocess ~solver_out
-        text
+      try
+        Rtlsat_sat.Dimacs.solve_text ~deadline ~simplify ~inprocess ~solver_out
+          ~obs text
+      with e ->
+        ignore (dump_flight ());
+        raise e
     in
+    let wall = Unix.gettimeofday () -. t_start in
     Rtlsat_sat.Dimacs.print_result Format.std_formatter result;
     (match (stats_json, !solver_out) with
      | Some path, Some solver ->
@@ -740,12 +944,40 @@ let sat_cmd =
               ("conflicts", Json.Int (Rtlsat_sat.Cdcl.n_conflicts solver)) ]);
        Format.printf "stats written to %s@." path
      | _ -> ());
+    let dumped =
+      match result with `Timeout -> dump_flight () | `Sat _ | `Unsat -> false
+    in
+    ledger_append ledger ~subcommand:"sat"
+      ~instance:(Filename.basename file) ~engine:"cdcl"
+      ~options:(Printf.sprintf "simplify=%b,inprocess=%d" simplify inprocess)
+      ~verdict:
+        (match result with
+         | `Sat _ -> "sat"
+         | `Unsat -> "unsat"
+         | `Timeout -> "timeout")
+      ~wall_s:wall
+      ~counters:
+        (match !solver_out with
+         | Some solver ->
+           [
+             ("vars", Rtlsat_sat.Cdcl.n_vars solver);
+             ("clauses", Rtlsat_sat.Cdcl.n_clauses solver);
+             ("conflicts", Rtlsat_sat.Cdcl.n_conflicts solver);
+           ]
+         | None -> [])
+      ~artifacts:
+        (List.concat
+           [
+             (match stats_json with Some p -> [ ("stats", p) ] | None -> []);
+             (if dumped then [ ("flight", flight_out) ] else []);
+           ]);
     match result with `Timeout -> exit 1 | `Sat _ | `Unsat -> ()
   in
   Cmd.v
     (Cmd.info "sat" ~exits:std_exits
        ~doc:"Solve a DIMACS CNF file with the CDCL engine")
-    Term.(const run $ file $ timeout $ simplify $ inprocess $ stats_json)
+    Term.(const run $ file $ timeout $ simplify $ inprocess $ stats_json
+          $ flight $ flight_out $ ledger_term)
 
 (* ---- export ---- *)
 
@@ -852,7 +1084,7 @@ let fuzz_cmd =
                  $(docv) conflicts (0 disables)")
   in
   let run seed count max_nodes max_regs deadline timeout json_out out_dir
-      verbose trace_out simplify inprocess =
+      verbose trace_out simplify inprocess ledger =
     let obs =
       Obs.create
         ?trace:
@@ -925,6 +1157,28 @@ let fuzz_cmd =
     (match trace_out with
      | Some path -> Format.printf "trace written to %s@." path
      | None -> ());
+    ledger_append ledger ~subcommand:"fuzz"
+      ~instance:(Printf.sprintf "seed%d" seed) ~engine:"all"
+      ~options:
+        (Printf.sprintf
+           "count=%d,max_nodes=%d,max_regs=%d,simplify=%b,inprocess=%d" count
+           max_nodes max_regs simplify inprocess)
+      ~verdict:(if s.Fuzz.failures = [] then "ok" else "failures")
+      ~wall_s:s.Fuzz.wall
+      ~counters:
+        [
+          ("instances", s.Fuzz.instances);
+          ("sat", s.Fuzz.sat);
+          ("unsat", s.Fuzz.unsat);
+          ("timeouts", s.Fuzz.timeouts);
+          ("failures", List.length s.Fuzz.failures);
+        ]
+      ~artifacts:
+        (List.concat
+           [
+             (match json_out with Some p -> [ ("summary", p) ] | None -> []);
+             (match trace_out with Some p -> [ ("trace", p) ] | None -> []);
+           ]);
     if s.Fuzz.failures <> [] then exit 1
   in
   Cmd.v
@@ -932,7 +1186,8 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random circuits, all engines \
              cross-checked, failures shrunk")
     Term.(const run $ seed $ count $ max_nodes $ max_regs $ deadline $ timeout
-          $ json_out $ out_dir $ verbose $ trace_out $ simplify $ inprocess)
+          $ json_out $ out_dir $ verbose $ trace_out $ simplify $ inprocess
+          $ ledger_term)
 
 (* ---- profile: the trace-replay profiler ---- *)
 
@@ -998,6 +1253,12 @@ let top_cmd =
       v.Heartbeat.v_cps;
     Format.fprintf fmt "  propagations %12d  %10.0f/s@."
       v.Heartbeat.v_propagations v.Heartbeat.v_pps;
+    (* trace/7 GC fields; pre-v7 traces leave the column at zero *)
+    if v.Heartbeat.v_heap_mb > 0.0 then
+      Format.fprintf fmt "  heap         %10.1f MB  (major %.2e words, %d compaction%s)@."
+        v.Heartbeat.v_heap_mb v.Heartbeat.v_major_words
+        v.Heartbeat.v_compactions
+        (if v.Heartbeat.v_compactions = 1 then "" else "s");
     Format.fprintf fmt "  splits %d, stalls %d, width shaved %d, level %d@."
       v.Heartbeat.v_splits v.Heartbeat.v_stalls v.Heartbeat.v_shaved
       v.Heartbeat.v_lvl;
@@ -1126,6 +1387,113 @@ let metrics_cmd =
        ~doc:"Convert a stats/metrics JSON report into the OpenMetrics text \
              exposition format (Prometheus-compatible, trailing # EOF)")
     Term.(const run $ file $ out)
+
+(* ---- runs: list and filter the cross-run ledger ---- *)
+
+let runs_cmd =
+  let ledger_file =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Read this ledger instead of the default \
+                 (\\$RTLSAT_LEDGER, or .rtlsat/ledger.jsonl)")
+  in
+  let instance =
+    Arg.(value & opt (some string) None & info [ "instance" ] ~docv:"NAME"
+           ~doc:"Only runs of this instance")
+  in
+  let engine =
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Only runs of this engine")
+  in
+  let last =
+    Arg.(value & opt (some int) None & info [ "last" ] ~docv:"N"
+           ~doc:"Only the N most recent matching runs")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the listing as JSON (schema rtlsat.runs/1) with the \
+                 full ledger records and the slow-run flag")
+  in
+  let run ledger_file instance engine last json =
+    let path =
+      match ledger_file with Some p -> p | None -> Ledger.default_path ()
+    in
+    let all = Ledger.load ~path in
+    let rs = Ledger.filter ?instance ?engine ?last all in
+    if json then begin
+      (* the slow flag compares each run against the whole ledger's
+         median for its (instance, engine, options) key, not just the
+         filtered view *)
+      let runs_json =
+        List.map
+          (fun (r : Ledger.record) ->
+             match r.Ledger.json with
+             | Json.Obj fields ->
+               Json.Obj (fields @ [ ("slow", Json.Bool (Ledger.slow all r)) ])
+             | j -> j)
+          rs
+      in
+      Json.to_channel stdout
+        (Json.Obj
+           [
+             ("schema", Json.Str Ledger.runs_schema);
+             ("ledger", Json.Str path);
+             ("runs", Json.Arr runs_json);
+           ]);
+      print_newline ()
+    end
+    else if rs = [] then Format.printf "no matching runs in %s@." path
+    else begin
+      Format.printf "%-20s %-6s %-24s %-14s %-8s %9s@." "ts" "cmd" "instance"
+        "engine" "verdict" "wall";
+      List.iter
+        (fun (r : Ledger.record) ->
+           Format.printf "%-20s %-6s %-24s %-14s %-8s %8.2fs%s@." r.Ledger.ts
+             r.Ledger.subcommand r.Ledger.instance r.Ledger.engine
+             r.Ledger.verdict r.Ledger.wall_s
+             (if Ledger.slow all r then
+                Printf.sprintf "  SLOW (median %.2fs)"
+                  (Ledger.group_median all r)
+              else ""))
+        rs;
+      Format.printf "%d of %d run%s in %s@." (List.length rs) (List.length all)
+        (if List.length all = 1 then "" else "s")
+        path
+    end
+  in
+  Cmd.v
+    (Cmd.info "runs" ~exits:std_exits
+       ~doc:"List and filter the cross-run ledger appended by \
+             solve/sweep/sat/fuzz/bench: one line per run with verdict, wall \
+             time and a flag for runs slower than the ledger median for the \
+             same (instance, engine, options)")
+    Term.(const run $ ledger_file $ instance $ engine $ last $ json)
+
+(* ---- trace-diff: first divergence between two traces ---- *)
+
+let trace_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+           ~doc:"The reference trace (e.g. before a change)")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"The trace to compare against it")
+  in
+  let run old_file new_file =
+    match Trace_diff.diff ~old_file ~new_file with
+    | d ->
+      Trace_diff.print Format.std_formatter d;
+      if Trace_diff.exit_code d <> 0 then exit 1
+    | exception Sys_error msg ->
+      Format.eprintf "rtlsat: %s@." msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "trace-diff" ~exits:std_exits
+       ~doc:"Align two --trace files of the same instance, name the first \
+             divergent decision/split/conflict and report per-phase time and \
+             counter deltas; exits 1 when the verdicts diverge")
+    Term.(const run $ old_file $ new_file)
 
 (* ---- bench-diff: perf-trajectory comparison ---- *)
 
@@ -1276,6 +1644,8 @@ let () =
             profile_cmd;
             top_cmd;
             metrics_cmd;
+            runs_cmd;
+            trace_diff_cmd;
             bench_diff_cmd;
             bench_history_cmd;
             table1_cmd;

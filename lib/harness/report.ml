@@ -61,6 +61,7 @@ let solve_json ~instance ~bound engine r =
       (("schema", Json.Str "rtlsat.solve/1")
        :: ("instance", Json.Str instance)
        :: ("bound", Json.Int bound)
+       :: ("env", Rtlsat_obs.Env.fingerprint_json ())
        :: fields)
   | v -> v
 
@@ -177,6 +178,7 @@ let bench_json ~generated_at ~scale ~sections =
       ("schema", Json.Str "rtlsat.bench/1");
       ("generated_at", Json.Str generated_at);
       ("scale", Json.Str scale);
+      ("env", Rtlsat_obs.Env.fingerprint_json ());
       ("sections", Json.Obj sections);
     ]
 

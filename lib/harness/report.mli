@@ -25,7 +25,8 @@ val run_json : Engines.engine -> Engines.run -> Json.t
 
 val solve_json : instance:string -> bound:int -> Engines.engine -> Engines.run -> Json.t
 (** Top-level object of [rtlsat solve --stats-json]
-    (schema ["rtlsat.solve/1"]). *)
+    (schema ["rtlsat.solve/1"]); carries the {!Rtlsat_obs.Env}
+    fingerprint under ["env"]. *)
 
 val t1_row_json : Tables.t1_row -> Json.t
 val t2_row_json : Tables.t2_row -> Json.t
@@ -58,7 +59,9 @@ val bench_json :
   Json.t
 (** The perf-trajectory artifact (schema ["rtlsat.bench/1"]):
     [sections] maps section names (["table1"], ["table2"], …) to
-    their [table*_json] payloads. *)
+    their [table*_json] payloads.  Carries the {!Rtlsat_obs.Env}
+    fingerprint under ["env"], so every committed baseline is
+    self-describing. *)
 
 (* ---- bench-diff ---- *)
 

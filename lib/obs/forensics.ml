@@ -202,6 +202,8 @@ let trace_versions =
          decides)");
     (5, "+ live telemetry (heartbeat, recorder, sweep.bound/sweep.result)");
     (6, "+ simplify.pass (pre/inprocessing over the clause databases)");
+    (7, "+ GC/memory telemetry on heartbeats (major_words, heap_mb, \
+         compactions)");
   ]
 
 let max_trace_version =

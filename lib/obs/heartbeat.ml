@@ -18,6 +18,9 @@ type t = {
   mutable last_decisions : int;
   mutable last_conflicts : int;
   mutable last_propagations : int;
+  mutable last_dps : float;
+  mutable last_cps : float;
+  mutable last_pps : float;
 }
 
 let create ~every =
@@ -30,6 +33,9 @@ let create ~every =
     last_decisions = 0;
     last_conflicts = 0;
     last_propagations = 0;
+    last_dps = 0.0;
+    last_cps = 0.0;
+    last_pps = 0.0;
   }
 
 let due t now = now >= t.next_due
@@ -37,29 +43,37 @@ let due t now = now >= t.next_due
 let beat t ~now ~now_rel ~decisions ~conflicts ~propagations ~splits ~stalls
     ~shaved ~lvl =
   let dt = now_rel -. t.last_rel in
-  let rate cur last =
-    if dt <= 0.0 then 0.0 else float_of_int (cur - last) /. dt
-  in
   t.seq <- t.seq + 1;
+  (* non-monotonic or zero [dt] (the wall clock stepped backwards, or
+     two beats landed on the same clock reading): the rate math would
+     produce negative or infinite values, so keep the previous rates
+     and leave the delta baseline frozen — the next monotonic beat
+     amortises the whole span.  Totals always carry forward in the
+     emitted fields. *)
+  if dt > 0.0 then begin
+    t.last_dps <- float_of_int (decisions - t.last_decisions) /. dt;
+    t.last_cps <- float_of_int (conflicts - t.last_conflicts) /. dt;
+    t.last_pps <- float_of_int (propagations - t.last_propagations) /. dt;
+    t.last_rel <- now_rel;
+    t.last_decisions <- decisions;
+    t.last_conflicts <- conflicts;
+    t.last_propagations <- propagations
+  end;
   let fields =
     [
       ("seq", Json.Int t.seq);
       ("decisions", Json.Int decisions);
-      ("dps", Json.Float (rate decisions t.last_decisions));
+      ("dps", Json.Float t.last_dps);
       ("conflicts", Json.Int conflicts);
-      ("cps", Json.Float (rate conflicts t.last_conflicts));
+      ("cps", Json.Float t.last_cps);
       ("propagations", Json.Int propagations);
-      ("pps", Json.Float (rate propagations t.last_propagations));
+      ("pps", Json.Float t.last_pps);
       ("splits", Json.Int splits);
       ("stalls", Json.Int stalls);
       ("shaved", Json.Int shaved);
       ("lvl", Json.Int lvl);
     ]
   in
-  t.last_rel <- now_rel;
-  t.last_decisions <- decisions;
-  t.last_conflicts <- conflicts;
-  t.last_propagations <- propagations;
   t.next_due <- now +. t.interval;
   fields
 
@@ -86,6 +100,9 @@ type view = {
   mutable v_dps : float;
   mutable v_cps : float;
   mutable v_pps : float;
+  mutable v_heap_mb : float;             (* trace/7 GC fields *)
+  mutable v_major_words : float;
+  mutable v_compactions : int;
   mutable v_bound : int option;          (* from heartbeat context *)
   mutable v_bound_index : int option;
   mutable v_bounds_total : int option;
@@ -111,6 +128,9 @@ let view () =
     v_dps = 0.0;
     v_cps = 0.0;
     v_pps = 0.0;
+    v_heap_mb = 0.0;
+    v_major_words = 0.0;
+    v_compactions = 0;
     v_bound = None;
     v_bound_index = None;
     v_bounds_total = None;
@@ -142,6 +162,10 @@ let view_update v j =
     set (ffloat j "dps") (fun x -> v.v_dps <- x);
     set (ffloat j "cps") (fun x -> v.v_cps <- x);
     set (ffloat j "pps") (fun x -> v.v_pps <- x);
+    (* pre-trace/7 heartbeats simply leave the GC columns at zero *)
+    set (ffloat j "heap_mb") (fun x -> v.v_heap_mb <- x);
+    set (ffloat j "major_words") (fun x -> v.v_major_words <- x);
+    set (fint j "compactions") (fun x -> v.v_compactions <- x);
     v.v_bound <- fint j "bound";
     v.v_bound_index <- fint j "bound_index";
     v.v_bounds_total <- fint j "bounds_total"

@@ -36,7 +36,11 @@ val beat :
 (** Advance the state machine and return the [heartbeat] event fields
     ([seq], totals, rates, [lvl]).  [now] is absolute (for the next
     deadline), [now_rel] is seconds since the owning handle's t0 (for
-    rate deltas, matching the trace timestamps). *)
+    rate deltas, matching the trace timestamps).  Non-monotonic or
+    zero elapsed time between beats (a stepped clock) freezes the
+    delta baseline and re-emits the previous rates instead of
+    producing negative or infinite [dps]/[cps]/[pps]; totals still
+    carry forward. *)
 
 (* ---- the monitor view (rtlsat top) ---- *)
 
@@ -57,6 +61,9 @@ type view = {
   mutable v_dps : float;
   mutable v_cps : float;
   mutable v_pps : float;
+  mutable v_heap_mb : float;        (** trace/7 GC fields; 0 on older traces *)
+  mutable v_major_words : float;
+  mutable v_compactions : int;
   mutable v_bound : int option;
   mutable v_bound_index : int option;
   mutable v_bounds_total : int option;

@@ -48,8 +48,10 @@ type t = {
   enabled : bool;
   self : float array;
   calls : int array;
+  alloc : float array;
   mutable stack : int list;
   mutable mark : float;
+  mutable alloc_mark : float;
   learned_len : Hist.t;
   backjump : Hist.t;
   interval_width : Hist.t;
@@ -61,16 +63,32 @@ type t = {
   progress : progress option;
   mutable forensics : Forensics.t option;
   t0 : float;
+  gc0 : Gc.stat;
+  gc0_minor : float;
 }
+
+(* words allocated so far, minor + major, double-counting avoided
+   ([promoted_words] moved from one heap to the other).  [quick_stat]'s
+   [minor_words] only refreshes at a minor collection on OCaml 5, so
+   the young-pointer-accurate [Gc.minor_words] supplies that term. *)
+let allocated_words () =
+  let q = Gc.quick_stat () in
+  Gc.minor_words () +. q.Gc.major_words -. q.Gc.promoted_words
+
+let heap_mb_of_words words =
+  float_of_int words *. float_of_int (Sys.word_size / 8) /. 1.0e6
 
 let make ~enabled ~trace ~recorder ~heartbeat ~progress =
   let now = Unix.gettimeofday () in
+  let gc0 = Gc.quick_stat () in
   {
     enabled;
     self = Array.make n_phases 0.0;
     calls = Array.make n_phases 0;
+    alloc = Array.make n_phases 0.0;
     stack = [];
     mark = now;
+    alloc_mark = allocated_words ();
     learned_len = Hist.create [| 1; 2; 4; 8; 16; 32; 64; 128 |];
     backjump = Hist.create [| 1; 2; 4; 8; 16; 32; 64; 128 |];
     interval_width = Hist.create [| 0; 1; 3; 7; 15; 63; 255; 1023; 65535 |];
@@ -82,6 +100,8 @@ let make ~enabled ~trace ~recorder ~heartbeat ~progress =
     progress;
     forensics = None;
     t0 = now;
+    gc0;
+    gc0_minor = Gc.minor_words ();
   }
 
 let disabled =
@@ -106,13 +126,17 @@ let tracing t = t.enabled && (t.trace <> None || t.recorder <> None)
 let span_enter t ph =
   if t.enabled then begin
     let now = Unix.gettimeofday () in
+    let words = allocated_words () in
     (match t.stack with
-     | p :: _ -> t.self.(p) <- t.self.(p) +. (now -. t.mark)
+     | p :: _ ->
+       t.self.(p) <- t.self.(p) +. (now -. t.mark);
+       t.alloc.(p) <- t.alloc.(p) +. (words -. t.alloc_mark)
      | [] -> ());
     let i = phase_index ph in
     t.stack <- i :: t.stack;
     t.calls.(i) <- t.calls.(i) + 1;
-    t.mark <- now
+    t.mark <- now;
+    t.alloc_mark <- words
   end
 
 let span_exit t ph =
@@ -121,9 +145,12 @@ let span_exit t ph =
     match t.stack with
     | p :: rest when p = i ->
       let now = Unix.gettimeofday () in
+      let words = allocated_words () in
       t.self.(p) <- t.self.(p) +. (now -. t.mark);
+      t.alloc.(p) <- t.alloc.(p) +. (words -. t.alloc_mark);
       t.stack <- rest;
-      t.mark <- now
+      t.mark <- now;
+      t.alloc_mark <- words
     | _ -> () (* unbalanced (exception unwound past an exit): ignore *)
   end
 
@@ -315,7 +342,18 @@ let heartbeat_tick t ~decisions ~conflicts ~propagations ~splits ~lvl =
           Heartbeat.beat hb ~now ~now_rel:(now -. t.t0) ~decisions ~conflicts
             ~propagations ~splits ~stalls ~shaved ~lvl
         in
-        emit_to_sinks t "heartbeat" (fields @ t.hb_context)
+        (* trace/7: live memory picture on every beat.  Instrumented
+           arm only — the beat is already rate-limited, so the extra
+           [Gc.quick_stat] is amortised away *)
+        let q = Gc.quick_stat () in
+        let gc_fields =
+          [
+            ("major_words", Json.Float q.Gc.major_words);
+            ("heap_mb", Json.Float (heap_mb_of_words q.Gc.heap_words));
+            ("compactions", Json.Int q.Gc.compactions);
+          ]
+        in
+        emit_to_sinks t "heartbeat" (fields @ gc_fields @ t.hb_context)
       end
 
 (* ---- flight recorder ---- *)
@@ -331,9 +369,21 @@ let close t = match t.trace with Some tr -> Trace.close tr | None -> ()
 
 (* ---- snapshots ---- *)
 
+type mem = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  top_heap_words : int;
+}
+
 type snapshot = {
   wall : float;
   phases : (string * float * int) list;
+  phase_alloc : (string * float) list;
   histograms : (string * Hist.summary) list;
   counter_values : (string * int) list;
   trace_events : int;
@@ -341,11 +391,35 @@ type snapshot = {
   splits : int;
   hot_constraints : Forensics.hot_constr list;
   hot_vars : Forensics.hot_var list;
+  mem : mem option;
 }
 
 let snapshot t =
   {
     wall = (if t.enabled then Unix.gettimeofday () -. t.t0 else 0.0);
+    mem =
+      (if not t.enabled then None
+       else begin
+         (* GC deltas over the handle's lifetime; heap sizes absolute *)
+         let q = Gc.quick_stat () in
+         Some
+           {
+             minor_words = Gc.minor_words () -. t.gc0_minor;
+             major_words = q.Gc.major_words -. t.gc0.Gc.major_words;
+             promoted_words = q.Gc.promoted_words -. t.gc0.Gc.promoted_words;
+             minor_collections =
+               q.Gc.minor_collections - t.gc0.Gc.minor_collections;
+             major_collections =
+               q.Gc.major_collections - t.gc0.Gc.major_collections;
+             compactions = q.Gc.compactions - t.gc0.Gc.compactions;
+             heap_words = q.Gc.heap_words;
+             top_heap_words = q.Gc.top_heap_words;
+           }
+       end);
+    phase_alloc =
+      List.map
+        (fun ph -> (phase_name ph, t.alloc.(phase_index ph)))
+        all_phases;
     stalls = (match t.forensics with Some f -> Forensics.stalls f | None -> 0);
     splits = (match t.forensics with Some f -> Forensics.splits f | None -> 0);
     hot_constraints =
@@ -374,7 +448,39 @@ let snapshot t =
     trace_events = (match t.trace with Some tr -> Trace.events tr | None -> 0);
   }
 
+let mem_json = function
+  | None ->
+    (* stable schema: a disabled handle still carries the object *)
+    Json.Obj
+      [
+        ("minor_words", Json.Float 0.0);
+        ("major_words", Json.Float 0.0);
+        ("promoted_words", Json.Float 0.0);
+        ("minor_collections", Json.Int 0);
+        ("major_collections", Json.Int 0);
+        ("compactions", Json.Int 0);
+        ("heap_words", Json.Int 0);
+        ("heap_mb", Json.Float 0.0);
+        ("top_heap_words", Json.Int 0);
+      ]
+  | Some m ->
+    Json.Obj
+      [
+        ("minor_words", Json.Float m.minor_words);
+        ("major_words", Json.Float m.major_words);
+        ("promoted_words", Json.Float m.promoted_words);
+        ("minor_collections", Json.Int m.minor_collections);
+        ("major_collections", Json.Int m.major_collections);
+        ("compactions", Json.Int m.compactions);
+        ("heap_words", Json.Int m.heap_words);
+        ("heap_mb", Json.Float (heap_mb_of_words m.heap_words));
+        ("top_heap_words", Json.Int m.top_heap_words);
+      ]
+
 let snapshot_json s =
+  let alloc_of name =
+    match List.assoc_opt name s.phase_alloc with Some w -> w | None -> 0.0
+  in
   Json.Obj
     [
       ("wall_s", Json.Float s.wall);
@@ -382,13 +488,20 @@ let snapshot_json s =
         Json.Obj
           (List.map
              (fun (name, self, calls) ->
-                (name, Json.Obj [ ("self_s", Json.Float self); ("calls", Json.Int calls) ]))
+                ( name,
+                  Json.Obj
+                    [
+                      ("self_s", Json.Float self);
+                      ("calls", Json.Int calls);
+                      ("alloc_w", Json.Float (alloc_of name));
+                    ] ))
              s.phases) );
       ( "histograms",
         Json.Obj (List.map (fun (name, h) -> (name, Hist.summary_json h)) s.histograms) );
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s.counter_values) );
       ("trace_events", Json.Int s.trace_events);
+      ("mem", mem_json s.mem);
       ( "forensics",
         Json.Obj
           [

@@ -36,8 +36,10 @@ type t = {
   enabled : bool;
   self : float array;              (** per-phase self seconds *)
   calls : int array;               (** per-phase span entries *)
+  alloc : float array;             (** per-phase allocated words (self) *)
   mutable stack : int list;        (** open phases, innermost first *)
   mutable mark : float;            (** time of the last span event *)
+  mutable alloc_mark : float;      (** allocated words at the last span event *)
   learned_len : Hist.t;            (** learned-clause lengths *)
   backjump : Hist.t;               (** backjump distances (levels) *)
   interval_width : Hist.t;         (** word-interval widths after narrowing *)
@@ -55,6 +57,11 @@ type t = {
       (** per-solve attribution table; attached by the solver via
           {!attach_forensics} when the handle is enabled *)
   t0 : float;                      (** handle creation instant *)
+  gc0 : Gc.stat;                   (** GC totals at creation; the
+                                       snapshot [mem] deltas baseline *)
+  gc0_minor : float;               (** [Gc.minor_words ()] at creation —
+                                       exact where [gc0.minor_words] only
+                                       refreshes at a minor collection *)
 }
 
 and progress = {
@@ -126,9 +133,11 @@ val heartbeat_tick :
 (** Rate-limited: at most one [heartbeat] event per configured
     interval, carrying the given totals, their per-second rates since
     the previous beat, stall/shaved totals from the attached
-    forensics, the decision level and the {!set_context} fields.
-    Cheap when not due (one clock read); no-op without a heartbeat
-    configuration.  Call from existing step-count gates only. *)
+    forensics, the decision level, a live GC picture ([major_words],
+    [heap_mb], [compactions] — trace/7) and the {!set_context}
+    fields.  Cheap when not due (one clock read); no-op without a
+    heartbeat configuration.  Call from existing step-count gates
+    only. *)
 
 val flight_dump : t -> string -> bool
 (** Dump the flight-recorder ring to a file ([rtlsat profile] reads
@@ -192,9 +201,24 @@ val close : t -> unit
 
 (* ---- snapshots ---- *)
 
+(** GC/memory picture of one run: allocation and collection deltas
+    over the handle's lifetime ([Gc.quick_stat] at snapshot minus at
+    creation), heap sizes absolute at snapshot time. *)
+type mem = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;        (** major-heap size, words (absolute) *)
+  top_heap_words : int;    (** high-water mark, words (absolute) *)
+}
+
 type snapshot = {
   wall : float;                            (** seconds since creation *)
   phases : (string * float * int) list;    (** name, self seconds, entries *)
+  phase_alloc : (string * float) list;     (** name, self allocated words *)
   histograms : (string * Hist.summary) list;
   counter_values : (string * int) list;    (** sorted by name *)
   trace_events : int;
@@ -204,16 +228,20 @@ type snapshot = {
       (** top-10 constraints by narrowings/time; empty without forensics *)
   hot_vars : Forensics.hot_var list;
       (** top-10 word variables by narrowings; empty without forensics *)
+  mem : mem option;                        (** [None] on a disabled handle *)
 }
 
 val snapshot : t -> snapshot
 (** A disabled handle yields an all-zero snapshot (every phase listed,
-    zero everywhere). *)
+    zero everywhere, [mem = None]). *)
 
 val snapshot_json : snapshot -> Json.t
-(** Stable schema: [{"wall_s", "phases": {name: {"self_s","calls"}},
-    "histograms": {...}, "counters": {...}, "trace_events",
+(** Stable schema: [{"wall_s", "phases": {name:
+    {"self_s","calls","alloc_w"}}, "histograms": {...}, "counters":
+    {...}, "trace_events", "mem": {"minor_words", "major_words",
+    "promoted_words", "minor_collections", "major_collections",
+    "compactions", "heap_words", "heap_mb", "top_heap_words"},
     "forensics": {"stalls", "splits", "hot_constraints": [...],
-    "hot_vars": [...]}}] with every phase present; the forensics
-    object is always present and empty-armed when forensics was never
-    attached.  Documented in docs/OBSERVABILITY.md. *)
+    "hot_vars": [...]}}] with every phase present; the [mem] and
+    [forensics] objects are always present and all-zero / empty-armed
+    when never populated.  Documented in docs/OBSERVABILITY.md. *)

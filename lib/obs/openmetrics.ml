@@ -166,6 +166,22 @@ let forensics b j =
          ~help:"Interval-split decisions this solve" (num v)
      | None -> ())
 
+(* one [rtlsat_gc_<field>] gauge per field of the snapshot's ["mem"]
+   object — the field set is whatever the producing build measured, so
+   iterating keeps reader and writer in lockstep *)
+let mem b j =
+  match obj_member "mem" j with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, v) ->
+         match v with
+         | Json.Int _ | Json.Float _ ->
+           gauge b ~name:("rtlsat_gc_" ^ name)
+             ~help:("GC/memory telemetry: " ^ name) (num v)
+         | _ -> ())
+      fields
+  | _ -> ()
+
 let snapshot_body b j =
   (match obj_member "wall_s" j with
    | Some w ->
@@ -181,6 +197,7 @@ let snapshot_body b j =
      counter b ~name:"rtlsat_trace_events"
        ~help:"Events written to the trace sink" (num v)
    | None -> ());
+  mem b j;
   forensics b j
 
 (* ---- solve-report wrapper ---- *)

@@ -6,7 +6,7 @@ type t = {
   mutable closed : bool;
 }
 
-let schema = "rtlsat.trace/6"
+let schema = "rtlsat.trace/7"
 
 let emit t ~ev fields =
   if not t.closed then begin

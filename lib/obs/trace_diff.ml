@@ -1,0 +1,208 @@
+type side = {
+  file : string;
+  schema : string option;
+  verdict : string option;
+  keys : string array;
+  phases : (string * float) list;
+  counters : (string * int) list;
+}
+
+type divergence = {
+  index : int;
+  older : string option;
+  newer : string option;
+}
+
+type t = {
+  old_side : side;
+  new_side : side;
+  first : divergence option;
+  verdict_diverged : bool;
+}
+
+(* canonical rendering of one key event: a stable field whitelist per
+   kind, so alignment ignores noisy fields (queue sizes, timestamps)
+   but still catches a different variable, arm or learned length *)
+let key_fields = function
+  | "decide" -> [ "kind"; "var"; "lvl" ]
+  | "split" -> [ "var"; "name"; "lo"; "hi"; "mid"; "arm" ]
+  | "conflict" -> [ "lvl"; "bt"; "len" ]
+  | _ -> []
+
+let render_key ev j =
+  let b = Buffer.create 48 in
+  Buffer.add_string b ev;
+  Buffer.add_char b '(';
+  List.iteri
+    (fun i name ->
+       match Json.member name j with
+       | None -> ()
+       | Some v ->
+         if i > 0 && Buffer.length b > String.length ev + 1 then
+           Buffer.add_char b ' ';
+         Buffer.add_string b name;
+         Buffer.add_char b '=';
+         Buffer.add_string b
+           (match v with Json.Str s -> s | v -> Json.to_string v))
+    (key_fields ev);
+  Buffer.add_char b ')';
+  Buffer.contents b
+
+let load_side file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+       let schema = ref None in
+       let verdict = ref None in
+       let keys = ref [] in
+       let nkeys = ref 0 in
+       let phases = ref [] in
+       let done_counters = ref [] in
+       let bump tbl k = Hashtbl.replace tbl k (1 + try Hashtbl.find tbl k with Not_found -> 0) in
+       let ev_counts = Hashtbl.create 8 in
+       (try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match Json.of_string line with
+              | exception Json.Parse_error _ -> () (* torn tail of a killed run *)
+              | j ->
+                (match Json.member "schema" j with
+                 | Some (Json.Str s) when !schema = None -> schema := Some s
+                 | _ -> ());
+                (match Json.member "ev" j with
+                 | Some (Json.Str ev) ->
+                   bump ev_counts ev;
+                   (match ev with
+                    | "decide" | "split" | "conflict" ->
+                      keys := render_key ev j :: !keys;
+                      incr nkeys
+                    | "done" ->
+                      (match Json.member "result" j with
+                       | Some (Json.Str r) -> verdict := Some r
+                       | _ -> ());
+                      List.iter
+                        (fun name ->
+                           match Json.member name j with
+                           | Some (Json.Int n) -> done_counters := (name, n) :: !done_counters
+                           | _ -> ())
+                        [ "conflicts"; "decisions" ]
+                    | "phases" ->
+                      (match Json.member "self_s" j with
+                       | Some (Json.Obj fields) ->
+                         phases :=
+                           List.filter_map
+                             (fun (name, v) ->
+                                Option.map (fun f -> (name, f)) (Json.get_float v))
+                             fields
+                       | _ -> ())
+                    | _ -> ())
+                 | _ -> ())
+          done
+        with End_of_file -> ());
+       let counters =
+         List.rev !done_counters
+         @ List.sort compare
+             (Hashtbl.fold
+                (fun ev n acc ->
+                   match ev with
+                   | "decide" | "split" | "conflict" | "restart" | "icp_stall" ->
+                     ("ev." ^ ev, n) :: acc
+                   | _ -> acc)
+                ev_counts [])
+       in
+       {
+         file;
+         schema = !schema;
+         verdict = !verdict;
+         keys = Array.of_list (List.rev !keys);
+         phases = !phases;
+         counters;
+       })
+
+let first_divergence a b =
+  let na = Array.length a.keys and nb = Array.length b.keys in
+  let n = min na nb in
+  let rec scan i =
+    if i < n then
+      if String.equal a.keys.(i) b.keys.(i) then scan (i + 1)
+      else Some { index = i; older = Some a.keys.(i); newer = Some b.keys.(i) }
+    else if na = nb then None
+    else
+      (* identical prefix, one side kept searching: the divergence is
+         the first event the shorter side never made *)
+      Some
+        {
+          index = n;
+          older = (if na > n then Some a.keys.(n) else None);
+          newer = (if nb > n then Some b.keys.(n) else None);
+        }
+  in
+  scan 0
+
+let diff ~old_file ~new_file =
+  let old_side = load_side old_file in
+  let new_side = load_side new_file in
+  {
+    old_side;
+    new_side;
+    first = first_divergence old_side new_side;
+    verdict_diverged = old_side.verdict <> new_side.verdict;
+  }
+
+let exit_code d = if d.verdict_diverged then 1 else 0
+
+let opt_str = function Some s -> s | None -> "-"
+
+let print fmt d =
+  let o = d.old_side and n = d.new_side in
+  Format.fprintf fmt "trace-diff: %s vs %s@." o.file n.file;
+  Format.fprintf fmt "  schema:  %s | %s@." (opt_str o.schema) (opt_str n.schema);
+  Format.fprintf fmt "  verdict: %s | %s%s@." (opt_str o.verdict) (opt_str n.verdict)
+    (if d.verdict_diverged then "   DIVERGED" else "");
+  Format.fprintf fmt "  key events (decide/split/conflict): %d | %d@."
+    (Array.length o.keys) (Array.length n.keys);
+  (match d.first with
+   | None -> Format.fprintf fmt "  key sequences identical@."
+   | Some dv ->
+     Format.fprintf fmt "  first divergence at key event #%d:@." dv.index;
+     Format.fprintf fmt "    old: %s@."
+       (match dv.older with Some k -> k | None -> "(trace ends)");
+     Format.fprintf fmt "    new: %s@."
+       (match dv.newer with Some k -> k | None -> "(trace ends)"));
+  let phase_names =
+    List.sort_uniq compare (List.map fst o.phases @ List.map fst n.phases)
+  in
+  let lookup l k d = match List.assoc_opt k l with Some v -> v | None -> d in
+  let phase_rows =
+    List.filter_map
+      (fun name ->
+         let a = lookup o.phases name 0.0 and b = lookup n.phases name 0.0 in
+         if Float.abs (b -. a) > 1e-9 then Some (name, a, b) else None)
+      phase_names
+  in
+  if phase_rows <> [] then begin
+    Format.fprintf fmt "  phase deltas (self_s, new-old):@.";
+    List.iter
+      (fun (name, a, b) ->
+         Format.fprintf fmt "    %-18s %+10.4f  (%.4f -> %.4f)@." name (b -. a) a b)
+      phase_rows
+  end;
+  let counter_names =
+    List.sort_uniq compare (List.map fst o.counters @ List.map fst n.counters)
+  in
+  let counter_rows =
+    List.filter_map
+      (fun name ->
+         let a = lookup o.counters name 0 and b = lookup n.counters name 0 in
+         if a <> b then Some (name, a, b) else None)
+      counter_names
+  in
+  if counter_rows <> [] then begin
+    Format.fprintf fmt "  counter deltas (new-old):@.";
+    List.iter
+      (fun (name, a, b) ->
+         Format.fprintf fmt "    %-18s %+10d  (%d -> %d)@." name (b - a) a b)
+      counter_rows
+  end

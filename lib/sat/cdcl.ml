@@ -1,3 +1,6 @@
+module Obs = Rtlsat_obs.Obs
+module Json = Rtlsat_obs.Json
+
 type lit = int
 
 let pos v = 2 * v
@@ -493,8 +496,10 @@ let luby x =
 
 type outcome = Sat | Unsat | Timeout
 
-let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
+let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0)
+    ?(obs = Obs.disabled) t =
   let result = ref None in
+  let decisions = ref 0 in
   let assumptions =
     ref
       (List.map
@@ -516,6 +521,9 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
   let steps = ref 0 in
   while !result = None do
     incr steps;
+    if obs.Obs.enabled && !steps land 255 = 0 then
+      Obs.heartbeat_tick obs ~decisions:!decisions ~conflicts:t.conflicts
+        ~propagations:0 ~splits:0 ~lvl:(decision_level t);
     if !steps land 255 = 0 && Unix.gettimeofday () > deadline then begin
       backtrack t 0;
       result := Some Timeout
@@ -524,6 +532,8 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
       let confl = propagate t in
       if confl >= 0 then begin
         t.conflicts <- t.conflicts + 1;
+        if Obs.tracing obs then
+          Obs.event obs "conflict" [ ("lvl", Json.Int (decision_level t)) ];
         decr conflicts_left;
         if decision_level t = 0 then begin
           t.unsat_root <- true;
@@ -551,6 +561,10 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
       else if !conflicts_left <= 0 then begin
         incr restart_num;
         conflicts_left := restart_base * luby !restart_num;
+        if Obs.tracing obs then
+          Obs.event obs "restart"
+            [ ("num", Json.Int !restart_num);
+              ("conflicts", Json.Int t.conflicts) ];
         backtrack t 0;
         (* inprocessing at restart boundaries: the trail is back at
            level 0, so the whole database can be rewritten; variable
@@ -576,6 +590,12 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
            | 1 -> new_decision_level t (* hold a dummy level for this assumption *)
            | 0 -> result := Some Unsat
            | _ ->
+             incr decisions;
+             if Obs.tracing obs then
+               Obs.event obs "decide"
+                 [ ("kind", Json.Str "assumption");
+                   ("lvl", Json.Int (decision_level t + 1));
+                   ("var", Json.Int (lit_var al)) ];
              new_decision_level t;
              enqueue t al (-1))
         | None ->
@@ -591,11 +611,29 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0) t =
           (match pick () with
            | None -> result := Some Sat
            | Some v ->
+             incr decisions;
+             if Obs.tracing obs then
+               Obs.event obs "decide"
+                 [ ("kind", Json.Str "activity");
+                   ("lvl", Json.Int (decision_level t + 1));
+                   ("var", Json.Int v) ];
              new_decision_level t;
              enqueue t (if t.phase.(v) then pos v else neg v) (-1))
       end
     end
   done;
+  if Obs.tracing obs then
+    Obs.event obs "done"
+      [
+        ( "result",
+          Json.Str
+            (match !result with
+             | Some Sat -> "sat"
+             | Some Unsat -> "unsat"
+             | _ -> "timeout") );
+        ("conflicts", Json.Int t.conflicts);
+        ("decisions", Json.Int !decisions);
+      ];
   match !result with
   | Some Sat ->
     reconstruct t;

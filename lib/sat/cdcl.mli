@@ -84,7 +84,12 @@ type outcome =
   | Timeout
 
 val solve :
-  ?deadline:float -> ?assumptions:lit list -> ?inprocess:int -> t -> outcome
+  ?deadline:float ->
+  ?assumptions:lit list ->
+  ?inprocess:int ->
+  ?obs:Rtlsat_obs.Obs.t ->
+  t ->
+  outcome
 (** [deadline] is an absolute [Unix.gettimeofday]-style instant;
     the solver polls it and returns [Timeout] when exceeded.
     With [assumptions], [Unsat] means unsatisfiable under them
@@ -92,7 +97,10 @@ val solve :
     assumption on an eliminated variable raises [Invalid_argument]).
     [inprocess] > 0 re-runs {!simplify} (without elimination) at the
     first restart after every [inprocess] conflicts; 0 (the default)
-    disables inprocessing. *)
+    disables inprocessing.  [obs] (default {!Rtlsat_obs.Obs.disabled})
+    receives [decide]/[conflict]/[restart]/[done] trace events and
+    periodic heartbeats, feeding the [rtlsat sat] flight recorder;
+    observation never changes the search. *)
 
 val value : t -> int -> bool
 (** Model value of a variable after [solve] returned [Sat]. *)

@@ -53,14 +53,15 @@ let load solver text =
     clauses;
   map
 
-let solve_text ?deadline ?(simplify = true) ?(inprocess = 0) ?solver_out text =
+let solve_text ?deadline ?(simplify = true) ?(inprocess = 0) ?solver_out ?obs
+    text =
   let solver = Cdcl.create () in
   (match solver_out with Some r -> r := Some solver | None -> ());
   let map = load solver text in
   (* one-shot solving: no clause will ever be added after this point,
      so full preprocessing including variable elimination is sound *)
   if simplify then Cdcl.simplify ~elim:true solver;
-  match Cdcl.solve ?deadline ~inprocess solver with
+  match Cdcl.solve ?deadline ~inprocess ?obs solver with
   | Cdcl.Unsat -> `Unsat
   | Cdcl.Timeout -> `Timeout
   | Cdcl.Sat -> `Sat (Array.map (fun v -> Cdcl.value solver v) map)

@@ -17,6 +17,7 @@ val solve_text :
   ?simplify:bool ->
   ?inprocess:int ->
   ?solver_out:Cdcl.t option ref ->
+  ?obs:Rtlsat_obs.Obs.t ->
   string ->
   [ `Sat of bool array | `Unsat | `Timeout ]
 (** One-shot: parse, solve, and return the model indexed by DIMACS
@@ -25,7 +26,8 @@ val solve_text :
     one-shot — before the search; [inprocess] > 0 re-simplifies every
     that many conflicts.  [solver_out], when given, receives the
     underlying solver so callers can read {!Cdcl.simp_stats} and
-    clause counts afterwards. *)
+    clause counts afterwards.  [obs] is passed through to
+    {!Cdcl.solve} (flight recorder / trace events). *)
 
 val print_result :
   Format.formatter -> [ `Sat of bool array | `Unsat | `Timeout ] -> unit

@@ -10,6 +10,9 @@
 #   4. rtlsat metrics: OpenMetrics exposition from a solve report
 #   5. flight-recorder round trip: a --no-split timeout with no --trace
 #      must still leave a dump that rtlsat profile diagnoses
+#   6. cross-run ledger: solves append rtlsat.run/1 records (env
+#      fingerprint included), rtlsat runs lists them, and trace-diff
+#      exits 1 on the committed w61 verdict flip
 set -eu
 
 here=$(dirname "$0")
@@ -25,15 +28,16 @@ trace=$(mktemp /tmp/rtlsat_w61.XXXXXX.jsonl)
 profile=$(mktemp /tmp/rtlsat_w61.XXXXXX.profile)
 om=$(mktemp /tmp/rtlsat_metrics.XXXXXX.om)
 flight=$(mktemp /tmp/rtlsat_w61.XXXXXX.flight)
-trap 'rm -f "$out" "$trace" "$profile" "$om" "$flight"' EXIT
+ledger=$(mktemp /tmp/rtlsat_ledger.XXXXXX.jsonl)
+trap 'rm -f "$out" "$trace" "$profile" "$om" "$flight" "$ledger"' EXIT
 
 # 1. stats schema
-"$rtlsat" solve -c b01 -p 1 -k 5 --stats-json "$out"
+"$rtlsat" solve -c b01 -p 1 -k 5 --no-ledger --stats-json "$out"
 "$root/_build/default/test/validate_stats.exe" "$out"
 
 # 2. stall forensics + trace-replay profiler
 "$rtlsat" solve "$root/test/corpus/w61_wrap_corner.rtl" -e hdpll \
-  --timeout 2 --trace "$trace"
+  --timeout 2 --no-ledger --trace "$trace"
 "$root/_build/default/test/check_trace.exe" "$trace" icp_stall var name constr
 "$rtlsat" profile "$trace" > "$profile"
 grep -q "slow ICP convergence is the dominant behaviour" "$profile"
@@ -52,14 +56,14 @@ fi
 #    line-format checker
 "$rtlsat" metrics "$out" -o "$om"
 "$root/_build/default/test/check_openmetrics.exe" "$om"
-"$rtlsat" solve -c b01 -p 1 -k 5 --metrics-out "$om" > /dev/null
+"$rtlsat" solve -c b01 -p 1 -k 5 --metrics-out "$om" --no-ledger > /dev/null
 "$root/_build/default/test/check_openmetrics.exe" "$om"
 
 # 5. flight-recorder round trip: trace OFF, timeout -> exit 1 plus a
 #    dump the profiler can read; icp_stall and heartbeat events must
 #    survive the ring, and the diagnosis must still fire
 if "$rtlsat" solve "$root/test/corpus/w61_wrap_corner.rtl" -e hdpll \
-  --no-split --timeout 2 --flight-recorder "$flight" > /dev/null; then
+  --no-split --timeout 2 --no-ledger --flight-recorder "$flight" > /dev/null; then
   echo "FAIL: w61 --no-split did not time out (expected exit 1)" >&2
   exit 1
 fi
@@ -69,5 +73,27 @@ fi
 "$rtlsat" profile "$flight" > "$profile"
 grep -q "slow ICP convergence is the dominant behaviour" "$profile"
 grep -q "heartbeat" "$profile"
+
+# 6. cross-run ledger round trip: two solves append two parseable
+#    rtlsat.run/1 records with the environment fingerprint, rtlsat
+#    runs reproduces them (text and rtlsat.runs/1 JSON), and
+#    trace-diff on the committed divergent w61 traces names the first
+#    divergent key event and exits 1 on the verdict flip
+rm -f "$ledger"
+"$rtlsat" solve -c b01 -p 1 -k 5 --ledger "$ledger" > /dev/null
+"$rtlsat" solve -c b01 -p 1 -k 5 --ledger "$ledger" > /dev/null
+[ "$(wc -l < "$ledger")" -eq 2 ]
+grep -q '"schema":"rtlsat.run/1"' "$ledger"
+grep -q '"git_rev"' "$ledger"
+"$rtlsat" runs --ledger "$ledger" | grep -q "b01_1(5)"
+"$rtlsat" runs --ledger "$ledger" --json | grep -q '"schema":"rtlsat.runs/1"'
+"$rtlsat" runs --ledger "$ledger" --engine hdpll+s+p --last 1 --json \
+  | grep -q '"engine":"hdpll+s+p"'
+if "$rtlsat" trace-diff "$root/test/fixtures/w61_split_on.jsonl" \
+  "$root/test/fixtures/w61_split_off.jsonl" > "$profile"; then
+  echo "FAIL: trace-diff did not exit 1 on the verdict flip" >&2
+  exit 1
+fi
+grep -q "first divergence at key event" "$profile"
 
 echo "smoke_obs: all checks passed"

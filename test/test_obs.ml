@@ -18,6 +18,9 @@ module Forensics = Rtlsat_obs.Forensics
 module Recorder = Rtlsat_obs.Recorder
 module Heartbeat = Rtlsat_obs.Heartbeat
 module Openmetrics = Rtlsat_obs.Openmetrics
+module Env = Rtlsat_obs.Env
+module Ledger = Rtlsat_obs.Ledger
+module Trace_diff = Rtlsat_obs.Trace_diff
 module Fuzz_case = Rtlsat_fuzz.Case
 module P = Rtlsat_constr.Problem
 module T = Rtlsat_constr.Types
@@ -855,14 +858,14 @@ let test_openmetrics_solve_report () =
 (* ---- trace version dispatch ---- *)
 
 let test_trace_version_table () =
-  check_int "max version" 6 Forensics.max_trace_version;
+  check_int "max version" 7 Forensics.max_trace_version;
   List.iter
     (fun v ->
        check_bool
          (Printf.sprintf "version %d in table" v)
          true
          (List.mem_assoc v Forensics.trace_versions))
-    [ 1; 2; 3; 4; 5; 6 ];
+    [ 1; 2; 3; 4; 5; 6; 7 ];
   check_bool "current schema parses" true
     (Forensics.schema_version Trace.schema = Some Forensics.max_trace_version);
   check_bool "foreign tag rejected" true
@@ -880,7 +883,7 @@ let test_profile_every_version () =
          (Printf.sprintf "v%d result parsed" v)
          true
          (p.Forensics.pf_result <> None))
-    [ 1; 2; 3; 4; 5; 6 ]
+    [ 1; 2; 3; 4; 5; 6; 7 ]
 
 let test_profile_unsupported_version () =
   match Forensics.profile_file (fixture_file "trace_v9_unsupported.jsonl") with
@@ -893,6 +896,325 @@ let test_profile_unsupported_version () =
        let n = String.length msg and k = String.length part in
        let rec find i = i + k <= n && (String.sub msg i k = part || find (i + 1)) in
        find 0)
+
+(* ---- GC/memory telemetry ---- *)
+
+let test_snapshot_mem () =
+  let t = Obs.create () in
+  Obs.span t Obs.Icp (fun () -> ignore (Sys.opaque_identity (Array.make 100_000 0.0)));
+  let s = Obs.snapshot t in
+  (match s.Obs.mem with
+   | Some m ->
+     check_bool "minor words accrued" true (m.Obs.minor_words > 0.0);
+     check_bool "heap words positive" true (m.Obs.heap_words > 0);
+     check_bool "top heap covers heap" true
+       (m.Obs.top_heap_words >= m.Obs.heap_words
+        || m.Obs.top_heap_words > 0)
+   | None -> Alcotest.fail "mem missing on an enabled handle");
+  (match List.assoc_opt "icp" s.Obs.phase_alloc with
+   | Some a -> check_bool "icp allocation attributed" true (a > 0.0)
+   | None -> Alcotest.fail "no per-phase allocation for icp");
+  check_bool "disabled handle carries no mem" true
+    ((Obs.snapshot Obs.disabled).Obs.mem = None);
+  let j = Json.of_string (Json.to_string (Obs.snapshot_json s)) in
+  check_bool "mem object in snapshot json" true
+    (Option.bind (Json.member "mem" j) (Json.member "heap_mb") <> None);
+  check_bool "phase alloc_w in snapshot json" true
+    (Option.bind
+       (Option.bind (Option.bind (Json.member "phases" j) (Json.member "icp"))
+          (Json.member "alloc_w"))
+       Json.get_float
+     <> None)
+
+let test_heartbeat_gc_fields () =
+  (* heartbeats under trace/7 carry the GC gauges; driven directly
+     because a small solve can finish inside one heartbeat gate *)
+  let path = Filename.temp_file "rtlsat_hbgc" ".jsonl" in
+  let obs = Obs.create ~trace:(Trace.to_file path) ~heartbeat_every:0.001 () in
+  Obs.heartbeat_tick obs ~decisions:10 ~conflicts:1 ~propagations:100 ~splits:0
+    ~lvl:1;
+  Obs.close obs;
+  let ic = open_in path in
+  let found = ref None in
+  (try
+     while true do
+       let j = Json.of_string (input_line ic) in
+       if Option.bind (Json.member "ev" j) Json.get_string = Some "heartbeat"
+       then found := Some j
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  match !found with
+  | None -> Alcotest.fail "no heartbeat in an instrumented solve"
+  | Some j ->
+    check_bool "major_words" true
+      (Option.bind (Json.member "major_words" j) Json.get_float <> None);
+    check_bool "heap_mb positive" true
+      (match Option.bind (Json.member "heap_mb" j) Json.get_float with
+       | Some v -> v > 0.0
+       | None -> false);
+    check_bool "compactions" true
+      (Option.bind (Json.member "compactions" j) Json.get_int <> None)
+
+(* ---- heartbeat rate math under a misbehaving clock ---- *)
+
+let test_heartbeat_dt_guard () =
+  let hb = Heartbeat.create ~every:1.0 in
+  let beat ~now ~now_rel ~d ~c ~p =
+    Heartbeat.beat hb ~now ~now_rel ~decisions:d ~conflicts:c ~propagations:p
+      ~splits:0 ~stalls:0 ~shaved:0 ~lvl:1
+  in
+  let getf fields name = Option.bind (List.assoc_opt name fields) Json.get_float in
+  let geti fields name = Option.bind (List.assoc_opt name fields) Json.get_int in
+  let f1 = beat ~now:100.0 ~now_rel:2.0 ~d:200 ~c:20 ~p:10000 in
+  check_bool "baseline dps" true (getf f1 "dps" = Some 100.0);
+  (* stalled clock: dt = 0 must not divide by zero *)
+  let f2 = beat ~now:101.0 ~now_rel:2.0 ~d:300 ~c:30 ~p:20000 in
+  check_bool "totals stay current" true (geti f2 "decisions" = Some 300);
+  check_bool "seq still advances" true (geti f2 "seq" = Some 2);
+  check_bool "dps cached" true (getf f2 "dps" = Some 100.0);
+  check_bool "cps cached" true (getf f2 "cps" = Some 10.0);
+  check_bool "pps cached" true (getf f2 "pps" = Some 5000.0);
+  (* clock stepped backwards: dt < 0 must not go negative *)
+  let f3 = beat ~now:102.0 ~now_rel:1.0 ~d:320 ~c:32 ~p:21000 in
+  List.iter
+    (fun name ->
+       match getf f3 name with
+       | Some v ->
+         check_bool (name ^ " finite and non-negative") true
+           (Float.is_finite v && v >= 0.0)
+       | None -> Alcotest.fail (name ^ " missing"))
+    [ "dps"; "cps"; "pps" ];
+  (* recovery: the frozen baseline spans the whole stalled gap *)
+  let f4 = beat ~now:103.0 ~now_rel:4.0 ~d:400 ~c:40 ~p:30000 in
+  check_bool "recovered dps" true (getf f4 "dps" = Some 100.0);
+  check_bool "recovered cps" true (getf f4 "cps" = Some 10.0);
+  check_bool "recovered pps" true (getf f4 "pps" = Some 10000.0)
+
+let test_heartbeat_view_v7 () =
+  let v = Heartbeat.view () in
+  let ic = open_in (fixture_file "trace_v7.jsonl") in
+  (try
+     while true do
+       Heartbeat.view_update v (Json.of_string (input_line ic))
+     done
+   with End_of_file -> close_in ic);
+  check_bool "schema" true (v.Heartbeat.v_schema = Some "rtlsat.trace/7");
+  check_bool "heap gauge" true (v.Heartbeat.v_heap_mb = 17.5);
+  check_bool "major words" true (v.Heartbeat.v_major_words = 123456.0);
+  check_int "compactions" 1 v.Heartbeat.v_compactions
+
+let test_openmetrics_gc_gauges () =
+  let obs = Obs.create () in
+  Obs.span obs Obs.Icp (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0)));
+  let text = Openmetrics.of_snapshot (Obs.snapshot obs) in
+  let contains part =
+    let n = String.length text and k = String.length part in
+    let rec find i = i + k <= n && (String.sub text i k = part || find (i + 1)) in
+    find 0
+  in
+  check_bool "heap gauge exported" true (contains "rtlsat_gc_heap_mb");
+  check_bool "minor words exported" true (contains "rtlsat_gc_minor_words")
+
+(* ---- environment fingerprint ---- *)
+
+let test_env_fingerprint () =
+  let fp = Env.fingerprint () in
+  check_bool "git_rev non-empty" true (fp.Env.git_rev <> "");
+  check_bool "hostname non-empty" true (fp.Env.hostname <> "");
+  check_string "ocaml_version" Sys.ocaml_version fp.Env.ocaml_version;
+  check_int "word_size" Sys.word_size fp.Env.word_size;
+  let j = Json.of_string (Json.to_string (Env.fingerprint_json ())) in
+  List.iter
+    (fun key ->
+       check_bool (key ^ " in json") true (Json.member key j <> None))
+    [ "git_rev"; "git_dirty"; "hostname"; "ocaml_version"; "word_size" ]
+
+(* ---- the cross-run ledger ---- *)
+
+let mk_run ?(instance = "b13_1(10)") ?(engine = "hdpll")
+    ?(options = "bound=10") ?(wall = 1.0) i =
+  Ledger.make ~now:(1.7e9 +. float_of_int i) ~pid:42 ~subcommand:"solve"
+    ~argv:[ "rtlsat"; "solve" ] ~instance ~engine ~options ~verdict:"unsat"
+    ~wall_s:wall
+    ~counters:[ ("decisions", 5); ("conflicts", 2) ]
+    ~artifacts:[ ("trace", "t.jsonl") ]
+    ()
+
+let test_ledger_round_trip () =
+  let dir = Filename.temp_file "rtlsat_ledger" "" in
+  Sys.remove dir;
+  (* a path whose parent does not exist yet: append must create it *)
+  let path = Filename.concat dir "ledger.jsonl" in
+  Ledger.append ~path (mk_run ~wall:1.0 0);
+  Ledger.append ~path (mk_run ~wall:2.0 1);
+  Ledger.append ~path (mk_run ~engine:"bitblast" ~wall:3.0 2);
+  let all = Ledger.load ~path in
+  check_int "all records load" 3 (List.length all);
+  (match all with
+   | r :: _ ->
+     check_string "subcommand" "solve" r.Ledger.subcommand;
+     check_string "instance" "b13_1(10)" r.Ledger.instance;
+     check_string "engine" "hdpll" r.Ledger.engine;
+     check_string "verdict" "unsat" r.Ledger.verdict;
+     check_bool "wall" true (r.Ledger.wall_s = 1.0);
+     check_bool "distinct run ids" true
+       (match all with
+        | a :: b :: _ -> a.Ledger.id <> b.Ledger.id
+        | _ -> false);
+     check_bool "env fingerprint embedded" true
+       (Option.bind (Json.member "env" r.Ledger.json) (Json.member "git_rev")
+        <> None);
+     check_bool "counters survive" true
+       (Option.bind
+          (Option.bind (Json.member "counters" r.Ledger.json)
+             (Json.member "decisions"))
+          Json.get_int
+        = Some 5)
+   | [] -> Alcotest.fail "empty ledger");
+  check_int "filter by engine" 2
+    (List.length (Ledger.filter ~engine:"hdpll" all));
+  check_int "filter last" 1 (List.length (Ledger.filter ~last:1 all));
+  (match Ledger.filter ~last:1 all with
+   | [ r ] -> check_string "last keeps the newest" "bitblast" r.Ledger.engine
+   | _ -> Alcotest.fail "last 1");
+  check_int "filter instance miss" 0
+    (List.length (Ledger.filter ~instance:"nope" all));
+  (* a torn final line (crash mid-append) must not poison the ledger *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"schema\":\"rtlsat.run/1\",\"id\":\"torn";
+  close_out oc;
+  check_int "torn tail skipped" 3 (List.length (Ledger.load ~path));
+  check_bool "missing file is an empty ledger" true
+    (Ledger.load ~path:(Filename.concat dir "absent.jsonl") = []);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_ledger_median_slow () =
+  check_bool "empty median" true (Ledger.median [] = 0.0);
+  check_bool "odd median" true (Ledger.median [ 3.0; 1.0; 2.0 ] = 2.0);
+  check_bool "even median" true (Ledger.median [ 4.0; 1.0; 3.0; 2.0 ] = 2.5);
+  let parse j =
+    match Ledger.of_json j with
+    | Some r -> r
+    | None -> Alcotest.fail "of_json rejected a fresh record"
+  in
+  let records =
+    List.map parse
+      [
+        mk_run ~wall:1.0 0;
+        mk_run ~wall:2.0 1;
+        mk_run ~wall:10.0 2;
+        mk_run ~engine:"bitblast" ~wall:0.5 3;
+      ]
+  in
+  let nth = List.nth records in
+  check_bool "outlier flagged slow" true (Ledger.slow records (nth 2));
+  check_bool "at-median run not slow" false (Ledger.slow records (nth 1));
+  check_bool "fastest not slow" false (Ledger.slow records (nth 0));
+  check_bool "a key's only record is never slow" false
+    (Ledger.slow records (nth 3));
+  check_bool "of_json rejects foreign schema" true
+    (Ledger.of_json (Json.Obj [ ("schema", Json.Str "other/1") ]) = None)
+
+(* ---- trace-diff ---- *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  close_out oc
+
+let header7 = "{\"ev\":\"header\",\"t\":0,\"schema\":\"rtlsat.trace/7\"}"
+
+let decide ~t ~var ~lvl =
+  Printf.sprintf
+    "{\"ev\":\"decide\",\"t\":%g,\"kind\":\"activity\",\"lvl\":%d,\"var\":%d}" t
+    lvl var
+
+let test_trace_diff_divergence () =
+  let old_file = Filename.temp_file "rtlsat_tdo" ".jsonl" in
+  let new_file = Filename.temp_file "rtlsat_tdn" ".jsonl" in
+  write_lines old_file
+    [
+      header7;
+      decide ~t:0.1 ~var:1 ~lvl:1;
+      decide ~t:0.2 ~var:2 ~lvl:2;
+      "{\"ev\":\"conflict\",\"t\":0.3,\"lvl\":2,\"bt\":1,\"len\":3}";
+      "{\"ev\":\"phases\",\"t\":0.9,\"self_s\":{\"bcp\":0.5,\"icp\":0.1}}";
+      "{\"ev\":\"done\",\"t\":1.0,\"result\":\"unsat\",\"conflicts\":1,\"decisions\":2}";
+    ];
+  write_lines new_file
+    [
+      header7;
+      decide ~t:0.1 ~var:1 ~lvl:1;
+      decide ~t:0.2 ~var:7 ~lvl:2;
+      "{\"ev\":\"phases\",\"t\":0.4,\"self_s\":{\"bcp\":0.2,\"icp\":0.1}}";
+      "{\"ev\":\"done\",\"t\":0.5,\"result\":\"sat\",\"conflicts\":0,\"decisions\":2}";
+    ];
+  let d = Trace_diff.diff ~old_file ~new_file in
+  Sys.remove old_file;
+  Sys.remove new_file;
+  check_bool "old schema" true (d.Trace_diff.old_side.Trace_diff.schema = Some "rtlsat.trace/7");
+  check_bool "verdicts read" true
+    (d.Trace_diff.old_side.Trace_diff.verdict = Some "unsat"
+     && d.Trace_diff.new_side.Trace_diff.verdict = Some "sat");
+  check_bool "verdict divergence detected" true d.Trace_diff.verdict_diverged;
+  check_int "exit 1 on verdict flip" 1 (Trace_diff.exit_code d);
+  (match d.Trace_diff.first with
+   | Some dv ->
+     check_int "diverges at the second decision" 1 dv.Trace_diff.index;
+     check_bool "old key names var 2" true
+       (match dv.Trace_diff.older with
+        | Some k ->
+          let part = "var=2" in
+          let n = String.length k and l = String.length part in
+          let rec find i =
+            i + l <= n && (String.sub k i l = part || find (i + 1))
+          in
+          find 0
+        | None -> false)
+   | None -> Alcotest.fail "no divergence found");
+  check_bool "phase delta visible" true
+    (List.assoc_opt "bcp" d.Trace_diff.old_side.Trace_diff.phases = Some 0.5)
+
+let test_trace_diff_identical () =
+  let f = Filename.temp_file "rtlsat_tdi" ".jsonl" in
+  write_lines f
+    [
+      header7;
+      decide ~t:0.1 ~var:1 ~lvl:1;
+      "{\"ev\":\"done\",\"t\":0.2,\"result\":\"sat\",\"conflicts\":0,\"decisions\":1}";
+    ];
+  let d = Trace_diff.diff ~old_file:f ~new_file:f in
+  Sys.remove f;
+  check_bool "no divergence" true (d.Trace_diff.first = None);
+  check_bool "verdicts agree" false d.Trace_diff.verdict_diverged;
+  check_int "exit 0" 0 (Trace_diff.exit_code d)
+
+let test_trace_diff_truncated () =
+  (* one trace is a strict prefix of the other: the divergence is the
+     length difference, and a missing done is a verdict divergence *)
+  let old_file = Filename.temp_file "rtlsat_tdt" ".jsonl" in
+  let new_file = Filename.temp_file "rtlsat_tdt" ".jsonl" in
+  write_lines old_file
+    [
+      header7;
+      decide ~t:0.1 ~var:1 ~lvl:1;
+      decide ~t:0.2 ~var:2 ~lvl:2;
+      "{\"ev\":\"done\",\"t\":0.3,\"result\":\"sat\",\"conflicts\":0,\"decisions\":2}";
+    ];
+  write_lines new_file [ header7; decide ~t:0.1 ~var:1 ~lvl:1 ];
+  let d = Trace_diff.diff ~old_file ~new_file in
+  Sys.remove old_file;
+  Sys.remove new_file;
+  (match d.Trace_diff.first with
+   | Some dv ->
+     check_int "diverges where the short trace ends" 1 dv.Trace_diff.index;
+     check_bool "new side ended" true (dv.Trace_diff.newer = None);
+     check_bool "old side still has the event" true (dv.Trace_diff.older <> None)
+   | None -> Alcotest.fail "prefix not reported as divergence");
+  check_bool "missing done diverges the verdict" true d.Trace_diff.verdict_diverged;
+  check_int "exit 1" 1 (Trace_diff.exit_code d)
 
 (* ---- bench-history ---- *)
 
@@ -1022,7 +1344,10 @@ let () =
       ( "telemetry",
         [
           Alcotest.test_case "heartbeat rates" `Quick test_heartbeat_rates;
+          Alcotest.test_case "heartbeat dt guard" `Quick test_heartbeat_dt_guard;
           Alcotest.test_case "monitor view fold" `Quick test_heartbeat_view;
+          Alcotest.test_case "monitor view v7 gc fields" `Quick
+            test_heartbeat_view_v7;
           Alcotest.test_case "recorder ring" `Quick test_recorder_ring;
           Alcotest.test_case "recorder dump round trip" `Quick
             test_recorder_dump_roundtrip;
@@ -1034,10 +1359,35 @@ let () =
           Alcotest.test_case "openmetrics solve report" `Quick
             test_openmetrics_solve_report;
         ] );
+      ( "gc-telemetry",
+        [
+          Alcotest.test_case "snapshot mem + phase alloc" `Quick
+            test_snapshot_mem;
+          Alcotest.test_case "heartbeat gc fields" `Quick
+            test_heartbeat_gc_fields;
+          Alcotest.test_case "openmetrics gc gauges" `Quick
+            test_openmetrics_gc_gauges;
+        ] );
+      ( "env",
+        [ Alcotest.test_case "fingerprint" `Quick test_env_fingerprint ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "round trip + torn tail" `Quick
+            test_ledger_round_trip;
+          Alcotest.test_case "median + slow flag" `Quick
+            test_ledger_median_slow;
+        ] );
+      ( "trace-diff",
+        [
+          Alcotest.test_case "first divergence + verdict flip" `Quick
+            test_trace_diff_divergence;
+          Alcotest.test_case "identical traces" `Quick test_trace_diff_identical;
+          Alcotest.test_case "truncated trace" `Quick test_trace_diff_truncated;
+        ] );
       ( "trace-versions",
         [
           Alcotest.test_case "dispatch table" `Quick test_trace_version_table;
-          Alcotest.test_case "profile v1..v6 fixtures" `Quick
+          Alcotest.test_case "profile v1..v7 fixtures" `Quick
             test_profile_every_version;
           Alcotest.test_case "unsupported version rejected" `Quick
             test_profile_unsupported_version;

@@ -32,6 +32,20 @@ let () =
   ignore (str "verdict");
   ignore (require "bound" (Option.bind (Json.member "bound" j) Json.get_int));
   ignore (require "time_s" (Option.bind (Json.member "time_s" j) Json.get_float));
+  (* environment fingerprint: the artifact must be self-describing *)
+  let env = require "env" (Json.member "env" j) in
+  List.iter
+    (fun key ->
+       ignore
+         (require ("env." ^ key)
+            (Option.bind (Json.member key env) Json.get_string)))
+    [ "git_rev"; "hostname"; "ocaml_version" ];
+  ignore
+    (require "env.word_size"
+       (Option.bind (Json.member "word_size" env) Json.get_int));
+  (match Json.member "git_dirty" env with
+   | Some (Json.Bool _) -> ()
+   | _ -> fail "env.git_dirty missing or not a bool");
   (* every §5 counter *)
   let stats = require "stats" (Json.member "stats" j) in
   List.iter
@@ -61,6 +75,21 @@ let () =
             (Option.bind (Json.member "calls" p) Json.get_int)))
     Obs.all_phases;
   ignore (require "metrics.histograms" (Json.member "histograms" metrics));
+  (* GC/memory telemetry *)
+  let mem = require "metrics.mem" (Json.member "mem" metrics) in
+  List.iter
+    (fun key ->
+       ignore
+         (require ("metrics.mem." ^ key)
+            (Option.bind (Json.member key mem) Json.get_float)))
+    [ "minor_words"; "major_words"; "promoted_words"; "heap_mb" ];
+  List.iter
+    (fun key ->
+       ignore
+         (require ("metrics.mem." ^ key)
+            (Option.bind (Json.member key mem) Json.get_int)))
+    [ "minor_collections"; "major_collections"; "compactions"; "heap_words";
+      "top_heap_words" ];
   (* forensics: always present, arrays possibly empty *)
   let forensics = require "metrics.forensics" (Json.member "forensics" metrics) in
   ignore
