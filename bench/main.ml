@@ -19,6 +19,7 @@
      sweep             scaling curve (CSV)
      bmc_sweep         incremental sessions vs from-scratch bound sweeps
      simplify          pre/inprocessing on vs off, per clause database
+     parallel          -j 1 vs -j N engine portfolio (speedup rows)
 
    --json collects tables 1 and 2 with per-run metrics attached and
    writes a BENCH_<timestamp>.json perf-trajectory artifact (schema
@@ -47,7 +48,7 @@ let subcommand = ref "all"
 
 let usage =
   "main.exe [--full] [--json [--json-file FILE]] \
-   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep|bmc_sweep|simplify]"
+   [all|table1|table2|micro|ablation|extension|wide_wrap|sweep|bmc_sweep|simplify|parallel]"
 
 let spec =
   Arg.align
@@ -68,7 +69,7 @@ let spec =
 let anon cmd =
   match cmd with
   | "all" | "table1" | "table2" | "micro" | "ablation" | "extension"
-  | "wide_wrap" | "sweep" | "bmc_sweep" | "simplify" ->
+  | "wide_wrap" | "sweep" | "bmc_sweep" | "simplify" | "parallel" ->
     subcommand := cmd
   | _ -> raise (Arg.Bad (Printf.sprintf "unknown subcommand %S" cmd))
 
@@ -206,6 +207,79 @@ let simplify () =
      databases; the on arm's counters show the reduction):@.";
   Tables.print_simplify Format.std_formatter (Tables.run_simplify (scale ()))
 
+(* ---- parallel family: the requested engine alone vs a -j N
+   portfolio race over domains.  Cases are picked where the requested
+   engine is hopeless (times out) but another engine in the lineup is
+   fast, so even on one core — where the portfolio only time-shares —
+   first-finisher-wins cancellation turns a timeout into ≈ N x the
+   fastest engine's time.  Both cases race the lazy CDP — the engine
+   with the widest gap to the hybrids — on deep unrollings it cannot
+   finish: a Sat one (b01_1) and an Unsat one (b04_1), rescued by
+   different winners.  On multi-core hardware the race also helps when
+   the gap is small; on one core the overhead of racing N allocating
+   domains (minor-GC barriers) is far above Nx, so only
+   timeout-vs-instant gaps pay — see DESIGN.md. *)
+
+module Parallel = Rtlsat_parallel.Parallel
+
+let parallel_jobs = 4
+
+let parallel_cases =
+  [
+    ("b01", "1", 100, Engines.Lazy_cdp, 10.0);
+    ("b04", "1", 300, Engines.Lazy_cdp, 10.0);
+  ]
+
+let run_parallel () =
+  List.map
+    (fun (circuit, prop, bound, engine, timeout) ->
+       let seq =
+         Engines.run_instance ~timeout engine
+           (Registry.instance ~circuit ~prop ~bound)
+       in
+       let p =
+         Parallel.portfolio ~timeout ~j:parallel_jobs ~engine
+           (Registry.instance ~circuit ~prop ~bound)
+       in
+       {
+         Report.pl_instance = Registry.instance_name ~circuit ~prop ~bound;
+         pl_engine = engine;
+         pl_j = parallel_jobs;
+         pl_seq = seq;
+         pl_par = { p.Parallel.p_run with Engines.time = p.Parallel.p_wall };
+         pl_winner = Option.map Engines.engine_name p.Parallel.p_winner;
+         pl_lineup =
+           List.map (fun (e, _) -> Engines.engine_name e) p.Parallel.p_runs;
+       })
+    parallel_cases
+
+let print_parallel rows =
+  Format.printf "%-12s %-10s %3s %9s %9s %8s  %s@." "instance" "engine" "j"
+    "seq(s)" "par(s)" "speedup" "winner";
+  List.iter
+    (fun (r : Report.parallel_row) ->
+       let cell (run : Engines.run) =
+         match run.Engines.verdict with
+         | Engines.Timeout -> Printf.sprintf "%9s" "-to-"
+         | Engines.Abort _ -> Printf.sprintf "%9s" "-A-"
+         | _ -> Printf.sprintf "%9.2f" run.Engines.time
+       in
+       Format.printf "%-12s %-10s %3d %s %s %7.1fx  %s@." r.Report.pl_instance
+         (Engines.engine_name r.Report.pl_engine)
+         r.Report.pl_j (cell r.Report.pl_seq) (cell r.Report.pl_par)
+         (if r.Report.pl_par.Engines.time > 0.0 then
+            r.Report.pl_seq.Engines.time /. r.Report.pl_par.Engines.time
+          else 0.0)
+         (match r.Report.pl_winner with Some w -> w | None -> "-"))
+    rows
+
+let parallel () =
+  Format.printf
+    "@.parallel family (requested engine at -j 1 vs a -j %d portfolio race \
+     with first-finisher-wins cancellation):@."
+    parallel_jobs;
+  print_parallel (run_parallel ())
+
 let wide_wrap () =
   Format.printf
     "@.wide_wrap family (wrap-around corners over wide words; every case Sat \
@@ -247,6 +321,9 @@ let bench_artifact () =
   Format.printf "@.collecting simplify with metrics...@.";
   let sy = Tables.run_simplify ~metrics:true sc in
   Tables.print_simplify Format.std_formatter sy;
+  Format.printf "@.collecting parallel speedups...@.";
+  let pl = run_parallel () in
+  print_parallel pl;
   let doc =
     Report.bench_json ~generated_at ~scale:scale_str
       ~sections:
@@ -256,6 +333,7 @@ let bench_artifact () =
           ("wide_wrap", Report.table2_json ~scale:scale_str ww);
           ("bmc_sweep", Report.bmc_sweep_json ~scale:scale_str sw);
           ("simplify", Report.simplify_json ~scale:scale_str sy);
+          ("parallel", Report.parallel_json ~scale:scale_str pl);
         ]
   in
   let oc = open_out path in
@@ -312,6 +390,7 @@ let () =
        | "sweep" -> sweep ()
        | "bmc_sweep" -> bmc_sweep ()
        | "simplify" -> simplify ()
+       | "parallel" -> parallel ()
        | _ ->
          table1 ();
          Format.printf "@.";
@@ -320,6 +399,7 @@ let () =
          wide_wrap ();
          bmc_sweep ();
          simplify ();
+         parallel ();
          ablation ();
          micro ());
       None

@@ -28,7 +28,9 @@ module Registry = Rtlsat_itc99.Registry
 module Engines = Rtlsat_harness.Engines
 module Tables = Rtlsat_harness.Tables
 module Report = Rtlsat_harness.Report
+module Parallel = Rtlsat_parallel.Parallel
 module Obs = Rtlsat_obs.Obs
+module Mono = Rtlsat_obs.Mono
 module Trace = Rtlsat_obs.Trace
 module Forensics = Rtlsat_obs.Forensics
 module Recorder = Rtlsat_obs.Recorder
@@ -284,9 +286,23 @@ let solve_cmd =
            ~doc:"Re-simplify the clause database at the first restart after \
                  every $(docv) conflicts; 0 (default) disables inprocessing")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Race up to $(docv) engines as a parallel portfolio over \
+                 OCaml domains: the requested engine plus the others, first \
+                 Sat/Unsat wins and cancels the rest cooperatively.  1 \
+                 (default) solves sequentially")
+  in
+  let cube =
+    Arg.(value & flag & info [ "cube" ]
+           ~doc:"Cube-and-conquer instead of a portfolio: a short probe \
+                 warms the split heap, midpoint bisection over its \
+                 nominations yields cubes fanned over --jobs workers with \
+                 short-clause exchange.  Hybrid engines only")
+  in
   let run case_file circuit prop bound engine timeout stats_json trace_out
       dump_graph dump_graph_max progress split simplify inprocess flight
-      flight_out heartbeat metrics_out ledger =
+      flight_out heartbeat metrics_out jobs cube ledger =
     let inst, label =
       match (case_file, circuit, prop, bound) with
       | Some file, None, None, None ->
@@ -365,21 +381,82 @@ let solve_cmd =
         Format.eprintf "rtlsat: cannot dump flight recorder: %s@." msg;
         false
     in
-    if flight then
+    (* signal handlers run on the main domain only; never arm (or
+       re-arm) from a worker domain *)
+    if flight && Domain.is_main_domain () then
       (try
          Sys.set_signal Sys.sigusr1
            (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
        with Invalid_argument _ | Sys_error _ -> ());
+    let jobs = max 1 jobs in
+    (if cube then
+       match engine with
+       | Engines.Hdpll | Engines.Hdpll_s | Engines.Hdpll_sp | Engines.Hdpll_p
+         -> ()
+       | Engines.Bitblast | Engines.Lazy_cdp ->
+         Format.eprintf
+           "rtlsat: --cube needs a hybrid engine (no split heap to cube on)@.";
+         exit 2);
+    let mode_note = ref [] in
     let r =
       try
-        Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max ~split
-          ~simplify ~inprocess engine inst
+        if cube then begin
+          let c =
+            Parallel.cube_solve ~timeout ~obs ~split ~simplify ~inprocess
+              ~j:jobs ~engine inst
+          in
+          mode_note :=
+            [ Printf.sprintf
+                "cube-and-conquer -j %d: %d cubes over vars [%s], %d \
+                 refuted, exchange %d shared / %d imported, probe %.2fs"
+                jobs c.Parallel.c_cubes
+                (String.concat ";"
+                   (List.map string_of_int c.Parallel.c_vars))
+                c.Parallel.c_refuted c.Parallel.c_exchange_pushed
+                c.Parallel.c_exchange_taken c.Parallel.c_probe_time ];
+          {
+            Engines.verdict = c.Parallel.c_verdict;
+            time = c.Parallel.c_time;
+            relations = 0;
+            learn_time = 0.0;
+            decisions = 0;
+            conflicts = 0;
+            stats = None;
+            metrics = (if need_obs then Some c.Parallel.c_metrics else None);
+          }
+        end
+        else if jobs > 1 then begin
+          let p =
+            Parallel.portfolio ~timeout ~obs ~split ~simplify ~inprocess
+              ~j:jobs ~engine inst
+          in
+          mode_note :=
+            [ Printf.sprintf "portfolio -j %d raced {%s}: %s" jobs
+                (String.concat ", "
+                   (List.map
+                      (fun (e, _) -> Engines.engine_name e)
+                      p.Parallel.p_runs))
+                (match p.Parallel.p_winner with
+                 | Some e -> "winner " ^ Engines.engine_name e
+                 | None -> "no decisive finisher") ];
+          {
+            p.Parallel.p_run with
+            Engines.time = p.Parallel.p_wall;
+            Engines.metrics =
+              (if need_obs then Some p.Parallel.p_metrics
+               else p.Parallel.p_run.Engines.metrics);
+          }
+        end
+        else
+          Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max
+            ~split ~simplify ~inprocess engine inst
       with e ->
         (* post-mortem for crashes, not just timeouts *)
         ignore (dump_flight ());
         raise e
     in
     Obs.close obs;
+    List.iter (fun l -> Format.printf "%s@." l) !mode_note;
     Format.printf "%s %s: %s in %.2fs@." label
       (Engines.engine_name engine)
       (match r.Engines.verdict with
@@ -436,8 +513,8 @@ let solve_cmd =
     ledger_append ledger ~subcommand:"solve" ~instance:label
       ~engine:(Engines.engine_name engine)
       ~options:
-        (Printf.sprintf "bound=%d,split=%b,simplify=%b,inprocess=%d" bound
-           split simplify inprocess)
+        (Printf.sprintf "bound=%d,split=%b,simplify=%b,inprocess=%d,j=%d%s"
+           bound split simplify inprocess jobs (if cube then ",cube" else ""))
       ~verdict:(Report.verdict_string r.Engines.verdict)
       ~wall_s:r.Engines.time
       ~counters:
@@ -468,7 +545,7 @@ let solve_cmd =
     Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
           $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress
           $ split $ simplify $ inprocess $ flight $ flight_out $ heartbeat
-          $ metrics_out $ ledger_term)
+          $ metrics_out $ jobs $ cube $ ledger_term)
 
 (* ---- check: external netlist files ---- *)
 
@@ -505,7 +582,7 @@ let check_cmd =
     let enc = Rtlsat_constr.Encode.encode combo in
     Rtlsat_constr.Encode.assume_bool enc inst.Rtlsat_bmc.Bmc.violation true;
     let module Solver = Rtlsat_core.Solver in
-    let options = { Solver.hdpll_sp with Solver.deadline = Unix.gettimeofday () +. timeout } in
+    let options = { Solver.hdpll_sp with Solver.deadline = Mono.now () +. timeout } in
     (match (Solver.solve ~options enc).Solver.result with
      | Solver.Unsat -> Format.printf "%s holds within %d frames (UNSAT)@." port bound
      | Solver.Timeout ->
@@ -623,8 +700,14 @@ let sweep_cmd =
            ~doc:"Re-simplify the clause database at the first restart after \
                  every $(docv) conflicts; 0 (default) disables inprocessing")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Partition the bound ladder round-robin over $(docv) worker \
+                 domains, each with its own private solver session.  \
+                 Verdicts match -j 1; carried counters become per-worker")
+  in
   let run circuit prop bounds engine timeout scratch trace_out heartbeat
-      metrics_out flight flight_out simplify inprocess ledger =
+      metrics_out flight flight_out simplify inprocess jobs ledger =
     let source, p =
       match Registry.build circuit with
       | c, props ->
@@ -665,15 +748,18 @@ let sweep_cmd =
         Format.eprintf "rtlsat: cannot dump flight recorder: %s@." msg;
         false
     in
-    if flight then
+    (* signal handlers run on the main domain only; never arm (or
+       re-arm) from a worker domain *)
+    if flight && Domain.is_main_domain () then
       (try
          Sys.set_signal Sys.sigusr1
            (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
        with Invalid_argument _ | Sys_error _ -> ());
+    let jobs = max 1 jobs in
     let steps =
       try
-        Engines.run_sweep ~timeout ~obs ~simplify ~inprocess engine source
-          ~prop:p ~bounds
+        Parallel.sweep ~timeout ~obs ~simplify ~inprocess ~j:jobs engine
+          source ~prop:p ~bounds
       with e ->
         (* post-mortem for crashes, matching solve *)
         ignore (dump_flight ());
@@ -691,8 +777,14 @@ let sweep_cmd =
           exit 2)
      | None -> ());
     Obs.close obs;
-    Format.printf "%s_%s sweep, engine %s: one session, bounds as assumptions@."
-      circuit prop (Engines.engine_name engine);
+    if jobs > 1 then
+      Format.printf
+        "%s_%s sweep, engine %s: %d worker sessions, bounds as assumptions@."
+        circuit prop (Engines.engine_name engine) jobs
+    else
+      Format.printf
+        "%s_%s sweep, engine %s: one session, bounds as assumptions@." circuit
+        prop (Engines.engine_name engine);
     Format.printf "%5s %-4s %8s%s %12s %12s@." "bound" "rslt" "incr"
       (if scratch then "  scratch" else "")
       "carried-cls" "carried-rels";
@@ -763,9 +855,9 @@ let sweep_cmd =
       ~instance:(Printf.sprintf "%s_%s" circuit prop)
       ~engine:(Engines.engine_name engine)
       ~options:
-        (Printf.sprintf "bounds=%s,simplify=%b,inprocess=%d"
+        (Printf.sprintf "bounds=%s,simplify=%b,inprocess=%d,j=%d"
            (String.concat ";" (List.map string_of_int bounds))
-           simplify inprocess)
+           simplify inprocess jobs)
       ~verdict:sweep_verdict ~wall_s:!incr_total
       ~counters:
         [
@@ -789,7 +881,7 @@ let sweep_cmd =
              state carry from bound to bound")
     Term.(const run $ circuit $ prop $ bounds $ engine $ timeout $ scratch
           $ trace_out $ heartbeat $ metrics_out $ flight $ flight_out
-          $ simplify $ inprocess $ ledger_term)
+          $ simplify $ inprocess $ jobs $ ledger_term)
 
 (* ---- prove: k-induction ---- *)
 
@@ -898,12 +990,14 @@ let sat_cmd =
         Format.eprintf "rtlsat: cannot dump flight recorder: %s@." msg;
         false
     in
-    if flight then
+    (* signal handlers run on the main domain only; never arm (or
+       re-arm) from a worker domain *)
+    if flight && Domain.is_main_domain () then
       (try
          Sys.set_signal Sys.sigusr1
            (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
        with Invalid_argument _ | Sys_error _ -> ());
-    let t_start = Unix.gettimeofday () in
+    let t_start = Mono.now () in
     let deadline = t_start +. timeout in
     let solver_out = ref None in
     let result =
@@ -914,7 +1008,7 @@ let sat_cmd =
         ignore (dump_flight ());
         raise e
     in
-    let wall = Unix.gettimeofday () -. t_start in
+    let wall = Mono.now () -. t_start in
     Rtlsat_sat.Dimacs.print_result Format.std_formatter result;
     (match (stats_json, !solver_out) with
      | Some path, Some solver ->

@@ -236,8 +236,8 @@ type result = Sat | Unsat | Timeout
 let simplify ?(elim = false) t = C.simplify ~elim t.sat
 let simp_stats t = C.simp_stats t.sat
 
-let solve ?deadline ?assumptions ?inprocess t =
-  match C.solve ?deadline ?assumptions ?inprocess t.sat with
+let solve ?deadline ?assumptions ?inprocess ?cancel t =
+  match C.solve ?deadline ?assumptions ?inprocess ?cancel t.sat with
   | C.Sat -> Sat
   | C.Unsat -> Unsat
   | C.Timeout -> Timeout

@@ -53,12 +53,15 @@ val solve :
   ?deadline:float ->
   ?assumptions:Rtlsat_sat.Cdcl.lit list ->
   ?inprocess:int ->
+  ?cancel:bool Atomic.t ->
   t ->
   result
 (** [assumptions] are decided before the free search (MiniSat-style);
     [Unsat] then means unsat under them and the solver stays usable.
     [inprocess] > 0 re-simplifies the clause database (without
-    elimination) every that many conflicts. *)
+    elimination) every that many conflicts.  [cancel] makes the
+    underlying CDCL loop return [Timeout] at its next step gate —
+    cooperative cancellation for the portfolio driver. *)
 
 val to_dimacs : t -> string
 (** The current CNF (including assumptions added so far) in DIMACS

@@ -18,7 +18,7 @@ let negate_le (e : linexpr) =
 
 let lin_of (e : linexpr) = Box.lin e.terms e.const
 
-let solve ?(deadline = infinity) ?max_nodes prob =
+let solve ?(deadline = infinity) ?max_nodes ?cancel prob =
   let nv = P.n_vars prob in
   let sat = C.create () in
   let sat_var = Array.make nv (-1) in
@@ -49,9 +49,12 @@ let solve ?(deadline = infinity) ?max_nodes prob =
   let result = ref None in
   if !root_empty then result := Some Unsat;
   while !result = None do
-    if Unix.gettimeofday () > deadline then result := Some Timeout
+    if
+      Rtlsat_obs.Mono.now () > deadline
+      || (match cancel with Some c -> Atomic.get c | None -> false)
+    then result := Some Timeout
     else begin
-      match C.solve ~deadline sat with
+      match C.solve ~deadline ?cancel sat with
       | C.Timeout -> result := Some Timeout
       | C.Unsat -> result := Some Unsat
       | C.Sat ->

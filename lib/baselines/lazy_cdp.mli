@@ -21,7 +21,10 @@ type stats = {
 val solve :
   ?deadline:float ->
   ?max_nodes:int ->
+  ?cancel:bool Atomic.t ->
   Rtlsat_constr.Problem.t ->
   result * stats
 (** The problem's multi-atom clauses must be purely Boolean, as
-    guaranteed by the RTL encoder. *)
+    guaranteed by the RTL encoder.  [cancel] cancels cooperatively:
+    checked between skeleton enumerations and inside the CDCL step
+    gate, yielding [Timeout]. *)

@@ -51,7 +51,7 @@ let intersect_lists lists =
 
 let run ?threshold ?(depth = 1) ?(deadline = infinity) s (enc : Encode.t) =
   assert (State.decision_level s = 0);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rtlsat_obs.Mono.now () in
   let candidates = Structure.candidate_gates enc.Encode.circuit in
   let threshold =
     match threshold with Some t -> t | None -> min (List.length candidates) 2000
@@ -63,7 +63,7 @@ let run ?threshold ?(depth = 1) ?(deadline = infinity) s (enc : Encode.t) =
   let neg_score = Array.make s.State.nv 0 in
   let known : (atom * atom, unit) Hashtbl.t = Hashtbl.create 64 in
   let out_of_budget () =
-    !relations >= threshold || Unix.gettimeofday () > deadline || !root_unsat
+    !relations >= threshold || Rtlsat_obs.Mono.now () > deadline || !root_unsat
   in
   (* probe a conjunction of atoms: propagate it in isolation and
      return the Boolean implications, recursing on nested gates when
@@ -182,7 +182,7 @@ let run ?threshold ?(depth = 1) ?(deadline = infinity) s (enc : Encode.t) =
   {
     relations = !relations;
     probes = !probes;
-    learn_time = Unix.gettimeofday () -. t0;
+    learn_time = Rtlsat_obs.Mono.now () -. t0;
     root_unsat = !root_unsat;
     pos_score;
     neg_score;

@@ -232,7 +232,7 @@ let propagate_constr_attr obs s ci =
      raise e);
   Obs.constr_exit obs ci
 
-let run ?(full = false) ?(deadline = infinity) s =
+let run ?(full = false) ?(deadline = infinity) ?cancel s =
   let obs = s.State.obs in
   (* ICP can tighten a bound by 1 per sweep over a 2^61 domain, so the
      fixpoint loop must watch the clock itself; check sparsely to keep
@@ -268,8 +268,11 @@ let run ?(full = false) ?(deadline = infinity) s =
             ~conflicts:s.State.n_conflicts
             ~propagations:s.State.n_propagations ~splits:s.State.n_splits
             ~lvl:(State.decision_level s);
-        if deadline < infinity && Unix.gettimeofday () > deadline then
-          raise Propagation_timeout
+        if deadline < infinity && Rtlsat_obs.Mono.now () > deadline then
+          raise Propagation_timeout;
+        (match cancel with
+         | Some c when Atomic.get c -> raise Propagation_timeout
+         | _ -> ())
       end;
       let e = Vec.get s.State.trail s.State.qhead in
       s.State.qhead <- s.State.qhead + 1;

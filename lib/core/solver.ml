@@ -5,6 +5,7 @@ module Encode = Rtlsat_constr.Encode
 module Structure = Rtlsat_rtl.Structure
 module Obs = Rtlsat_obs.Obs
 module Json = Rtlsat_obs.Json
+module Mono = Rtlsat_obs.Mono
 
 type options = {
   structural : bool;
@@ -24,7 +25,13 @@ type options = {
   obs : Obs.t;
   dump_graph : string option;
   dump_graph_max : int;
+  cancel : bool Atomic.t;
+  on_learn : (clause -> unit) option;
 }
+
+(* the default cancel flag is shared by every options record that
+   doesn't override it; it is never set, so sharing is harmless *)
+let never_cancelled = Atomic.make false
 
 let default =
   {
@@ -45,6 +52,8 @@ let default =
     obs = Obs.disabled;
     dump_graph = None;
     dump_graph_max = 10;
+    cancel = never_cancelled;
+    on_learn = None;
   }
 
 let hdpll = default
@@ -345,6 +354,11 @@ let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
       State.backtrack_to s btlevel;
       State.add_clause s clause;
       s.State.n_learned <- s.State.n_learned + 1;
+      (* clause-exchange hook: only short clauses are worth shipping
+         between portfolio/cube workers, so filter at the source *)
+      (match opts.on_learn with
+       | Some f when Array.length clause <= 2 -> f clause
+       | _ -> ());
       State.decay_activities s;
       (* the learned clause is asserting at the backjump level *)
       let uip = clause.(0) in
@@ -375,10 +389,12 @@ let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
         ~conflicts:s.State.n_conflicts ~propagations:s.State.n_propagations
         ~splits:s.State.n_splits ~lvl:(State.decision_level s)
     end;
-    if !steps land 63 = 0 && Unix.gettimeofday () > opts.deadline then
-      result := Some Timeout
+    if
+      !steps land 63 = 0
+      && (Mono.now () > opts.deadline || Atomic.get opts.cancel)
+    then result := Some Timeout
     else begin
-      match Propagate.run ~deadline:opts.deadline s with
+      match Propagate.run ~deadline:opts.deadline ~cancel:opts.cancel s with
       | exception Propagate.Propagation_timeout -> result := Some Timeout
       | Some conflict ->
         if State.decision_level s = 0 then result := Some Unsat
@@ -559,7 +575,7 @@ let solve_loop ?(assumptions = [||]) opts s enc t0 learn_summary =
         splits = s.State.n_splits;
         relations;
         learn_time;
-        solve_time = Unix.gettimeofday () -. t0;
+        solve_time = Mono.now () -. t0;
       };
     learned_clauses = collected_clauses opts s;
     metrics = Obs.snapshot opts.obs;
@@ -585,14 +601,14 @@ let root_outcome r opts s t0 learn_summary =
         splits = s.State.n_splits;
         relations;
         learn_time;
-        solve_time = Unix.gettimeofday () -. t0;
+        solve_time = Mono.now () -. t0;
       };
     learned_clauses = collected_clauses opts s;
     metrics = Obs.snapshot opts.obs;
   }
 
 let solve_common ?(options = default) ?assumptions prob enc =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   validate_input_clauses prob;
   let s = State.create prob in
   s.State.split <- options.split;
@@ -606,7 +622,7 @@ let solve_common ?(options = default) ?assumptions prob enc =
           (pp_constr ~name:(Problem.var_name prob) ())
           s.State.constrs.(ci));
   if options.seed_fanout then seed_activities s enc;
-  match Propagate.run ~full:true ~deadline:options.deadline s with
+  match Propagate.run ~full:true ~deadline:options.deadline ~cancel:options.cancel s with
   | exception Propagate.Propagation_timeout -> root_outcome Timeout options s t0 None
   | Some _ -> root_outcome Unsat options s t0 None
   | None ->
@@ -756,7 +772,7 @@ module Session = struct
     | _ -> ()
 
   let solve ?(assumptions = [||]) ?deadline t =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let opts =
       match deadline with
       | Some d -> { t.opts with deadline = d }
@@ -791,7 +807,7 @@ module Session = struct
             ("vars", Json.Int (Problem.n_vars t.prob)) ]
     end;
     let raw =
-      match Propagate.run ~full:true ~deadline:opts.deadline t.s with
+      match Propagate.run ~full:true ~deadline:opts.deadline ~cancel:opts.cancel t.s with
       | exception Propagate.Propagation_timeout ->
         root_outcome Timeout opts t.s t0 t.learn_summary
       | Some _ -> root_outcome Unsat opts t.s t0 t.learn_summary
@@ -853,4 +869,46 @@ module Session = struct
       carried_relations;
       n_solves = t.n_solves;
     }
+
+  (* split-cube export for the cube-and-conquer driver: drain the
+     split heap's live nominations first (the hottest crawling
+     intervals — exactly the variables stall-triggered splitting would
+     bisect next), then top up with the highest-activity unfixed word
+     variables.  Draining is destructive, which is fine: [pick_split]
+     clears the whole heap per nomination batch anyway, and the next
+     stall re-nominates. *)
+  let split_candidates ?(max = 4) t =
+    let s = t.s in
+    State.backtrack_to s 0;
+    let out = ref [] and n = ref 0 in
+    let seen = Hashtbl.create 16 in
+    let push v =
+      if
+        !n < max
+        && (not (Hashtbl.mem seen v))
+        && s.State.lb.(v) < s.State.ub.(v)
+      then begin
+        Hashtbl.add seen v ();
+        out := (v, s.State.lb.(v), s.State.ub.(v)) :: !out;
+        incr n
+      end
+    in
+    while !n < max && not (Heap.is_empty s.State.split_heap) do
+      push (Heap.pop s.State.split_heap s.State.activity)
+    done;
+    if !n < max then begin
+      let rest = ref [] in
+      for v = 0 to s.State.nv - 1 do
+        if
+          (not (Problem.is_bool_var s.State.prob v))
+          && (not (Hashtbl.mem seen v))
+          && s.State.lb.(v) < s.State.ub.(v)
+        then rest := v :: !rest
+      done;
+      !rest
+      |> List.sort (fun a b ->
+          compare s.State.activity.(b) s.State.activity.(a))
+      |> List.iter push
+    end;
+    List.rev !out
 end

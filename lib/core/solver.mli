@@ -64,6 +64,25 @@ type options = {
                                     must already exist *)
   dump_graph_max : int;         (** cap on exported conflict graphs;
                                     default 10 *)
+  cancel : bool Atomic.t;       (** cooperative cancellation: when set,
+                                    the solver returns [Timeout] at the
+                                    next step-count gate (the same
+                                    gates that check [deadline]).  The
+                                    default flag is shared and never
+                                    set; the parallel portfolio gives
+                                    each race one flag and sets it when
+                                    a first finisher wins *)
+  on_learn : (Rtlsat_constr.Types.clause -> unit) option;
+                                (** called for every conflict-learned
+                                    clause of length ≤ 2, from the
+                                    learning site.  Learned clauses are
+                                    implied by the clause database and
+                                    theory alone (assumptions appear
+                                    negated, never resolved away), so
+                                    they are valid in any solver over
+                                    the same problem — the parallel
+                                    driver ships them between workers.
+                                    Must be cheap and must not raise *)
 }
 
 val default : options
@@ -190,4 +209,13 @@ module Session : sig
       unsat under those assumptions; the session stays usable either
       way.  [deadline] overrides the session options' deadline for
       this call only. *)
+
+  val split_candidates : ?max:int -> session -> (int * int * int) list
+  (** [(v, lo, hi)] cube candidates for cube-and-conquer, best first:
+      live split-heap nominations (stall-triggered bisection targets),
+      topped up with the highest-activity word variables whose root
+      interval is still splittable ([lo < hi], bounds at decision
+      level 0).  At most [max] (default 4).  Drains the split heap
+      destructively — harmless, the solver clears it per nomination
+      batch anyway.  Backtracks the session to level 0. *)
 end

@@ -106,7 +106,7 @@ let solve ?(max_nodes = 1_000_000) ?(deadline = infinity) ~bounds lins =
   let rec search bounds =
     incr nodes;
     if !nodes > max_nodes
-    || (!nodes land 1023 = 0 && deadline < infinity && Unix.gettimeofday () > deadline)
+    || (!nodes land 1023 = 0 && deadline < infinity && Rtlsat_obs.Mono.now () > deadline)
     then raise Out_of_budget;
     match fixpoint bounds lins with
     | exception Empty_domain -> ()

@@ -117,7 +117,7 @@ let check ?(shadow = `Real) ?(deadline = infinity) ?(max_derived = 200_000) syst
   let budget n =
     derived_count := !derived_count + n;
     if !derived_count > max_derived
-    || (deadline < infinity && Unix.gettimeofday () > deadline)
+    || (deadline < infinity && Rtlsat_obs.Mono.now () > deadline)
     then raise Budget_exceeded
   in
   let exception Found_core of int list in

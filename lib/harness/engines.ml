@@ -7,6 +7,7 @@ module Lazy_cdp = Rtlsat_baselines.Lazy_cdp
 module Structure = Rtlsat_rtl.Structure
 module Obs = Rtlsat_obs.Obs
 module Json = Rtlsat_obs.Json
+module Mono = Rtlsat_obs.Mono
 
 type engine = Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p | Bitblast | Lazy_cdp
 
@@ -40,7 +41,8 @@ let verdict_symbol = function
   | Abort _ -> "-A-"
 
 let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
-    ?(split = true) ?(simplify = true) ?(inprocess = 0) ~deadline ~obs () =
+    ?(split = true) ?(simplify = true) ?(inprocess = 0) ?cancel ?on_learn
+    ~deadline ~obs () =
   let base =
     match engine with
     | Hdpll -> Solver.hdpll
@@ -59,14 +61,17 @@ let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
     Solver.split;
     Solver.simplify;
     Solver.inprocess;
+    Solver.cancel =
+      (match cancel with Some c -> c | None -> base.Solver.cancel);
+    Solver.on_learn = on_learn;
   }
 
 let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     ?dump_graph ?dump_graph_max ?split ?(simplify = true) ?(inprocess = 0)
-    engine (inst : Bmc.instance) =
-  let t0 = Unix.gettimeofday () in
+    ?cancel ?on_learn engine (inst : Bmc.instance) =
+  let t0 = Mono.now () in
   let deadline = t0 +. timeout in
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  let elapsed () = Mono.now () -. t0 in
   let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
   match engine with
   | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
@@ -78,7 +83,7 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     in
     let options =
       solver_options engine ?learn_threshold ?dump_graph ?dump_graph_max
-        ?split ~simplify ~inprocess ~deadline ~obs ()
+        ?split ~simplify ~inprocess ?cancel ?on_learn ~deadline ~obs ()
     in
     let { Solver.result; stats; _ } = Solver.solve ~options enc in
     let mk verdict =
@@ -129,7 +134,7 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
                   ("equivs", Json.Int st.equivs) ]
           end);
     let verdict =
-      match Bitblast.solve ~deadline ~inprocess bb with
+      match Bitblast.solve ~deadline ~inprocess ?cancel bb with
       | Bitblast.Unsat -> Unsat
       | Bitblast.Timeout -> Timeout
       | Bitblast.Sat ->
@@ -153,7 +158,7 @@ let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
           E.assume_bool enc inst.Bmc.violation true;
           enc)
     in
-    let result, st = Lazy_cdp.solve ~deadline enc.E.problem in
+    let result, st = Lazy_cdp.solve ~deadline ?cancel enc.E.problem in
     let verdict =
       match result with
       | Lazy_cdp.Unsat -> Unsat
@@ -225,8 +230,8 @@ let sweep_with_obs obs ~total ~index ~bound f =
   step
 
 let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
-    ?split ?(simplify = true) ?(inprocess = 0) ?semantics engine source ~prop
-    ~bounds =
+    ?split ?(simplify = true) ?(inprocess = 0) ?cancel ?semantics engine
+    source ~prop ~bounds =
   let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
   let nbounds = List.length bounds in
   match engine with
@@ -240,13 +245,13 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
        deadline is a never-fires placeholder *)
     let options =
       solver_options engine ?learn_threshold ?split ~simplify ~inprocess
-        ~deadline:infinity ~obs ()
+        ?cancel ~deadline:infinity ~obs ()
     in
     let sess = Solver.Session.create ~options enc in
     List.mapi
       (fun index bound ->
          sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
-         let t0 = Unix.gettimeofday () in
+         let t0 = Mono.now () in
          let vnode = Bmc.sweep_violation sw ~bound in
          Obs.span obs Obs.Encode (fun () -> E.extend enc);
          let r =
@@ -258,7 +263,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
          let mk verdict =
            {
              verdict;
-             time = Unix.gettimeofday () -. t0;
+             time = Mono.now () -. t0;
              relations = stats.Solver.relations;
              learn_time = stats.Solver.learn_time;
              decisions = stats.Solver.decisions;
@@ -293,7 +298,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     List.mapi
       (fun index bound ->
          sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
-         let t0 = Unix.gettimeofday () in
+         let t0 = Mono.now () in
          let vnode = Bmc.sweep_violation sw ~bound in
          Obs.span obs Obs.Encode (fun () -> Bitblast.extend bb);
          (* CDCL keeps no learned-clause counter distinct from its
@@ -309,7 +314,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
            Obs.span obs Obs.Simplify (fun () -> Bitblast.simplify bb);
          let verdict =
            match
-             Bitblast.solve ~deadline:(t0 +. timeout) ~inprocess
+             Bitblast.solve ~deadline:(t0 +. timeout) ~inprocess ?cancel
                ~assumptions:[ Bitblast.bool_lit bb vnode ] bb
            with
            | Bitblast.Unsat -> Unsat
@@ -322,7 +327,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
          let sw_run =
            {
              verdict;
-             time = Unix.gettimeofday () -. t0;
+             time = Mono.now () -. t0;
              relations = 0;
              learn_time = 0.0;
              decisions = 0;
@@ -345,7 +350,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
     List.mapi
       (fun index bound ->
          sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
-         let t0 = Unix.gettimeofday () in
+         let t0 = Mono.now () in
          let vnode = Bmc.sweep_violation sw ~bound in
          let enc =
            Obs.span obs Obs.Encode (fun () ->
@@ -353,7 +358,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
                E.assume_bool enc vnode true;
                enc)
          in
-         let result, st = Lazy_cdp.solve ~deadline:(t0 +. timeout) enc.E.problem in
+         let result, st = Lazy_cdp.solve ~deadline:(t0 +. timeout) ?cancel enc.E.problem in
          let verdict =
            match result with
            | Lazy_cdp.Unsat -> Unsat
@@ -366,7 +371,7 @@ let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
          let sw_run =
            {
              verdict;
-             time = Unix.gettimeofday () -. t0;
+             time = Mono.now () -. t0;
              relations = 0;
              learn_time = 0.0;
              decisions = st.Lazy_cdp.theory_calls;

@@ -49,6 +49,8 @@ val run_instance :
   ?split:bool ->
   ?simplify:bool ->
   ?inprocess:int ->
+  ?cancel:bool Atomic.t ->
+  ?on_learn:(Rtlsat_constr.Types.clause -> unit) ->
   engine ->
   Rtlsat_bmc.Bmc.instance ->
   run
@@ -68,7 +70,12 @@ val run_instance :
     engines, the CNF pipeline ({!Rtlsat_simplify.Simp}, with variable
     elimination: one-shot solving makes it sound) for the bit-blast
     baseline; the lazy CDP ignores it.  [inprocess] > 0 re-simplifies
-    every that many conflicts. *)
+    every that many conflicts.  [cancel] is a shared cooperative
+    cancellation flag: once set, the engine returns [Timeout] at its
+    next step/fuel gate — the parallel portfolio uses one flag per
+    race.  [on_learn] (HDPLL engines only) receives every
+    conflict-learned clause of length ≤ 2 for cross-worker clause
+    exchange; it is ignored by the baseline engines. *)
 
 type sweep_step = {
   sw_bound : int;
@@ -88,6 +95,7 @@ val run_sweep :
   ?split:bool ->
   ?simplify:bool ->
   ?inprocess:int ->
+  ?cancel:bool Atomic.t ->
   ?semantics:Rtlsat_bmc.Bmc.semantics ->
   engine ->
   Rtlsat_rtl.Ir.circuit ->
@@ -106,7 +114,9 @@ val run_sweep :
     simulator exactly as in {!run_instance}.  [simplify]/[inprocess]
     are as in {!run_instance}, except that the bit-blast baseline keeps
     variable elimination {e off}: the encoding grows and literals are
-    assumed per bound, which elimination does not survive. *)
+    assumed per bound, which elimination does not survive.  [cancel]
+    cancels the sweep cooperatively mid-bound, as in
+    {!run_instance}. *)
 
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —

@@ -193,6 +193,54 @@ type bench_row = {
   br_time : float;
 }
 
+(* parallel rows: the requested engine solved sequentially vs raced
+   as a -j N portfolio, side by side under "engine/j1" /
+   "portfolio/jN" labels so [bench_rows] diffs both configurations;
+   speedup = sequential wall / portfolio wall *)
+type parallel_row = {
+  pl_instance : string;
+  pl_engine : Engines.engine;
+  pl_j : int;
+  pl_seq : Engines.run;
+  pl_par : Engines.run;
+  pl_winner : string option;
+  pl_lineup : string list;
+}
+
+let parallel_row_json row =
+  let speedup =
+    if row.pl_par.Engines.time > 0.0 then
+      row.pl_seq.Engines.time /. row.pl_par.Engines.time
+    else 0.0
+  in
+  Json.Obj
+    [
+      ("instance", Json.Str row.pl_instance);
+      ("j", Json.Int row.pl_j);
+      ( "winner",
+        match row.pl_winner with Some w -> Json.Str w | None -> Json.Null );
+      ("lineup", Json.Arr (List.map (fun e -> Json.Str e) row.pl_lineup));
+      ("speedup", Json.Float speedup);
+      ( "runs",
+        Json.Arr
+          [
+            run_json_named
+              (Engines.engine_name row.pl_engine ^ "/j1")
+              row.pl_seq;
+            run_json_named
+              (Printf.sprintf "portfolio/j%d" row.pl_j)
+              row.pl_par;
+          ] );
+    ]
+
+let parallel_json ~scale rows =
+  Json.Obj
+    [
+      ("schema", Json.Str "rtlsat.parallel/1");
+      ("scale", Json.Str scale);
+      ("rows", Json.Arr (List.map parallel_row_json rows));
+    ]
+
 let bench_rows j =
   let member name j = Json.member name j in
   let str name j = Option.bind (member name j) Json.get_string in

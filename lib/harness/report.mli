@@ -52,6 +52,26 @@ val simplify_json : scale:string -> Tables.simp_row list -> Json.t
     the simplify-off arm (["<engine>/nosimp"]) so {!bench_diff} flags
     a verdict flip or slowdown on either configuration. *)
 
+(** One parallel-portfolio comparison: the requested engine solved
+    sequentially ([pl_seq], labelled ["<engine>/j1"]) vs raced as a
+    [-j pl_j] portfolio ([pl_par], labelled ["portfolio/j<N>"] — wall
+    clock of the whole race, winner's verdict). *)
+type parallel_row = {
+  pl_instance : string;
+  pl_engine : Engines.engine;  (** the requested (sequential) engine *)
+  pl_j : int;
+  pl_seq : Engines.run;
+  pl_par : Engines.run;
+  pl_winner : string option;   (** winning engine's name, if any *)
+  pl_lineup : string list;     (** engine names raced *)
+}
+
+val parallel_json : scale:string -> parallel_row list -> Json.t
+(** The ["rtlsat.parallel/1"] section: per row, both configurations
+    under ["runs"] (so {!bench_rows} flags a verdict flip or slowdown
+    on either) plus ["winner"], ["lineup"] and ["speedup"] =
+    sequential wall / portfolio wall. *)
+
 val bench_json :
   generated_at:string ->
   scale:string ->

@@ -36,8 +36,25 @@ let probe () =
     word_size = Sys.word_size;
   }
 
-let cached = lazy (probe ())
-let fingerprint () = Lazy.force cached
+(* probed once and shared.  A plain [lazy] here raises
+   CamlinternalLazy.Undefined when sibling domains force it
+   concurrently — which ledger appends from worker domains do — so the
+   memoization is guarded by a mutex instead. *)
+let cache = ref None
+let cache_lock = Mutex.create ()
+
+let fingerprint () =
+  Mutex.lock cache_lock;
+  let f =
+    match !cache with
+    | Some f -> f
+    | None ->
+        let f = probe () in
+        cache := Some f;
+        f
+  in
+  Mutex.unlock cache_lock;
+  f
 
 let fingerprint_json () =
   let f = fingerprint () in

@@ -65,12 +65,12 @@ let constr_enter t ci =
   if ci >= 0 && ci < Array.length t.c_wakeups then begin
     t.c_wakeups.(ci) <- t.c_wakeups.(ci) + 1;
     t.cur <- ci;
-    t.mark <- Unix.gettimeofday ()
+    t.mark <- Mono.now ()
   end
 
 let constr_exit t ci =
   if t.cur = ci && ci >= 0 && ci < Array.length t.c_time then
-    t.c_time.(ci) <- t.c_time.(ci) +. (Unix.gettimeofday () -. t.mark);
+    t.c_time.(ci) <- t.c_time.(ci) +. (Mono.now () -. t.mark);
   t.cur <- -1
 
 let reset_cur t = t.cur <- -1
@@ -204,6 +204,8 @@ let trace_versions =
     (6, "+ simplify.pass (pre/inprocessing over the clause databases)");
     (7, "+ GC/memory telemetry on heartbeats (major_words, heap_mb, \
          compactions)");
+    (8, "+ worker-tagged events (parallel portfolio / cube-and-conquer \
+         domains carry a \"worker\" field)");
   ]
 
 let max_trace_version =

@@ -13,13 +13,19 @@ let iso8601 t =
     tm.Unix.tm_sec
 
 (* run ids sort chronologically and stay unique across concurrent
-   processes: UTC second + sub-second millis + pid *)
+   processes AND within one: UTC second + sub-second millis + pid +
+   a per-process sequence.  Without the sequence, two records made in
+   the same millisecond by the same process (live once solver domains
+   append concurrently) collide; the atomic counter is domain-safe. *)
+let seq = Atomic.make 0
+
 let run_id now pid =
   let tm = Unix.gmtime now in
   let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.0) in
-  Printf.sprintf "%04d%02d%02dT%02d%02d%02d.%03d-%d" (tm.Unix.tm_year + 1900)
+  Printf.sprintf "%04d%02d%02dT%02d%02d%02d.%03d-%d.%d" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec (max 0 (min 999 ms)) pid
+    (Atomic.fetch_and_add seq 1)
 
 let make ?now ?pid ~subcommand ~argv ~instance ~engine ~options ~verdict ~wall_s
     ~counters ~artifacts () =
@@ -42,16 +48,30 @@ let make ?now ?pid ~subcommand ~argv ~instance ~engine ~options ~verdict ~wall_s
       ("env", Env.fingerprint_json ());
     ]
 
+(* One record = one [single_write] of the whole rendered line on an
+   [O_APPEND] fd.  The previous buffered-channel version wrote the
+   record and the newline separately, so two concurrent appenders
+   (worker domains, or two processes sharing a ledger) could
+   interleave torn lines.  POSIX makes each O_APPEND write land at the
+   then-current end of file, so whole-line writes never interleave;
+   the loop only matters for the theoretical short-write case and
+   keeps retrying at the file's (moved) end. *)
 let append ~path record =
   let dir = Filename.dirname path in
   if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let line = Json.to_string record ^ "\n" in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-       output_string oc (Json.to_string record);
-       output_char oc '\n')
+       let len = String.length line in
+       let off = ref 0 in
+       while !off < len do
+         off := !off + Unix.single_write_substring fd line !off (len - !off)
+       done)
 
 type record = {
   id : string;

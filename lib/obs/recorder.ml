@@ -2,7 +2,12 @@
    always on (even with --trace off) and cheap enough to leave
    attached to every CLI solve.  Events are stored unrendered — the
    JSON text is only produced at dump time, so the per-event cost is
-   one array store and the field list the caller already built. *)
+   one array store and the field list the caller already built.
+
+   The ring is shared between the main domain (SIGUSR1 dump) and any
+   worker domains pushing events, so pushes and reads take a mutex:
+   an unguarded push concurrent with a dump can hand the dump a
+   half-updated (entry, total) pair and malform the trace. *)
 
 type entry = {
   e_t : float;  (* seconds since the owning handle's t0 *)
@@ -13,6 +18,7 @@ type entry = {
 type t = {
   cap : int;
   ring : entry array;
+  lock : Mutex.t;
   mutable total : int;  (* events ever recorded *)
 }
 
@@ -22,24 +28,36 @@ let dummy = { e_t = 0.0; e_ev = ""; e_fields = [] }
 
 let create ?(cap = default_cap) () =
   if cap <= 0 then invalid_arg "Recorder.create: cap must be positive";
-  { cap; ring = Array.make cap dummy; total = 0 }
+  { cap; ring = Array.make cap dummy; lock = Mutex.create (); total = 0 }
 
 let record t ~t_rel ~ev fields =
+  Mutex.lock t.lock;
   t.ring.(t.total mod t.cap) <- { e_t = t_rel; e_ev = ev; e_fields = fields };
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  Mutex.unlock t.lock
 
 let recorded t = min t.total t.cap
 let dropped t = max 0 (t.total - t.cap)
 let is_empty t = t.total = 0
 
-let iter t f =
-  let n = recorded t in
+(* snapshot under the lock, then run [f] outside it so callbacks that
+   re-enter the recorder (or block) cannot deadlock *)
+let snapshot t =
+  Mutex.lock t.lock;
+  let n = min t.total t.cap in
   let first = t.total - n in
-  for i = first to t.total - 1 do
-    f t.ring.(i mod t.cap)
-  done
+  let entries = Array.init n (fun i -> t.ring.((first + i) mod t.cap)) in
+  let total = t.total in
+  Mutex.unlock t.lock;
+  (entries, total)
+
+let iter t f =
+  let entries, _ = snapshot t in
+  Array.iter f entries
 
 let dump t path =
+  let entries, total = snapshot t in
+  let n = Array.length entries in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -55,14 +73,11 @@ let dump t path =
        (* the synthetic header makes the dump a well-formed trace that
           [rtlsat profile] reads with no special casing *)
        line "header" 0.0 [ ("schema", Json.Str Trace.schema) ];
-       let last_t =
-         if t.total = 0 then 0.0
-         else t.ring.((t.total - 1) mod t.cap).e_t
-       in
+       let last_t = if n = 0 then 0.0 else entries.(n - 1).e_t in
        line "recorder" last_t
          [
-           ("recorded", Json.Int (recorded t));
-           ("dropped", Json.Int (dropped t));
+           ("recorded", Json.Int n);
+           ("dropped", Json.Int (max 0 (total - n)));
            ("cap", Json.Int t.cap);
          ];
-       iter t (fun e -> line e.e_ev e.e_t e.e_fields))
+       Array.iter (fun e -> line e.e_ev e.e_t e.e_fields) entries)

@@ -2,22 +2,31 @@ type t = {
   oc : out_channel;
   buf : Buffer.t;
   t0 : float;
+  lock : Mutex.t;
   mutable n_events : int;
   mutable closed : bool;
 }
 
-let schema = "rtlsat.trace/7"
+let schema = "rtlsat.trace/8"
 
+(* [emit] renders into a per-handle scratch buffer and writes to a
+   buffered channel — both are shared mutable state, so when worker
+   domains share the main handle (parallel portfolio/cube runs) the
+   whole render+write must be one critical section or events tear. *)
 let emit t ~ev fields =
-  if not t.closed then begin
-    let rel = Unix.gettimeofday () -. t.t0 in
-    Buffer.clear t.buf;
-    Json.to_buffer t.buf
-      (Json.Obj (("ev", Json.Str ev) :: ("t", Json.Float rel) :: fields));
-    Buffer.add_char t.buf '\n';
-    Buffer.output_buffer t.oc t.buf;
-    t.n_events <- t.n_events + 1
-  end
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+       if not t.closed then begin
+         let rel = Unix.gettimeofday () -. t.t0 in
+         Buffer.clear t.buf;
+         Json.to_buffer t.buf
+           (Json.Obj (("ev", Json.Str ev) :: ("t", Json.Float rel) :: fields));
+         Buffer.add_char t.buf '\n';
+         Buffer.output_buffer t.oc t.buf;
+         t.n_events <- t.n_events + 1
+       end)
 
 let to_file path =
   let t =
@@ -25,6 +34,7 @@ let to_file path =
       oc = open_out path;
       buf = Buffer.create 256;
       t0 = Unix.gettimeofday ();
+      lock = Mutex.create ();
       n_events = 0;
       closed = false;
     }
@@ -37,8 +47,12 @@ let to_file path =
 let events t = t.n_events
 
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    flush t.oc;
-    close_out t.oc
-  end
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+       if not t.closed then begin
+         t.closed <- true;
+         flush t.oc;
+         close_out t.oc
+       end)

@@ -1,0 +1,56 @@
+(* Bounded lock-free exchange for cross-worker clause sharing.
+
+   A fixed ring of atomic cells plus an atomic write cursor.  Pushes
+   claim a slot with [fetch_and_add] and overwrite whatever is there —
+   the exchange is deliberately *lossy*: under pressure new short
+   clauses evict old unconsumed ones, which bounds both memory and the
+   time a consumer spends importing.  Losing a clause never loses
+   soundness (shared clauses are redundant lemmas), it only loses a
+   bit of pruning.
+
+   Drains [exchange] each cell with [None], so every published value
+   is consumed by exactly one drainer — two workers draining
+   concurrently partition the content instead of duplicating it.
+   (Duplicates would also be sound; partitioning is just cheaper.)
+
+   Multi-producer, multi-consumer, no locks, no blocking: each
+   operation is O(1) atomics per cell touched. *)
+
+type 'a t = {
+  cells : 'a option Atomic.t array;
+  cursor : int Atomic.t;
+  pushed : int Atomic.t;   (* total pushes, for observability *)
+  taken : int Atomic.t;    (* total successful drains *)
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Exchange.create: cap must be positive";
+  {
+    cells = Array.init cap (fun _ -> Atomic.make None);
+    cursor = Atomic.make 0;
+    pushed = Atomic.make 0;
+    taken = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.cells
+
+let push t x =
+  let i = Atomic.fetch_and_add t.cursor 1 mod Array.length t.cells in
+  Atomic.set t.cells.(i) (Some x);
+  Atomic.incr t.pushed
+
+let drain t f =
+  Array.iter
+    (fun cell ->
+       (* skip the exchange when the cell is already empty — a plain
+          read first avoids a write per empty cell *)
+       if Atomic.get cell <> None then
+         match Atomic.exchange cell None with
+         | Some x ->
+           Atomic.incr t.taken;
+           f x
+         | None -> ())
+    t.cells
+
+let pushed t = Atomic.get t.pushed
+let taken t = Atomic.get t.taken

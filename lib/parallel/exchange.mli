@@ -1,0 +1,31 @@
+(** Bounded lock-free multi-producer/multi-consumer exchange, used to
+    ship short learned clauses between solver domains.
+
+    Lossy by design: a fixed ring of atomic cells where a push may
+    overwrite an unconsumed value.  That bounds memory and import time
+    regardless of producer rate, and is sound for clause sharing —
+    every shared clause is a redundant lemma, so dropping one only
+    costs pruning, never correctness. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] — a ring of [cap] cells.
+    @raise Invalid_argument when [cap <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Claim the next slot (atomic cursor) and publish, overwriting any
+    unconsumed occupant.  Lock-free, O(1). *)
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** Consume every currently-published value, emptying the cells.
+    Each value goes to exactly one drainer even under concurrent
+    drains.  No ordering guarantee. *)
+
+val pushed : 'a t -> int
+(** Total values ever pushed (including overwritten ones). *)
+
+val taken : 'a t -> int
+(** Total values ever drained. *)

@@ -497,7 +497,7 @@ let luby x =
 type outcome = Sat | Unsat | Timeout
 
 let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0)
-    ?(obs = Obs.disabled) t =
+    ?cancel ?(obs = Obs.disabled) t =
   let result = ref None in
   let decisions = ref 0 in
   let assumptions =
@@ -524,7 +524,11 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0)
     if obs.Obs.enabled && !steps land 255 = 0 then
       Obs.heartbeat_tick obs ~decisions:!decisions ~conflicts:t.conflicts
         ~propagations:0 ~splits:0 ~lvl:(decision_level t);
-    if !steps land 255 = 0 && Unix.gettimeofday () > deadline then begin
+    if
+      !steps land 255 = 0
+      && (Rtlsat_obs.Mono.now () > deadline
+          || match cancel with Some c -> Atomic.get c | None -> false)
+    then begin
       backtrack t 0;
       result := Some Timeout
     end

@@ -87,11 +87,15 @@ val solve :
   ?deadline:float ->
   ?assumptions:lit list ->
   ?inprocess:int ->
+  ?cancel:bool Atomic.t ->
   ?obs:Rtlsat_obs.Obs.t ->
   t ->
   outcome
-(** [deadline] is an absolute [Unix.gettimeofday]-style instant;
-    the solver polls it and returns [Timeout] when exceeded.
+(** [deadline] is an absolute instant compared against the monotonic
+    clock ({!Rtlsat_obs.Mono.now}); the solver polls it and returns
+    [Timeout] when exceeded.  [cancel] is polled at the same step gate
+    (every 256 steps): the portfolio driver sets it when another
+    worker wins the race, and this solver returns [Timeout] promptly.
     With [assumptions], [Unsat] means unsatisfiable under them
     (assumption literals are rewritten through the substitution; an
     assumption on an eliminated variable raises [Invalid_argument]).

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Parallel-solving smoke test (also wired into `dune runtest` — see
+# the rule in test/dune):
+#   1. portfolio race: solve -j 3 prints the lineup + winner and still
+#      validates the witness
+#   2. cube-and-conquer: --cube settles an easy Unsat via the probe
+#      and reports the cube/exchange note
+#   3. --cube on a non-hybrid engine is rejected (exit 2) — there is
+#      no split heap to nominate cube variables from
+#   4. bound-parallel sweep: sweep -j 2 announces its worker sessions
+#      and produces one row per requested bound
+#   5. worker-tagged tracing: a -j 2 solve writes an rtlsat.trace/8
+#      trace whose events carry "worker" tags, and the replay profiler
+#      accepts it
+#   6. the run ledger records the parallelism (j=N in options) and the
+#      record still parses via rtlsat runs
+# Pass the rtlsat binary as $1 (the dune rule does); standalone runs
+# build it first.
+set -eu
+
+here=$(dirname "$0")
+
+if [ $# -ge 1 ]; then
+  rtlsat=$1
+else
+  root=$(cd "$here/.." && pwd)
+  dune build --root "$root" bin/rtlsat.exe
+  rtlsat="$root/_build/default/bin/rtlsat.exe"
+fi
+
+out=$(mktemp /tmp/rtlsat_par.XXXXXX.out)
+trace=$(mktemp /tmp/rtlsat_par.XXXXXX.jsonl)
+ledger=$(mktemp /tmp/rtlsat_par.XXXXXX.ledger)
+trap 'rm -f "$out" "$trace" "$ledger"' EXIT
+
+# 1. portfolio race
+"$rtlsat" solve -c b01 -p 1 -k 20 -j 3 --no-ledger > "$out"
+grep -q "portfolio -j 3 raced" "$out"
+grep -q "winner" "$out"
+grep -q "SATISFIABLE (witness validated)" "$out"
+
+# 2. cube-and-conquer, probe-decided
+"$rtlsat" solve -c b02 -p 1 -k 10 -j 2 --cube --no-ledger > "$out"
+grep -q "cube-and-conquer -j 2" "$out"
+grep -q "UNSATISFIABLE" "$out"
+
+# 3. --cube needs a hybrid engine
+if "$rtlsat" solve -c b02 -p 1 -k 10 -e bitblast --cube --no-ledger \
+  > /dev/null 2>&1; then
+  echo "FAIL: --cube with bitblast should be rejected" >&2
+  exit 1
+fi
+
+# 4. bound-parallel sweep
+"$rtlsat" sweep -c b01 -p 1 --bounds 2,4,6,8 -j 2 --no-ledger > "$out"
+grep -q "2 worker sessions" "$out"
+[ "$(grep -c "^ " "$out")" -ge 4 ]
+
+# 5. worker-tagged trace replays through the profiler
+"$rtlsat" solve -c b01 -p 1 -k 20 -j 2 --no-ledger --trace "$trace" \
+  > /dev/null
+grep -q '"schema":"rtlsat.trace/8"' "$trace"
+grep -q '"worker":' "$trace"
+"$rtlsat" profile "$trace" > "$out"
+grep -q "rtlsat.trace/8" "$out"
+
+# 6. ledger carries j=N and stays loadable
+"$rtlsat" solve -c b01 -p 1 -k 20 -j 3 --ledger "$ledger" > /dev/null
+grep -q '"schema":"rtlsat.run/1"' "$ledger"
+grep -q 'j=3' "$ledger"
+"$rtlsat" runs --ledger "$ledger" | grep -q "b01_1(20)"
+
+echo "smoke_parallel: all checks passed"

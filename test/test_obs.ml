@@ -858,14 +858,14 @@ let test_openmetrics_solve_report () =
 (* ---- trace version dispatch ---- *)
 
 let test_trace_version_table () =
-  check_int "max version" 7 Forensics.max_trace_version;
+  check_int "max version" 8 Forensics.max_trace_version;
   List.iter
     (fun v ->
        check_bool
          (Printf.sprintf "version %d in table" v)
          true
          (List.mem_assoc v Forensics.trace_versions))
-    [ 1; 2; 3; 4; 5; 6; 7 ];
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
   check_bool "current schema parses" true
     (Forensics.schema_version Trace.schema = Some Forensics.max_trace_version);
   check_bool "foreign tag rejected" true
@@ -883,7 +883,7 @@ let test_profile_every_version () =
          (Printf.sprintf "v%d result parsed" v)
          true
          (p.Forensics.pf_result <> None))
-    [ 1; 2; 3; 4; 5; 6; 7 ]
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
 let test_profile_unsupported_version () =
   match Forensics.profile_file (fixture_file "trace_v9_unsupported.jsonl") with
@@ -1387,7 +1387,7 @@ let () =
       ( "trace-versions",
         [
           Alcotest.test_case "dispatch table" `Quick test_trace_version_table;
-          Alcotest.test_case "profile v1..v7 fixtures" `Quick
+          Alcotest.test_case "profile v1..v8 fixtures" `Quick
             test_profile_every_version;
           Alcotest.test_case "unsupported version rejected" `Quick
             test_profile_unsupported_version;
