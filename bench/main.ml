@@ -175,7 +175,11 @@ let sweep () =
        List.iter
          (fun e ->
             let inst = Registry.instance ~circuit:"b13" ~prop:"1" ~bound in
-            let r = Engines.run_instance ~timeout:120.0 e inst in
+            let r =
+              Engines.run_instance
+                ~req:(Rtlsat_harness.Req.make ~timeout:120.0 ())
+                e inst
+            in
             match r.Engines.verdict with
             | Engines.Sat | Engines.Unsat -> Format.printf ",%.3f" r.Engines.time
             | _ -> Format.printf ",")
@@ -233,12 +237,13 @@ let parallel_cases =
 let run_parallel () =
   List.map
     (fun (circuit, prop, bound, engine, timeout) ->
+       let req = Rtlsat_harness.Req.make ~timeout () in
        let seq =
-         Engines.run_instance ~timeout engine
+         Engines.run_instance ~req engine
            (Registry.instance ~circuit ~prop ~bound)
        in
        let p =
-         Parallel.portfolio ~timeout ~j:parallel_jobs ~engine
+         Parallel.portfolio ~req ~j:parallel_jobs ~engine
            (Registry.instance ~circuit ~prop ~bound)
        in
        {

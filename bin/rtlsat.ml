@@ -5,6 +5,7 @@
      show               netlist statistics (and optionally the netlist)
      solve              decide one BMC instance with a chosen engine
      sweep              bound sweep through one incremental solver session
+     serve              JSON-lines daemon over warm solver sessions
      check              BMC of a property in a textual netlist file
      prove              k-induction on a benchmark property
      fuzz               differential fuzzing of all engines
@@ -26,6 +27,8 @@ module Ir = Rtlsat_rtl.Ir
 module Structure = Rtlsat_rtl.Structure
 module Registry = Rtlsat_itc99.Registry
 module Engines = Rtlsat_harness.Engines
+module Req = Rtlsat_harness.Req
+module Serve = Rtlsat_harness.Serve
 module Tables = Rtlsat_harness.Tables
 module Report = Rtlsat_harness.Report
 module Parallel = Rtlsat_parallel.Parallel
@@ -129,6 +132,71 @@ let engine_conv =
   in
   Arg.enum all
 
+(* ---- shared request-context options ----
+
+   solve / sweep / sat / fuzz used to each re-declare
+   --split/--simplify/--inprocess (next to their own --trace and
+   --timeout); one spec now parses the engine knobs, and [req_of_opts]
+   finishes it into the single Req.t request context threaded through
+   every engine entry point. *)
+
+type engine_opts = {
+  eo_split : bool;      (* structural split nominations (hybrid engines) *)
+  eo_simplify : bool;   (* pre/inprocessing of the clause database *)
+  eo_inprocess : int;   (* re-simplify period in conflicts; 0 = off *)
+}
+
+let engine_opts_term =
+  let split =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "split" ]
+                   ~doc:"Enable stall-triggered interval-split decisions \
+                         (default); engines without a split heap ignore the \
+                         flag" );
+               ( false,
+                 info [ "no-split" ]
+                   ~doc:"Disable interval-split decisions; the hybrid kernel \
+                         behaves exactly as before splits existed" ) ])
+  in
+  let simplify =
+    Arg.(value
+         & vflag true
+             [ ( true,
+                 info [ "simplify" ]
+                   ~doc:"Pre/inprocess the clause database before the search \
+                         (default): subsumption, self-subsuming \
+                         strengthening and — for one-shot CNF only — \
+                         variable elimination, failed-literal probing and \
+                         equivalent-literal substitution; incremental \
+                         sessions keep elimination off, so assumptions stay \
+                         sound" );
+               ( false,
+                 info [ "no-simplify" ]
+                   ~doc:"Skip pre/inprocessing; the solver behaves exactly \
+                         as before the simplifier existed" ) ])
+  in
+  let inprocess =
+    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
+           ~doc:"Re-simplify the clause database at the first restart after \
+                 every $(docv) conflicts; 0 (default) disables inprocessing")
+  in
+  Term.(
+    const (fun eo_split eo_simplify eo_inprocess ->
+        { eo_split; eo_simplify; eo_inprocess })
+    $ split $ simplify $ inprocess)
+
+(* the one request context of the run: shared spec + per-command budget
+   and telemetry *)
+let req_of_opts ?obs ?dump_graph ?dump_graph_max ~timeout o =
+  Req.make ~timeout ?obs ~split:o.eo_split ~simplify:o.eo_simplify
+    ~inprocess:o.eo_inprocess ?dump_graph ?dump_graph_max ()
+
+(* the --trace spec, shared shape with per-command doc *)
+let trace_term ~doc =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -203,10 +271,10 @@ let solve_cmd =
                  forensics (hot constraints/variables, ICP stalls) as JSON")
   in
   let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a JSON-lines event trace (decisions, conflicts, restarts, \
-                 learned clauses, J-frontier sizes, ICP stalls); replay it with \
-                 $(b,rtlsat profile)")
+    trace_term
+      ~doc:"Write a JSON-lines event trace (decisions, conflicts, restarts, \
+            learned clauses, J-frontier sizes, ICP stalls); replay it with \
+            $(b,rtlsat profile)"
   in
   let dump_graph =
     Arg.(value & opt (some string) None & info [ "dump-graph" ] ~docv:"DIR"
@@ -254,38 +322,6 @@ let solve_cmd =
            ~doc:"Write the run's metrics in OpenMetrics text exposition \
                  format (see also $(b,rtlsat metrics))")
   in
-  let split =
-    Arg.(value
-         & vflag true
-             [ ( true,
-                 info [ "split" ]
-                   ~doc:"Enable stall-triggered interval-split decisions \
-                         (default; HDPLL engines only)" );
-               ( false,
-                 info [ "no-split" ]
-                   ~doc:"Disable interval-split decisions; the kernel behaves \
-                         exactly as before splits existed" ) ])
-  in
-  let simplify =
-    Arg.(value
-         & vflag true
-             [ ( true,
-                 info [ "simplify" ]
-                   ~doc:"Preprocess the clause database before the search \
-                         (default): subsumption, self-subsuming \
-                         strengthening and — for the bit-blast engine's \
-                         one-shot CNF — variable elimination, failed-literal \
-                         probing and equivalent-literal substitution" );
-               ( false,
-                 info [ "no-simplify" ]
-                   ~doc:"Skip pre/inprocessing; the solver behaves exactly \
-                         as before the simplifier existed" ) ])
-  in
-  let inprocess =
-    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
-           ~doc:"Re-simplify the clause database at the first restart after \
-                 every $(docv) conflicts; 0 (default) disables inprocessing")
-  in
   let jobs =
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Race up to $(docv) engines as a parallel portfolio over \
@@ -301,8 +337,8 @@ let solve_cmd =
                  short-clause exchange.  Hybrid engines only")
   in
   let run case_file circuit prop bound engine timeout stats_json trace_out
-      dump_graph dump_graph_max progress split simplify inprocess flight
-      flight_out heartbeat metrics_out jobs cube ledger =
+      dump_graph dump_graph_max progress opts flight flight_out heartbeat
+      metrics_out jobs cube ledger =
     let inst, label =
       match (case_file, circuit, prop, bound) with
       | Some file, None, None, None ->
@@ -398,13 +434,13 @@ let solve_cmd =
            "rtlsat: --cube needs a hybrid engine (no split heap to cube on)@.";
          exit 2);
     let mode_note = ref [] in
+    let req =
+      req_of_opts ~obs ?dump_graph ~dump_graph_max ~timeout opts
+    in
     let r =
       try
         if cube then begin
-          let c =
-            Parallel.cube_solve ~timeout ~obs ~split ~simplify ~inprocess
-              ~j:jobs ~engine inst
-          in
+          let c = Parallel.cube_solve ~req ~j:jobs ~engine inst in
           mode_note :=
             [ Printf.sprintf
                 "cube-and-conquer -j %d: %d cubes over vars [%s], %d \
@@ -426,10 +462,7 @@ let solve_cmd =
           }
         end
         else if jobs > 1 then begin
-          let p =
-            Parallel.portfolio ~timeout ~obs ~split ~simplify ~inprocess
-              ~j:jobs ~engine inst
-          in
+          let p = Parallel.portfolio ~req ~j:jobs ~engine inst in
           mode_note :=
             [ Printf.sprintf "portfolio -j %d raced {%s}: %s" jobs
                 (String.concat ", "
@@ -447,9 +480,7 @@ let solve_cmd =
                else p.Parallel.p_run.Engines.metrics);
           }
         end
-        else
-          Engines.run_instance ~timeout ~obs ?dump_graph ~dump_graph_max
-            ~split ~simplify ~inprocess engine inst
+        else Engines.run_instance ~req engine inst
       with e ->
         (* post-mortem for crashes, not just timeouts *)
         ignore (dump_flight ());
@@ -514,7 +545,8 @@ let solve_cmd =
       ~engine:(Engines.engine_name engine)
       ~options:
         (Printf.sprintf "bound=%d,split=%b,simplify=%b,inprocess=%d,j=%d%s"
-           bound split simplify inprocess jobs (if cube then ",cube" else ""))
+           bound opts.eo_split opts.eo_simplify opts.eo_inprocess jobs
+           (if cube then ",cube" else ""))
       ~verdict:(Report.verdict_string r.Engines.verdict)
       ~wall_s:r.Engines.time
       ~counters:
@@ -544,8 +576,8 @@ let solve_cmd =
        ~doc:"Decide one BMC instance (benchmark or .rtl case file)")
     Term.(const run $ case_file $ circuit $ prop $ bound $ engine $ timeout
           $ stats_json $ trace_out $ dump_graph $ dump_graph_max $ progress
-          $ split $ simplify $ inprocess $ flight $ flight_out $ heartbeat
-          $ metrics_out $ jobs $ cube $ ledger_term)
+          $ engine_opts_term $ flight $ flight_out $ heartbeat $ metrics_out
+          $ jobs $ cube $ ledger_term)
 
 (* ---- check: external netlist files ---- *)
 
@@ -645,11 +677,11 @@ let sweep_cmd =
            ~doc:"Also re-solve every bound from scratch and print both times")
   in
   let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a JSON-lines event trace, including the session \
-                 lifecycle events (session.create, solve.begin with carried \
-                 counters) and the per-bound sweep.bound / sweep.result \
-                 progress events; follow it live with $(b,rtlsat top)")
+    trace_term
+      ~doc:"Write a JSON-lines event trace, including the session \
+            lifecycle events (session.create, solve.begin with carried \
+            counters) and the per-bound sweep.bound / sweep.result \
+            progress events; follow it live with $(b,rtlsat top)"
   in
   let heartbeat =
     Arg.(value & opt float 1.0 & info [ "heartbeat" ] ~docv:"SECONDS"
@@ -681,25 +713,6 @@ let sweep_cmd =
              ~doc:"Where a flight-recorder dump lands; nothing is written \
                    when every bound ends normally")
   in
-  let simplify =
-    Arg.(value
-         & vflag true
-             [ ( true,
-                 info [ "simplify" ]
-                   ~doc:"Preprocess the clause database before every \
-                         per-bound call (default); the incremental engines \
-                         keep variable elimination off, so sessions and \
-                         assumptions stay sound" );
-               ( false,
-                 info [ "no-simplify" ]
-                   ~doc:"Skip pre/inprocessing; the session behaves exactly \
-                         as before the simplifier existed" ) ])
-  in
-  let inprocess =
-    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
-           ~doc:"Re-simplify the clause database at the first restart after \
-                 every $(docv) conflicts; 0 (default) disables inprocessing")
-  in
   let jobs =
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Partition the bound ladder round-robin over $(docv) worker \
@@ -707,7 +720,7 @@ let sweep_cmd =
                  Verdicts match -j 1; carried counters become per-worker")
   in
   let run circuit prop bounds engine timeout scratch trace_out heartbeat
-      metrics_out flight flight_out simplify inprocess jobs ledger =
+      metrics_out flight flight_out opts jobs ledger =
     let source, p =
       match Registry.build circuit with
       | c, props ->
@@ -756,10 +769,9 @@ let sweep_cmd =
            (Sys.Signal_handle (fun _ -> ignore (dump_flight ())))
        with Invalid_argument _ | Sys_error _ -> ());
     let jobs = max 1 jobs in
+    let req = req_of_opts ~obs ~timeout opts in
     let steps =
-      try
-        Parallel.sweep ~timeout ~obs ~simplify ~inprocess ~j:jobs engine
-          source ~prop:p ~bounds
+      try Parallel.sweep ~req ~j:jobs engine source ~prop:p ~bounds
       with e ->
         (* post-mortem for crashes, matching solve *)
         ignore (dump_flight ());
@@ -801,7 +813,9 @@ let sweep_cmd =
          let scratch_cell =
            if scratch then begin
              let r =
-               Engines.run_instance ~timeout engine
+               Engines.run_instance
+                 ~req:(Req.make ~timeout ())
+                 engine
                  (Registry.instance ~circuit ~prop ~bound:step.Engines.sw_bound)
              in
              scratch_total := !scratch_total +. r.Engines.time;
@@ -857,7 +871,7 @@ let sweep_cmd =
       ~options:
         (Printf.sprintf "bounds=%s,simplify=%b,inprocess=%d,j=%d"
            (String.concat ";" (List.map string_of_int bounds))
-           simplify inprocess jobs)
+           opts.eo_simplify opts.eo_inprocess jobs)
       ~verdict:sweep_verdict ~wall_s:!incr_total
       ~counters:
         [
@@ -881,7 +895,31 @@ let sweep_cmd =
              state carry from bound to bound")
     Term.(const run $ circuit $ prop $ bounds $ engine $ timeout $ scratch
           $ trace_out $ heartbeat $ metrics_out $ flight $ flight_out
-          $ simplify $ inprocess $ jobs $ ledger_term)
+          $ engine_opts_term $ jobs $ ledger_term)
+
+(* ---- serve: JSON-lines daemon over warm solver sessions ---- *)
+
+let serve_cmd =
+  let engine =
+    Arg.(value & opt engine_conv Engines.Hdpll_sp
+         & info [ "e"; "engine" ]
+             ~doc:"Default engine for requests that do not name one")
+  in
+  let run engine ledger =
+    let t = Serve.create ?ledger ~engine () in
+    let served = Serve.run t stdin stdout in
+    Format.eprintf "rtlsat serve: %d requests served@." served
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:std_exits
+       ~doc:"JSON-lines request/response daemon (schema rtlsat.serve/1, one \
+             request per stdin line, one response per stdout line) over a \
+             pool of warm per-(circuit, property) solver sessions: a \
+             repeated solve or sweep request reuses the session's unroll \
+             prefix and carried learned clauses, and each request carries \
+             its own deadline.  Operations: solve, sweep, ping, stats, \
+             shutdown; see docs/OBSERVABILITY.md for the schema")
+    Term.(const run $ engine $ ledger_term)
 
 (* ---- prove: k-induction ---- *)
 
@@ -924,26 +962,6 @@ let prove_cmd =
 let sat_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF") in
   let timeout = Arg.(value & opt float 1200.0 & info [ "timeout" ]) in
-  let simplify =
-    Arg.(value
-         & vflag true
-             [ ( true,
-                 info [ "simplify" ]
-                   ~doc:"Full preprocessing before the search (default): \
-                         subsumption, self-subsuming resolution, bounded \
-                         variable elimination, failed-literal probing and \
-                         binary-implication equivalent-literal substitution" );
-               ( false,
-                 info [ "no-simplify" ]
-                   ~doc:"Skip preprocessing; the CDCL engine runs on the \
-                         formula exactly as parsed" ) ])
-  in
-  let inprocess =
-    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
-           ~doc:"Re-simplify (without variable elimination) at the first \
-                 restart after every $(docv) conflicts; 0 (default) disables \
-                 inprocessing")
-  in
   let stats_json =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write the simplification pass counters (subsumed, \
@@ -970,7 +988,8 @@ let sat_cmd =
              ~doc:"Where a flight-recorder dump lands; nothing is written \
                    when the solve ends normally")
   in
-  let run file timeout simplify inprocess stats_json flight flight_out ledger =
+  let run file timeout opts stats_json flight flight_out ledger =
+    let simplify = opts.eo_simplify and inprocess = opts.eo_inprocess in
     let ic = open_in_bin file in
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -1070,7 +1089,7 @@ let sat_cmd =
   Cmd.v
     (Cmd.info "sat" ~exits:std_exits
        ~doc:"Solve a DIMACS CNF file with the CDCL engine")
-    Term.(const run $ file $ timeout $ simplify $ inprocess $ stats_json
+    Term.(const run $ file $ timeout $ engine_opts_term $ stats_json
           $ flight $ flight_out $ ledger_term)
 
 (* ---- export ---- *)
@@ -1155,30 +1174,12 @@ let fuzz_cmd =
            ~doc:"One line per instance on stderr (verdicts + certificate)")
   in
   let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a JSON-lines campaign trace (rate-limited \
-                 fuzz.progress events with instance/verdict/failure totals)")
-  in
-  let simplify =
-    Arg.(value
-         & vflag true
-             [ ( true,
-                 info [ "simplify" ]
-                   ~doc:"Cross-check the engines with pre/inprocessing \
-                         enabled (default), exercising the simplifier \
-                         inside every engine run" );
-               ( false,
-                 info [ "no-simplify" ]
-                   ~doc:"Cross-check the engines with pre/inprocessing \
-                         disabled" ) ])
-  in
-  let inprocess =
-    Arg.(value & opt int 0 & info [ "inprocess" ] ~docv:"CONFLICTS"
-           ~doc:"Forwarded to every engine run: re-simplify after every \
-                 $(docv) conflicts (0 disables)")
+    trace_term
+      ~doc:"Write a JSON-lines campaign trace (rate-limited fuzz.progress \
+            events with instance/verdict/failure totals)"
   in
   let run seed count max_nodes max_regs deadline timeout json_out out_dir
-      verbose trace_out simplify inprocess ledger =
+      verbose trace_out opts ledger =
     let obs =
       Obs.create
         ?trace:
@@ -1203,9 +1204,7 @@ let fuzz_cmd =
         Fuzz.default with
         Fuzz.seed;
         count;
-        timeout;
-        simplify;
-        inprocess;
+        req = req_of_opts ~timeout opts;
         obs;
         log;
         deadline = Option.value deadline ~default:infinity;
@@ -1256,7 +1255,7 @@ let fuzz_cmd =
       ~options:
         (Printf.sprintf
            "count=%d,max_nodes=%d,max_regs=%d,simplify=%b,inprocess=%d" count
-           max_nodes max_regs simplify inprocess)
+           max_nodes max_regs opts.eo_simplify opts.eo_inprocess)
       ~verdict:(if s.Fuzz.failures = [] then "ok" else "failures")
       ~wall_s:s.Fuzz.wall
       ~counters:
@@ -1280,7 +1279,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random circuits, all engines \
              cross-checked, failures shrunk")
     Term.(const run $ seed $ count $ max_nodes $ max_regs $ deadline $ timeout
-          $ json_out $ out_dir $ verbose $ trace_out $ simplify $ inprocess
+          $ json_out $ out_dir $ verbose $ trace_out $ engine_opts_term
           $ ledger_term)
 
 (* ---- profile: the trace-replay profiler ---- *)
@@ -1733,7 +1732,8 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; solve_cmd; sweep_cmd; check_cmd; prove_cmd; export_cmd; sat_cmd;
+          [ list_cmd; show_cmd; solve_cmd; sweep_cmd; serve_cmd; check_cmd;
+            prove_cmd; export_cmd; sat_cmd;
             fuzz_cmd;
             profile_cmd;
             top_cmd;

@@ -1,6 +1,7 @@
 module Obs = Rtlsat_obs.Obs
 module Json = Rtlsat_obs.Json
 module Engines = Rtlsat_harness.Engines
+module Req = Rtlsat_harness.Req
 module Report = Rtlsat_harness.Report
 
 type config = {
@@ -8,12 +9,10 @@ type config = {
   count : int;
   gen : Gen.cfg;
   engines : Engines.engine list;
-  timeout : float;
+  req : Req.t;
   deadline : float;
   cert_budget : int;
   shrink_steps : int;
-  simplify : bool;
-  inprocess : int;
   obs : Obs.t;
   log : (int -> Case.t -> Oracle.outcome -> unit) option;
 }
@@ -24,12 +23,10 @@ let default =
     count = 100;
     gen = Gen.default;
     engines = Oracle.default_engines;
-    timeout = 2.0;
+    req = Req.make ~timeout:2.0 ();
     deadline = infinity;
     cert_budget = 4096;
     shrink_steps = 128;
-    simplify = true;
-    inprocess = 0;
     obs = Obs.disabled;
     log = None;
   }
@@ -88,9 +85,8 @@ let run cfg =
       let iseed = instance_seed cfg !i in
       let case = Gen.circuit ~cfg:cfg.gen ~seed:iseed () in
       let oracle c =
-        Oracle.check ~engines:cfg.engines ~timeout:cfg.timeout
-          ~cert_budget:cfg.cert_budget ~seed:iseed ~simplify:cfg.simplify
-          ~inprocess:cfg.inprocess c
+        Oracle.check ~engines:cfg.engines ~req:cfg.req
+          ~cert_budget:cfg.cert_budget ~seed:iseed c
       in
       let outcome = oracle case in
       incr instances;

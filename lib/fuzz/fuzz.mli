@@ -19,15 +19,17 @@ type config = {
   count : int;                  (** instances to attempt *)
   gen : Gen.cfg;
   engines : Engines.engine list;
-  timeout : float;              (** per engine run, seconds *)
+  req : Rtlsat_harness.Req.t;
+      (** request context of every engine run — its [timeout] bounds
+          each run, its [simplify]/[inprocess] select pre/inprocessing
+          inside every engine, see {!Oracle.check} *)
   deadline : float;             (** campaign wall-clock budget, seconds *)
   cert_budget : int;            (** Unsat certificate matrices, see {!Oracle.check} *)
   shrink_steps : int;           (** oracle evaluations per shrink *)
-  simplify : bool;              (** pre/inprocess inside every engine run
-                                    (default on), see {!Oracle.check} *)
-  inprocess : int;              (** conflicts between inprocessing passes;
-                                    0 disables *)
   obs : Obs.t;
+      (** campaign-level telemetry (fuzz.* counters, progress events);
+          distinct from [req.obs], which would instrument the
+          individual engine runs *)
   log : (int -> Case.t -> Oracle.outcome -> unit) option;
       (** per-instance progress callback (index, case, outcome) *)
 }

@@ -1,6 +1,7 @@
 open Rtlsat_rtl
 module Bmc = Rtlsat_bmc.Bmc
 module Engines = Rtlsat_harness.Engines
+module Req = Rtlsat_harness.Req
 module R = Random.State
 
 type failure =
@@ -83,15 +84,14 @@ let refute ~budget ~seed (inst : Bmc.instance) =
     scan 0
   end
 
-let check ?(engines = default_engines) ?(timeout = 10.0) ?(cert_budget = 4096)
-    ?(seed = 0) ?(simplify = true) ?(inprocess = 0) (case : Case.t) =
+let default_req = Req.make ~timeout:10.0 ()
+
+let check ?(engines = default_engines) ?(req = default_req)
+    ?(cert_budget = 4096) ?(seed = 0) (case : Case.t) =
   let inst = Case.instance case in
   let verdicts =
     List.map
-      (fun e ->
-         ( e,
-           (Engines.run_instance ~timeout ~simplify ~inprocess e inst)
-             .Engines.verdict ))
+      (fun e -> (e, (Engines.run_instance ~req e inst).Engines.verdict))
       engines
   in
   let aborted =

@@ -53,21 +53,20 @@ val violated : Rtlsat_bmc.Bmc.instance -> int list list -> bool
 
 val check :
   ?engines:Engines.engine list ->
-  ?timeout:float ->
+  ?req:Rtlsat_harness.Req.t ->
   ?cert_budget:int ->
   ?seed:int ->
-  ?simplify:bool ->
-  ?inprocess:int ->
   Case.t ->
   outcome
-(** Decide the case with every engine and cross-check.  [timeout]
-    (default 10s) bounds each engine run; [cert_budget] (default 4096)
-    is the number of simulated input matrices — exhaustive when the
-    whole space fits, sampled otherwise; [seed] (default 0)
-    determinizes the sampling.  [simplify] (default [true]) and
-    [inprocess] are forwarded to every engine run
-    ({!Engines.run_instance}), so the campaign cross-checks the
-    engines {e with} pre/inprocessing unless told otherwise. *)
+(** Decide the case with every engine and cross-check.  [req] (default
+    a 10 s-budget request with pre/inprocessing on) is the request
+    context of every engine run ({!Engines.run_instance}) — its
+    [timeout] bounds each run, its [simplify]/[inprocess] select
+    pre/inprocessing, so the campaign cross-checks the engines
+    {e with} simplification unless told otherwise.  [cert_budget]
+    (default 4096) is the number of simulated input matrices —
+    exhaustive when the whole space fits, sampled otherwise; [seed]
+    (default 0) determinizes the sampling. *)
 
 val describe : outcome -> string
 (** One-line human summary, e.g.

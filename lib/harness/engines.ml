@@ -1,186 +1,40 @@
 module Bmc = Rtlsat_bmc.Bmc
 module Unroll = Rtlsat_bmc.Unroll
-module E = Rtlsat_constr.Encode
-module Solver = Rtlsat_core.Solver
-module Bitblast = Rtlsat_baselines.Bitblast
-module Lazy_cdp = Rtlsat_baselines.Lazy_cdp
 module Structure = Rtlsat_rtl.Structure
 module Obs = Rtlsat_obs.Obs
 module Json = Rtlsat_obs.Json
-module Mono = Rtlsat_obs.Mono
 
-type engine = Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p | Bitblast | Lazy_cdp
+type engine = Engine.id =
+  | Hdpll
+  | Hdpll_s
+  | Hdpll_sp
+  | Hdpll_p
+  | Bitblast
+  | Lazy_cdp
 
-let engine_name = function
-  | Hdpll -> "hdpll"
-  | Hdpll_s -> "hdpll+s"
-  | Hdpll_sp -> "hdpll+s+p"
-  | Hdpll_p -> "hdpll+p"
-  | Bitblast -> "bitblast"
-  | Lazy_cdp -> "lazy-cdp"
-
+let engine_name = Engine.name_of
 let table2_engines = [ Hdpll; Hdpll_s; Hdpll_sp; Bitblast; Lazy_cdp ]
 
-type verdict = Sat | Unsat | Timeout | Abort of string
+type verdict = Engine.verdict = Sat | Unsat | Timeout | Abort of string
 
-type run = {
+type run = Engine.run = {
   verdict : verdict;
   time : float;
   relations : int;
   learn_time : float;
   decisions : int;
   conflicts : int;
-  stats : Solver.stats option;
-  metrics : Obs.snapshot option;
+  stats : Rtlsat_core.Solver.stats option;
+  metrics : Rtlsat_obs.Obs.snapshot option;
 }
 
-let verdict_symbol = function
-  | Sat -> "S"
-  | Unsat -> "U"
-  | Timeout -> "-to-"
-  | Abort _ -> "-A-"
+let verdict_symbol = Engine.verdict_symbol
 
-let solver_options engine ?learn_threshold ?dump_graph ?(dump_graph_max = 10)
-    ?(split = true) ?(simplify = true) ?(inprocess = 0) ?cancel ?on_learn
-    ~deadline ~obs () =
-  let base =
-    match engine with
-    | Hdpll -> Solver.hdpll
-    | Hdpll_s -> Solver.hdpll_s
-    | Hdpll_sp -> Solver.hdpll_sp
-    | Hdpll_p -> Solver.hdpll_p
-    | Bitblast | Lazy_cdp -> invalid_arg "solver_options"
-  in
-  {
-    base with
-    Solver.deadline;
-    Solver.learn_threshold = learn_threshold;
-    Solver.obs = obs;
-    Solver.dump_graph;
-    Solver.dump_graph_max;
-    Solver.split;
-    Solver.simplify;
-    Solver.inprocess;
-    Solver.cancel =
-      (match cancel with Some c -> c | None -> base.Solver.cancel);
-    Solver.on_learn = on_learn;
-  }
+let run_instance ?(req = Req.default) engine inst =
+  let (module M : Engine.S) = Engine.of_id engine in
+  M.solve ~req (M.create ~req inst)
 
-let run_instance ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
-    ?dump_graph ?dump_graph_max ?split ?(simplify = true) ?(inprocess = 0)
-    ?cancel ?on_learn engine (inst : Bmc.instance) =
-  let t0 = Mono.now () in
-  let deadline = t0 +. timeout in
-  let elapsed () = Mono.now () -. t0 in
-  let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
-  match engine with
-  | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
-    let enc =
-      Obs.span obs Obs.Encode (fun () ->
-          let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
-          E.assume_bool enc inst.Bmc.violation true;
-          enc)
-    in
-    let options =
-      solver_options engine ?learn_threshold ?dump_graph ?dump_graph_max
-        ?split ~simplify ~inprocess ?cancel ?on_learn ~deadline ~obs ()
-    in
-    let { Solver.result; stats; _ } = Solver.solve ~options enc in
-    let mk verdict =
-      {
-        verdict;
-        time = elapsed ();
-        relations = stats.Solver.relations;
-        learn_time = stats.Solver.learn_time;
-        decisions = stats.Solver.decisions;
-        conflicts = stats.Solver.conflicts;
-        stats = Some stats;
-        metrics = snap ();
-      }
-    in
-    (match result with
-     | Solver.Unsat -> mk Unsat
-     | Solver.Timeout -> mk Timeout
-     | Solver.Sat m ->
-       if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then mk Sat
-       else mk (Abort "witness failed replay"))
-  | Bitblast ->
-    let bb =
-      Obs.span obs Obs.Encode (fun () ->
-          let bb = Bitblast.encode (Unroll.combo inst.Bmc.unrolled) in
-          Bitblast.assume_bool bb inst.Bmc.violation true;
-          bb)
-    in
-    (* one-shot solve: the violation selector was added as a unit
-       clause above, not an assumption, and the encoding never grows —
-       so full preprocessing including variable elimination is sound *)
-    if simplify then
-      Obs.span obs Obs.Simplify (fun () ->
-          Bitblast.simplify ~elim:true bb;
-          if obs.Obs.enabled then begin
-            let st = Bitblast.simp_stats bb in
-            let open Rtlsat_simplify.Simp in
-            Obs.add obs "simplify.subsumed" st.subsumed;
-            Obs.add obs "simplify.strengthened" st.strengthened;
-            Obs.add obs "simplify.eliminated" st.eliminated;
-            Obs.add obs "simplify.probed" st.probed;
-            if Obs.tracing obs then
-              Obs.event obs "simplify.pass"
-                [ ("engine", Json.Str "cdcl");
-                  ("subsumed", Json.Int st.subsumed);
-                  ("strengthened", Json.Int st.strengthened);
-                  ("eliminated", Json.Int st.eliminated);
-                  ("probed", Json.Int st.probed);
-                  ("equivs", Json.Int st.equivs) ]
-          end);
-    let verdict =
-      match Bitblast.solve ~deadline ~inprocess ?cancel bb with
-      | Bitblast.Unsat -> Unsat
-      | Bitblast.Timeout -> Timeout
-      | Bitblast.Sat ->
-        if Bmc.witness_ok inst (Bitblast.node_value bb) then Sat
-        else Abort "witness failed replay"
-    in
-    {
-      verdict;
-      time = elapsed ();
-      relations = 0;
-      learn_time = 0.0;
-      decisions = 0;
-      conflicts = Rtlsat_sat.Cdcl.n_conflicts (Bitblast.solver bb);
-      stats = None;
-      metrics = snap ();
-    }
-  | Lazy_cdp ->
-    let enc =
-      Obs.span obs Obs.Encode (fun () ->
-          let enc = E.encode (Unroll.combo inst.Bmc.unrolled) in
-          E.assume_bool enc inst.Bmc.violation true;
-          enc)
-    in
-    let result, st = Lazy_cdp.solve ~deadline ?cancel enc.E.problem in
-    let verdict =
-      match result with
-      | Lazy_cdp.Unsat -> Unsat
-      | Lazy_cdp.Timeout -> Timeout
-      | Lazy_cdp.Sat m ->
-        if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then Sat
-        else Abort "witness failed replay"
-    in
-    {
-      verdict;
-      time = elapsed ();
-      relations = 0;
-      learn_time = 0.0;
-      decisions = st.Lazy_cdp.theory_calls;
-      conflicts = st.Lazy_cdp.blocking_clauses;
-      stats = None;
-      metrics = snap ();
-    }
-
-(* ---- session-based bound sweeps ---- *)
-
-type sweep_step = {
+type sweep_step = Engine.sweep_step = {
   sw_bound : int;
   sw_run : run;
   sw_carried_clauses : int;
@@ -229,159 +83,15 @@ let sweep_with_obs obs ~total ~index ~bound f =
   end;
   step
 
-let run_sweep ?(timeout = 1200.0) ?learn_threshold ?(obs = Obs.disabled)
-    ?split ?(simplify = true) ?(inprocess = 0) ?cancel ?semantics engine
-    source ~prop ~bounds =
-  let snap () = if obs.Obs.enabled then Some (Obs.snapshot obs) else None in
+let run_sweep ?(req = Req.default) ?semantics engine source ~prop ~bounds =
+  let (module M : Engine.S) = Engine.of_id engine in
+  let sess = M.session ~req ?semantics source ~prop in
   let nbounds = List.length bounds in
-  match engine with
-  | Hdpll | Hdpll_s | Hdpll_sp | Hdpll_p ->
-    let sw = Bmc.sweep source ~prop ?semantics () in
-    let enc =
-      Obs.span obs Obs.Encode (fun () ->
-          E.encode (Unroll.combo (Bmc.sweep_unrolled sw)))
-    in
-    (* the per-call deadline is passed to [Session.solve]; the options
-       deadline is a never-fires placeholder *)
-    let options =
-      solver_options engine ?learn_threshold ?split ~simplify ~inprocess
-        ?cancel ~deadline:infinity ~obs ()
-    in
-    let sess = Solver.Session.create ~options enc in
-    List.mapi
-      (fun index bound ->
-         sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
-         let t0 = Mono.now () in
-         let vnode = Bmc.sweep_violation sw ~bound in
-         Obs.span obs Obs.Encode (fun () -> E.extend enc);
-         let r =
-           Solver.Session.solve
-             ~assumptions:[| Rtlsat_constr.Types.Pos (E.var enc vnode) |]
-             ~deadline:(t0 +. timeout) sess
-         in
-         let stats = r.Solver.Session.outcome.Solver.stats in
-         let mk verdict =
-           {
-             verdict;
-             time = Mono.now () -. t0;
-             relations = stats.Solver.relations;
-             learn_time = stats.Solver.learn_time;
-             decisions = stats.Solver.decisions;
-             conflicts = stats.Solver.conflicts;
-             stats = Some stats;
-             metrics = snap ();
-           }
-         in
-         let sw_run =
-           match r.Solver.Session.outcome.Solver.result with
-           | Solver.Unsat -> mk Unsat
-           | Solver.Timeout -> mk Timeout
-           | Solver.Sat m ->
-             let inst = Bmc.sweep_instance sw ~bound in
-             if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then mk Sat
-             else mk (Abort "witness failed replay")
-         in
-         {
-           sw_bound = bound;
-           sw_run;
-           sw_carried_clauses = r.Solver.Session.carried_clauses;
-           sw_carried_relations = r.Solver.Session.carried_relations;
-         })
-      bounds
-  | Bitblast ->
-    let sw = Bmc.sweep source ~prop ?semantics () in
-    let bb =
-      Obs.span obs Obs.Encode (fun () ->
-          Bitblast.encode (Unroll.combo (Bmc.sweep_unrolled sw)))
-    in
-    let sat = Bitblast.solver bb in
-    List.mapi
-      (fun index bound ->
-         sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
-         let t0 = Mono.now () in
-         let vnode = Bmc.sweep_violation sw ~bound in
-         Obs.span obs Obs.Encode (fun () -> Bitblast.extend bb);
-         (* CDCL keeps no learned-clause counter distinct from its
-            clause database, so conflicts-so-far stands in for the
-            lemmas carried into this call *)
-         let carried = Rtlsat_sat.Cdcl.n_conflicts sat in
-         (* incremental sweep: the encoding keeps growing and literals
-            are assumed per bound, so variable elimination stays off —
-            subsumption, probing and equivalent-literal substitution
-            remain sound (assumptions and later clauses are rewritten
-            through the substitution) *)
-         if simplify then
-           Obs.span obs Obs.Simplify (fun () -> Bitblast.simplify bb);
-         let verdict =
-           match
-             Bitblast.solve ~deadline:(t0 +. timeout) ~inprocess ?cancel
-               ~assumptions:[ Bitblast.bool_lit bb vnode ] bb
-           with
-           | Bitblast.Unsat -> Unsat
-           | Bitblast.Timeout -> Timeout
-           | Bitblast.Sat ->
-             let inst = Bmc.sweep_instance sw ~bound in
-             if Bmc.witness_ok inst (Bitblast.node_value bb) then Sat
-             else Abort "witness failed replay"
-         in
-         let sw_run =
-           {
-             verdict;
-             time = Mono.now () -. t0;
-             relations = 0;
-             learn_time = 0.0;
-             decisions = 0;
-             conflicts = Rtlsat_sat.Cdcl.n_conflicts sat - carried;
-             stats = None;
-             metrics = snap ();
-           }
-         in
-         {
-           sw_bound = bound;
-           sw_run;
-           sw_carried_clauses = carried;
-           sw_carried_relations = 0;
-         })
-      bounds
-  | Lazy_cdp ->
-    (* no incremental interface: each bound is an honest fresh solve
-       over the shared unroll, for a uniform six-engine oracle *)
-    let sw = Bmc.sweep source ~prop ?semantics () in
-    List.mapi
-      (fun index bound ->
-         sweep_with_obs obs ~total:nbounds ~index ~bound @@ fun () ->
-         let t0 = Mono.now () in
-         let vnode = Bmc.sweep_violation sw ~bound in
-         let enc =
-           Obs.span obs Obs.Encode (fun () ->
-               let enc = E.encode (Unroll.combo (Bmc.sweep_unrolled sw)) in
-               E.assume_bool enc vnode true;
-               enc)
-         in
-         let result, st = Lazy_cdp.solve ~deadline:(t0 +. timeout) ?cancel enc.E.problem in
-         let verdict =
-           match result with
-           | Lazy_cdp.Unsat -> Unsat
-           | Lazy_cdp.Timeout -> Timeout
-           | Lazy_cdp.Sat m ->
-             let inst = Bmc.sweep_instance sw ~bound in
-             if Bmc.witness_ok inst (fun n -> m.(E.var enc n)) then Sat
-             else Abort "witness failed replay"
-         in
-         let sw_run =
-           {
-             verdict;
-             time = Mono.now () -. t0;
-             relations = 0;
-             learn_time = 0.0;
-             decisions = st.Lazy_cdp.theory_calls;
-             conflicts = st.Lazy_cdp.blocking_clauses;
-             stats = None;
-             metrics = snap ();
-           }
-         in
-         { sw_bound = bound; sw_run; sw_carried_clauses = 0; sw_carried_relations = 0 })
-      bounds
+  List.mapi
+    (fun index bound ->
+       sweep_with_obs req.Req.obs ~total:nbounds ~index ~bound @@ fun () ->
+       M.sweep_step ~req sess ~bound)
+    bounds
 
 let op_counts (inst : Bmc.instance) =
   Structure.op_counts (Unroll.combo inst.Bmc.unrolled)

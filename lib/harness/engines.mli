@@ -2,9 +2,14 @@
     the four HDPLL configurations, the eager Boolean translation
     (UCLID stand-in) and the lazy combined decision procedure (ICS
     stand-in).  Every satisfiable answer is validated by replaying the
-    witness through the RTL simulator. *)
+    witness through the RTL simulator.
 
-type engine =
+    This is the convenience layer over {!Engine}: each engine is a
+    first-class module implementing {!Engine.S}, and [run_instance] /
+    [run_sweep] dispatch through {!Engine.of_id} with one {!Req.t}
+    request context instead of an optional-argument pile. *)
+
+type engine = Engine.id =
   | Hdpll        (** HDPLL [9] *)
   | Hdpll_s      (** + structural decision strategy (§4) *)
   | Hdpll_sp     (** + structural decisions + predicate learning *)
@@ -16,14 +21,14 @@ val engine_name : engine -> string
 val table2_engines : engine list
 (** The five columns of Table 2, in order. *)
 
-type verdict =
+type verdict = Engine.verdict =
   | Sat
   | Unsat
   | Timeout
   | Abort of string
       (** engine failure — e.g. a witness that does not replay *)
 
-type run = {
+type run = Engine.run = {
   verdict : verdict;
   time : float;           (** seconds *)
   relations : int;        (** predicate relations learned (HDPLL+P) *)
@@ -33,69 +38,53 @@ type run = {
   stats : Rtlsat_core.Solver.stats option;
       (** full solver counters; [None] for the baseline engines *)
   metrics : Rtlsat_obs.Obs.snapshot option;
-      (** observability snapshot; [None] unless an enabled [obs]
-          handle was passed to {!run_instance} *)
+      (** observability snapshot; [None] unless the request carried an
+          enabled [obs] handle *)
 }
 
 val verdict_symbol : verdict -> string
 (** ["S"], ["U"], ["-to-"], ["-A-"] as in the paper's tables. *)
 
-val run_instance :
-  ?timeout:float ->
-  ?learn_threshold:int ->
-  ?obs:Rtlsat_obs.Obs.t ->
-  ?dump_graph:string ->
-  ?dump_graph_max:int ->
-  ?split:bool ->
-  ?simplify:bool ->
-  ?inprocess:int ->
-  ?cancel:bool Atomic.t ->
-  ?on_learn:(Rtlsat_constr.Types.clause -> unit) ->
-  engine ->
-  Rtlsat_bmc.Bmc.instance ->
-  run
-(** Solve a BMC instance with the given engine.  [timeout] is a
-    per-run budget in seconds (default 1200, the paper's limit).
+val run_instance : ?req:Req.t -> engine -> Rtlsat_bmc.Bmc.instance -> run
+(** Solve a BMC instance with the given engine under the request
+    context [req] (default {!Req.default}: 1200 s budget — the paper's
+    limit — observability disabled, simplify and split on).
     Satisfiable results are checked with {!Rtlsat_bmc.Bmc.witness_ok};
-    failures become [Abort].  [obs] (default disabled) instruments the
-    whole run — encoding included — and fills [run.metrics]; pass a
-    fresh handle per run for per-run snapshots.  [dump_graph] (HDPLL
-    engines only) exports the first [dump_graph_max] (default 10)
-    conflict implication graphs as DOT files into the given directory,
-    which must exist.  [split] (HDPLL engines only, default [true])
-    enables stall-triggered interval-split decisions; pass [false] to
-    reproduce the pre-split kernel behaviour.  [simplify] (default
-    [true]) preprocesses the engine's clause database before the
-    search — the hybrid pass ({!Rtlsat_core.Hsimp}) for the HDPLL
-    engines, the CNF pipeline ({!Rtlsat_simplify.Simp}, with variable
-    elimination: one-shot solving makes it sound) for the bit-blast
-    baseline; the lazy CDP ignores it.  [inprocess] > 0 re-simplifies
-    every that many conflicts.  [cancel] is a shared cooperative
-    cancellation flag: once set, the engine returns [Timeout] at its
-    next step/fuel gate — the parallel portfolio uses one flag per
-    race.  [on_learn] (HDPLL engines only) receives every
-    conflict-learned clause of length ≤ 2 for cross-worker clause
-    exchange; it is ignored by the baseline engines. *)
+    failures become [Abort].  [req.obs] instruments the whole run —
+    encoding included — and fills [run.metrics]; pass a fresh handle
+    per run for per-run snapshots.  [req.dump_graph] (HDPLL engines
+    only) exports the first [req.dump_graph_max] conflict implication
+    graphs as DOT files into the given directory, which must exist.
+    [req.split] (HDPLL engines only) enables stall-triggered
+    interval-split decisions.  [req.simplify] preprocesses the
+    engine's clause database before the search — the hybrid pass
+    ({!Rtlsat_core.Hsimp}) for the HDPLL engines, the CNF pipeline
+    ({!Rtlsat_simplify.Simp}, with variable elimination: one-shot
+    solving makes it sound) for the bit-blast baseline; the lazy CDP
+    ignores it.  [req.inprocess] > 0 re-simplifies every that many
+    conflicts.  [req.cancel], once set, makes the engine return
+    [Timeout] at its next step/fuel gate — the parallel portfolio uses
+    one flag per race.  [req.on_learn] (HDPLL engines only) receives
+    every conflict-learned clause of length ≤ 2 for cross-worker
+    clause exchange. *)
 
-type sweep_step = {
+type sweep_step = Engine.sweep_step = {
   sw_bound : int;
   sw_run : run;
   sw_carried_clauses : int;
       (** learned clauses already in the solver when this bound's call
-          began (HDPLL: session counter; bitblast: conflicts-so-far as
-          a stand-in; lazy CDP: always 0) *)
+          began.  Per-engine semantics: HDPLL engines report the
+          session kernel's learned-clause database size at call entry;
+          the bit-blast baseline reports the CDCL kernel's total
+          conflict-learned lemmas so far ({!Rtlsat_sat.Cdcl.n_learned}
+          — derivation count, monotone across inprocessing rebuilds);
+          the lazy CDP re-solves from scratch and always reports 0 *)
   sw_carried_relations : int;
       (** predicate relations carried from earlier bounds (HDPLL+P) *)
 }
 
 val run_sweep :
-  ?timeout:float ->
-  ?learn_threshold:int ->
-  ?obs:Rtlsat_obs.Obs.t ->
-  ?split:bool ->
-  ?simplify:bool ->
-  ?inprocess:int ->
-  ?cancel:bool Atomic.t ->
+  ?req:Req.t ->
   ?semantics:Rtlsat_bmc.Bmc.semantics ->
   engine ->
   Rtlsat_rtl.Ir.circuit ->
@@ -109,14 +98,27 @@ val run_sweep :
     bound.  HDPLL engines use {!Rtlsat_core.Solver.Session}; the
     bit-blast baseline rides the CDCL solver's native assumptions; the
     lazy CDP has no incremental interface and re-solves each bound from
-    scratch (uniform API, zero carried counters).  [timeout] is a
+    scratch (uniform API, zero carried counters).  [req.timeout] is a
     per-bound budget in seconds; Sat witnesses are replayed through the
-    simulator exactly as in {!run_instance}.  [simplify]/[inprocess]
-    are as in {!run_instance}, except that the bit-blast baseline keeps
-    variable elimination {e off}: the encoding grows and literals are
-    assumed per bound, which elimination does not survive.  [cancel]
-    cancels the sweep cooperatively mid-bound, as in
-    {!run_instance}. *)
+    simulator exactly as in {!run_instance}.  [req.simplify] /
+    [req.inprocess] are as in {!run_instance}, except that the
+    bit-blast baseline keeps variable elimination {e off}: the encoding
+    grows and literals are assumed per bound, which elimination does
+    not survive.  [req.cancel] cancels the sweep cooperatively
+    mid-bound, as in {!run_instance}. *)
+
+val sweep_with_obs :
+  Rtlsat_obs.Obs.t ->
+  total:int ->
+  index:int ->
+  bound:int ->
+  (unit -> sweep_step) ->
+  sweep_step
+(** Per-bound sweep telemetry wrapper: points the heartbeat context at
+    the current bound and brackets the step with [sweep.bound] /
+    [sweep.result] trace events, so a live monitor can tell which
+    bound a long sweep is stuck on.  Used by {!run_sweep} and the
+    parallel bound-partitioned sweep driver. *)
 
 val op_counts : Rtlsat_bmc.Bmc.instance -> int * int
 (** (arith, bool) operator counts of the unrolled instance —

@@ -1,0 +1,53 @@
+module Obs = Rtlsat_obs.Obs
+
+type t = {
+  timeout : float;
+  deadline : float;
+  cancel : bool Atomic.t;
+  obs : Obs.t;
+  learn_threshold : int option;
+  split : bool;
+  simplify : bool;
+  inprocess : int;
+  dump_graph : string option;
+  dump_graph_max : int;
+  on_learn : (Rtlsat_constr.Types.clause -> unit) option;
+  tag : string;
+}
+
+(* the shared never-set flag backing every request that does not ask
+   for its own; mirrors [Solver.default.cancel] *)
+let never_cancel = Atomic.make false
+
+let make ?(timeout = 1200.0) ?(deadline = infinity) ?(cancel = never_cancel)
+    ?(obs = Obs.disabled) ?learn_threshold ?(split = true) ?(simplify = true)
+    ?(inprocess = 0) ?dump_graph ?(dump_graph_max = 10) ?on_learn ?(tag = "")
+    () =
+  {
+    timeout;
+    deadline;
+    cancel;
+    obs;
+    learn_threshold;
+    split;
+    simplify;
+    inprocess;
+    dump_graph;
+    dump_graph_max;
+    on_learn;
+    tag;
+  }
+
+let default = make ()
+
+let deadline_from t t0 = Float.min (t0 +. t.timeout) t.deadline
+let cancelled t = Atomic.get t.cancel
+let fresh_cancel t = { t with cancel = Atomic.make false }
+let with_obs t obs = { t with obs }
+let with_cancel t cancel = { t with cancel }
+let with_timeout t timeout = { t with timeout }
+let with_deadline t deadline = { t with deadline }
+
+let options_string t =
+  Printf.sprintf "split=%b,simplify=%b,inprocess=%d" t.split t.simplify
+    t.inprocess

@@ -1,0 +1,289 @@
+module Registry = Rtlsat_itc99.Registry
+module Json = Rtlsat_obs.Json
+module Ledger = Rtlsat_obs.Ledger
+
+let schema = "rtlsat.serve/1"
+
+(* one warm session: the engine module and its session value packed
+   together so the pool can hold any engine's session uniformly *)
+type entry =
+  | E : {
+      m : (module Engine.S with type session = 's);
+      sess : 's;
+      engine : Engine.id;
+      key : string;
+      mutable solves : int;
+    }
+      -> entry
+
+type t = {
+  pool : (string, entry) Hashtbl.t;
+  ledger : string option;
+  default_engine : Engine.id;
+  mutable served : int;
+}
+
+let create ?ledger ?(engine = Engine.Hdpll_sp) () =
+  { pool = Hashtbl.create 8; ledger; default_engine = engine; served = 0 }
+
+(* ---- request plumbing ---- *)
+
+let str_field name j = Option.bind (Json.member name j) Json.get_string
+let int_field name j = Option.bind (Json.member name j) Json.get_int
+let float_field name j = Option.bind (Json.member name j) Json.get_float
+
+let require name = function
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing field %S" name)
+
+let ok ~id fields =
+  Json.Obj
+    (("schema", Json.Str schema) :: ("id", id) :: ("ok", Json.Bool true)
+     :: fields)
+
+let err ~id msg =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("id", id);
+      ("ok", Json.Bool false);
+      ("error", Json.Str msg);
+    ]
+
+(* ---- the warm session pool ---- *)
+
+let get_session t ~circuit ~prop ~engine ~req =
+  let key = Printf.sprintf "%s/%s/%s" circuit prop (Engine.name_of engine) in
+  match Hashtbl.find_opt t.pool key with
+  | Some e -> (e, true)
+  | None ->
+    let source, props =
+      try Registry.build circuit
+      with Not_found -> failwith (Printf.sprintf "unknown circuit %S" circuit)
+    in
+    let p =
+      match List.assoc_opt prop props with
+      | Some p -> p
+      | None ->
+        failwith
+          (Printf.sprintf "unknown property %S of circuit %S" prop circuit)
+    in
+    let (module M : Engine.S) = Engine.of_id engine in
+    let sess = M.session ~req source ~prop:p in
+    let e = E { m = (module M); sess; engine; key; solves = 0 } in
+    Hashtbl.add t.pool key e;
+    (e, false)
+
+let step_fields (step : Engine.sweep_step) =
+  let r = step.Engine.sw_run in
+  [
+    ("bound", Json.Int step.Engine.sw_bound);
+    ("verdict", Json.Str (Report.verdict_string r.Engine.verdict));
+    ("time_s", Json.Float r.Engine.time);
+    ("decisions", Json.Int r.Engine.decisions);
+    ("conflicts", Json.Int r.Engine.conflicts);
+    ("carried_clauses", Json.Int step.Engine.sw_carried_clauses);
+    ("carried_relations", Json.Int step.Engine.sw_carried_relations);
+  ]
+
+let session_fields ~key ~engine ~solves ~warm =
+  ( "session",
+    Json.Obj
+      [
+        ("key", Json.Str key);
+        ("engine", Json.Str (Engine.name_of engine));
+        ("solves", Json.Int solves);
+        ("warm", Json.Bool warm);
+        ("unroll_cache", Json.Str (if warm then "hit" else "miss"));
+      ] )
+
+let ledger_append t ~instance ~engine ~req ~warm ~verdict ~wall_s ~counters =
+  match t.ledger with
+  | None -> ()
+  | Some path ->
+    (try
+       Ledger.append ~path
+         (Ledger.make ~subcommand:"serve"
+            ~argv:(Array.to_list Sys.argv)
+            ~instance
+            ~engine:(Engine.name_of engine)
+            ~options:(Req.options_string req ^ Printf.sprintf ",warm=%b" warm)
+            ~verdict ~wall_s ~counters ~artifacts:[] ())
+     with Sys_error msg ->
+       Printf.eprintf "rtlsat serve: ledger append failed: %s\n%!" msg)
+
+(* ---- operations ---- *)
+
+let parse_engine t request =
+  match str_field "engine" request with
+  | None -> t.default_engine
+  | Some name ->
+    (match Engine.of_name name with
+     | Some e -> e
+     | None -> failwith (Printf.sprintf "unknown engine %S" name))
+
+let do_solve t ~id request =
+  let circuit = require "circuit" (str_field "circuit" request) in
+  let prop = require "prop" (str_field "prop" request) in
+  let bound = require "bound" (int_field "bound" request) in
+  let engine = parse_engine t request in
+  let timeout = Option.value (float_field "timeout_s" request) ~default:1200.0 in
+  let req = Req.make ~timeout ~tag:"serve" () in
+  let entry, warm = get_session t ~circuit ~prop ~engine ~req in
+  let step, key, solves =
+    match entry with
+    | E e ->
+      let module M = (val e.m) in
+      let step = M.sweep_step ~req e.sess ~bound in
+      e.solves <- e.solves + 1;
+      (step, e.key, e.solves)
+  in
+  let r = step.Engine.sw_run in
+  ledger_append t
+    ~instance:(Registry.instance_name ~circuit ~prop ~bound)
+    ~engine ~req ~warm
+    ~verdict:(Report.verdict_string r.Engine.verdict)
+    ~wall_s:r.Engine.time
+    ~counters:
+      [
+        ("decisions", r.Engine.decisions);
+        ("conflicts", r.Engine.conflicts);
+        ("carried_clauses", step.Engine.sw_carried_clauses);
+        ("carried_relations", step.Engine.sw_carried_relations);
+      ];
+  ok ~id
+    (("op", Json.Str "solve")
+     :: step_fields step
+     @ [ session_fields ~key ~engine ~solves ~warm ])
+
+let do_sweep t ~id request =
+  let circuit = require "circuit" (str_field "circuit" request) in
+  let prop = require "prop" (str_field "prop" request) in
+  let bounds =
+    match Option.bind (Json.member "bounds" request) Json.get_list with
+    | Some l ->
+      List.map (fun b -> require "bounds" (Json.get_int b)) l
+    | None -> failwith "missing field \"bounds\""
+  in
+  let engine = parse_engine t request in
+  let timeout = Option.value (float_field "timeout_s" request) ~default:1200.0 in
+  let req = Req.make ~timeout ~tag:"serve" () in
+  let entry, warm = get_session t ~circuit ~prop ~engine ~req in
+  let steps, key, solves =
+    match entry with
+    | E e ->
+      let module M = (val e.m) in
+      let steps =
+        List.map (fun bound -> M.sweep_step ~req e.sess ~bound) bounds
+      in
+      e.solves <- e.solves + List.length steps;
+      (steps, e.key, e.solves)
+  in
+  let wall_s =
+    List.fold_left (fun a s -> a +. s.Engine.sw_run.Engine.time) 0.0 steps
+  in
+  let verdict =
+    (* first violated bound decides the sweep verdict, as in the CLI *)
+    match
+      List.find_opt (fun s -> s.Engine.sw_run.Engine.verdict = Engine.Sat)
+        steps
+    with
+    | Some s -> Report.verdict_string s.Engine.sw_run.Engine.verdict
+    | None ->
+      (match steps with
+       | [] -> "unsat"
+       | s :: _ ->
+         Report.verdict_string
+           (List.fold_left
+              (fun acc st ->
+                 match st.Engine.sw_run.Engine.verdict with
+                 | Engine.Unsat -> acc
+                 | v -> v)
+              s.Engine.sw_run.Engine.verdict
+              steps))
+  in
+  let carried =
+    List.fold_left (fun a s -> max a s.Engine.sw_carried_clauses) 0 steps
+  in
+  ledger_append t
+    ~instance:(Printf.sprintf "%s_%s" circuit prop)
+    ~engine ~req ~warm ~verdict ~wall_s
+    ~counters:
+      [ ("bounds", List.length bounds); ("carried_clauses", carried) ];
+  ok ~id
+    [
+      ("op", Json.Str "sweep");
+      ("time_s", Json.Float wall_s);
+      ("steps", Json.Arr (List.map (fun s -> Json.Obj (step_fields s)) steps));
+      session_fields ~key ~engine ~solves ~warm;
+    ]
+
+let do_stats t ~id =
+  let sessions =
+    Hashtbl.fold
+      (fun _ (E e) acc ->
+         Json.Obj
+           [
+             ("key", Json.Str e.key);
+             ("engine", Json.Str (Engine.name_of e.engine));
+             ("solves", Json.Int e.solves);
+           ]
+         :: acc)
+      t.pool []
+  in
+  ok ~id
+    [
+      ("op", Json.Str "stats");
+      ("served", Json.Int t.served);
+      ("sessions", Json.Arr sessions);
+    ]
+
+let handle t request =
+  let id = Option.value (Json.member "id" request) ~default:Json.Null in
+  match str_field "op" request with
+  | None -> (err ~id "missing field \"op\"", true)
+  | Some "ping" -> (ok ~id [ ("op", Json.Str "ping") ], true)
+  | Some "stats" -> (do_stats t ~id, true)
+  | Some "shutdown" ->
+    (ok ~id [ ("op", Json.Str "shutdown"); ("served", Json.Int t.served) ],
+     false)
+  | Some (("solve" | "sweep") as op) ->
+    let resp =
+      try
+        let r = if op = "solve" then do_solve t ~id request
+          else do_sweep t ~id request
+        in
+        t.served <- t.served + 1;
+        r
+      with
+      | Failure msg -> err ~id msg
+      | Invalid_argument msg -> err ~id msg
+      | Not_found -> err ~id "not found"
+    in
+    (resp, true)
+  | Some op -> (err ~id (Printf.sprintf "unknown op %S" op), true)
+
+let handle_line t line =
+  let resp, keep =
+    match Json.of_string line with
+    | request -> handle t request
+    | exception Json.Parse_error msg ->
+      (err ~id:Json.Null ("parse error: " ^ msg), true)
+  in
+  (Json.to_string resp, keep)
+
+let run t ic oc =
+  let continue = ref true in
+  while !continue do
+    match input_line ic with
+    | exception End_of_file -> continue := false
+    | line ->
+      if String.trim line <> "" then begin
+        let resp, keep = handle_line t line in
+        output_string oc resp;
+        output_char oc '\n';
+        flush oc;
+        if not keep then continue := false
+      end
+  done;
+  t.served

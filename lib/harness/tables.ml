@@ -8,6 +8,11 @@ let scale_name = function `Scaled -> "scaled" | `Full -> "full"
 (* fresh per-run obs handle when metrics collection is requested *)
 let run_obs metrics = if metrics then Obs.create () else Obs.disabled
 
+(* fresh request per engine run: a private obs handle so [run.metrics]
+   snapshots stay per-run *)
+let run_req ?learn_threshold ?(simplify = true) ~timeout metrics =
+  Req.make ~timeout ?learn_threshold ~simplify ~obs:(run_obs metrics) ()
+
 (* ---- Table 1 (§3.1): predicate learning analysis ---- *)
 
 let table1_instances = function
@@ -54,11 +59,13 @@ let run_table1 ?timeout ?(metrics = false) scale =
     (fun (circuit, prop, bound) ->
        let mk () = Registry.instance ~circuit ~prop ~bound in
        let base =
-         Engines.run_instance ~timeout ~obs:(run_obs metrics) Engines.Hdpll (mk ())
+         Engines.run_instance ~req:(run_req ~timeout metrics) Engines.Hdpll
+           (mk ())
        in
        let learned =
-         Engines.run_instance ~timeout ~learn_threshold:t1_threshold
-           ~obs:(run_obs metrics) Engines.Hdpll_p (mk ())
+         Engines.run_instance
+           ~req:(run_req ~learn_threshold:t1_threshold ~timeout metrics)
+           Engines.Hdpll_p (mk ())
        in
        {
          t1_label = Registry.instance_name ~circuit ~prop ~bound;
@@ -134,7 +141,7 @@ let run_row ?(timeout = 1200.0) ?(metrics = false) ~engines (circuit, prop, boun
     List.map
       (fun e ->
          ( e,
-           Engines.run_instance ~timeout ~obs:(run_obs metrics) e
+           Engines.run_instance ~req:(run_req ~timeout metrics) e
              (Registry.instance ~circuit ~prop ~bound) ))
       engines
   in
@@ -267,7 +274,7 @@ let run_wide_wrap ?(timeout = 20.0) ?(metrics = false)
          List.map
            (fun e ->
               ( e,
-                Engines.run_instance ~timeout ~obs:(run_obs metrics) e
+                Engines.run_instance ~req:(run_req ~timeout metrics) e
                   (wide_wrap_instance case) ))
            engines
        in
@@ -335,14 +342,14 @@ let run_bmc_sweep ?timeout ?(metrics = false) ?(engines = bmc_sweep_engines)
        List.map
          (fun e ->
             let incr =
-              Engines.run_sweep ~timeout ~obs:(run_obs metrics) e source
+              Engines.run_sweep ~req:(run_req ~timeout metrics) e source
                 ~prop:p ~bounds
             in
             let steps =
               List.map
                 (fun (step : Engines.sweep_step) ->
                    let scratch =
-                     Engines.run_instance ~timeout ~obs:(run_obs metrics) e
+                     Engines.run_instance ~req:(run_req ~timeout metrics) e
                        (Registry.instance ~circuit ~prop
                           ~bound:step.Engines.sw_bound)
                    in
@@ -414,11 +421,11 @@ let run_simplify ?timeout ?(metrics = true) ?(engines = simplify_engines)
          (fun e ->
             let mk () = Registry.instance ~circuit ~prop ~bound in
             let on =
-              Engines.run_instance ~timeout ~obs:(run_obs metrics) e (mk ())
+              Engines.run_instance ~req:(run_req ~timeout metrics) e (mk ())
             in
             let off =
-              Engines.run_instance ~timeout ~obs:(run_obs metrics)
-                ~simplify:false e (mk ())
+              Engines.run_instance
+                ~req:(run_req ~simplify:false ~timeout metrics) e (mk ())
             in
             {
               sy_label = Printf.sprintf "%s_%s(%d)" circuit prop bound;

@@ -20,6 +20,7 @@ module Unroll = Rtlsat_bmc.Unroll
 module E = Rtlsat_constr.Encode
 module Solver = Rtlsat_core.Solver
 module Engines = Rtlsat_harness.Engines
+module Req = Rtlsat_harness.Req
 module Obs = Rtlsat_obs.Obs
 module Mono = Rtlsat_obs.Mono
 open Rtlsat_constr.Types
@@ -109,18 +110,18 @@ let merged_metrics entries metric_of =
     (Array.to_list entries
      |> List.filter_map (fun e -> Option.bind e metric_of))
 
-let portfolio ?(timeout = 1200.0) ?(obs = Obs.disabled) ?learn_threshold
-    ?split ?simplify ?inprocess ~j ~engine inst =
+let portfolio ?(req = Req.default) ~j ~engine inst =
   let lineup = portfolio_lineup engine j in
   let fns =
     Array.of_list
       (List.mapi
          (fun w eng ->
-            let o = worker_obs obs w in
+            let o = worker_obs req.Req.obs w in
             fun ~worker:_ ~cancel ->
               ( eng,
-                Engines.run_instance ~timeout ~obs:o ?learn_threshold ?split
-                  ?simplify ?inprocess ~cancel eng inst ))
+                Engines.run_instance
+                  ~req:{ req with Req.obs = o; cancel }
+                  eng inst ))
          lineup)
   in
   let rr = race ~decisive:(fun (_, r) -> decisive_run r) fns in
@@ -202,25 +203,25 @@ type cube_result = {
 
 type cube_worker_verdict = W_sat | W_unsat_all | W_timeout | W_abort of string
 
-let cube_solve ?(timeout = 1200.0) ?(obs = Obs.disabled) ?learn_threshold
-    ?split ?simplify ?inprocess ?(probe_budget = 2.0) ~j ~engine inst =
+let cube_solve ?(req = Req.default) ?(probe_budget = 2.0) ~j ~engine inst =
   if not (is_hybrid engine) then
     invalid_arg "Parallel.cube_solve: cube-and-conquer needs a hybrid engine";
+  let obs = req.Req.obs in
   let j = max 1 j in
   let t0 = Mono.now () in
-  let deadline = t0 +. timeout in
+  let deadline = Req.deadline_from req t0 in
   let opts_for ~obs:o ~deadline ?cancel ?on_learn () =
     let base = base_options engine in
     {
       base with
       Solver.deadline;
       Solver.obs = o;
-      Solver.learn_threshold = learn_threshold;
-      Solver.split = Option.value split ~default:base.Solver.split;
-      Solver.simplify = Option.value simplify ~default:base.Solver.simplify;
-      Solver.inprocess = Option.value inprocess ~default:base.Solver.inprocess;
+      Solver.learn_threshold = req.Req.learn_threshold;
+      Solver.split = req.Req.split;
+      Solver.simplify = req.Req.simplify;
+      Solver.inprocess = req.Req.inprocess;
       Solver.cancel =
-        (match cancel with Some c -> c | None -> base.Solver.cancel);
+        (match cancel with Some c -> c | None -> req.Req.cancel);
       Solver.on_learn = on_learn;
     }
   in
@@ -360,20 +361,19 @@ let cube_solve ?(timeout = 1200.0) ?(obs = Obs.disabled) ?learn_threshold
    in the sequential sweep.  Verdicts match [-j 1]; per-bound times
    and carried-lemma counts differ (each worker's session only carries
    lemmas from its own subset of bounds). *)
-let sweep ?timeout ?learn_threshold ?(obs = Obs.disabled) ?split ?simplify
-    ?inprocess ?semantics ~j engine source ~prop ~bounds =
+let sweep ?(req = Req.default) ?semantics ~j engine source ~prop ~bounds =
   let j = max 1 (min j (List.length bounds)) in
   if j <= 1 then
-    Engines.run_sweep ?timeout ?learn_threshold ~obs ?split ?simplify
-      ?inprocess ?semantics engine source ~prop ~bounds
+    Engines.run_sweep ~req ?semantics engine source ~prop ~bounds
   else begin
     let buckets = Array.make j [] in
     List.iteri (fun i b -> buckets.(i mod j) <- b :: buckets.(i mod j)) bounds;
     let buckets = Array.map List.rev buckets in
     let worker ~worker:w ~cancel:_ =
-      let o = worker_obs obs w in
-      Engines.run_sweep ?timeout ?learn_threshold ~obs:o ?split ?simplify
-        ?inprocess ?semantics engine source ~prop ~bounds:buckets.(w)
+      let o = worker_obs req.Req.obs w in
+      Engines.run_sweep
+        ~req:{ req with Req.obs = o }
+        ?semantics engine source ~prop ~bounds:buckets.(w)
     in
     let rr =
       race ~decisive:(fun _ -> false) (Array.init j (fun _ -> worker))

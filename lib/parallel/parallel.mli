@@ -57,12 +57,7 @@ type portfolio_result = {
 }
 
 val portfolio :
-  ?timeout:float ->
-  ?obs:Rtlsat_obs.Obs.t ->
-  ?learn_threshold:int ->
-  ?split:bool ->
-  ?simplify:bool ->
-  ?inprocess:int ->
+  ?req:Rtlsat_harness.Req.t ->
   j:int ->
   engine:Rtlsat_harness.Engines.engine ->
   Rtlsat_bmc.Bmc.instance ->
@@ -70,10 +65,13 @@ val portfolio :
 (** Race up to [j] engines on one shared (pre-unrolled) instance;
     first Sat/Unsat wins and cancels the rest.  The instance and its
     source circuit are only read by the workers — each engine builds
-    its own encoding.  [obs] (default disabled): each worker gets a
-    fresh handle sharing [obs]'s trace/recorder sinks (which are
-    internally locked), tagged with its worker id.  Remaining options
-    are per-engine knobs as in {!Rtlsat_harness.Engines.run_instance}. *)
+    its own encoding.  [req] (default {!Rtlsat_harness.Req.default})
+    carries the budget and per-engine knobs as in
+    {!Rtlsat_harness.Engines.run_instance}; each worker runs under a
+    derived request whose [obs] is a fresh handle sharing [req.obs]'s
+    trace/recorder sinks (which are internally locked), tagged with
+    its worker id, and whose [cancel] is the race's shared flag
+    ([req.cancel] is left untouched). *)
 
 (** {1 Cube-and-conquer} *)
 
@@ -91,12 +89,7 @@ type cube_result = {
 }
 
 val cube_solve :
-  ?timeout:float ->
-  ?obs:Rtlsat_obs.Obs.t ->
-  ?learn_threshold:int ->
-  ?split:bool ->
-  ?simplify:bool ->
-  ?inprocess:int ->
+  ?req:Rtlsat_harness.Req.t ->
   ?probe_budget:float ->
   j:int ->
   engine:Rtlsat_harness.Engines.engine ->
@@ -128,12 +121,7 @@ val cube_solve :
 (** {1 Bound-parallel sweeps} *)
 
 val sweep :
-  ?timeout:float ->
-  ?learn_threshold:int ->
-  ?obs:Rtlsat_obs.Obs.t ->
-  ?split:bool ->
-  ?simplify:bool ->
-  ?inprocess:int ->
+  ?req:Rtlsat_harness.Req.t ->
   ?semantics:Rtlsat_bmc.Bmc.semantics ->
   j:int ->
   Rtlsat_harness.Engines.engine ->

@@ -103,6 +103,7 @@ type t = {
   mutable qhead : int;
   mutable var_inc : float;
   mutable conflicts : int;
+  mutable learned : int;            (* conflict-learned lemmas, total *)
   mutable unsat_root : bool;
   heap : Heap.t;
   mutable seen : bool array;
@@ -132,6 +133,7 @@ let create () =
     qhead = 0;
     var_inc = 1.0;
     conflicts = 0;
+    learned = 0;
     unsat_root = false;
     heap = Heap.create ();
     seen = Array.make 16 false;
@@ -172,6 +174,7 @@ let new_var t =
 let n_vars t = t.nvars
 let n_clauses t = t.nclauses
 let n_conflicts t = t.conflicts
+let n_learned t = t.learned
 
 (* rewrite a literal through the equivalent-literal substitution left
    behind by simplify; identity while no simplification has run *)
@@ -547,6 +550,7 @@ let solve ?(deadline = infinity) ?(assumptions = []) ?(inprocess = 0)
           let clause, btlevel = analyze t confl in
           backtrack t btlevel;
           t.var_inc <- t.var_inc *. var_decay;
+          t.learned <- t.learned + 1;
           if Array.length clause = 1 then begin
             backtrack t 0;
             match lit_value t clause.(0) with

@@ -31,6 +31,12 @@ val n_vars : t -> int
 val n_clauses : t -> int
 val n_conflicts : t -> int
 
+val n_learned : t -> int
+(** Total conflict-learned lemmas so far (unit learns included).
+    Monotone across {!solve} calls and unaffected by {!simplify}'s
+    database rebuild — it counts lemmas derived, not lemmas currently
+    retained. *)
+
 val add_clause : t -> lit list -> unit
 (** May be called only at decision level 0 (before or between
     [solve] calls).  An empty clause makes the instance trivially

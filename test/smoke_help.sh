@@ -1,0 +1,46 @@
+#!/bin/sh
+# CLI surface smoke test (wired into `dune runtest` — see the rule in
+# test/dune):
+#   1. every registered subcommand answers --help with exit 0, so no
+#      refactor can leave a command with a broken term
+#   2. the subcommands on the shared exit-code convention document it:
+#      0 success / 1 negative finding / 2 invalid input
+#   3. the top-level help lists the serve daemon next to solve/sweep
+# Pass the rtlsat binary as $1 (the dune rule does); standalone runs
+# build it first.
+set -eu
+
+here=$(dirname "$0")
+
+if [ $# -ge 1 ]; then
+  rtlsat=$1
+else
+  root=$(cd "$here/.." && pwd)
+  dune build --root "$root" bin/rtlsat.exe
+  rtlsat="$root/_build/default/bin/rtlsat.exe"
+fi
+
+out=$(mktemp /tmp/rtlsat_help.XXXXXX.out)
+trap 'rm -f "$out"' EXIT
+
+# 1. every subcommand answers --help
+"$rtlsat" --help=plain > "$out"
+grep -q "COMMANDS" "$out"
+grep -q "serve" "$out"
+
+for sub in list show solve sweep serve check prove export sat fuzz \
+           profile top metrics runs trace-diff bench-diff bench-history \
+           table1 table2; do
+  "$rtlsat" "$sub" --help=plain > "$out"
+done
+
+# 2. the 0/1/2 exit-code convention is documented on the commands that
+#    share it
+for sub in show solve sweep serve check prove sat fuzz profile top \
+           metrics runs trace-diff bench-diff bench-history; do
+  "$rtlsat" "$sub" --help=plain > "$out"
+  grep -q "on a negative finding" "$out"
+  grep -q "on unreadable or invalid input" "$out"
+done
+
+echo "smoke_help: all checks passed"

@@ -245,7 +245,10 @@ let split_verdict_agreement =
        let inst = Case.instance case in
        let module E = Oracle.Engines in
        let run ?split engine =
-         (E.run_instance ~timeout:2.0 ?split engine inst).E.verdict
+         (E.run_instance
+            ~req:(Rtlsat_harness.Req.make ~timeout:2.0 ?split ())
+            engine inst)
+           .E.verdict
        in
        let vs =
          [ run ~split:true E.Hdpll; run ~split:false E.Hdpll; run E.Bitblast ]
@@ -265,7 +268,9 @@ let test_corpus_replay () =
   List.iter
     (fun (file, case) ->
        Printf.eprintf "[corpus] %s\n%!" file;
-       let o = Oracle.check ~timeout:5.0 case in
+       let o =
+         Oracle.check ~req:(Rtlsat_harness.Req.make ~timeout:5.0 ()) case
+       in
        match o.Oracle.failure with
        | None -> ()
        | Some _ ->

@@ -32,7 +32,11 @@ let test_verdict_symbols () =
 
 let test_run_instance_validates_witness () =
   let inst = Registry.instance ~circuit:"b13" ~prop:"40" ~bound:13 in
-  let r = Engines.run_instance ~timeout:60.0 Engines.Hdpll_sp inst in
+  let r =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ())
+      Engines.Hdpll_sp inst
+  in
   check_bool "sat (so the witness replayed)" true (r.Engines.verdict = Engines.Sat)
 
 (* ---- tables ---- *)

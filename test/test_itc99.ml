@@ -119,7 +119,11 @@ let test_engines_agree_on_small_instances () =
          List.map
            (fun e ->
               let inst = Registry.instance ~circuit ~prop ~bound in
-              let run = Engines.run_instance ~timeout:60.0 e inst in
+              let run =
+                Engines.run_instance
+                  ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ())
+                  e inst
+              in
               (e, run.Engines.verdict))
            [ Engines.Hdpll; Engines.Hdpll_s; Engines.Hdpll_sp; Engines.Bitblast ]
        in
@@ -139,12 +143,20 @@ let test_engines_agree_on_small_instances () =
 let test_b13_40_13_is_sat () =
   (* the paper's one satisfiable b13 row *)
   let inst = Registry.instance ~circuit:"b13" ~prop:"40" ~bound:13 in
-  let run = Engines.run_instance ~timeout:60.0 Engines.Hdpll_s inst in
+  let run =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ())
+      Engines.Hdpll_s inst
+  in
   check_bool "b13_40(13) sat" true (run.Engines.verdict = Engines.Sat)
 
 let test_b13_40_below_threshold_unsat () =
   let inst = Registry.instance ~circuit:"b13" ~prop:"40" ~bound:11 in
-  let run = Engines.run_instance ~timeout:60.0 Engines.Hdpll inst in
+  let run =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ())
+      Engines.Hdpll inst
+  in
   check_bool "b13_40(11) unsat" true (run.Engines.verdict = Engines.Unsat)
 
 let test_op_counts_grow_linearly () =

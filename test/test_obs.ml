@@ -417,7 +417,11 @@ let test_w61_stall_and_profile () =
   let inst = Fuzz_case.instance case in
   let path = Filename.temp_file "rtlsat_w61" ".jsonl" in
   let obs = Obs.create ~trace:(Trace.to_file path) () in
-  let r = Engines.run_instance ~timeout:1.0 ~obs ~split:false Engines.Hdpll inst in
+  let r =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:1.0 ~obs ~split:false ())
+      Engines.Hdpll inst
+  in
   Obs.close obs;
   check_bool "times out" true (r.Engines.verdict = Engines.Timeout);
   (match r.Engines.metrics with
@@ -459,7 +463,11 @@ let test_w61_split_cures_all_configs () =
   let inst = Fuzz_case.instance case in
   List.iter
     (fun engine ->
-       let r = Engines.run_instance ~timeout:10.0 engine inst in
+       let r =
+         Engines.run_instance
+           ~req:(Rtlsat_harness.Req.make ~timeout:10.0 ())
+           engine inst
+       in
        check_string
          (Engines.engine_name engine ^ " sat with validated witness")
          "S"
@@ -637,7 +645,11 @@ let test_bench_diff_unmatched () =
 let test_solve_json_shape () =
   let obs = Obs.create () in
   let inst = Registry.instance ~circuit:"b01" ~prop:"1" ~bound:5 in
-  let r = Engines.run_instance ~timeout:60.0 ~obs Engines.Hdpll_sp inst in
+  let r =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ~obs ())
+      Engines.Hdpll_sp inst
+  in
   let j =
     Json.of_string
       (Json.to_string (Report.solve_json ~instance:"b01_1(5)" ~bound:5

@@ -113,14 +113,14 @@ let prop_portfolio_equiv =
     (fun seed ->
        let cfg = { Gen.default with Gen.max_nodes = 10 } in
        let case = Gen.circuit ~cfg ~seed () in
+       let req = Rtlsat_harness.Req.make ~timeout:60.0 () in
        let seq =
-         Engines.run_instance ~timeout:60.0 Engines.Hdpll_sp
-           (Case.instance case)
+         Engines.run_instance ~req Engines.Hdpll_sp (Case.instance case)
        in
        (* the full six-engine lineup; workers share one instance, so
           this also exercises concurrent encoding of the same unroll *)
        let p =
-         Parallel.portfolio ~timeout:60.0 ~j:6 ~engine:Engines.Hdpll_sp
+         Parallel.portfolio ~req ~j:6 ~engine:Engines.Hdpll_sp
            (Case.instance case)
        in
        match (seq.Engines.verdict, p.Parallel.p_run.Engines.verdict) with
@@ -140,7 +140,9 @@ let test_cube_probe_decides () =
     (fun (c, p, b, expect) ->
        let inst = Registry.instance ~circuit:c ~prop:p ~bound:b in
        let r =
-         Parallel.cube_solve ~timeout:60.0 ~j:2 ~engine:Engines.Hdpll_sp inst
+         Parallel.cube_solve
+           ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ())
+           ~j:2 ~engine:Engines.Hdpll_sp inst
        in
        check_bool
          (Printf.sprintf "%s_%s(%d) verdict" c p b)
@@ -156,8 +158,9 @@ let test_cube_conquers () =
      all-refuted verdict must equal the sequential Unsat *)
   let inst = Registry.instance ~circuit:"b13" ~prop:"2" ~bound:50 in
   let r =
-    Parallel.cube_solve ~timeout:120.0 ~probe_budget:0.1 ~j:2
-      ~engine:Engines.Hdpll_sp inst
+    Parallel.cube_solve
+      ~req:(Rtlsat_harness.Req.make ~timeout:120.0 ())
+      ~probe_budget:0.1 ~j:2 ~engine:Engines.Hdpll_sp inst
   in
   check_bool "verdict unsat" true (verdict_eq r.Parallel.c_verdict Engines.Unsat);
   if r.Parallel.c_cubes > 0 then begin
@@ -171,11 +174,10 @@ let test_sweep_matches () =
   let source, props = Registry.build "b01" in
   let p = List.assoc "1" props in
   let bounds = [ 2; 4; 6; 8; 10; 12 ] in
-  let seqs =
-    Engines.run_sweep ~timeout:60.0 Engines.Hdpll_sp source ~prop:p ~bounds
-  in
+  let req = Rtlsat_harness.Req.make ~timeout:60.0 () in
+  let seqs = Engines.run_sweep ~req Engines.Hdpll_sp source ~prop:p ~bounds in
   let pars =
-    Parallel.sweep ~timeout:60.0 ~j:3 Engines.Hdpll_sp source ~prop:p ~bounds
+    Parallel.sweep ~req ~j:3 Engines.Hdpll_sp source ~prop:p ~bounds
   in
   check_int "same step count" (List.length seqs) (List.length pars);
   List.iter2

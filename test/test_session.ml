@@ -170,14 +170,15 @@ let sweep_equivalence =
        let bounds = [ 1; 2; 3; 4 ] in
        List.for_all
          (fun engine ->
+            let req = Rtlsat_harness.Req.make ~timeout:2.0 () in
             let steps =
-              Engines.run_sweep ~timeout:2.0 engine case.Case.circuit
+              Engines.run_sweep ~req engine case.Case.circuit
                 ~prop:case.Case.prop ~semantics:case.Case.semantics ~bounds
             in
             List.for_all
               (fun (step : Engines.sweep_step) ->
                  let scratch =
-                   Engines.run_instance ~timeout:2.0 engine
+                   Engines.run_instance ~req engine
                      (Bmc.make case.Case.circuit ~prop:case.Case.prop
                         ~bound:step.Engines.sw_bound
                         ~semantics:case.Case.semantics ())

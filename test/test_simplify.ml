@@ -253,7 +253,11 @@ let test_hybrid_phase_instrumented () =
      instances that actually reach the search loop *)
   let obs = Obs.create () in
   let inst = Registry.instance ~circuit:"b13" ~prop:"1" ~bound:10 in
-  let r = Engines.run_instance ~timeout:20.0 ~obs Engines.Hdpll_sp inst in
+  let r =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:20.0 ~obs ())
+      Engines.Hdpll_sp inst
+  in
   check_bool "decided" true
     (match r.Engines.verdict with
      | Engines.Sat | Engines.Unsat -> true
@@ -269,8 +273,16 @@ let test_engine_simplify_off_matches_seed_behaviour () =
      verdict, same decision/conflict counts with and without the new
      code path for a deterministic instance *)
   let inst () = Registry.instance ~circuit:"b13" ~prop:"1" ~bound:10 in
-  let off = Engines.run_instance ~timeout:60.0 ~simplify:false Engines.Hdpll_sp (inst ()) in
-  let on = Engines.run_instance ~timeout:60.0 Engines.Hdpll_sp (inst ()) in
+  let off =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ~simplify:false ())
+      Engines.Hdpll_sp (inst ())
+  in
+  let on =
+    Engines.run_instance
+      ~req:(Rtlsat_harness.Req.make ~timeout:60.0 ())
+      Engines.Hdpll_sp (inst ())
+  in
   check_string "verdicts equal"
     (Engines.verdict_symbol off.Engines.verdict)
     (Engines.verdict_symbol on.Engines.verdict);
@@ -293,7 +305,10 @@ let simplify_verdict_agreement =
        let inst = Case.instance case in
        let module E = Engines in
        let run simplify engine =
-         (E.run_instance ~timeout:2.0 ~simplify engine inst).E.verdict
+         (E.run_instance
+            ~req:(Rtlsat_harness.Req.make ~timeout:2.0 ~simplify ())
+            engine inst)
+           .E.verdict
        in
        let engine_vs =
          List.concat_map
